@@ -1,0 +1,317 @@
+package multihopbandit
+
+import (
+	"multihopbandit/internal/cds"
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/mwis"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
+	"multihopbandit/internal/queueing"
+	"multihopbandit/internal/regret"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/sim"
+	"multihopbandit/internal/timing"
+	"multihopbandit/internal/topology"
+)
+
+// ---------------------------------------------------------------------------
+// Randomness
+
+// Seed is a deterministic random stream; every constructor taking a Seed is
+// reproducible from it.
+type Seed = rng.Source
+
+// NewSeed returns a root random stream for the given seed value.
+func NewSeed(seed int64) *Seed { return rng.New(seed) }
+
+// ---------------------------------------------------------------------------
+// Topology
+
+// Network is a set of node positions plus the induced unit-disk conflict
+// graph.
+type Network = topology.Network
+
+// RandomNetworkConfig parameterizes RandomNetwork.
+type RandomNetworkConfig = topology.RandomConfig
+
+// RandomNetwork places nodes uniformly at random in a square sized for the
+// target average degree and returns the resulting network.
+func RandomNetwork(cfg RandomNetworkConfig, seed *Seed) (*Network, error) {
+	return topology.Random(cfg, seed)
+}
+
+// LinearNetwork returns the paper's §IV-D worst-case line topology.
+func LinearNetwork(n int, spacing, radius float64) (*Network, error) {
+	return topology.Linear(n, spacing, radius)
+}
+
+// GridNetwork returns a rows×cols grid topology.
+func GridNetwork(rows, cols int, spacing, radius float64) (*Network, error) {
+	return topology.Grid(rows, cols, spacing, radius)
+}
+
+// ---------------------------------------------------------------------------
+// Channels
+
+// Channels models the unknown per-(node, channel) reward processes.
+type Channels = channel.Model
+
+// ChannelConfig parameterizes NewChannels.
+type ChannelConfig = channel.Config
+
+// NewChannels draws per-(node, channel) means from the paper's 8-rate
+// catalog and returns the stochastic channel model.
+func NewChannels(cfg ChannelConfig, seed *Seed) (*Channels, error) {
+	return channel.NewModel(cfg, seed)
+}
+
+// NewChannelsWithMeans builds a channel model with explicit normalized
+// means (arm index k = node·M + channel).
+func NewChannelsWithMeans(cfg ChannelConfig, means []float64, seed *Seed) (*Channels, error) {
+	return channel.NewModelWithMeans(cfg, means, seed)
+}
+
+// Kbps converts a normalized throughput value to the paper's kbps scale.
+func Kbps(normalized float64) float64 { return channel.Kbps(normalized) }
+
+// Sampler is the reward-source interface the scheme consumes; Channels,
+// GilbertElliottChannels and ShiftingChannels all implement it.
+type Sampler = channel.Sampler
+
+// GilbertElliottChannels is the restless two-state Markov channel model of
+// the restless-bandit literature the paper cites.
+type GilbertElliottChannels = channel.GilbertElliott
+
+// GilbertElliottConfig parameterizes NewGilbertElliottChannels.
+type GilbertElliottConfig = channel.GEConfig
+
+// NewGilbertElliottChannels returns a restless Markov channel model.
+func NewGilbertElliottChannels(cfg GilbertElliottConfig, seed *Seed) (*GilbertElliottChannels, error) {
+	return channel.NewGilbertElliott(cfg, seed)
+}
+
+// ShiftingChannels is the obliviously adversarial model of the paper's
+// future-work discussion: per-node means rotate every Period slots.
+type ShiftingChannels = channel.Shifting
+
+// ShiftingConfig parameterizes NewShiftingChannels.
+type ShiftingConfig = channel.ShiftConfig
+
+// NewShiftingChannels returns an adversarially shifting channel model.
+func NewShiftingChannels(cfg ShiftingConfig, seed *Seed) (*ShiftingChannels, error) {
+	return channel.NewShifting(cfg, seed)
+}
+
+// PrimaryUserChannels decorates any Sampler with per-channel primary-user
+// occupancy: secondary transmissions earn zero while the primary is active.
+type PrimaryUserChannels = channel.WithPrimary
+
+// PrimaryUserConfig parameterizes NewPrimaryUserChannels.
+type PrimaryUserConfig = channel.PrimaryConfig
+
+// NewPrimaryUserChannels wraps inner with primary-user occupancy processes.
+func NewPrimaryUserChannels(inner Sampler, cfg PrimaryUserConfig, seed *Seed) (*PrimaryUserChannels, error) {
+	return channel.NewWithPrimary(inner, cfg, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Strategies and the extended conflict graph
+
+// Strategy is a per-node channel assignment; NoChannel marks silent nodes.
+type Strategy = extgraph.Strategy
+
+// NoChannel marks a node that does not access any channel in a round.
+const NoChannel = extgraph.NoChannel
+
+// ExtendedGraph is the extended conflict graph H of the paper's Section III.
+type ExtendedGraph = extgraph.Extended
+
+// BuildExtendedGraph constructs H from a network's conflict graph and a
+// channel count.
+func BuildExtendedGraph(nw *Network, m int) (*ExtendedGraph, error) {
+	return extgraph.Build(nw.G, m)
+}
+
+// ---------------------------------------------------------------------------
+// Policies
+
+// Policy produces per-arm index weights and learns from observations.
+type Policy = policy.Policy
+
+// NewZhouLiPolicy returns the paper's learning rule (equation (3)) over k
+// arms (k = N·M).
+func NewZhouLiPolicy(k int) (Policy, error) { return policy.NewZhouLi(k) }
+
+// NewLLRPolicy returns the LLR baseline over k arms with strategy-size
+// bound l (use the node count N).
+func NewLLRPolicy(k, l int) (Policy, error) { return policy.NewLLR(k, l) }
+
+// NewEpsilonGreedyPolicy returns an ε-greedy baseline.
+func NewEpsilonGreedyPolicy(k int, epsilon float64, seed *Seed) (Policy, error) {
+	return policy.NewEpsilonGreedy(k, epsilon, seed)
+}
+
+// NewOraclePolicy returns the genie that plays the true means.
+func NewOraclePolicy(trueMeans []float64) (Policy, error) {
+	return policy.NewOracle(trueMeans)
+}
+
+// NewDiscountedZhouLiPolicy returns the discounted variant of the paper's
+// learning rule for non-stationary channels (gamma in (0,1]; gamma=1 is the
+// vanilla rule).
+func NewDiscountedZhouLiPolicy(k int, gamma float64) (Policy, error) {
+	return policy.NewDiscountedZhouLi(k, gamma)
+}
+
+// NewCUCBPolicy returns the combinatorial-UCB baseline of Chen et al.
+func NewCUCBPolicy(k int) (Policy, error) { return policy.NewCUCB(k) }
+
+// ---------------------------------------------------------------------------
+// MWIS solvers
+
+// Solver finds (approximate) maximum weighted independent sets.
+type Solver = mwis.Solver
+
+// ExactSolver returns the exact branch-and-bound MWIS solver.
+func ExactSolver() Solver { return mwis.Exact{} }
+
+// GreedySolver returns the max-weight-first heuristic.
+func GreedySolver() Solver { return mwis.Greedy{} }
+
+// HybridSolver returns budgeted-exact-with-greedy-fallback, the recommended
+// local solver for the distributed protocol.
+func HybridSolver() Solver { return mwis.Hybrid{} }
+
+// RobustPTASSolver returns the centralized robust PTAS with approximation
+// parameter rho = 1+ε (> 1).
+func RobustPTASSolver(rho float64) Solver { return mwis.RobustPTAS{Rho: rho} }
+
+// ---------------------------------------------------------------------------
+// Timing
+
+// Timing is the round/mini-round time model of §IV-E.
+type Timing = timing.Params
+
+// PaperTiming returns the Table II parameter set (t_a=2000ms, t_b=100ms,
+// t_l=50ms, t_d=1000ms, θ=0.5).
+func PaperTiming() Timing { return timing.Paper() }
+
+// ---------------------------------------------------------------------------
+// The scheme (Algorithm 2)
+
+// Config parameterizes the channel access scheme.
+type Config = core.Config
+
+// Scheme is a running instance of the paper's distributed channel access
+// scheme (Algorithm 2).
+type Scheme = core.Scheme
+
+// SlotResult reports one time slot of the scheme.
+type SlotResult = core.SlotResult
+
+// DecisionResult is the outcome of one distributed strategy decision
+// (Algorithm 3), including communication statistics.
+type DecisionResult = protocol.Result
+
+// DecisionStats aggregates the per-decision communication accounting.
+type DecisionStats = protocol.Stats
+
+// New builds a Scheme.
+func New(cfg Config) (*Scheme, error) { return core.New(cfg) }
+
+// OptimalStatic computes the genie-optimal static strategy via exact MWIS
+// over the true (current) channel means (small networks only).
+func OptimalStatic(ext *ExtendedGraph, ch Sampler) (Strategy, float64, error) {
+	return core.OptimalStatic(ext, ch)
+}
+
+// ---------------------------------------------------------------------------
+// Regret measures
+
+// PracticalRegretSeries returns the running per-slot average practical
+// regret of Fig. 7(a): R1 − θ·avg(observed).
+func PracticalRegretSeries(optimal, theta float64, observed []float64) []float64 {
+	return regret.PracticalSeries(optimal, theta, observed)
+}
+
+// PracticalBetaRegretSeries returns the β-regret series of Fig. 7(b):
+// R1/β − θ·avg(observed).
+func PracticalBetaRegretSeries(optimal, beta, theta float64, observed []float64) ([]float64, error) {
+	return regret.PracticalBetaSeries(optimal, beta, theta, observed)
+}
+
+// CumulativeRegret returns the textbook cumulative regret of equation (1).
+func CumulativeRegret(optimal float64, actual []float64) []float64 {
+	return regret.Cumulative(optimal, actual)
+}
+
+// TheoremBeta returns the Theorem 2 approximation factor
+// ρ = (M·(2r+1)²)^{1/r}.
+func TheoremBeta(m, r int) float64 { return sim.TheoremBeta(m, r) }
+
+// ---------------------------------------------------------------------------
+// Experiment harness (the paper's evaluation)
+
+// Experiment configuration and result types, re-exported so downstream users
+// can regenerate the paper's figures programmatically.
+type (
+	// Fig6Config parameterizes the mini-round convergence experiment.
+	Fig6Config = sim.Fig6Config
+	// Fig6Series is one line of Fig. 6.
+	Fig6Series = sim.Fig6Series
+	// Fig7Config parameterizes the regret comparison.
+	Fig7Config = sim.Fig7Config
+	// Fig7Result bundles the Fig. 7 output.
+	Fig7Result = sim.Fig7Result
+	// Fig8Config parameterizes the periodic-update experiment.
+	Fig8Config = sim.Fig8Config
+	// Fig8Subplot is one update-period setting of Fig. 8.
+	Fig8Subplot = sim.Fig8Subplot
+)
+
+// RunFig6 regenerates Fig. 6 (convergence of the distributed decision).
+func RunFig6(cfg Fig6Config) ([]Fig6Series, error) { return sim.RunFig6(cfg) }
+
+// RunFig7 regenerates Fig. 7 (practical regret and β-regret vs LLR).
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) { return sim.RunFig7(cfg) }
+
+// RunFig8 regenerates Fig. 8 (estimated vs actual effective throughput
+// under periodic updates).
+func RunFig8(cfg Fig8Config) ([]Fig8Subplot, error) { return sim.RunFig8(cfg) }
+
+// SummaryStats holds cross-seed summary statistics (mean, std, 95% CI).
+type SummaryStats = sim.Summary
+
+// ReplicateFig7 runs the Fig. 7 comparison over multiple seeds on a worker
+// pool and summarizes the endpoints.
+func ReplicateFig7(base Fig7Config, seeds []int64, workers int) (*sim.Fig7Replicated, error) {
+	return sim.RunFig7Replicated(base, seeds, workers)
+}
+
+// SeedRange returns n consecutive seeds starting at base.
+func SeedRange(base int64, n int) []int64 { return sim.SeedRange(base, n) }
+
+// ---------------------------------------------------------------------------
+// Scheduling substrate (queueing)
+
+// SchedulerConfig parameterizes a MaxWeight queueing System.
+type SchedulerConfig = queueing.Config
+
+// SchedulerSystem is a MaxWeight link scheduler over packet queues with
+// unknown service rates, built on the paper's distributed MWIS decision.
+type SchedulerSystem = queueing.System
+
+// NewScheduler builds a MaxWeight queueing system.
+func NewScheduler(cfg SchedulerConfig) (*SchedulerSystem, error) { return queueing.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Broadcast backbone (CDS)
+
+// BroadcastBackbone is a connected dominating set usable as the pipelined
+// weight-broadcast backbone of the WB step.
+type BroadcastBackbone = cds.Backbone
+
+// BuildBackbone constructs a CDS of the network's conflict graph.
+func BuildBackbone(nw *Network) (*BroadcastBackbone, error) { return cds.Build(nw.G) }

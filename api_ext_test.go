@@ -1,0 +1,147 @@
+package multihopbandit
+
+import (
+	"testing"
+
+	"multihopbandit/internal/queueing"
+)
+
+func TestPublicDynamicChannels(t *testing.T) {
+	seed := NewSeed(11)
+	ge, err := NewGilbertElliottChannels(GilbertElliottConfig{N: 4, M: 3}, seed.Split("ge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.K() != 12 {
+		t.Fatalf("GE K = %d", ge.K())
+	}
+	sh, err := NewShiftingChannels(ShiftingConfig{N: 4, M: 3, Period: 10}, seed.Split("sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.K() != 12 {
+		t.Fatalf("Shifting K = %d", sh.K())
+	}
+	pu, err := NewPrimaryUserChannels(ge, PrimaryUserConfig{}, seed.Split("pu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pu.IdleFraction() <= 0 || pu.IdleFraction() >= 1 {
+		t.Fatalf("idle fraction = %v", pu.IdleFraction())
+	}
+	// All three satisfy the Sampler interface the scheme consumes.
+	for _, s := range []Sampler{ge, sh, pu} {
+		if len(s.Means()) != 12 {
+			t.Fatal("Means length wrong")
+		}
+	}
+}
+
+func TestPublicExtendedPolicies(t *testing.T) {
+	d, err := NewDiscountedZhouLiPolicy(4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "discounted-zhou-li" {
+		t.Fatalf("name = %q", d.Name())
+	}
+	c, err := NewCUCBPolicy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "cucb" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestPublicScheduler(t *testing.T) {
+	seed := NewSeed(13)
+	nw, err := RandomNetwork(RandomNetworkConfig{N: 10}, seed.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := BuildExtendedGraph(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := NewChannels(ChannelConfig{N: 10, M: 2}, seed.Split("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewScheduler(SchedulerConfig{Ext: ext, Rates: rates, ArrivalRate: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queueing.AverageQueue(stats, 10) < 0 {
+		t.Fatal("negative backlog")
+	}
+}
+
+func TestPublicBackbone(t *testing.T) {
+	seed := NewSeed(17)
+	nw, err := RandomNetwork(RandomNetworkConfig{N: 30}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBackbone(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Members) == 0 {
+		t.Fatal("empty backbone")
+	}
+	if !nw.G.IsIndependent(b.Dominators) {
+		t.Fatal("dominators dependent")
+	}
+}
+
+func TestPublicReplicateFig7(t *testing.T) {
+	rep, err := ReplicateFig7(Fig7Config{Slots: 60, N: 8, M: 2}, SeedRange(1, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput["Algorithm2"].N != 3 {
+		t.Fatalf("summary N = %d", rep.Throughput["Algorithm2"].N)
+	}
+}
+
+func TestPublicDynamicSchemeEndToEnd(t *testing.T) {
+	seed := NewSeed(19)
+	nw, err := RandomNetwork(RandomNetworkConfig{N: 10}, seed.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewChannels(ChannelConfig{N: 10, M: 2}, seed.Split("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewPrimaryUserChannels(inner, PrimaryUserConfig{PBusy: 0.2, PIdle: 0.4}, seed.Split("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NewDiscountedZhouLiPolicy(20, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := New(Config{Net: nw, Channels: ch, M: 2, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := scheme.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := BuildExtendedGraph(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !ext.Feasible(r.Strategy) {
+			t.Fatalf("infeasible strategy at slot %d", r.Slot)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package multihopbandit
+
+import (
+	"math"
+	"testing"
+
+	"multihopbandit/internal/mwis"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	seed := NewSeed(42)
+	nw, err := RandomNetwork(RandomNetworkConfig{N: 12, RequireConnected: true}, seed.Split("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannels(ChannelConfig{N: 12, M: 3}, seed.Split("ch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := New(Config{Net: nw, Channels: ch, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := scheme.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 100 {
+		t.Fatalf("got %d results", len(results))
+	}
+	ext, err := BuildExtendedGraph(nw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !ext.Feasible(r.Strategy) {
+			t.Fatalf("infeasible strategy at slot %d", r.Slot)
+		}
+	}
+}
+
+func TestPublicSolvers(t *testing.T) {
+	seed := NewSeed(7)
+	nw, err := RandomNetwork(RandomNetworkConfig{N: 20}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := BuildExtendedGraph(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, ext.K())
+	src := NewSeed(8)
+	for i := range w {
+		w[i] = src.Float64()
+	}
+	in := mwis.Instance{G: ext.H, W: w}
+	exactSet, err := ExactSolver().Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := in.Weight(exactSet)
+	for _, solver := range []Solver{GreedySolver(), HybridSolver(), RobustPTASSolver(1.5)} {
+		set, err := solver.Solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", solver.Name(), err)
+		}
+		if !ext.H.IsIndependent(set) {
+			t.Fatalf("%s: dependent set", solver.Name())
+		}
+		if in.Weight(set) > opt+1e-9 {
+			t.Fatalf("%s beats the exact optimum", solver.Name())
+		}
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	for _, mk := range []func() (Policy, error){
+		func() (Policy, error) { return NewZhouLiPolicy(6) },
+		func() (Policy, error) { return NewLLRPolicy(6, 3) },
+		func() (Policy, error) { return NewEpsilonGreedyPolicy(6, 0.1, NewSeed(1)) },
+		func() (Policy, error) { return NewOraclePolicy([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) },
+	} {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Indices()) != 6 {
+			t.Fatalf("%s: wrong index count", p.Name())
+		}
+		if err := p.Update([]int{0}, []float64{0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicTiming(t *testing.T) {
+	p := PaperTiming()
+	if p.Theta() != 0.5 {
+		t.Fatalf("theta = %v", p.Theta())
+	}
+}
+
+func TestPublicRegretHelpers(t *testing.T) {
+	series := PracticalRegretSeries(100, 0.5, []float64{100, 100})
+	if len(series) != 2 || math.Abs(series[1]-50) > 1e-9 {
+		t.Fatalf("series = %v", series)
+	}
+	bseries, err := PracticalBetaRegretSeries(100, 2, 0.5, []float64{100})
+	if err != nil || math.Abs(bseries[0]-0) > 1e-9 {
+		t.Fatalf("beta series = %v err = %v", bseries, err)
+	}
+	cum := CumulativeRegret(10, []float64{4})
+	if math.Abs(cum[0]-6) > 1e-9 {
+		t.Fatalf("cumulative = %v", cum)
+	}
+	if math.Abs(TheoremBeta(3, 2)-math.Sqrt(75)) > 1e-9 {
+		t.Fatal("TheoremBeta wrong")
+	}
+}
+
+func TestPublicKbps(t *testing.T) {
+	if Kbps(1) != 1350 {
+		t.Fatalf("Kbps(1) = %v", Kbps(1))
+	}
+}
+
+func TestPublicTopologies(t *testing.T) {
+	lin, err := LinearNetwork(10, 1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.G.MaxDegree() != 2 {
+		t.Fatal("linear topology wrong")
+	}
+	grid, err := GridNetwork(3, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.N() != 9 {
+		t.Fatal("grid topology wrong")
+	}
+}
+
+func TestPublicOptimalStatic(t *testing.T) {
+	seed := NewSeed(3)
+	nw, err := RandomNetwork(RandomNetworkConfig{N: 8}, seed.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannels(ChannelConfig{N: 8, M: 2}, seed.Split("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := BuildExtendedGraph(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy, weight, err := OptimalStatic(ext, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Feasible(strategy) || weight <= 0 {
+		t.Fatalf("optimal strategy %v weight %v", strategy, weight)
+	}
+}
+
+func TestPublicExperimentRunners(t *testing.T) {
+	if _, err := RunFig6(Fig6Config{Seed: 1, Sizes: nil, MiniRounds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFig7(Fig7Config{Seed: 1, Slots: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFig8(Fig8Config{Seed: 1, N: 15, M: 3, Periods: 5, Ys: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicChannelsWithMeans(t *testing.T) {
+	means := []float64{0.5, 0.25}
+	ch, err := NewChannelsWithMeans(ChannelConfig{N: 1, M: 2}, means, NewSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Mean(0) != 0.5 || ch.Mean(1) != 0.25 {
+		t.Fatal("means not preserved")
+	}
+}

@@ -1,0 +1,183 @@
+// Command chansim runs a single channel-access simulation and prints
+// per-interval throughput, the final strategy, and the communication
+// statistics of the distributed protocol.
+//
+// Usage:
+//
+//	chansim -n 25 -m 5 -slots 2000 -policy zhou-li
+//	chansim -n 15 -m 3 -policy llr -update-every 5
+//	chansim -n 40 -m 4 -topology linear    # the §IV-D worst case
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chansim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 25, "number of nodes (secondary users)")
+		m        = flag.Int("m", 5, "number of channels")
+		slots    = flag.Int("slots", 1000, "time slots to simulate")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		polName  = flag.String("policy", "zhou-li", "policy: zhou-li|llr|cucb|discounted|eps-greedy|oracle")
+		topoName = flag.String("topology", "random", "topology: random|linear|grid|star")
+		chName   = flag.String("channels", "gaussian", "channel model: gaussian|bernoulli|markov|shift|primary")
+		r        = flag.Int("r", 2, "ball parameter r of the distributed PTAS")
+		d        = flag.Int("d", 4, "mini-rounds per strategy decision")
+		update   = flag.Int("update-every", 1, "strategy update period y in slots")
+		degree   = flag.Float64("degree", 6, "target average degree for random topologies")
+		report   = flag.Int("report", 10, "number of progress lines to print")
+	)
+	flag.Parse()
+
+	src := rng.New(*seed)
+	nw, err := buildTopology(*topoName, *n, *degree, src)
+	if err != nil {
+		return err
+	}
+	ch, err := buildChannels(*chName, *n, *m, src)
+	if err != nil {
+		return err
+	}
+	pol, err := buildPolicy(*polName, *n, *m, ch, src)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.New(core.Config{
+		Net:         nw,
+		Channels:    ch,
+		M:           *m,
+		R:           *r,
+		D:           *d,
+		Policy:      pol,
+		UpdateEvery: *update,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("network: %d nodes, %d channels, avg degree %.2f, %s topology\n",
+		*n, *m, nw.G.AverageDegree(), *topoName)
+	fmt.Printf("policy %s, r=%d, D=%d, update every %d slot(s), seed %d\n",
+		pol.Name(), *r, *d, *update, *seed)
+
+	interval := *slots / *report
+	if interval == 0 {
+		interval = 1
+	}
+	total := 0.0
+	intervalTotal := 0.0
+	var lastDecision *core.SlotResult
+	for i := 0; i < *slots; i++ {
+		res, err := scheme.Step()
+		if err != nil {
+			return err
+		}
+		total += res.ObservedKbps
+		intervalTotal += res.ObservedKbps
+		if res.Decided {
+			lastDecision = res
+		}
+		if (i+1)%interval == 0 {
+			fmt.Printf("slot %6d  interval avg %8.1f kbps  overall avg %8.1f kbps\n",
+				i+1, intervalTotal/float64(interval), total/float64(i+1))
+			intervalTotal = 0
+		}
+	}
+
+	fmt.Printf("\nfinal average throughput: %.1f kbps\n", total/float64(*slots))
+	if lastDecision != nil && lastDecision.Decision != nil {
+		st := lastDecision.Decision.Stats
+		fmt.Printf("last decision: %d winners in %d mini-rounds (converged=%v), "+
+			"max per-vertex messages %d, %d mini-timeslots\n",
+			len(lastDecision.Winners), lastDecision.Decision.MiniRounds,
+			lastDecision.Decision.Converged, st.MaxMessages(), st.MiniTimeslots)
+		active := 0
+		for _, c := range lastDecision.Strategy {
+			if c >= 0 {
+				active++
+			}
+		}
+		fmt.Printf("final strategy: %d/%d nodes active\n", active, *n)
+	}
+	return nil
+}
+
+func buildTopology(name string, n int, degree float64, src *rng.Source) (*topology.Network, error) {
+	switch name {
+	case "random":
+		return topology.Random(topology.RandomConfig{
+			N:            n,
+			TargetDegree: degree,
+		}, src.Split("topology"))
+	case "linear":
+		return topology.Linear(n, 1, 1.5)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return topology.Grid(side, side, 1.5, 2)
+	case "star":
+		return topology.Star(n, 2)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func buildChannels(name string, n, m int, src *rng.Source) (channel.Sampler, error) {
+	chSrc := src.Split("channels")
+	switch name {
+	case "gaussian":
+		return channel.NewModel(channel.Config{N: n, M: m}, chSrc)
+	case "bernoulli":
+		return channel.NewModel(channel.Config{N: n, M: m, Kind: channel.Bernoulli}, chSrc)
+	case "markov":
+		return channel.NewGilbertElliott(channel.GEConfig{N: n, M: m}, chSrc)
+	case "shift":
+		return channel.NewShifting(channel.ShiftConfig{N: n, M: m, Period: 200}, chSrc)
+	case "primary":
+		inner, err := channel.NewModel(channel.Config{N: n, M: m}, chSrc)
+		if err != nil {
+			return nil, err
+		}
+		return channel.NewWithPrimary(inner, channel.PrimaryConfig{}, src.Split("primary"))
+	default:
+		return nil, fmt.Errorf("unknown channel model %q", name)
+	}
+}
+
+func buildPolicy(name string, n, m int, ch channel.Sampler, src *rng.Source) (policy.Policy, error) {
+	k := n * m
+	switch name {
+	case "zhou-li":
+		return policy.NewZhouLi(k)
+	case "llr":
+		return policy.NewLLR(k, n)
+	case "cucb":
+		return policy.NewCUCB(k)
+	case "discounted":
+		return policy.NewDiscountedZhouLi(k, 0.98)
+	case "eps-greedy":
+		return policy.NewEpsilonGreedy(k, 0.1, src.Split("policy"))
+	case "oracle":
+		return policy.NewOracle(ch.Means())
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

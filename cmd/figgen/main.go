@@ -1,0 +1,145 @@
+// Command figgen regenerates the tables and figures of the paper's
+// evaluation section as aligned text tables.
+//
+// Usage:
+//
+//	figgen -exp all                # every artifact (default)
+//	figgen -exp table2             # Table II time model
+//	figgen -exp fig6               # mini-round convergence
+//	figgen -exp fig7a|fig7b|fig7   # practical (β-)regret vs LLR
+//	figgen -exp fig8               # periodic-update throughput
+//	figgen -exp fig8 -periods 200  # shorter Fig. 8 horizon
+//	figgen -exp ablations          # r / D / solver sweeps (DESIGN.md §5)
+//	figgen -exp shift              # non-stationary extension experiment
+//	figgen -exp fig7rep -reps 20   # Fig. 7 endpoints over many seeds (mean ± CI)
+//
+// All experiments are deterministic for a fixed -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multihopbandit/internal/sim"
+	"multihopbandit/internal/timing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all|table2|fig6|fig7|fig7a|fig7b|fig8|ablations|shift|fig7rep")
+		reps    = flag.Int("reps", 20, "fig7rep replication count")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		slots   = flag.Int("slots", 1000, "Fig. 7 horizon in time slots")
+		periods = flag.Int("periods", 1000, "Fig. 8 update periods per subplot")
+		samples = flag.Int("samples", 10, "table rows per series")
+	)
+	flag.Parse()
+
+	runTable2 := func() error {
+		fmt.Print(sim.RenderTable2(timing.Paper()))
+		return nil
+	}
+	runFig6 := func() error {
+		series, err := sim.RunFig6(sim.Fig6Config{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderFig6(series))
+		return nil
+	}
+	runFig7 := func() error {
+		res, err := sim.RunFig7(sim.Fig7Config{Seed: *seed, Slots: *slots})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderFig7(res, *samples))
+		return nil
+	}
+	runFig8 := func() error {
+		subs, err := sim.RunFig8(sim.Fig8Config{Seed: *seed, Periods: *periods})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderFig8(subs, *samples))
+		return nil
+	}
+
+	runAblations := func() error {
+		r, err := sim.RunAblationR(sim.AblationConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderAblation("Ablation — ball parameter r (N=60, M=5, one decision)", r))
+		d, err := sim.RunAblationD(sim.AblationConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderAblation("Ablation — mini-round cap D", d))
+		sv, err := sim.RunAblationSolver(sim.AblationConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderAblation("Ablation — local MWIS solver", sv))
+		return nil
+	}
+	runFig7Rep := func() error {
+		rep, err := sim.RunFig7Replicated(sim.Fig7Config{Slots: *slots},
+			sim.SeedRange(*seed, *reps), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fig. 7 endpoints over %d seeds (mean ± 95%% CI), kbps\n", *reps)
+		fmt.Printf("%12s %22s %22s %22s\n", "policy", "practical regret", "β-regret", "avg throughput")
+		for _, name := range []string{"Algorithm2", "LLR"} {
+			r := rep.FinalRegret[name]
+			b := rep.FinalBetaRegret[name]
+			th := rep.Throughput[name]
+			fmt.Printf("%12s %12.1f ± %7.1f %12.1f ± %7.1f %12.1f ± %7.1f\n",
+				name, r.Mean, r.CI95, b.Mean, b.CI95, th.Mean, th.CI95)
+		}
+		return nil
+	}
+	runShift := func() error {
+		res, err := sim.RunShift(sim.ShiftConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderShift(res, *samples))
+		return nil
+	}
+
+	switch *exp {
+	case "table2":
+		return runTable2()
+	case "fig6":
+		return runFig6()
+	case "fig7", "fig7a", "fig7b":
+		return runFig7()
+	case "fig8":
+		return runFig8()
+	case "ablations":
+		return runAblations()
+	case "shift":
+		return runShift()
+	case "fig7rep":
+		return runFig7Rep()
+	case "all":
+		for _, f := range []func() error{runTable2, runFig6, runFig7, runFig8, runAblations, runShift, runFig7Rep} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}

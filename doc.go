@@ -1,0 +1,38 @@
+// Package multihopbandit is a Go reproduction of "Almost Optimal Channel
+// Access in Multi-Hop Networks With Unknown Channel Variables" (Zhou, Li,
+// Li, Liu, Li, Yin — ICDCS 2014 / arXiv:1308.4751).
+//
+// The library implements the paper's full stack:
+//
+//   - unit-disk network topologies and the extended conflict graph H whose
+//     independent sets are exactly the conflict-free channel assignments,
+//   - stochastic channel models (the paper's 8-rate Gaussian catalog),
+//   - maximum-weighted-independent-set solvers, including the robust PTAS of
+//     Nieberg, Hurink and Kern that the paper builds on,
+//   - the distributed strategy-decision protocol (Algorithm 3: LocalLeader
+//     election, local MWIS, status broadcast) with message accounting,
+//   - the learning policies: the paper's ∆-independent index rule
+//     (equation (3)), the LLR baseline, ε-greedy, a genie oracle, and the
+//     naive joint-UCB1 formulation whose O(M^N) state the paper avoids,
+//   - the complete channel-access scheme (Algorithm 2) with the paper's
+//     Table II time model and periodic weight updates, and
+//   - an experiment harness regenerating every figure and table of the
+//     paper's evaluation (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	seed := multihopbandit.NewSeed(42)
+//	nw, err := multihopbandit.RandomNetwork(multihopbandit.RandomNetworkConfig{
+//		N: 15, RequireConnected: true,
+//	}, seed)
+//	// handle err
+//	ch, err := multihopbandit.NewChannels(multihopbandit.ChannelConfig{N: 15, M: 3}, seed)
+//	// handle err
+//	scheme, err := multihopbandit.New(multihopbandit.Config{Net: nw, Channels: ch, M: 3})
+//	// handle err
+//	results, err := scheme.Run(1000)
+//	// handle err
+//
+// Every run is deterministic given the root seed. See the examples/
+// directory for complete programs and DESIGN.md for the architecture.
+package multihopbandit

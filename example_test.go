@@ -1,0 +1,114 @@
+package multihopbandit_test
+
+import (
+	"fmt"
+
+	"multihopbandit"
+)
+
+// ExampleNew demonstrates the end-to-end flow: topology, channels, scheme,
+// and a short learning run.
+func ExampleNew() {
+	seed := multihopbandit.NewSeed(42)
+	nw, err := multihopbandit.RandomNetwork(multihopbandit.RandomNetworkConfig{
+		N: 10, RequireConnected: true,
+	}, seed.Split("topology"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ch, err := multihopbandit.NewChannels(multihopbandit.ChannelConfig{N: 10, M: 3},
+		seed.Split("channels"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	scheme, err := multihopbandit.New(multihopbandit.Config{Net: nw, Channels: ch, M: 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	results, err := scheme.Run(50)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("slots simulated:", len(results))
+	fmt.Println("strategy feasible:", scheme.Ext().Feasible(results[49].Strategy))
+	// Output:
+	// slots simulated: 50
+	// strategy feasible: true
+}
+
+// ExamplePaperTiming shows the Table II constants and the derived θ.
+func ExamplePaperTiming() {
+	p := multihopbandit.PaperTiming()
+	fmt.Printf("round %v, data %v, theta %.1f\n", p.Round, p.DataTransmission, p.Theta())
+	fmt.Printf("effective fraction at y=5: %.1f\n", p.EffectiveFraction(5))
+	// Output:
+	// round 2s, data 1s, theta 0.5
+	// effective fraction at y=5: 0.9
+}
+
+// ExampleTheoremBeta evaluates the Theorem 2 approximation factor for the
+// paper's simulation setting (M=3 channels, r=2).
+func ExampleTheoremBeta() {
+	fmt.Printf("%.2f\n", multihopbandit.TheoremBeta(3, 2))
+	// Output:
+	// 8.66
+}
+
+// ExampleBuildExtendedGraph shows the Section III construction on the
+// paper's Fig. 1 instance: 3 mutually conflicting nodes, 3 channels.
+func ExampleBuildExtendedGraph() {
+	// Three co-located nodes conflict pairwise.
+	nw, err := multihopbandit.LinearNetwork(3, 0.5, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ext, err := multihopbandit.BuildExtendedGraph(nw, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("virtual vertices:", ext.H.N())
+	// Distinct channels for all three nodes is feasible...
+	fmt.Println("0/1/2 feasible:", ext.Feasible(multihopbandit.Strategy{0, 1, 2}))
+	// ...but sharing a channel across a conflict edge is not.
+	fmt.Println("0/0/1 feasible:", ext.Feasible(multihopbandit.Strategy{0, 0, 1}))
+	// Output:
+	// virtual vertices: 9
+	// 0/1/2 feasible: true
+	// 0/0/1 feasible: false
+}
+
+// ExampleRobustPTASSolver runs the centralized robust PTAS against the exact
+// optimum on a small unit-disk instance.
+func ExampleRobustPTASSolver() {
+	seed := multihopbandit.NewSeed(5)
+	nw, err := multihopbandit.RandomNetwork(multihopbandit.RandomNetworkConfig{N: 12}, seed)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ext, err := multihopbandit.BuildExtendedGraph(nw, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ch, err := multihopbandit.NewChannels(multihopbandit.ChannelConfig{N: 12, M: 2},
+		seed.Split("ch"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_, opt, err := multihopbandit.OptimalStatic(ext, ch)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("optimum positive:", opt > 0)
+	// Output:
+	// optimum positive: true
+}

@@ -1,0 +1,50 @@
+// Convergence of the distributed strategy decision (the paper's Fig. 6
+// scenario): for several N×M random networks, run Algorithm 3 and print the
+// cumulative weight of the output independent sets after each mini-round.
+// Every series flattens after a small constant number of mini-rounds, which
+// is the empirical content of Theorem 4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multihopbandit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	series, err := multihopbandit.RunFig6(multihopbandit.Fig6Config{Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("summed weight (kbps) of all output independent sets by mini-round")
+	fmt.Printf("%10s", "mini-round")
+	for _, s := range series {
+		fmt.Printf(" %9dx%d", s.Size.N, s.Size.M)
+	}
+	fmt.Println()
+	for tau := 0; tau < len(series[0].WeightKbps); tau++ {
+		fmt.Printf("%10d", tau+1)
+		for _, s := range series {
+			fmt.Printf(" %11.0f", s.WeightKbps[tau])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	for _, s := range series {
+		fmt.Printf("%dx%d: all vertices marked after %d mini-rounds\n",
+			s.Size.N, s.Size.M, s.Converged)
+	}
+	fmt.Println("\nNote how every line converges after a few mini-rounds regardless of")
+	fmt.Println("network size — the Theorem 4 rationale for capping Algorithm 3 at a")
+	fmt.Println("constant D mini-rounds.")
+	return nil
+}

@@ -1,0 +1,85 @@
+// Primary users: the cognitive-radio setting of the paper's introduction.
+// Each channel carries an on/off primary-user occupancy process shared by
+// all secondary users; while the primary is active, secondary transmissions
+// on that channel earn nothing. The learner must discover both the channel
+// qualities AND the occupancy statistics folded into the effective means.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multihopbandit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		nodes    = 15
+		channels = 4
+		slots    = 800
+	)
+	seed := multihopbandit.NewSeed(33)
+	nw, err := multihopbandit.RandomNetwork(multihopbandit.RandomNetworkConfig{
+		N: nodes, RequireConnected: true,
+	}, seed.Split("topology"))
+	if err != nil {
+		return err
+	}
+	inner, err := multihopbandit.NewChannels(multihopbandit.ChannelConfig{
+		N: nodes, M: channels,
+	}, seed.Split("channels"))
+	if err != nil {
+		return err
+	}
+	// Primaries occupy each channel ~20% of the time
+	// (pBusy=0.05, pIdle=0.2 → idle fraction 0.8).
+	ch, err := multihopbandit.NewPrimaryUserChannels(inner,
+		multihopbandit.PrimaryUserConfig{PBusy: 0.05, PIdle: 0.2},
+		seed.Split("primary"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("primary users idle %.0f%% of the time per channel\n", 100*ch.IdleFraction())
+
+	scheme, err := multihopbandit.New(multihopbandit.Config{
+		Net: nw, Channels: ch, M: channels,
+	})
+	if err != nil {
+		return err
+	}
+	results, err := scheme.Run(slots)
+	if err != nil {
+		return err
+	}
+
+	// The genie optimum is computed on the occupancy-scaled means —
+	// exactly what the learner's estimates converge to.
+	ext, err := multihopbandit.BuildExtendedGraph(nw, channels)
+	if err != nil {
+		return err
+	}
+	_, opt, err := multihopbandit.OptimalStatic(ext, ch)
+	if err != nil {
+		return err
+	}
+
+	quarter := slots / 4
+	for q := 0; q < 4; q++ {
+		sum := 0.0
+		for _, r := range results[q*quarter : (q+1)*quarter] {
+			sum += r.ObservedKbps
+		}
+		fmt.Printf("quarter %d: avg %8.1f kbps (%.0f%% of the occupancy-aware optimum %.1f)\n",
+			q+1, sum/float64(quarter),
+			100*sum/float64(quarter)/multihopbandit.Kbps(opt), multihopbandit.Kbps(opt))
+	}
+	fmt.Println("\nzero-reward slots (primary active) depress every quarter equally;")
+	fmt.Println("the learner still converges to the occupancy-aware optimum.")
+	return nil
+}

@@ -1,0 +1,253 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multihopbandit/internal/rng"
+)
+
+func TestNewModelBasics(t *testing.T) {
+	md, err := NewModel(Config{N: 10, M: 4}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.N() != 10 || md.M() != 4 || md.K() != 40 {
+		t.Fatalf("dims: N=%d M=%d K=%d", md.N(), md.M(), md.K())
+	}
+	if md.Kind() != Gaussian {
+		t.Fatalf("default kind = %v", md.Kind())
+	}
+}
+
+func TestNewModelInvalid(t *testing.T) {
+	if _, err := NewModel(Config{N: 0, M: 3}, rng.New(1)); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if _, err := NewModel(Config{N: 3, M: 0}, rng.New(1)); err == nil {
+		t.Fatal("expected error for M=0")
+	}
+	if _, err := NewModel(Config{N: 3, M: 3, Sigma: -1}, rng.New(1)); err == nil {
+		t.Fatal("expected error for negative sigma")
+	}
+}
+
+func TestMeansFromPaperCatalog(t *testing.T) {
+	md, err := NewModel(Config{N: 50, M: 8}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[float64]bool{}
+	for _, r := range PaperRatesKbps {
+		valid[r/MaxPaperRateKbps] = true
+	}
+	for k := 0; k < md.K(); k++ {
+		if !valid[md.Mean(k)] {
+			t.Fatalf("mean[%d] = %v not from the paper catalog", k, md.Mean(k))
+		}
+	}
+}
+
+func TestMeansDeterministic(t *testing.T) {
+	a, _ := NewModel(Config{N: 20, M: 5}, rng.New(9))
+	b, _ := NewModel(Config{N: 20, M: 5}, rng.New(9))
+	for k := 0; k < a.K(); k++ {
+		if a.Mean(k) != b.Mean(k) {
+			t.Fatalf("means differ at arm %d for identical seeds", k)
+		}
+	}
+}
+
+func TestNewModelWithMeans(t *testing.T) {
+	means := []float64{0.1, 0.9, 0.5, 0.3}
+	md, err := NewModelWithMeans(Config{N: 2, M: 2}, means, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, mu := range means {
+		if md.Mean(k) != mu {
+			t.Fatalf("mean[%d] = %v, want %v", k, md.Mean(k), mu)
+		}
+	}
+	if md.MeanOf(1, 0) != 0.5 {
+		t.Fatalf("MeanOf(1,0) = %v", md.MeanOf(1, 0))
+	}
+}
+
+func TestNewModelWithMeansValidation(t *testing.T) {
+	if _, err := NewModelWithMeans(Config{N: 2, M: 2}, []float64{0.1}, rng.New(1)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := NewModelWithMeans(Config{N: 1, M: 2}, []float64{0.1, 1.5}, rng.New(1)); err == nil {
+		t.Fatal("expected range error for mean > 1")
+	}
+	if _, err := NewModelWithMeans(Config{N: 1, M: 2}, []float64{-0.1, 0.5}, rng.New(1)); err == nil {
+		t.Fatal("expected range error for negative mean")
+	}
+}
+
+func TestMeansReturnsCopy(t *testing.T) {
+	md, _ := NewModel(Config{N: 3, M: 3}, rng.New(4))
+	m1 := md.Means()
+	m1[0] = 123
+	if md.Mean(0) == 123 {
+		t.Fatal("Means() exposed internal state")
+	}
+}
+
+func TestGaussianSampleMean(t *testing.T) {
+	means := []float64{0.5}
+	md, err := NewModelWithMeans(Config{N: 1, M: 1, Sigma: 0.05}, means, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += md.Sample(0)
+	}
+	if got := sum / n; math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("Gaussian sample mean = %v, want ≈0.5", got)
+	}
+}
+
+func TestGaussianSamplesBounded(t *testing.T) {
+	md, _ := NewModel(Config{N: 5, M: 5, Sigma: 0.5}, rng.New(6))
+	for i := 0; i < 20000; i++ {
+		v := md.Sample(i % md.K())
+		if v < 0 || v > 1 {
+			t.Fatalf("sample out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestBernoulliSamples(t *testing.T) {
+	md, err := NewModelWithMeans(Config{N: 1, M: 1, Kind: Bernoulli}, []float64{0.25}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones, n := 0, 40000
+	for i := 0; i < n; i++ {
+		v := md.Sample(0)
+		if v != 0 && v != 1 {
+			t.Fatalf("Bernoulli sample = %v", v)
+		}
+		if v == 1 {
+			ones++
+		}
+	}
+	if freq := float64(ones) / float64(n); math.Abs(freq-0.25) > 0.02 {
+		t.Fatalf("Bernoulli frequency = %v, want ≈0.25", freq)
+	}
+}
+
+func TestUniformSamplesBounded(t *testing.T) {
+	md, err := NewModelWithMeans(Config{N: 1, M: 2, Kind: Uniform, Sigma: 0.2},
+		[]float64{0.1, 0.95}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		v := md.Sample(i % 2)
+		if v < 0 || v > 1 {
+			t.Fatalf("Uniform sample out of range: %v", v)
+		}
+	}
+}
+
+func TestConstantSamples(t *testing.T) {
+	md, err := NewModelWithMeans(Config{N: 1, M: 2, Kind: Constant},
+		[]float64{0.3, 0.7}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if md.Sample(0) != 0.3 || md.Sample(1) != 0.7 {
+			t.Fatal("Constant model must return exact means")
+		}
+	}
+}
+
+func TestSampleOfMatchesSample(t *testing.T) {
+	md, err := NewModelWithMeans(Config{N: 2, M: 3, Kind: Constant},
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.SampleOf(1, 2) != md.Sample(5) {
+		t.Fatal("SampleOf(1,2) must equal Sample(5) for constant model")
+	}
+}
+
+func TestSamplesDeterministicAcrossRuns(t *testing.T) {
+	mk := func() *Model {
+		md, _ := NewModel(Config{N: 4, M: 4}, rng.New(11))
+		return md
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		k := i % a.K()
+		if a.Sample(k) != b.Sample(k) {
+			t.Fatalf("sample sequence diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSampleMeanProperty(t *testing.T) {
+	// For every kind, the empirical mean over many draws approaches µ.
+	kinds := []Kind{Gaussian, Bernoulli, Uniform, Constant}
+	f := func(raw float64, kindIdx uint8) bool {
+		mu := math.Mod(math.Abs(raw), 1)
+		if math.IsNaN(mu) {
+			return true
+		}
+		kind := kinds[int(kindIdx)%len(kinds)]
+		md, err := NewModelWithMeans(Config{N: 1, M: 1, Kind: kind, Sigma: 0.05},
+			[]float64{mu}, rng.New(int64(kindIdx)+1))
+		if err != nil {
+			return false
+		}
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += md.Sample(0)
+		}
+		avg := sum / n
+		tol := 0.05
+		if kind == Gaussian && (mu < 0.1 || mu > 0.9) {
+			tol = 0.08 // truncation bias near the boundary
+		}
+		return math.Abs(avg-mu) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKbps(t *testing.T) {
+	if got := Kbps(1); got != MaxPaperRateKbps {
+		t.Fatalf("Kbps(1) = %v", got)
+	}
+	if got := Kbps(150.0 / 1350.0); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("Kbps round-trip = %v, want 150", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Gaussian, "gaussian"},
+		{Bernoulli, "bernoulli"},
+		{Uniform, "uniform"},
+		{Constant, "constant"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}

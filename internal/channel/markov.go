@@ -1,0 +1,153 @@
+package channel
+
+import (
+	"fmt"
+
+	"multihopbandit/internal/rng"
+)
+
+// GilbertElliott models each (node, channel) pair as a two-state Markov
+// chain — the classic Gilbert–Elliott good/bad channel used by the restless-
+// bandit line of work the paper cites ([21], [22], [4]). In the good state
+// the channel delivers its catalog rate; in the bad state a degraded rate.
+// States advance once per time slot (Tick), independently of which arms are
+// played, so learners face a restless process whose i.i.d. assumption is
+// only approximately true.
+type GilbertElliott struct {
+	n, m  int
+	good  []float64 // per-arm good-state rate (normalized)
+	bad   []float64 // per-arm bad-state rate (normalized)
+	pGB   float64   // P(good → bad) per slot
+	pBG   float64   // P(bad → good) per slot
+	state []bool    // true = good
+	sigma float64
+	src   *rng.Source
+}
+
+var _ Dynamic = (*GilbertElliott)(nil)
+
+// GEConfig parameterizes NewGilbertElliott.
+type GEConfig struct {
+	// N, M are the network dimensions; required.
+	N, M int
+	// PGB is the per-slot good→bad transition probability (default 0.1).
+	PGB float64
+	// PBG is the per-slot bad→good transition probability (default 0.3).
+	PBG float64
+	// BadFraction scales the bad-state rate relative to the good rate
+	// (default 0.2).
+	BadFraction float64
+	// Sigma is the additive Gaussian observation noise (default 0.02).
+	Sigma float64
+}
+
+func (c *GEConfig) fill() error {
+	if c.N <= 0 || c.M <= 0 {
+		return fmt.Errorf("channel: N and M must be positive, got N=%d M=%d", c.N, c.M)
+	}
+	if c.PGB == 0 {
+		c.PGB = 0.1
+	}
+	if c.PBG == 0 {
+		c.PBG = 0.3
+	}
+	if c.PGB < 0 || c.PGB > 1 || c.PBG < 0 || c.PBG > 1 {
+		return fmt.Errorf("channel: transition probabilities outside [0,1]: pGB=%v pBG=%v", c.PGB, c.PBG)
+	}
+	if c.BadFraction == 0 {
+		c.BadFraction = 0.2
+	}
+	if c.BadFraction < 0 || c.BadFraction > 1 {
+		return fmt.Errorf("channel: BadFraction outside [0,1]: %v", c.BadFraction)
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.02
+	}
+	return nil
+}
+
+// NewGilbertElliott draws per-arm good rates from the paper catalog and
+// returns the restless channel model. All chains start in their stationary
+// distribution.
+func NewGilbertElliott(cfg GEConfig, src *rng.Source) (*GilbertElliott, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	k := cfg.N * cfg.M
+	meansSrc := src.Split("ge-means")
+	stateSrc := src.Split("ge-state")
+	ge := &GilbertElliott{
+		n:     cfg.N,
+		m:     cfg.M,
+		good:  make([]float64, k),
+		bad:   make([]float64, k),
+		pGB:   cfg.PGB,
+		pBG:   cfg.PBG,
+		state: make([]bool, k),
+		sigma: cfg.Sigma,
+		src:   src.Split("ge-noise"),
+	}
+	piGood := cfg.PBG / (cfg.PGB + cfg.PBG)
+	for i := 0; i < k; i++ {
+		rate := PaperRatesKbps[meansSrc.Intn(len(PaperRatesKbps))] / MaxPaperRateKbps
+		ge.good[i] = rate
+		ge.bad[i] = rate * cfg.BadFraction
+		ge.state[i] = stateSrc.Bernoulli(piGood)
+	}
+	return ge, nil
+}
+
+// N implements Sampler.
+func (ge *GilbertElliott) N() int { return ge.n }
+
+// M implements Sampler.
+func (ge *GilbertElliott) M() int { return ge.m }
+
+// K implements Sampler.
+func (ge *GilbertElliott) K() int { return ge.n * ge.m }
+
+// StationaryMean returns the long-run mean of arm k:
+// π_good·good + (1−π_good)·bad.
+func (ge *GilbertElliott) StationaryMean(k int) float64 {
+	piGood := ge.pBG / (ge.pGB + ge.pBG)
+	return piGood*ge.good[k] + (1-piGood)*ge.bad[k]
+}
+
+// Mean implements Sampler; it returns the stationary mean, which is what a
+// zero-regret learner of the time-average should converge to.
+func (ge *GilbertElliott) Mean(k int) float64 { return ge.StationaryMean(k) }
+
+// Means implements Sampler.
+func (ge *GilbertElliott) Means() []float64 {
+	out := make([]float64, ge.K())
+	for k := range out {
+		out[k] = ge.StationaryMean(k)
+	}
+	return out
+}
+
+// InGoodState reports the current state of arm k (test hook).
+func (ge *GilbertElliott) InGoodState(k int) bool { return ge.state[k] }
+
+// Sample implements Sampler: the current state's rate plus truncated
+// Gaussian noise.
+func (ge *GilbertElliott) Sample(k int) float64 {
+	base := ge.bad[k]
+	if ge.state[k] {
+		base = ge.good[k]
+	}
+	return ge.src.TruncGaussian(base, ge.sigma, 0, 1)
+}
+
+// Tick implements Dynamic: every chain takes one Markov step.
+func (ge *GilbertElliott) Tick() {
+	for k := range ge.state {
+		if ge.state[k] {
+			if ge.src.Bernoulli(ge.pGB) {
+				ge.state[k] = false
+			}
+		} else if ge.src.Bernoulli(ge.pBG) {
+			ge.state[k] = true
+		}
+	}
+}

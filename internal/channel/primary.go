@@ -1,0 +1,129 @@
+package channel
+
+import (
+	"fmt"
+
+	"multihopbandit/internal/rng"
+)
+
+// WithPrimary decorates a Sampler with primary-user occupancy — the
+// cognitive-radio mechanism of the paper's introduction: secondary users may
+// only use a channel while its primary user is idle. Each *channel* (not
+// each arm) carries an independent on/off Markov process shared by all
+// secondary users; while the primary is active, every secondary transmission
+// on that channel yields zero reward.
+//
+// Occupancy correlates arms across nodes (all v_{i,j} for a fixed j go dark
+// together), which neither the i.i.d. Model nor the per-arm GilbertElliott
+// process expresses.
+type WithPrimary struct {
+	inner Sampler
+	// pBusy/pIdle are the idle→busy and busy→idle per-slot transition
+	// probabilities.
+	pBusy, pIdle float64
+	busy         []bool // per channel j
+	src          *rng.Source
+}
+
+var _ Dynamic = (*WithPrimary)(nil)
+
+// PrimaryConfig parameterizes NewWithPrimary.
+type PrimaryConfig struct {
+	// PBusy is the per-slot idle→busy probability (default 0.05).
+	PBusy float64
+	// PIdle is the per-slot busy→idle probability (default 0.2).
+	PIdle float64
+}
+
+func (c *PrimaryConfig) fill() error {
+	if c.PBusy == 0 {
+		c.PBusy = 0.05
+	}
+	if c.PIdle == 0 {
+		c.PIdle = 0.2
+	}
+	if c.PBusy < 0 || c.PBusy > 1 || c.PIdle < 0 || c.PIdle > 1 {
+		return fmt.Errorf("channel: primary transition probabilities outside [0,1]: %+v", *c)
+	}
+	return nil
+}
+
+// NewWithPrimary wraps inner with per-channel primary-user occupancy. All
+// channels start idle.
+func NewWithPrimary(inner Sampler, cfg PrimaryConfig, src *rng.Source) (*WithPrimary, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("channel: nil inner sampler")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("channel: nil random source")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &WithPrimary{
+		inner: inner,
+		pBusy: cfg.PBusy,
+		pIdle: cfg.PIdle,
+		busy:  make([]bool, inner.M()),
+		src:   src.Split("primary"),
+	}, nil
+}
+
+// N implements Sampler.
+func (p *WithPrimary) N() int { return p.inner.N() }
+
+// M implements Sampler.
+func (p *WithPrimary) M() int { return p.inner.M() }
+
+// K implements Sampler.
+func (p *WithPrimary) K() int { return p.inner.K() }
+
+// IdleFraction returns the stationary probability of a channel being idle.
+func (p *WithPrimary) IdleFraction() float64 {
+	return p.pIdle / (p.pBusy + p.pIdle)
+}
+
+// Busy reports whether channel j's primary user is currently active.
+func (p *WithPrimary) Busy(j int) bool { return p.busy[j] }
+
+// Mean implements Sampler: the long-run mean is the inner mean scaled by the
+// idle fraction.
+func (p *WithPrimary) Mean(k int) float64 {
+	return p.inner.Mean(k) * p.IdleFraction()
+}
+
+// Means implements Sampler.
+func (p *WithPrimary) Means() []float64 {
+	out := p.inner.Means()
+	idle := p.IdleFraction()
+	for i := range out {
+		out[i] *= idle
+	}
+	return out
+}
+
+// Sample implements Sampler: zero while the primary occupies the channel,
+// the inner draw otherwise.
+func (p *WithPrimary) Sample(k int) float64 {
+	if p.busy[k%p.inner.M()] {
+		return 0
+	}
+	return p.inner.Sample(k)
+}
+
+// Tick implements Dynamic: every channel's occupancy chain takes one step,
+// then the inner process advances if it is dynamic too.
+func (p *WithPrimary) Tick() {
+	for j := range p.busy {
+		if p.busy[j] {
+			if p.src.Bernoulli(p.pIdle) {
+				p.busy[j] = false
+			}
+		} else if p.src.Bernoulli(p.pBusy) {
+			p.busy[j] = true
+		}
+	}
+	if dyn, ok := p.inner.(Dynamic); ok {
+		dyn.Tick()
+	}
+}

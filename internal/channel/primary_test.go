@@ -1,0 +1,139 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"multihopbandit/internal/rng"
+)
+
+func innerModel(t *testing.T, n, m int) *Model {
+	t.Helper()
+	md, err := NewModel(Config{N: n, M: m, Sigma: 0.01}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md
+}
+
+func TestWithPrimaryValidation(t *testing.T) {
+	md := innerModel(t, 2, 2)
+	if _, err := NewWithPrimary(nil, PrimaryConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for nil inner")
+	}
+	if _, err := NewWithPrimary(md, PrimaryConfig{}, nil); err == nil {
+		t.Fatal("expected error for nil source")
+	}
+	if _, err := NewWithPrimary(md, PrimaryConfig{PBusy: 2}, rng.New(1)); err == nil {
+		t.Fatal("expected error for PBusy > 1")
+	}
+}
+
+func TestWithPrimaryDims(t *testing.T) {
+	md := innerModel(t, 3, 4)
+	p, err := NewWithPrimary(md, PrimaryConfig{}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 3 || p.M() != 4 || p.K() != 12 {
+		t.Fatalf("dims: %d %d %d", p.N(), p.M(), p.K())
+	}
+}
+
+func TestWithPrimaryMeanScaling(t *testing.T) {
+	md := innerModel(t, 2, 2)
+	p, err := NewWithPrimary(md, PrimaryConfig{PBusy: 0.1, PIdle: 0.3}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := 0.3 / 0.4
+	for k := 0; k < p.K(); k++ {
+		want := md.Mean(k) * idle
+		if math.Abs(p.Mean(k)-want) > 1e-12 {
+			t.Fatalf("Mean(%d) = %v, want %v", k, p.Mean(k), want)
+		}
+	}
+	means := p.Means()
+	if math.Abs(means[0]-p.Mean(0)) > 1e-12 {
+		t.Fatal("Means() inconsistent with Mean()")
+	}
+}
+
+func TestWithPrimaryBusyChannelsYieldZero(t *testing.T) {
+	md := innerModel(t, 2, 2)
+	p, err := NewWithPrimary(md, PrimaryConfig{PBusy: 1, PIdle: 0.0001}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tick() // pBusy=1 forces both channels busy
+	if !p.Busy(0) || !p.Busy(1) {
+		t.Fatal("channels should be busy after Tick with pBusy=1")
+	}
+	for k := 0; k < p.K(); k++ {
+		if p.Sample(k) != 0 {
+			t.Fatalf("busy channel returned non-zero reward at arm %d", k)
+		}
+	}
+}
+
+func TestWithPrimaryOccupancySharedAcrossNodes(t *testing.T) {
+	// Arms of different nodes on the same channel go dark together.
+	md := innerModel(t, 4, 2)
+	p, err := NewWithPrimary(md, PrimaryConfig{PBusy: 0.5, PIdle: 0.5}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 50; tick++ {
+		p.Tick()
+		for j := 0; j < 2; j++ {
+			if !p.Busy(j) {
+				continue
+			}
+			for node := 0; node < 4; node++ {
+				if p.Sample(node*2+j) != 0 {
+					t.Fatalf("node %d saw reward on busy channel %d", node, j)
+				}
+			}
+		}
+	}
+}
+
+func TestWithPrimaryTimeAverage(t *testing.T) {
+	// Empirical average of samples over ticks ≈ inner mean × idle fraction.
+	means := []float64{0.8}
+	md, err := NewModelWithMeans(Config{N: 1, M: 1, Kind: Constant}, means, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewWithPrimary(md, PrimaryConfig{PBusy: 0.1, PIdle: 0.3}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slots = 100000
+	sum := 0.0
+	for i := 0; i < slots; i++ {
+		sum += p.Sample(0)
+		p.Tick()
+	}
+	want := 0.8 * p.IdleFraction()
+	if got := sum / slots; math.Abs(got-want) > 0.02 {
+		t.Fatalf("time average %v, want ≈%v", got, want)
+	}
+}
+
+func TestWithPrimaryPropagatesInnerTick(t *testing.T) {
+	sh, err := NewShifting(ShiftConfig{N: 1, M: 2, Period: 3}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewWithPrimary(sh, PrimaryConfig{}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		p.Tick()
+	}
+	if sh.Slot() != 6 {
+		t.Fatalf("inner dynamic ticked %d times, want 6", sh.Slot())
+	}
+}

@@ -1,0 +1,31 @@
+package channel
+
+// Sampler is the minimal reward source the channel-access scheme needs: a
+// per-arm stochastic process ξ_k with a queryable mean. Model implements it
+// for i.i.d. processes; GilbertElliott and Shifting implement the paper's
+// future-work settings (Markov and adversarially changing channels).
+type Sampler interface {
+	// N returns the number of nodes.
+	N() int
+	// M returns the number of channels per node.
+	M() int
+	// K returns the number of arms, N·M.
+	K() int
+	// Mean returns the (current) mean of arm k; for stationary processes
+	// this is the long-run mean, for dynamic ones the instantaneous mean.
+	Mean(k int) float64
+	// Means returns a copy of all means.
+	Means() []float64
+	// Sample draws one reward for arm k.
+	Sample(k int) float64
+}
+
+// Dynamic is a Sampler whose state advances with global time rather than
+// with plays (restless channels). The scheme calls Tick once per time slot.
+type Dynamic interface {
+	Sampler
+	// Tick advances every arm's process by one time slot.
+	Tick()
+}
+
+var _ Sampler = (*Model)(nil)

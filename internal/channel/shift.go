@@ -1,0 +1,105 @@
+package channel
+
+import (
+	"fmt"
+
+	"multihopbandit/internal/rng"
+)
+
+// Shifting is an obliviously adversarial channel (the paper's future-work
+// setting): the per-arm means are permuted every Period slots, so any policy
+// that trusts its full history is periodically wrong. Within a period draws
+// are i.i.d. truncated Gaussians around the current means.
+type Shifting struct {
+	n, m   int
+	base   []float64
+	cur    []float64
+	period int
+	slot   int
+	sigma  float64
+	src    *rng.Source
+}
+
+var _ Dynamic = (*Shifting)(nil)
+
+// ShiftConfig parameterizes NewShifting.
+type ShiftConfig struct {
+	// N, M are the network dimensions; required.
+	N, M int
+	// Period is the number of slots between mean permutations; required.
+	Period int
+	// Sigma is the per-draw Gaussian noise (default 0.05).
+	Sigma float64
+}
+
+// NewShifting draws base means from the paper catalog and returns the
+// shifting channel.
+func NewShifting(cfg ShiftConfig, src *rng.Source) (*Shifting, error) {
+	if cfg.N <= 0 || cfg.M <= 0 {
+		return nil, fmt.Errorf("channel: N and M must be positive, got N=%d M=%d", cfg.N, cfg.M)
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("channel: shift period must be positive, got %d", cfg.Period)
+	}
+	if cfg.Sigma == 0 {
+		cfg.Sigma = 0.05
+	}
+	if cfg.Sigma < 0 {
+		return nil, fmt.Errorf("channel: sigma must be non-negative, got %v", cfg.Sigma)
+	}
+	k := cfg.N * cfg.M
+	meansSrc := src.Split("shift-means")
+	base := make([]float64, k)
+	for i := range base {
+		base[i] = PaperRatesKbps[meansSrc.Intn(len(PaperRatesKbps))] / MaxPaperRateKbps
+	}
+	return &Shifting{
+		n:      cfg.N,
+		m:      cfg.M,
+		base:   base,
+		cur:    append([]float64(nil), base...),
+		period: cfg.Period,
+		sigma:  cfg.Sigma,
+		src:    src.Split("shift-noise"),
+	}, nil
+}
+
+// N implements Sampler.
+func (s *Shifting) N() int { return s.n }
+
+// M implements Sampler.
+func (s *Shifting) M() int { return s.m }
+
+// K implements Sampler.
+func (s *Shifting) K() int { return s.n * s.m }
+
+// Mean implements Sampler: the instantaneous mean of arm k.
+func (s *Shifting) Mean(k int) float64 { return s.cur[k] }
+
+// Means implements Sampler.
+func (s *Shifting) Means() []float64 { return append([]float64(nil), s.cur...) }
+
+// Slot returns the number of Ticks applied.
+func (s *Shifting) Slot() int { return s.slot }
+
+// Sample implements Sampler.
+func (s *Shifting) Sample(k int) float64 {
+	return s.src.TruncGaussian(s.cur[k], s.sigma, 0, 1)
+}
+
+// Tick implements Dynamic: on period boundaries each node's channel means
+// are cyclically rotated by one, so the per-node best channel changes while
+// the multiset of rates stays fixed (a worst case for stale estimates, but
+// one whose optimum is still comparable across periods).
+func (s *Shifting) Tick() {
+	s.slot++
+	if s.slot%s.period != 0 {
+		return
+	}
+	for node := 0; node < s.n; node++ {
+		off := node * s.m
+		last := s.cur[off+s.m-1]
+		copy(s.cur[off+1:off+s.m], s.cur[off:off+s.m-1])
+		s.cur[off] = last
+	}
+}

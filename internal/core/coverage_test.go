@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/mwis"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/timing"
+	"multihopbandit/internal/topology"
+)
+
+func TestNewRejectsInvalidTiming(t *testing.T) {
+	nw := testNetwork(t, 5, 51)
+	ch, err := channel.NewModel(channel.Config{N: 5, M: 2}, rng.New(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := timing.Paper()
+	bad.DecisionMiniRounds = 1000 // t_s overruns the round
+	if _, err := New(Config{Net: nw, Channels: ch, M: 2, Timing: bad}); err == nil {
+		t.Fatal("expected timing validation error")
+	}
+}
+
+func TestNewRejectsBadR(t *testing.T) {
+	nw := testNetwork(t, 5, 53)
+	ch, err := channel.NewModel(channel.Config{N: 5, M: 2}, rng.New(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Net: nw, Channels: ch, M: 2, R: -3}); err == nil {
+		t.Fatal("expected error for negative r")
+	}
+}
+
+func TestNewWithExplicitSolver(t *testing.T) {
+	nw := testNetwork(t, 8, 55)
+	ch, err := channel.NewModel(channel.Config{N: 8, M: 2}, rng.New(56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Net: nw, Channels: ch, M: 2, Solver: mwis.Greedy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalStaticRejectsHugeInstances(t *testing.T) {
+	// The exact solver guards against instances beyond its MaxNodes; the
+	// wrapper surfaces that error.
+	nw, err := topology.Random(topology.RandomConfig{N: 500}, rng.New(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewModel(channel.Config{N: 500, M: 10}, rng.New(57))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Net: nw, Channels: ch, M: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.OptimalStatic()
+	if err == nil {
+		t.Fatal("expected MaxNodes guard to fire on a 5000-vertex H")
+	}
+	if !strings.Contains(err.Error(), "exceeds MaxNodes") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/rng"
+)
+
+// runWithSampler drives a scheme over a dynamic channel and returns the
+// total observed throughput of the last half of the horizon.
+func runWithSampler(t *testing.T, ch channel.Sampler, pol policy.Policy, n, m, slots int) float64 {
+	t.Helper()
+	nw := testNetwork(t, n, 101)
+	s, err := New(Config{Net: nw, Channels: ch, M: m, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Run(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, r := range results[slots/2:] {
+		total += r.Observed
+	}
+	return total
+}
+
+func TestSchemeRunsOnGilbertElliott(t *testing.T) {
+	const n, m = 12, 3
+	ge, err := channel.NewGilbertElliott(channel.GEConfig{N: n, M: m}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runWithSampler(t, ge, pol, n, m, 200); got <= 0 {
+		t.Fatalf("no throughput on Markov channels: %v", got)
+	}
+}
+
+func TestTickAdvancesDynamicChannels(t *testing.T) {
+	const n, m = 8, 2
+	sh, err := channel.NewShifting(channel.ShiftConfig{N: n, M: m, Period: 7}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := testNetwork(t, n, 102)
+	s, err := New(Config{Net: nw, Channels: sh, M: m, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(21); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Slot() != 21 {
+		t.Fatalf("channel ticked %d times for 21 slots", sh.Slot())
+	}
+}
+
+func TestDiscountedBeatsVanillaOnShiftingChannels(t *testing.T) {
+	// The future-work scenario: means rotate every 150 slots. The
+	// discounted policy re-learns after each shift; the vanilla policy
+	// drags its full history. Compare second-half throughput.
+	const (
+		n, m  = 12, 3
+		slots = 1200
+	)
+	mkChannel := func() *channel.Shifting {
+		sh, err := channel.NewShifting(channel.ShiftConfig{
+			N: n, M: m, Period: 150, Sigma: 0.03,
+		}, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	vanilla, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discounted, err := policy.NewDiscountedZhouLi(n*m, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vTotal := runWithSampler(t, mkChannel(), vanilla, n, m, slots)
+	dTotal := runWithSampler(t, mkChannel(), discounted, n, m, slots)
+	if dTotal <= vTotal {
+		t.Fatalf("discounted %v did not beat vanilla %v on shifting channels", dTotal, vTotal)
+	}
+}
+
+func TestVanillaFineOnStationaryChannels(t *testing.T) {
+	// Sanity check of the converse: on i.i.d. channels the vanilla policy
+	// should be at least competitive with the aggressive discount.
+	const (
+		n, m  = 12, 3
+		slots = 800
+	)
+	mkChannel := func() *channel.Model {
+		ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	vanilla, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discounted, err := policy.NewDiscountedZhouLi(n*m, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vTotal := runWithSampler(t, mkChannel(), vanilla, n, m, slots)
+	dTotal := runWithSampler(t, mkChannel(), discounted, n, m, slots)
+	if vTotal < 0.9*dTotal {
+		t.Fatalf("vanilla %v noticeably worse than discounted %v on stationary channels", vTotal, dTotal)
+	}
+}

@@ -1,0 +1,270 @@
+// Package core assembles the paper's contribution: the distributed channel
+// access scheme of Algorithm 2. Each time slot either reuses the current
+// strategy (periodic-update mode) or runs a distributed strategy decision
+// (weight broadcast + D mini-rounds of the distributed robust PTAS,
+// Algorithm 3) under the learning policy's index weights, then transmits,
+// observes per-arm rewards, and updates the estimator (equations (3), (5)
+// and (6)).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/mwis"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
+	"multihopbandit/internal/timing"
+	"multihopbandit/internal/topology"
+)
+
+// Config parameterizes a Scheme.
+type Config struct {
+	// Net is the multi-hop network; its unit-disk graph is the conflict
+	// graph G. Required.
+	Net *topology.Network
+	// Channels provides the stochastic rewards ξ_{i,j}(t). Required; its
+	// N and M must match the network and channel count. Dynamic samplers
+	// (Markov, shifting) are ticked once per slot.
+	Channels channel.Sampler
+	// M is the number of channels per node. Required.
+	M int
+	// R is the ball parameter r of the distributed PTAS (default 2, the
+	// paper's simulation setting).
+	R int
+	// D caps mini-rounds per strategy decision (default 4, matching the
+	// paper's t_s = 4·t_m with one mini-timeslot budgeted for WB).
+	D int
+	// Policy is the learning policy (default the paper's ZhouLi index).
+	Policy policy.Policy
+	// Solver computes the LocalLeaders' local MWIS (default mwis.Hybrid).
+	Solver mwis.Solver
+	// Timing is the round time model (default timing.Paper()).
+	Timing timing.Params
+	// UpdateEvery is the update period y in slots (default 1 = every
+	// slot, the paper's frequent case).
+	UpdateEvery int
+}
+
+func (c *Config) fill() error {
+	if c.Net == nil {
+		return errors.New("core: nil network")
+	}
+	if c.Channels == nil {
+		return errors.New("core: nil channel model")
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("core: M must be positive, got %d", c.M)
+	}
+	if c.Channels.N() != c.Net.N() || c.Channels.M() != c.M {
+		return fmt.Errorf("core: channel model is %dx%d but network is %dx%d",
+			c.Channels.N(), c.Channels.M(), c.Net.N(), c.M)
+	}
+	if c.R == 0 {
+		c.R = 2
+	}
+	if c.D == 0 {
+		c.D = 4
+	}
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 1
+	}
+	if c.UpdateEvery < 1 {
+		return fmt.Errorf("core: UpdateEvery must be >= 1, got %d", c.UpdateEvery)
+	}
+	if c.Timing == (timing.Params{}) {
+		c.Timing = timing.Paper()
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Scheme is one running instance of the paper's channel access scheme.
+type Scheme struct {
+	ext *extgraph.Extended
+	rt  *protocol.Runtime
+	pol policy.Policy
+	ch  channel.Sampler
+	tp  timing.Params
+	y   int
+
+	slot        int
+	curWinners  []int
+	curStrategy extgraph.Strategy
+	curEstimate float64
+	curDecision *protocol.Result
+	lastPlayed  []int
+}
+
+// New builds a Scheme, constructing the extended conflict graph and the
+// protocol runtime (hop-neighborhood precomputation happens here).
+func New(cfg Config) (*Scheme, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ext, err := extgraph.Build(cfg.Net.G, cfg.M)
+	if err != nil {
+		return nil, fmt.Errorf("core: build extended graph: %w", err)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol, err = policy.NewZhouLi(ext.K())
+		if err != nil {
+			return nil, err
+		}
+	}
+	rt, err := protocol.New(protocol.Config{
+		Ext:    ext,
+		R:      cfg.R,
+		D:      cfg.D,
+		Solver: cfg.Solver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{
+		ext: ext,
+		rt:  rt,
+		pol: pol,
+		ch:  cfg.Channels,
+		tp:  cfg.Timing,
+		y:   cfg.UpdateEvery,
+	}, nil
+}
+
+// Ext exposes the extended conflict graph (read-only use).
+func (s *Scheme) Ext() *extgraph.Extended { return s.ext }
+
+// Policy exposes the learning policy (read-only use).
+func (s *Scheme) Policy() policy.Policy { return s.pol }
+
+// Timing returns the time model in use.
+func (s *Scheme) Timing() timing.Params { return s.tp }
+
+// UpdateEvery returns the update period y.
+func (s *Scheme) UpdateEvery() int { return s.y }
+
+// Slot returns the number of completed time slots.
+func (s *Scheme) Slot() int { return s.slot }
+
+// SlotResult reports one time slot of Algorithm 2.
+type SlotResult struct {
+	// Slot is the 0-based index of the completed slot.
+	Slot int
+	// Decided reports whether a strategy decision ran in this slot (true
+	// once per update period).
+	Decided bool
+	// Strategy is the channel assignment transmitted in this slot.
+	Strategy extgraph.Strategy
+	// Winners are the selected virtual-vertex ids.
+	Winners []int
+	// Observed is the realized total throughput Σ ξ (normalized units).
+	Observed float64
+	// ObservedKbps is Observed on the paper's kbps scale.
+	ObservedKbps float64
+	// EstimatedWeight is the index-weight sum of the strategy at its
+	// decision time (normalized units) — the W_x of §V-C.
+	EstimatedWeight float64
+	// Decision carries the protocol result and communication stats when
+	// Decided is true.
+	Decision *protocol.Result
+}
+
+// Step advances the scheme by one time slot and returns what happened.
+func (s *Scheme) Step() (*SlotResult, error) {
+	decided := false
+	if s.slot%s.y == 0 {
+		if err := s.decide(); err != nil {
+			return nil, err
+		}
+		decided = true
+	}
+	// Data transmission: every winner observes one draw of its channel.
+	rewards := make([]float64, len(s.curWinners))
+	total := 0.0
+	for i, v := range s.curWinners {
+		rewards[i] = s.ch.Sample(v)
+		total += rewards[i]
+	}
+	if err := s.pol.Update(s.curWinners, rewards); err != nil {
+		return nil, fmt.Errorf("core: policy update at slot %d: %w", s.slot, err)
+	}
+	// Restless channels advance with time, not with plays.
+	if dyn, ok := s.ch.(channel.Dynamic); ok {
+		dyn.Tick()
+	}
+	res := &SlotResult{
+		Slot:            s.slot,
+		Decided:         decided,
+		Strategy:        append(extgraph.Strategy(nil), s.curStrategy...),
+		Winners:         append([]int(nil), s.curWinners...),
+		Observed:        total,
+		ObservedKbps:    channel.Kbps(total),
+		EstimatedWeight: s.curEstimate,
+	}
+	if decided {
+		res.Decision = s.curDecision
+	}
+	s.slot++
+	return res, nil
+}
+
+// decide runs one distributed strategy decision with the current indices.
+func (s *Scheme) decide() error {
+	indices := s.pol.Indices()
+	dec, err := s.rt.Decide(indices, s.lastPlayed)
+	if err != nil {
+		return fmt.Errorf("core: strategy decision at slot %d: %w", s.slot, err)
+	}
+	s.curDecision = dec
+	s.curWinners = dec.Winners
+	s.curStrategy = dec.Strategy
+	s.curEstimate = 0
+	for _, v := range dec.Winners {
+		s.curEstimate += indices[v]
+	}
+	s.lastPlayed = append(s.lastPlayed[:0], dec.Winners...)
+	return nil
+}
+
+// Run executes the given number of slots and collects the per-slot results.
+func (s *Scheme) Run(slots int) ([]SlotResult, error) {
+	if slots < 0 {
+		return nil, fmt.Errorf("core: negative slot count %d", slots)
+	}
+	out := make([]SlotResult, 0, slots)
+	for i := 0; i < slots; i++ {
+		r, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// OptimalStatic computes the optimal static strategy weight R1 (normalized)
+// using the true channel means and an exact MWIS solve. It is only feasible
+// for small networks; the solver's MaxNodes guard applies.
+func (s *Scheme) OptimalStatic() (extgraph.Strategy, float64, error) {
+	return OptimalStatic(s.ext, s.ch)
+}
+
+// OptimalStatic computes the genie-optimal static strategy for an extended
+// graph and channel model via exact MWIS over the true (current) means.
+func OptimalStatic(ext *extgraph.Extended, ch channel.Sampler) (extgraph.Strategy, float64, error) {
+	in := mwis.Instance{G: ext.H, W: ch.Means()}
+	set, err := (mwis.Exact{}).Solve(in)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: exact optimum: %w", err)
+	}
+	strategy, err := ext.StrategyFromVertices(set)
+	if err != nil {
+		return nil, 0, err
+	}
+	return strategy, in.Weight(set), nil
+}

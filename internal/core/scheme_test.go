@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/timing"
+	"multihopbandit/internal/topology"
+)
+
+func testNetwork(t *testing.T, n int, seed int64) *topology.Network {
+	t.Helper()
+	nw, err := topology.Random(topology.RandomConfig{N: n, RequireConnected: true}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func testScheme(t *testing.T, n, m int, seed int64, mutate func(*Config)) *Scheme {
+	t.Helper()
+	nw := testNetwork(t, n, seed)
+	ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Net: nw, Channels: ch, M: m}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	nw := testNetwork(t, 5, 1)
+	ch, _ := channel.NewModel(channel.Config{N: 5, M: 2}, rng.New(2))
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil net", Config{Channels: ch, M: 2}},
+		{"nil channels", Config{Net: nw, M: 2}},
+		{"zero M", Config{Net: nw, Channels: ch}},
+		{"mismatched M", Config{Net: nw, Channels: ch, M: 3}},
+		{"bad update period", Config{Net: nw, Channels: ch, M: 2, UpdateEvery: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Fatal("expected config error")
+			}
+		})
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := testScheme(t, 8, 2, 3, nil)
+	if s.UpdateEvery() != 1 {
+		t.Fatalf("default y = %d", s.UpdateEvery())
+	}
+	if s.Timing() != timing.Paper() {
+		t.Fatal("default timing is not Table II")
+	}
+	if s.Policy().Name() != "zhou-li" {
+		t.Fatalf("default policy = %q", s.Policy().Name())
+	}
+}
+
+func TestStepProducesFeasibleStrategies(t *testing.T) {
+	s := testScheme(t, 12, 3, 5, nil)
+	for i := 0; i < 30; i++ {
+		res, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Ext().Feasible(res.Strategy) {
+			t.Fatalf("slot %d: infeasible strategy %v", i, res.Strategy)
+		}
+		if !s.Ext().H.IsIndependent(res.Winners) {
+			t.Fatalf("slot %d: dependent winners", i)
+		}
+		if res.Slot != i {
+			t.Fatalf("slot index = %d, want %d", res.Slot, i)
+		}
+	}
+	if s.Slot() != 30 {
+		t.Fatalf("Slot() = %d", s.Slot())
+	}
+}
+
+func TestObservedMatchesWinners(t *testing.T) {
+	// With a Constant channel model the observed throughput equals the
+	// sum of the winners' true means exactly.
+	nw := testNetwork(t, 10, 7)
+	means := make([]float64, 10*3)
+	src := rng.New(8)
+	for i := range means {
+		means[i] = src.Float64()
+	}
+	ch, err := channel.NewModelWithMeans(channel.Config{N: 10, M: 3, Kind: channel.Constant}, means, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Net: nw, Channels: ch, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, v := range res.Winners {
+		want += means[v]
+	}
+	if math.Abs(res.Observed-want) > 1e-12 {
+		t.Fatalf("Observed = %v, want %v", res.Observed, want)
+	}
+	if math.Abs(res.ObservedKbps-channel.Kbps(want)) > 1e-9 {
+		t.Fatalf("ObservedKbps = %v", res.ObservedKbps)
+	}
+}
+
+func TestUpdateEveryDecisionCadence(t *testing.T) {
+	s := testScheme(t, 10, 2, 11, func(c *Config) { c.UpdateEvery = 4 })
+	for i := 0; i < 12; i++ {
+		res, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDecided := i%4 == 0
+		if res.Decided != wantDecided {
+			t.Fatalf("slot %d: Decided = %v, want %v", i, res.Decided, wantDecided)
+		}
+		if wantDecided && res.Decision == nil {
+			t.Fatal("Decision missing on decided slot")
+		}
+		if !wantDecided && res.Decision != nil {
+			t.Fatal("Decision present on repeat slot")
+		}
+	}
+}
+
+func TestStrategyStableWithinPeriod(t *testing.T) {
+	s := testScheme(t, 10, 2, 13, func(c *Config) { c.UpdateEvery = 5 })
+	var first extgraph.Strategy
+	for i := 0; i < 5; i++ {
+		res, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Strategy
+			continue
+		}
+		for j := range first {
+			if res.Strategy[j] != first[j] {
+				t.Fatalf("strategy changed mid-period at slot %d", i)
+			}
+		}
+	}
+}
+
+func TestLearningImprovesThroughput(t *testing.T) {
+	// The average throughput over the last quarter of the horizon must
+	// exceed the first quarter (the policy learns).
+	s := testScheme(t, 15, 3, 17, nil)
+	results, err := s.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, late := 0.0, 0.0
+	q := len(results) / 4
+	for i := 0; i < q; i++ {
+		early += results[i].Observed
+		late += results[len(results)-1-i].Observed
+	}
+	if late <= early {
+		t.Fatalf("no learning: early %v, late %v", early, late)
+	}
+}
+
+func TestZhouLiApproachesOracle(t *testing.T) {
+	// After convergence, the learned policy should achieve a large
+	// fraction of the oracle's throughput on the same instance.
+	const n, m, slots = 12, 3, 600
+	nw := testNetwork(t, n, 19)
+	mkChannels := func() *channel.Model {
+		ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(19))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	run := func(pol policy.Policy) float64 {
+		ch := mkChannels()
+		s, err := New(Config{Net: nw, Channels: ch, M: m, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := s.Run(slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, r := range results[slots/2:] {
+			total += r.Observed
+		}
+		return total
+	}
+	chForOracle := mkChannels()
+	oracle, err := policy.NewOracle(chForOracle.Means())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zl, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleTotal := run(oracle)
+	learnedTotal := run(zl)
+	if learnedTotal < 0.7*oracleTotal {
+		t.Fatalf("learned %v < 70%% of oracle %v", learnedTotal, oracleTotal)
+	}
+}
+
+func TestRunNegative(t *testing.T) {
+	s := testScheme(t, 5, 2, 23, nil)
+	if _, err := s.Run(-1); err == nil {
+		t.Fatal("expected error for negative slots")
+	}
+}
+
+func TestRunCollectsAll(t *testing.T) {
+	s := testScheme(t, 6, 2, 29, nil)
+	results, err := s.Run(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 25 {
+		t.Fatalf("got %d results", len(results))
+	}
+}
+
+func TestOptimalStaticFeasibleAndMaximal(t *testing.T) {
+	s := testScheme(t, 10, 3, 31, nil)
+	strategy, weight, err := s.OptimalStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ext().Feasible(strategy) {
+		t.Fatal("optimal strategy infeasible")
+	}
+	if weight <= 0 {
+		t.Fatalf("optimal weight = %v", weight)
+	}
+}
+
+func TestOptimalStaticUpperBound(t *testing.T) {
+	nw := testNetwork(t, 10, 37)
+	ch, err := channel.NewModel(channel.Config{N: 10, M: 3}, rng.New(38))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extgraph.Build(nw.G, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := OptimalStatic(ext, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No feasible strategy can beat the optimum: check 200 random ones.
+	src := rng.New(39)
+	for trial := 0; trial < 200; trial++ {
+		s := extgraph.NewStrategy(10)
+		for i := range s {
+			c := src.Intn(4)
+			if c < 3 {
+				s[i] = c
+			}
+		}
+		if !ext.Feasible(s) {
+			continue
+		}
+		w := 0.0
+		for _, v := range ext.Vertices(s) {
+			w += ch.Mean(v)
+		}
+		if w > opt+1e-9 {
+			t.Fatalf("random feasible strategy beats 'optimum': %v > %v", w, opt)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	mk := func() []SlotResult {
+		s := testScheme(t, 10, 3, 41, nil)
+		res, err := s.Run(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Observed != b[i].Observed {
+			t.Fatalf("runs diverged at slot %d", i)
+		}
+	}
+}
+
+func TestEstimatedWeightPositive(t *testing.T) {
+	s := testScheme(t, 8, 2, 43, nil)
+	res, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimatedWeight <= 0 {
+		t.Fatalf("EstimatedWeight = %v", res.EstimatedWeight)
+	}
+}

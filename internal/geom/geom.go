@@ -1,0 +1,53 @@
+// Package geom provides the minimal 2D geometry used by the unit-disk
+// topology generator: points, Euclidean distances, and bounding boxes.
+package geom
+
+import "math"
+
+// Point is a location in the plane.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. Use it for
+// radius comparisons to avoid the square root.
+func Dist2(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Rect is an axis-aligned rectangle [MinX, MaxX] × [MinY, MaxY].
+type Rect struct {
+	MinX, MinY float64
+	MaxX, MaxY float64
+}
+
+// Square returns a side×side rectangle anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{MaxX: side, MaxY: side}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}

@@ -1,0 +1,110 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dist(tt.p, tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Point{ax, ay}, Point{bx, by}
+		return Dist(p, q) == Dist(q, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		ax, ay = math.Mod(ax, 1e6), math.Mod(ay, 1e6)
+		bx, by = math.Mod(bx, 1e6), math.Mod(by, 1e6)
+		if math.IsNaN(ax + ay + bx + by) {
+			return true
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		d := Dist(p, q)
+		return math.Abs(Dist2(p, q)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Point{norm(ax), norm(ay)}
+		b := Point{norm(bx), norm(by)}
+		c := Point{norm(cx), norm(cy)}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquare(t *testing.T) {
+	r := Square(10)
+	if r.Width() != 10 || r.Height() != 10 {
+		t.Fatalf("Square(10) = %+v", r)
+	}
+	if r.MinX != 0 || r.MinY != 0 {
+		t.Fatalf("Square(10) not anchored at origin: %+v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 3}
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{0, 0}, true}, // boundary inclusive
+		{Point{2, 3}, true}, // corner inclusive
+		{Point{2.1, 1}, false},
+		{Point{-0.1, 1}, false},
+		{Point{1, 3.5}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 4, MaxX: 6, MaxY: 10}
+	c := r.Center()
+	if c.X != 4 || c.Y != 7 {
+		t.Fatalf("Center() = %v, want (4,7)", c)
+	}
+}

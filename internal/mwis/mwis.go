@@ -1,0 +1,389 @@
+// Package mwis solves the maximum weighted independent set problem that
+// underlies every strategy decision of the paper: given the (extended)
+// conflict graph and per-vertex weights, find an independent set of maximum
+// total weight.
+//
+// Four solvers are provided:
+//
+//   - Exact: branch-and-bound with a clique-partition upper bound, exact on
+//     instances up to a few hundred vertices (used for ground truth and for
+//     the LocalLeaders' local enumerations).
+//   - Greedy: max-weight-first, a fast constant-factor heuristic.
+//   - Hybrid: Exact under a budget with Greedy fallback, the practical local
+//     solver suggested in §IV-C ("we can use more efficient constant
+//     approximation algorithm instead").
+//   - RobustPTAS: the centralized robust PTAS of Nieberg, Hurink and Kern
+//     used by the paper (§IV-B), parameterized by ρ = 1+ε; it needs no
+//     geometry, only hop-distances.
+package mwis
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"multihopbandit/internal/graph"
+)
+
+// Instance is a weighted-graph MWIS problem.
+type Instance struct {
+	// G is the conflict graph.
+	G *graph.Graph
+	// W holds one non-negative weight per vertex of G.
+	W []float64
+}
+
+// Validate checks structural consistency of the instance.
+func (in Instance) Validate() error {
+	if in.G == nil {
+		return errors.New("mwis: nil graph")
+	}
+	if len(in.W) != in.G.N() {
+		return fmt.Errorf("mwis: %d weights for %d vertices", len(in.W), in.G.N())
+	}
+	for v, w := range in.W {
+		if w < 0 {
+			return fmt.Errorf("mwis: negative weight %v at vertex %d", w, v)
+		}
+	}
+	return nil
+}
+
+// Weight returns the total weight of the given vertex set under the
+// instance's weights.
+func (in Instance) Weight(set []int) float64 {
+	total := 0.0
+	for _, v := range set {
+		total += in.W[v]
+	}
+	return total
+}
+
+// Solver finds a (possibly approximate) maximum weighted independent set.
+// Implementations must return an independent set; ids are sorted ascending.
+type Solver interface {
+	// Solve returns an independent set of in.G.
+	Solve(in Instance) ([]int, error)
+	// Name identifies the solver in experiment output.
+	Name() string
+}
+
+// Verify reports whether set is an independent set of g.
+func Verify(g *graph.Graph, set []int) bool { return g.IsIndependent(set) }
+
+// ---------------------------------------------------------------------------
+// Greedy
+
+// Greedy repeatedly selects the maximum-weight remaining vertex and removes
+// its closed neighborhood. Ties break toward the lower vertex id so results
+// are deterministic.
+type Greedy struct{}
+
+var _ Solver = Greedy{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "greedy" }
+
+// Solve implements Solver.
+func (Greedy) Solve(in Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := in.W[order[a]], in.W[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	removed := make([]bool, n)
+	var out []int
+	for _, v := range order {
+		if removed[v] {
+			continue
+		}
+		out = append(out, v)
+		removed[v] = true
+		for _, u := range in.G.Neighbors(v) {
+			removed[u] = true
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Exact branch and bound
+
+// ErrBudgetExceeded is returned by Exact when the search exceeds its node
+// budget before proving optimality.
+var ErrBudgetExceeded = errors.New("mwis: branch-and-bound budget exceeded")
+
+// Exact is an exact branch-and-bound MWIS solver. The upper bound is a
+// greedy clique partition (each clique contributes at most its heaviest
+// remaining member), which is tight on the extended conflict graph H where
+// every node's channel copies form a clique.
+type Exact struct {
+	// MaxNodes rejects instances larger than this (0 = 4096) to guard
+	// against accidentally exponential calls.
+	MaxNodes int
+	// Budget bounds the number of branch-and-bound nodes explored
+	// (0 = unlimited). When exceeded, Solve returns ErrBudgetExceeded
+	// along with the best set found so far.
+	Budget int
+}
+
+var _ Solver = Exact{}
+
+// Name implements Solver.
+func (Exact) Name() string { return "exact" }
+
+// Solve implements Solver. On ErrBudgetExceeded the returned set is still a
+// valid independent set (the incumbent), so callers may treat the error as a
+// quality downgrade rather than a failure.
+func (e Exact) Solve(in Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := e.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 4096
+	}
+	n := in.G.N()
+	if n > maxNodes {
+		return nil, fmt.Errorf("mwis: instance with %d vertices exceeds MaxNodes=%d", n, maxNodes)
+	}
+	if n == 0 {
+		return []int{}, nil
+	}
+	st := newSearch(in, e.Budget)
+	full := newBitset(n)
+	for i := 0; i < n; i++ {
+		full.set(i)
+	}
+	exhausted := st.branch(full, 0, newBitset(n), 0)
+	out := st.best.members()
+	sort.Ints(out)
+	if !exhausted {
+		return out, ErrBudgetExceeded
+	}
+	return out, nil
+}
+
+type search struct {
+	n        int
+	adj      []bitset // closed neighborhoods are adj[v] plus v itself
+	w        []float64
+	clique   []int // clique id per vertex from a greedy clique partition
+	ncliques int
+	best     bitset
+	bestW    float64
+	budget   int // remaining nodes; negative means unlimited
+
+	// Reusable buffers: cliqueMax for the upper bound, and one pair of
+	// bitsets per recursion depth for the include/exclude branches.
+	cliqueMax []float64
+	depthBufs [][2]bitset
+}
+
+func newSearch(in Instance, budget int) *search {
+	n := in.G.N()
+	st := &search{
+		n:    n,
+		adj:  make([]bitset, n),
+		w:    in.W,
+		best: newBitset(n),
+	}
+	if budget <= 0 {
+		st.budget = -1
+	} else {
+		st.budget = budget
+	}
+	for v := 0; v < n; v++ {
+		b := newBitset(n)
+		for _, u := range in.G.Neighbors(v) {
+			b.set(u)
+		}
+		st.adj[v] = b
+	}
+	st.clique = greedyCliquePartition(in.G)
+	for _, c := range st.clique {
+		if c+1 > st.ncliques {
+			st.ncliques = c + 1
+		}
+	}
+	st.cliqueMax = make([]float64, st.ncliques)
+	st.depthBufs = make([][2]bitset, n+1)
+	for i := range st.depthBufs {
+		st.depthBufs[i] = [2]bitset{newBitset(n), newBitset(n)}
+	}
+	return st
+}
+
+// greedyCliquePartition assigns each vertex to a clique: scan vertices in
+// decreasing-degree order; each unassigned vertex starts a clique and pulls
+// in unassigned neighbors adjacent to every current member.
+func greedyCliquePartition(g *graph.Graph) []int {
+	n := g.N()
+	clique := make([]int, n)
+	for i := range clique {
+		clique[i] = -1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	next := 0
+	for _, v := range order {
+		if clique[v] >= 0 {
+			continue
+		}
+		clique[v] = next
+		members := []int{v}
+		for _, u := range g.Neighbors(v) {
+			if clique[u] >= 0 {
+				continue
+			}
+			ok := true
+			for _, m := range members {
+				if !g.HasEdge(u, m) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique[u] = next
+				members = append(members, u)
+			}
+		}
+		next++
+	}
+	return clique
+}
+
+// upperBound sums, per clique, the heaviest remaining vertex: an independent
+// set contains at most one vertex per clique. It reuses st.cliqueMax to stay
+// allocation-free on the hot path.
+func (st *search) upperBound(remaining bitset) float64 {
+	for i := range st.cliqueMax {
+		st.cliqueMax[i] = 0
+	}
+	total := 0.0
+	for wi, word := range remaining {
+		for word != 0 {
+			v := wi*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			c := st.clique[v]
+			if st.w[v] > st.cliqueMax[c] {
+				total += st.w[v] - st.cliqueMax[c]
+				st.cliqueMax[c] = st.w[v]
+			}
+		}
+	}
+	return total
+}
+
+// branch explores the remaining subproblem given the current chosen set and
+// weight at the given recursion depth. It returns false if the budget ran
+// out.
+func (st *search) branch(remaining bitset, curW float64, cur bitset, depth int) bool {
+	if st.budget == 0 {
+		return false
+	}
+	if st.budget > 0 {
+		st.budget--
+	}
+	if curW > st.bestW {
+		st.bestW = curW
+		st.best = cur.clone()
+	}
+	if remaining.empty() {
+		return true
+	}
+	if curW+st.upperBound(remaining) <= st.bestW {
+		return true // pruned
+	}
+	// Branch on the heaviest remaining vertex (ties toward lower id).
+	pivot, pw := -1, -1.0
+	remaining.forEach(func(v int) {
+		if st.w[v] > pw {
+			pw = st.w[v]
+			pivot = v
+		}
+	})
+	// Include pivot: drop pivot and its neighbors from the remainder.
+	withPivot := st.depthBufs[depth][0]
+	copy(withPivot, remaining)
+	withPivot.clear(pivot)
+	inclRemaining := st.depthBufs[depth][1]
+	withPivot.andNotInto(st.adj[pivot], inclRemaining)
+	cur.set(pivot)
+	ok := st.branch(inclRemaining, curW+st.w[pivot], cur, depth+1)
+	cur.clear(pivot)
+	if !ok {
+		return false
+	}
+	// Exclude pivot.
+	return st.branch(withPivot, curW, cur, depth+1)
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid
+
+// Hybrid runs Exact under a budget and falls back to the incumbent (or to
+// Greedy if the incumbent is worse) when the budget is exhausted. This is
+// the practical local solver for LocalLeaders on dense neighborhoods.
+type Hybrid struct {
+	// Budget is the branch-and-bound node budget (default 50000).
+	Budget int
+	// MaxExactNodes skips Exact entirely above this size (default 512).
+	MaxExactNodes int
+}
+
+var _ Solver = Hybrid{}
+
+// Name implements Solver.
+func (Hybrid) Name() string { return "hybrid" }
+
+// Solve implements Solver.
+func (h Hybrid) Solve(in Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	budget := h.Budget
+	if budget == 0 {
+		budget = 50000
+	}
+	maxExact := h.MaxExactNodes
+	if maxExact == 0 {
+		maxExact = 512
+	}
+	greedySet, err := (Greedy{}).Solve(in)
+	if err != nil {
+		return nil, err
+	}
+	if in.G.N() > maxExact {
+		return greedySet, nil
+	}
+	exactSet, err := Exact{MaxNodes: maxExact, Budget: budget}.Solve(in)
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		return nil, err
+	}
+	if in.Weight(exactSet) >= in.Weight(greedySet) {
+		return exactSet, nil
+	}
+	return greedySet, nil
+}

@@ -1,0 +1,165 @@
+package mwis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RobustPTAS is the centralized robust PTAS of Nieberg, Hurink and Kern as
+// used in the paper's §IV-B. It repeatedly grows r-hop balls around the
+// heaviest remaining vertex v while the optimum inside the (r+1)-ball
+// improves on the optimum inside the r-ball by more than a factor ρ, then
+// commits MWIS(J_{G,r̄}(v)) and removes its closed neighborhood.
+//
+// The algorithm needs no geometric information; it only uses hop distances,
+// which is why the paper chose it over geometric PTAS schemes. On
+// growth-bounded graphs (unit-disk G, extended H) the ball radius where
+// growth stops is a constant r̄ with ρ^r̄ ≤ M·(2r̄+1)².
+type RobustPTAS struct {
+	// Rho is the approximation parameter ρ = 1+ε (> 1). Default 2.
+	Rho float64
+	// MaxR caps ball growth as a safety valve (default 8); Theorem 2
+	// guarantees growth stops at a constant radius anyway.
+	MaxR int
+	// Inner solves the ball-local MWIS subproblems. Default Hybrid{}.
+	Inner Solver
+}
+
+var _ Solver = RobustPTAS{}
+
+// Name implements Solver.
+func (p RobustPTAS) Name() string { return "robust-ptas" }
+
+func (p RobustPTAS) params() (rho float64, maxR int, inner Solver, err error) {
+	rho = p.Rho
+	if rho == 0 {
+		rho = 2
+	}
+	if rho <= 1 {
+		return 0, 0, nil, fmt.Errorf("mwis: RobustPTAS requires Rho > 1, got %v", rho)
+	}
+	maxR = p.MaxR
+	if maxR == 0 {
+		maxR = 8
+	}
+	inner = p.Inner
+	if inner == nil {
+		inner = Hybrid{}
+	}
+	return rho, maxR, inner, nil
+}
+
+// Solve implements Solver.
+func (p RobustPTAS) Solve(in Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	rho, maxR, inner, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	alive := make([]bool, n)
+	aliveCount := 0
+	for v := 0; v < n; v++ {
+		if in.W[v] > 0 {
+			alive[v] = true
+			aliveCount++
+		}
+	}
+	var result []int
+	for aliveCount > 0 {
+		// Heaviest remaining vertex, ties toward lower id.
+		vmax, wmax := -1, -1.0
+		for v := 0; v < n; v++ {
+			if alive[v] && in.W[v] > wmax {
+				wmax = in.W[v]
+				vmax = v
+			}
+		}
+		ball, err := p.growBall(in, alive, vmax, rho, maxR, inner)
+		if err != nil {
+			return nil, err
+		}
+		// ball.is is MWIS(J_{r̄}(vmax) ∩ alive). Commit it and remove the
+		// whole (r̄+1)-ball, exactly as Nieberg et al. do: committed
+		// vertices are within r̄ of vmax while every surviving vertex is at
+		// distance ≥ r̄+2, so the union over iterations stays independent,
+		// and W(OPT ∩ J_{r̄+1}) ≤ W(MWIS(J_{r̄+1})) ≤ ρ·W(I_{r̄}) yields the
+		// ρ-approximation.
+		result = append(result, ball.is...)
+		for _, u := range in.G.Ball(vmax, ball.r+1) {
+			if alive[u] {
+				alive[u] = false
+				aliveCount--
+			}
+		}
+	}
+	sort.Ints(result)
+	if !in.G.IsIndependent(result) {
+		return nil, errors.New("mwis: internal error: PTAS produced a dependent set")
+	}
+	return result, nil
+}
+
+type grownBall struct {
+	r       int
+	members []int // alive vertices of J_{G,r̄}(v)
+	is      []int // MWIS of members
+}
+
+// growBall grows J_{G,r}(v) over alive vertices while the (r+1)-ball optimum
+// exceeds ρ × the r-ball optimum.
+func (p RobustPTAS) growBall(
+	in Instance, alive []bool, v int, rho float64, maxR int, inner Solver,
+) (grownBall, error) {
+	cur, curIS, curW, err := p.ballMWIS(in, alive, v, 0, inner)
+	if err != nil {
+		return grownBall{}, err
+	}
+	r := 0
+	for r < maxR {
+		next, nextIS, nextW, err := p.ballMWIS(in, alive, v, r+1, inner)
+		if err != nil {
+			return grownBall{}, err
+		}
+		if nextW <= rho*curW {
+			break
+		}
+		r++
+		cur, curIS, curW = next, nextIS, nextW
+	}
+	return grownBall{r: r, members: cur, is: curIS}, nil
+}
+
+// ballMWIS solves MWIS on the alive part of J_{G,r}(v) and maps ids back to
+// the original graph.
+func (p RobustPTAS) ballMWIS(
+	in Instance, alive []bool, v, r int, inner Solver,
+) (members, is []int, weight float64, err error) {
+	ball := in.G.Ball(v, r)
+	members = members[:0]
+	for _, u := range ball {
+		if alive[u] {
+			members = append(members, u)
+		}
+	}
+	sub, origIDs := in.G.InducedSubgraph(members)
+	w := make([]float64, len(origIDs))
+	for i, u := range origIDs {
+		w[i] = in.W[u]
+	}
+	localIS, err := inner.Solve(Instance{G: sub, W: w})
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		return nil, nil, 0, fmt.Errorf("mwis: PTAS inner solve at v=%d r=%d: %w", v, r, err)
+	}
+	is = make([]int, 0, len(localIS))
+	for _, li := range localIS {
+		u := origIDs[li]
+		is = append(is, u)
+		weight += in.W[u]
+	}
+	sort.Ints(is)
+	return members, is, weight, nil
+}

@@ -1,0 +1,66 @@
+package policy
+
+import (
+	"math"
+)
+
+// CUCB is the combinatorial-UCB baseline of Chen, Wang and Yuan ("Combinatorial
+// multi-armed bandit: general framework and applications", ICML 2013): for a
+// played arm,
+//
+//	w_k(t) = µ̃_k + sqrt( 3·ln t / (2·m_k) ),
+//
+// the natural third point of comparison between the paper's index (whose
+// bonus vanishes while t^{2/3} < K·m_k) and LLR's aggressive sqrt((L+1)ln t/m)
+// bonus.
+type CUCB struct {
+	est *Estimator
+}
+
+var _ Policy = (*CUCB)(nil)
+
+// NewCUCB returns a CUCB policy over k arms.
+func NewCUCB(k int) (*CUCB, error) {
+	est, err := NewEstimator(k)
+	if err != nil {
+		return nil, err
+	}
+	return &CUCB{est: est}, nil
+}
+
+// Name implements Policy.
+func (*CUCB) Name() string { return "cucb" }
+
+// Indices implements Policy.
+func (p *CUCB) Indices() []float64 {
+	k := p.est.K()
+	t := float64(p.est.Round())
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		m := p.est.Count(i)
+		if m == 0 {
+			out[i] = UnseenIndex
+			continue
+		}
+		bonus := 0.0
+		if t > 1 {
+			bonus = math.Sqrt(3 * math.Log(t) / (2 * float64(m)))
+		}
+		out[i] = p.est.Mean(i) + bonus
+	}
+	return out
+}
+
+// Update implements Policy.
+func (p *CUCB) Update(played []int, rewards []float64) error {
+	return p.est.Update(played, rewards)
+}
+
+// Estimate implements Policy.
+func (p *CUCB) Estimate(k int) float64 { return p.est.Mean(k) }
+
+// Count implements Policy.
+func (p *CUCB) Count(k int) int { return p.est.Count(k) }
+
+// Round implements Policy.
+func (p *CUCB) Round() int { return p.est.Round() }

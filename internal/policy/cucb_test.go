@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCUCBValidation(t *testing.T) {
+	if _, err := NewCUCB(0); err == nil {
+		t.Fatal("expected error for zero arms")
+	}
+}
+
+func TestCUCBIndexFormula(t *testing.T) {
+	p, err := NewCUCB(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Update([]int{0}, []float64{0.4})
+	_ = p.Update([]int{0}, []float64{0.6})
+	_ = p.Update([]int{1}, []float64{0.1})
+	tt := 3.0
+	want := 0.5 + math.Sqrt(3*math.Log(tt)/(2*2))
+	if got := p.Indices()[0]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("index = %v, want %v", got, want)
+	}
+}
+
+func TestCUCBUnseen(t *testing.T) {
+	p, _ := NewCUCB(3)
+	for _, w := range p.Indices() {
+		if w != UnseenIndex {
+			t.Fatalf("unseen index = %v", w)
+		}
+	}
+}
+
+func TestCUCBBonusBetweenZhouLiAndLLR(t *testing.T) {
+	// The three indices should order ZhouLi ≤ CUCB ≤ LLR for a typical
+	// mid-horizon state (K reasonably large, L = N moderate).
+	const k, l = 30, 10
+	zl, _ := NewZhouLi(k)
+	cu, _ := NewCUCB(k)
+	llr, _ := NewLLR(k, l)
+	for i := 0; i < 300; i++ {
+		played := []int{i % k}
+		rewards := []float64{0.5}
+		_ = zl.Update(played, rewards)
+		_ = cu.Update(played, rewards)
+		_ = llr.Update(played, rewards)
+	}
+	zi, ci, li := zl.Indices()[0], cu.Indices()[0], llr.Indices()[0]
+	if !(zi <= ci && ci <= li) {
+		t.Fatalf("bonus ordering violated: zhou-li %v, cucb %v, llr %v", zi, ci, li)
+	}
+}
+
+func TestCUCBAccessors(t *testing.T) {
+	p, _ := NewCUCB(2)
+	_ = p.Update([]int{1}, []float64{0.7})
+	if p.Name() != "cucb" || p.Round() != 1 || p.Count(1) != 1 || p.Estimate(1) != 0.7 {
+		t.Fatalf("accessors wrong: %s %d %d %v", p.Name(), p.Round(), p.Count(1), p.Estimate(1))
+	}
+}

@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiscountedZhouLi is the discounted variant of the paper's index rule for
+// the non-stationary channels of its future-work discussion: instead of the
+// lifetime empirical mean of equation (5), it tracks exponentially
+// discounted statistics
+//
+//	S_k(t) = Σ_s γ^{t−s}·ξ_k(s)·1{k played at s},
+//	N_k(t) = Σ_s γ^{t−s}·1{k played at s},
+//
+// so old observations fade with rate γ (the D-UCB construction of
+// Garivier & Moulines adapted to the ZhouLi index). With γ = 1 it degrades
+// exactly to the vanilla estimator. On abruptly changing channels it
+// recovers where the vanilla rule stays stuck on stale history.
+type DiscountedZhouLi struct {
+	gamma float64
+	sum   []float64 // S_k
+	eff   []float64 // N_k (effective, discounted play count)
+	round int
+}
+
+var _ Policy = (*DiscountedZhouLi)(nil)
+
+// NewDiscountedZhouLi returns the discounted policy over k arms with
+// discount factor gamma in (0, 1].
+func NewDiscountedZhouLi(k int, gamma float64) (*DiscountedZhouLi, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("policy: arm count must be positive, got %d", k)
+	}
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("policy: gamma must be in (0,1], got %v", gamma)
+	}
+	return &DiscountedZhouLi{
+		gamma: gamma,
+		sum:   make([]float64, k),
+		eff:   make([]float64, k),
+	}, nil
+}
+
+// Name implements Policy.
+func (*DiscountedZhouLi) Name() string { return "discounted-zhou-li" }
+
+// effectiveRound returns the discounted horizon Σ_{s<t} γ^{t−s}, capped by
+// the true round count; it replaces t in the exploration bonus.
+func (p *DiscountedZhouLi) effectiveRound() float64 {
+	if p.gamma == 1 {
+		return float64(p.round)
+	}
+	horizon := (1 - math.Pow(p.gamma, float64(p.round))) / (1 - p.gamma)
+	return horizon
+}
+
+// Indices implements Policy.
+func (p *DiscountedZhouLi) Indices() []float64 {
+	k := len(p.sum)
+	t := p.effectiveRound()
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		if p.eff[i] <= 1e-12 {
+			out[i] = UnseenIndex
+			continue
+		}
+		mean := p.sum[i] / p.eff[i]
+		out[i] = mean + zhouLiBonus(t, float64(k), p.eff[i])
+	}
+	return out
+}
+
+// Update implements Policy: all statistics decay by γ, then the played arms
+// absorb their observations at full weight.
+func (p *DiscountedZhouLi) Update(played []int, rewards []float64) error {
+	if len(played) != len(rewards) {
+		return fmt.Errorf("policy: %d played arms but %d rewards", len(played), len(rewards))
+	}
+	for i := range p.sum {
+		p.sum[i] *= p.gamma
+		p.eff[i] *= p.gamma
+	}
+	for i, k := range played {
+		if k < 0 || k >= len(p.sum) {
+			return fmt.Errorf("policy: arm %d out of range [0,%d)", k, len(p.sum))
+		}
+		p.sum[k] += rewards[i]
+		p.eff[k]++
+	}
+	p.round++
+	return nil
+}
+
+// Estimate implements Policy.
+func (p *DiscountedZhouLi) Estimate(k int) float64 {
+	if p.eff[k] <= 1e-12 {
+		return 0
+	}
+	return p.sum[k] / p.eff[k]
+}
+
+// Count implements Policy: the discounted effective count, rounded down.
+func (p *DiscountedZhouLi) Count(k int) int { return int(p.eff[k]) }
+
+// Round implements Policy.
+func (p *DiscountedZhouLi) Round() int { return p.round }
+
+// Gamma returns the discount factor.
+func (p *DiscountedZhouLi) Gamma() float64 { return p.gamma }

@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDiscountedValidation(t *testing.T) {
+	if _, err := NewDiscountedZhouLi(0, 0.9); err == nil {
+		t.Fatal("expected error for zero arms")
+	}
+	if _, err := NewDiscountedZhouLi(3, 0); err == nil {
+		t.Fatal("expected error for gamma=0")
+	}
+	if _, err := NewDiscountedZhouLi(3, 1.1); err == nil {
+		t.Fatal("expected error for gamma>1")
+	}
+}
+
+func TestDiscountedGammaOneMatchesVanillaEstimates(t *testing.T) {
+	d, err := NewDiscountedZhouLi(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewZhouLi(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []float64{0.2, 0.8, 0.5, 0.3, 0.9}
+	for _, o := range obs {
+		if err := d.Update([]int{0}, []float64{o}); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Update([]int{0}, []float64{o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(d.Estimate(0)-v.Estimate(0)) > 1e-12 {
+		t.Fatalf("gamma=1 estimate %v != vanilla %v", d.Estimate(0), v.Estimate(0))
+	}
+	di := d.Indices()
+	vi := v.Indices()
+	for k := range di {
+		if math.Abs(di[k]-vi[k]) > 1e-9 {
+			t.Fatalf("gamma=1 index[%d] = %v != vanilla %v", k, di[k], vi[k])
+		}
+	}
+}
+
+func TestDiscountedForgetsOldObservations(t *testing.T) {
+	d, err := NewDiscountedZhouLi(1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 observations of 0.9, then 50 of 0.1: discounted estimate must be
+	// close to 0.1, while the lifetime mean would still be ≈ 0.74.
+	for i := 0; i < 200; i++ {
+		_ = d.Update([]int{0}, []float64{0.9})
+	}
+	for i := 0; i < 50; i++ {
+		_ = d.Update([]int{0}, []float64{0.1})
+	}
+	if est := d.Estimate(0); est > 0.15 {
+		t.Fatalf("discounted estimate %v did not track the change", est)
+	}
+}
+
+func TestDiscountedVanillaStuckOnSameData(t *testing.T) {
+	v, _ := NewZhouLi(1)
+	for i := 0; i < 200; i++ {
+		_ = v.Update([]int{0}, []float64{0.9})
+	}
+	for i := 0; i < 50; i++ {
+		_ = v.Update([]int{0}, []float64{0.1})
+	}
+	if est := v.Estimate(0); est < 0.7 {
+		t.Fatalf("vanilla estimate %v should still be dominated by history", est)
+	}
+}
+
+func TestDiscountedUnseenIndex(t *testing.T) {
+	d, _ := NewDiscountedZhouLi(3, 0.95)
+	for _, w := range d.Indices() {
+		if w != UnseenIndex {
+			t.Fatalf("unseen index = %v", w)
+		}
+	}
+}
+
+func TestDiscountedUpdateErrors(t *testing.T) {
+	d, _ := NewDiscountedZhouLi(2, 0.95)
+	if err := d.Update([]int{0}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := d.Update([]int{9}, []float64{1}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestDiscountedEffectiveRoundBounded(t *testing.T) {
+	d, _ := NewDiscountedZhouLi(1, 0.9)
+	for i := 0; i < 1000; i++ {
+		_ = d.Update([]int{0}, []float64{0.5})
+	}
+	// Σ γ^i = 1/(1−γ) = 10 is the horizon cap.
+	if h := d.effectiveRound(); h > 10+1e-9 {
+		t.Fatalf("effective round %v exceeds 1/(1−γ)", h)
+	}
+	if d.Round() != 1000 {
+		t.Fatalf("Round() = %d", d.Round())
+	}
+	if d.Gamma() != 0.9 {
+		t.Fatalf("Gamma() = %v", d.Gamma())
+	}
+}
+
+func TestDiscountedCount(t *testing.T) {
+	d, _ := NewDiscountedZhouLi(2, 0.5)
+	_ = d.Update([]int{0}, []float64{1})
+	_ = d.Update([]int{0}, []float64{1})
+	// eff = 0.5·(0.5·0 + 1) + 1 = 1.5 → Count 1.
+	if d.Count(0) != 1 {
+		t.Fatalf("Count = %d", d.Count(0))
+	}
+	if d.Count(1) != 0 {
+		t.Fatal("unplayed arm count != 0")
+	}
+}
+
+func TestDiscountedName(t *testing.T) {
+	d, _ := NewDiscountedZhouLi(1, 0.9)
+	if d.Name() != "discounted-zhou-li" {
+		t.Fatalf("Name() = %q", d.Name())
+	}
+}

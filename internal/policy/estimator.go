@@ -1,0 +1,79 @@
+// Package policy implements the learning side of the paper: per-arm weight
+// estimation (equations (5) and (6)), the paper's index policy (equation (3),
+// from Zhou & Li's combinatorial-MAB learning rule), the LLR baseline of Gai,
+// Krishnamachari and Jain that the paper compares against, an ε-greedy
+// heuristic, a genie Oracle, and the naive joint-UCB1 formulation whose
+// O(M^N) state the paper's formulation avoids.
+//
+// An arm is a virtual vertex v_{i,j} of the extended conflict graph H, flat
+// index k = i·M + j. A policy exposes per-arm index weights; the strategy
+// module maximizes their sum over independent sets of H.
+package policy
+
+import (
+	"fmt"
+)
+
+// Estimator maintains the sufficient statistics of equations (5) and (6):
+// the observed mean µ̃_k and play count m_k for every arm, plus the global
+// round counter t.
+type Estimator struct {
+	mean  []float64 // µ̃_k: running mean of observed rewards
+	count []int     // m_k: number of observations of arm k
+	round int       // t: rounds elapsed (updates applied)
+}
+
+// NewEstimator returns an estimator for k arms with all statistics zero.
+func NewEstimator(k int) (*Estimator, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("policy: arm count must be positive, got %d", k)
+	}
+	return &Estimator{
+		mean:  make([]float64, k),
+		count: make([]int, k),
+	}, nil
+}
+
+// K returns the number of arms.
+func (e *Estimator) K() int { return len(e.mean) }
+
+// Round returns the number of Update calls applied (the paper's t).
+func (e *Estimator) Round() int { return e.round }
+
+// Mean returns µ̃_k.
+func (e *Estimator) Mean(k int) float64 { return e.mean[k] }
+
+// Count returns m_k.
+func (e *Estimator) Count(k int) int { return e.count[k] }
+
+// Means returns a copy of all µ̃_k.
+func (e *Estimator) Means() []float64 { return append([]float64(nil), e.mean...) }
+
+// Update applies equations (5) and (6) for one round: arms listed in played
+// receive the corresponding reward observation; all other arms keep their
+// statistics. The round counter t advances by one.
+func (e *Estimator) Update(played []int, rewards []float64) error {
+	if len(played) != len(rewards) {
+		return fmt.Errorf("policy: %d played arms but %d rewards", len(played), len(rewards))
+	}
+	for i, k := range played {
+		if k < 0 || k >= len(e.mean) {
+			return fmt.Errorf("policy: arm %d out of range [0,%d)", k, len(e.mean))
+		}
+		// µ̃_k(t) = (µ̃_k(t−1)·m_k(t−1) + ξ_k(t)) / m_k(t), m_k(t) = m_k(t−1)+1.
+		m := e.count[k]
+		e.mean[k] = (e.mean[k]*float64(m) + rewards[i]) / float64(m+1)
+		e.count[k] = m + 1
+	}
+	e.round++
+	return nil
+}
+
+// Reset zeroes all statistics.
+func (e *Estimator) Reset() {
+	for i := range e.mean {
+		e.mean[i] = 0
+		e.count[i] = 0
+	}
+	e.round = 0
+}

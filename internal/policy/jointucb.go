@@ -1,0 +1,145 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"multihopbandit/internal/extgraph"
+)
+
+// JointUCB1 is the naive formulation the paper's introduction criticizes:
+// every feasible strategy (independent set of H, i.e. joint channel
+// assignment) is treated as ONE arm of a classic UCB1 bandit. Its state is
+// linear in |F| = O(M^N), so it is only constructible for tiny networks; the
+// constructor enforces a strategy-count cap and returns an error beyond it.
+//
+// It exists to make the paper's complexity comparison measurable: see
+// BenchmarkJointUCB1Blowup and the space-complexity tests.
+type JointUCB1 struct {
+	ext        *extgraph.Extended
+	strategies []extgraph.Strategy
+	mean       []float64
+	count      []int
+	round      int
+	last       int // index of the strategy chosen by the latest Select
+}
+
+// MaxJointStrategies caps the enumerated feasible-strategy count.
+const MaxJointStrategies = 1 << 20
+
+// NewJointUCB1 enumerates all maximal feasible strategies of ext and returns
+// the joint bandit, or an error if the count exceeds MaxJointStrategies.
+func NewJointUCB1(ext *extgraph.Extended) (*JointUCB1, error) {
+	strategies, err := EnumerateMaximalStrategies(ext, MaxJointStrategies)
+	if err != nil {
+		return nil, err
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("policy: no feasible strategies")
+	}
+	return &JointUCB1{
+		ext:        ext,
+		strategies: strategies,
+		mean:       make([]float64, len(strategies)),
+		count:      make([]int, len(strategies)),
+	}, nil
+}
+
+// Name identifies the policy.
+func (*JointUCB1) Name() string { return "joint-ucb1" }
+
+// NumStrategies returns the number of enumerated arms (strategies).
+func (p *JointUCB1) NumStrategies() int { return len(p.strategies) }
+
+// Select picks the strategy with the highest UCB1 index
+// µ̃_x + sqrt(2 ln t / T_x) and remembers it for the next Observe call.
+func (p *JointUCB1) Select() extgraph.Strategy {
+	best, bestIdx := -1, math.Inf(-1)
+	t := float64(p.round + 1)
+	for x := range p.strategies {
+		var idx float64
+		if p.count[x] == 0 {
+			idx = math.Inf(1)
+		} else {
+			idx = p.mean[x] + math.Sqrt(2*math.Log(t)/float64(p.count[x]))
+		}
+		if idx > bestIdx {
+			bestIdx = idx
+			best = x
+		}
+	}
+	p.last = best
+	return append(extgraph.Strategy(nil), p.strategies[best]...)
+}
+
+// Observe feeds back the total reward of the strategy chosen by the last
+// Select.
+func (p *JointUCB1) Observe(totalReward float64) {
+	x := p.last
+	m := p.count[x]
+	p.mean[x] = (p.mean[x]*float64(m) + totalReward) / float64(m+1)
+	p.count[x] = m + 1
+	p.round++
+}
+
+// Round returns the number of Observe calls.
+func (p *JointUCB1) Round() int { return p.round }
+
+// EnumerateMaximalStrategies lists every maximal independent set of H as a
+// Strategy, up to the given cap. "Maximal" means no further vertex can be
+// added; restricting to maximal sets loses no optimum because weights are
+// non-negative.
+func EnumerateMaximalStrategies(ext *extgraph.Extended, limit int) ([]extgraph.Strategy, error) {
+	h := ext.H
+	n := h.N()
+	var out []extgraph.Strategy
+	cur := make([]int, 0, n)
+	blocked := make([]int, n) // number of chosen vertices blocking each vertex
+
+	var rec func(start int, anyChoice bool) error
+	rec = func(start int, anyChoice bool) error {
+		extended := false
+		for v := start; v < n; v++ {
+			if blocked[v] > 0 {
+				continue
+			}
+			extended = true
+			cur = append(cur, v)
+			blocked[v]++
+			for _, u := range h.Neighbors(v) {
+				blocked[u]++
+			}
+			if err := rec(v+1, true); err != nil {
+				return err
+			}
+			blocked[v]--
+			for _, u := range h.Neighbors(v) {
+				blocked[u]--
+			}
+			cur = cur[:len(cur)-1]
+		}
+		if extended || !anyChoice {
+			return nil
+		}
+		// cur cannot be extended with a vertex ≥ start; it is maximal iff
+		// no vertex < start could be added either.
+		for v := 0; v < start; v++ {
+			if blocked[v] == 0 {
+				return nil
+			}
+		}
+		s, err := ext.StrategyFromVertices(cur)
+		if err != nil {
+			return err
+		}
+		out = append(out, s)
+		if len(out) > limit {
+			return fmt.Errorf("policy: feasible strategy count exceeds limit %d (the O(M^N) blowup)", limit)
+		}
+		return nil
+	}
+	if err := rec(0, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/graph"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/topology"
+)
+
+func smallExt(t *testing.T, n, m int, edges [][2]int) *extgraph.Extended {
+	t.Helper()
+	g := graph.New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ext, err := extgraph.Build(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ext
+}
+
+func TestEnumerateMaximalStrategiesTwoIsolatedNodes(t *testing.T) {
+	// Two non-conflicting nodes with 2 channels: every node picks any
+	// channel independently → 4 maximal strategies.
+	ext := smallExt(t, 2, 2, nil)
+	strategies, err := EnumerateMaximalStrategies(ext, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strategies) != 4 {
+		t.Fatalf("got %d strategies, want 4", len(strategies))
+	}
+	for _, s := range strategies {
+		if !ext.Feasible(s) {
+			t.Fatalf("infeasible strategy %v", s)
+		}
+		for _, c := range s {
+			if c == extgraph.NoChannel {
+				t.Fatalf("maximal strategy leaves node silent: %v", s)
+			}
+		}
+	}
+}
+
+func TestEnumerateMaximalStrategiesConflictPair(t *testing.T) {
+	// Two conflicting nodes, 2 channels: maximal strategies are the 2
+	// channel-swap assignments plus... same channel is infeasible, so
+	// exactly the 2 assignments where channels differ.
+	ext := smallExt(t, 2, 2, [][2]int{{0, 1}})
+	strategies, err := EnumerateMaximalStrategies(ext, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strategies) != 2 {
+		t.Fatalf("got %d strategies, want 2: %v", len(strategies), strategies)
+	}
+	for _, s := range strategies {
+		if s[0] == s[1] {
+			t.Fatalf("conflicting nodes share channel: %v", s)
+		}
+	}
+}
+
+func TestEnumerateMaximalStrategiesAllMaximal(t *testing.T) {
+	ext := smallExt(t, 3, 2, [][2]int{{0, 1}, {1, 2}})
+	strategies, err := EnumerateMaximalStrategies(ext, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range strategies {
+		verts := ext.Vertices(s)
+		inSet := map[int]bool{}
+		for _, v := range verts {
+			inSet[v] = true
+		}
+		// No vertex outside the set may be addable.
+		for v := 0; v < ext.K(); v++ {
+			if inSet[v] {
+				continue
+			}
+			addable := true
+			for _, u := range ext.H.Neighbors(v) {
+				if inSet[u] {
+					addable = false
+					break
+				}
+			}
+			if addable {
+				t.Fatalf("strategy %v is not maximal: vertex %d addable", s, v)
+			}
+		}
+	}
+}
+
+func TestEnumerateMaximalStrategiesLimit(t *testing.T) {
+	nw, err := topology.Random(topology.RandomConfig{N: 10}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extgraph.Build(nw.G, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = EnumerateMaximalStrategies(ext, 5)
+	if err == nil {
+		t.Fatal("expected blowup error with a tiny limit")
+	}
+	if !strings.Contains(err.Error(), "blowup") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestJointUCB1LearnsBestStrategy(t *testing.T) {
+	// Two conflicting nodes, 2 channels; channel means make (0→ch1, 1→ch0)
+	// the clear winner.
+	ext := smallExt(t, 2, 2, [][2]int{{0, 1}})
+	p, err := NewJointUCB1(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStrategies() != 2 {
+		t.Fatalf("strategies = %d", p.NumStrategies())
+	}
+	means := map[[2]int]float64{
+		{0, 1}: 1.6, // node0 on ch0, node1 on ch1: total mean 1.6
+		{1, 0}: 0.4,
+	}
+	src := rng.New(5)
+	bestPicks := 0
+	const rounds = 500
+	for i := 0; i < rounds; i++ {
+		s := p.Select()
+		key := [2]int{s[0], s[1]}
+		mu := means[key]
+		if key == ([2]int{0, 1}) {
+			bestPicks++
+		}
+		p.Observe(mu + 0.1*(src.Float64()-0.5))
+	}
+	if bestPicks < rounds*7/10 {
+		t.Fatalf("best strategy picked %d/%d times", bestPicks, rounds)
+	}
+	if p.Round() != rounds {
+		t.Fatalf("round = %d", p.Round())
+	}
+}
+
+func TestJointUCB1StateBlowup(t *testing.T) {
+	// The whole point of the paper: joint-arm state explodes. Even a
+	// modest 12-node, 3-channel sparse network overflows a small cap,
+	// while the paper's formulation needs only N·M = 36 counters.
+	nw, err := topology.Random(topology.RandomConfig{N: 12, TargetDegree: 3}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extgraph.Build(nw.G, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnumerateMaximalStrategies(ext, 2000); err == nil {
+		t.Skip("instance unexpectedly small; blowup not triggered for this seed")
+	}
+}
+
+func TestJointUCB1Name(t *testing.T) {
+	if got := (&JointUCB1{}).Name(); got != "joint-ucb1" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,325 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multihopbandit/internal/rng"
+)
+
+func TestNewEstimatorInvalid(t *testing.T) {
+	if _, err := NewEstimator(0); err == nil {
+		t.Fatal("expected error for zero arms")
+	}
+	if _, err := NewEstimator(-3); err == nil {
+		t.Fatal("expected error for negative arms")
+	}
+}
+
+func TestEstimatorUpdateRunningMean(t *testing.T) {
+	e, err := NewEstimator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []float64{0.2, 0.4, 0.9}
+	for _, o := range obs {
+		if err := e.Update([]int{0}, []float64{o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Mean(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean = %v, want 0.5", got)
+	}
+	if e.Count(0) != 3 || e.Count(1) != 0 {
+		t.Fatalf("counts = %d,%d", e.Count(0), e.Count(1))
+	}
+	if e.Round() != 3 {
+		t.Fatalf("round = %d, want 3", e.Round())
+	}
+	if e.Mean(1) != 0 {
+		t.Fatal("unplayed arm mean must stay 0 (equation (5) else-branch)")
+	}
+}
+
+func TestEstimatorUpdateMultipleArms(t *testing.T) {
+	e, _ := NewEstimator(4)
+	if err := e.Update([]int{1, 3}, []float64{0.5, 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Mean(1) != 0.5 || e.Mean(3) != 1.0 {
+		t.Fatal("per-arm rewards misassigned")
+	}
+	if e.Round() != 1 {
+		t.Fatalf("round advanced by %d for one Update", e.Round())
+	}
+}
+
+func TestEstimatorUpdateErrors(t *testing.T) {
+	e, _ := NewEstimator(2)
+	if err := e.Update([]int{0}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if err := e.Update([]int{5}, []float64{1}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e, _ := NewEstimator(2)
+	_ = e.Update([]int{0}, []float64{1})
+	e.Reset()
+	if e.Mean(0) != 0 || e.Count(0) != 0 || e.Round() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestEstimatorMeanMatchesAverageProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e, err := NewEstimator(1)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, r := range raw {
+			v := math.Abs(math.Mod(r, 1))
+			if math.IsNaN(v) {
+				v = 0
+			}
+			sum += v
+			if err := e.Update([]int{0}, []float64{v}); err != nil {
+				return false
+			}
+		}
+		want := sum / float64(len(raw))
+		return math.Abs(e.Mean(0)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZhouLiUnseenIndex(t *testing.T) {
+	p, err := NewZhouLi(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range p.Indices() {
+		if w != UnseenIndex {
+			t.Fatalf("unplayed arm index = %v, want UnseenIndex", w)
+		}
+	}
+}
+
+func TestZhouLiBonusZeroEarly(t *testing.T) {
+	// The max(·,0) clamp: while t^{2/3} < K·m_k the bonus is zero and the
+	// index equals the empirical mean.
+	p, _ := NewZhouLi(100)
+	_ = p.Update([]int{0}, []float64{0.7})
+	// t=1, K=100, m=1 → ln(1/100) < 0 → bonus 0.
+	if got := p.Indices()[0]; got != 0.7 {
+		t.Fatalf("index = %v, want exactly the mean 0.7", got)
+	}
+}
+
+func TestZhouLiBonusKicksInLate(t *testing.T) {
+	// Keep one arm at m=1 while t grows: eventually t^{2/3}/(K·1) > 1 and
+	// the bonus becomes positive.
+	p, _ := NewZhouLi(2)
+	_ = p.Update([]int{0}, []float64{0.5})
+	for i := 0; i < 100; i++ {
+		_ = p.Update([]int{1}, []float64{0.5})
+	}
+	// t=101, K=2, m=1 → t^{2/3}/2 ≈ 10.8 → ln > 0.
+	if got := p.Indices()[0]; got <= 0.5 {
+		t.Fatalf("stale arm index = %v, want > mean (positive bonus)", got)
+	}
+}
+
+func TestZhouLiBonusFormula(t *testing.T) {
+	k, m, tt := 6.0, 2.0, 1000.0
+	want := math.Sqrt(math.Log(math.Pow(tt, 2.0/3.0)/(k*m)) / m)
+	if got := zhouLiBonus(tt, k, m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bonus = %v, want %v", got, want)
+	}
+}
+
+func TestZhouLiBonusMonotoneInT(t *testing.T) {
+	prev := 0.0
+	for _, tt := range []float64{10, 100, 1000, 10000} {
+		b := zhouLiBonus(tt, 4, 1)
+		if b < prev {
+			t.Fatalf("bonus not monotone in t: %v after %v", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestZhouLiBonusDecreasingInM(t *testing.T) {
+	prev := math.Inf(1)
+	for _, m := range []float64{1, 2, 4, 8} {
+		b := zhouLiBonus(1e6, 4, m)
+		if b > prev {
+			t.Fatalf("bonus not decreasing in m")
+		}
+		prev = b
+	}
+}
+
+func TestZhouLiConvergesToBestArm(t *testing.T) {
+	// Two arms, no conflict structure needed: just feed the policy the
+	// reward of the arm its indices rank first (a 1-of-2 selection).
+	p, _ := NewZhouLi(2)
+	src := rng.New(1)
+	means := []float64{0.3, 0.8}
+	picksOfBest := 0
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		idx := p.Indices()
+		arm := 0
+		if idx[1] > idx[0] {
+			arm = 1
+		}
+		if arm == 1 {
+			picksOfBest++
+		}
+		r := 0.0
+		if src.Bernoulli(means[arm]) {
+			r = 1
+		}
+		if err := p.Update([]int{arm}, []float64{r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if picksOfBest < rounds*8/10 {
+		t.Fatalf("best arm picked only %d/%d times", picksOfBest, rounds)
+	}
+	if p.Estimate(1) < 0.7 || p.Estimate(1) > 0.9 {
+		t.Fatalf("estimate of best arm = %v", p.Estimate(1))
+	}
+}
+
+func TestLLRInvalid(t *testing.T) {
+	if _, err := NewLLR(4, 0); err == nil {
+		t.Fatal("expected error for L=0")
+	}
+}
+
+func TestLLRBonusLargerThanZhouLi(t *testing.T) {
+	// The paper's Fig. 8 hinges on LLR's optimistic index being much
+	// larger than Algorithm 2's.
+	zl, _ := NewZhouLi(10)
+	llr, _ := NewLLR(10, 15)
+	for i := 0; i < 50; i++ {
+		played := []int{i % 10}
+		rewards := []float64{0.5}
+		_ = zl.Update(played, rewards)
+		_ = llr.Update(played, rewards)
+	}
+	if llr.Indices()[0] <= zl.Indices()[0] {
+		t.Fatalf("LLR index %v not above ZhouLi index %v",
+			llr.Indices()[0], zl.Indices()[0])
+	}
+}
+
+func TestLLRIndexFormula(t *testing.T) {
+	p, _ := NewLLR(2, 5)
+	_ = p.Update([]int{0}, []float64{0.4})
+	_ = p.Update([]int{0}, []float64{0.6})
+	_ = p.Update([]int{1}, []float64{0.1})
+	tt := 3.0
+	want := 0.5 + math.Sqrt(6*math.Log(tt)/2)
+	if got := p.Indices()[0]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LLR index = %v, want %v", got, want)
+	}
+}
+
+func TestEpsilonGreedyValidation(t *testing.T) {
+	if _, err := NewEpsilonGreedy(4, -0.1, rng.New(1)); err == nil {
+		t.Fatal("expected error for negative epsilon")
+	}
+	if _, err := NewEpsilonGreedy(4, 1.5, rng.New(1)); err == nil {
+		t.Fatal("expected error for epsilon > 1")
+	}
+	if _, err := NewEpsilonGreedy(4, 0.1, nil); err == nil {
+		t.Fatal("expected error for nil source")
+	}
+}
+
+func TestEpsilonGreedyZeroEpsilonIsGreedy(t *testing.T) {
+	p, err := NewEpsilonGreedy(2, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Update([]int{0}, []float64{0.9})
+	_ = p.Update([]int{1}, []float64{0.1})
+	idx := p.Indices()
+	if idx[0] != 0.9 || idx[1] != 0.1 {
+		t.Fatalf("indices = %v, want exact means", idx)
+	}
+}
+
+func TestOracleIndicesAreTrueMeans(t *testing.T) {
+	means := []float64{0.2, 0.8, 0.5}
+	p, err := NewOracle(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.Indices()
+	for i, mu := range means {
+		if idx[i] != mu {
+			t.Fatalf("oracle index[%d] = %v", i, idx[i])
+		}
+	}
+	// Updates must not change the indices.
+	_ = p.Update([]int{0}, []float64{0})
+	if p.Indices()[0] != 0.2 {
+		t.Fatal("oracle indices drifted after update")
+	}
+	if p.Estimate(0) != 0 {
+		t.Fatalf("oracle estimate should track observations, got %v", p.Estimate(0))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	zl, _ := NewZhouLi(1)
+	llr, _ := NewLLR(1, 1)
+	eg, _ := NewEpsilonGreedy(1, 0.1, rng.New(1))
+	or, _ := NewOracle([]float64{0.5})
+	tests := []struct {
+		p    Policy
+		want string
+	}{
+		{zl, "zhou-li"},
+		{llr, "llr"},
+		{eg, "eps-greedy"},
+		{or, "oracle"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestIndicesFreshSlice(t *testing.T) {
+	p, _ := NewZhouLi(3)
+	a := p.Indices()
+	a[0] = -99
+	if p.Indices()[0] == -99 {
+		t.Fatal("Indices() must return a fresh slice")
+	}
+}
+
+func TestPolicyRoundCounters(t *testing.T) {
+	p, _ := NewZhouLi(2)
+	for i := 0; i < 5; i++ {
+		_ = p.Update([]int{0}, []float64{0.5})
+	}
+	if p.Round() != 5 || p.Count(0) != 5 || p.Count(1) != 0 {
+		t.Fatalf("round=%d counts=%d,%d", p.Round(), p.Count(0), p.Count(1))
+	}
+}

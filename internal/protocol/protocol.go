@@ -1,0 +1,395 @@
+// Package protocol simulates the distributed strategy-decision process of
+// the paper (Algorithms 2 and 3): the weight-broadcast (WB) step, the
+// mini-round loop of LocalLeader selection (LS), local MWIS computation
+// (LMWIS) and local broadcast of determinations (LB), with the paper's
+// four vertex statuses and full message/mini-timeslot accounting.
+//
+// The simulator executes the per-vertex rules lock-step (one mini-round at a
+// time), which matches the paper's globally synchronized time-slotted model
+// and makes every run reproducible. Communication is not physically
+// exchanged; instead every local broadcast is charged to the vertices that
+// would relay it, so the complexity claims of §IV-C (per-vertex messages
+// O(r²+D), mini-timeslots O(r²+D·r)) become measurable quantities.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/mwis"
+)
+
+// Status is the state of a virtual vertex during one strategy decision.
+type Status uint8
+
+const (
+	// Candidate vertices are still undecided and may become Winners.
+	Candidate Status = iota + 1
+	// LocalLeader is a Candidate with the maximum weight among all
+	// Candidates in its (2r+1)-hop neighborhood.
+	LocalLeader
+	// Winner vertices belong to the output independent set.
+	Winner
+	// Loser vertices were excluded by a LocalLeader's local MWIS.
+	Loser
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Candidate:
+		return "candidate"
+	case LocalLeader:
+		return "local-leader"
+	case Winner:
+		return "winner"
+	case Loser:
+		return "loser"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Config parameterizes a protocol Runtime.
+type Config struct {
+	// Ext is the extended conflict graph the decision runs on.
+	Ext *extgraph.Extended
+	// R is the paper's ball parameter r (default 2). LocalLeaders are
+	// (2r+1)-hop weight maxima, compute MWIS over r-hop candidate balls,
+	// and broadcast determinations within (3r+1) hops.
+	R int
+	// D caps the number of mini-rounds per decision. 0 means "run until
+	// every vertex is marked", which the paper bounds by N mini-rounds.
+	D int
+	// Solver computes each LocalLeader's local MWIS (default mwis.Hybrid).
+	Solver mwis.Solver
+}
+
+// Runtime executes strategy decisions over a fixed extended conflict graph.
+// Create one per topology; it precomputes the hop-neighborhoods once.
+type Runtime struct {
+	ext    *extgraph.Extended
+	r      int
+	d      int
+	solver mwis.Solver
+
+	ballR   [][]int // J_{H,r}(v) per vertex
+	ball2R1 [][]int // J_{H,2r+1}(v) per vertex
+	ballLB  [][]int // J_{H,3r+2}(v) per vertex, the LB broadcast radius
+}
+
+// New builds a Runtime and precomputes all hop-neighborhoods.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Ext == nil {
+		return nil, errors.New("protocol: nil extended graph")
+	}
+	r := cfg.R
+	if r == 0 {
+		r = 2
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("protocol: r must be >= 1, got %d", r)
+	}
+	if cfg.D < 0 {
+		return nil, fmt.Errorf("protocol: D must be >= 0, got %d", cfg.D)
+	}
+	solver := cfg.Solver
+	if solver == nil {
+		solver = mwis.Hybrid{}
+	}
+	h := cfg.Ext.H
+	n := h.N()
+	rt := &Runtime{
+		ext:     cfg.Ext,
+		r:       r,
+		d:       cfg.D,
+		solver:  solver,
+		ballR:   make([][]int, n),
+		ball2R1: make([][]int, n),
+		ballLB:  make([][]int, n),
+	}
+	// One bounded BFS to 3r+2 per vertex covers all three radii (the LB
+	// radius is 3r+2, one hop past the paper's 3r+1, because the
+	// winner-neighbor exclusion rule extends the ruled set to r+1 hops
+	// around a leader). The dist/queue buffers are reused across vertices
+	// to avoid n² map work.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, n)
+	visited := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		dist[v] = 0
+		queue = append(queue[:0], v)
+		visited = append(visited[:0], v)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if dist[u] == 3*r+2 {
+				continue
+			}
+			for _, w := range h.Neighbors(u) {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+					visited = append(visited, w)
+				}
+			}
+		}
+		sort.Ints(visited)
+		for _, u := range visited {
+			d := dist[u]
+			if d <= r {
+				rt.ballR[v] = append(rt.ballR[v], u)
+			}
+			if d <= 2*r+1 {
+				rt.ball2R1[v] = append(rt.ball2R1[v], u)
+			}
+			rt.ballLB[v] = append(rt.ballLB[v], u)
+		}
+		for _, u := range visited {
+			dist[u] = -1
+		}
+	}
+	return rt, nil
+}
+
+// R returns the runtime's ball parameter.
+func (rt *Runtime) R() int { return rt.r }
+
+// D returns the configured mini-round cap (0 = unbounded).
+func (rt *Runtime) D() int { return rt.d }
+
+// Stats aggregates the communication accounting of one strategy decision.
+type Stats struct {
+	// MessagesPerVertex counts, per vertex, how many broadcast messages the
+	// vertex relayed during the decision (WB + LS declarations + LB).
+	MessagesPerVertex []int
+	// MiniTimeslots is the paper's time-unit accounting: (2r+1)² for WB
+	// plus (2r+1)+(3r+2) per executed mini-round.
+	MiniTimeslots int
+	// WeightBroadcasts is the number of vertices that broadcast a fresh
+	// weight in the WB step.
+	WeightBroadcasts int
+	// LeaderDeclarations counts LocalLeader selections over all
+	// mini-rounds.
+	LeaderDeclarations int
+	// LocalBroadcasts counts determination broadcasts (one per leader per
+	// mini-round).
+	LocalBroadcasts int
+}
+
+// MaxMessages returns the largest per-vertex relay count.
+func (s Stats) MaxMessages() int {
+	max := 0
+	for _, m := range s.MessagesPerVertex {
+		if m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// Result is the outcome of one distributed strategy decision.
+type Result struct {
+	// Winners is the output independent set of H, sorted ascending.
+	Winners []int
+	// Strategy is Winners converted to a per-node channel assignment.
+	Strategy extgraph.Strategy
+	// MiniRounds is the number of mini-rounds actually executed.
+	MiniRounds int
+	// Converged reports whether every vertex was marked before the
+	// mini-round cap hit.
+	Converged bool
+	// WeightByMiniRound[τ] is the total weight of all Winners determined
+	// by the end of mini-round τ+1 (the y-axis of the paper's Fig. 6).
+	WeightByMiniRound []float64
+	// LeadersByMiniRound[τ] is the number of LocalLeaders selected in
+	// mini-round τ+1.
+	LeadersByMiniRound []int
+	// Stats holds the communication accounting.
+	Stats Stats
+}
+
+// Decide runs one full strategy decision (the strategy-decision part of
+// Algorithm 2): a WB step for the vertices played in the previous round,
+// then up to D mini-rounds of Algorithm 3 under the given per-vertex index
+// weights.
+//
+// prevPlayed lists the vertex ids included in the previous round's strategy
+// (they are the only vertices with fresh weights to broadcast); pass nil on
+// the first round.
+func (rt *Runtime) Decide(weights []float64, prevPlayed []int) (*Result, error) {
+	h := rt.ext.H
+	n := h.N()
+	if len(weights) != n {
+		return nil, fmt.Errorf("protocol: %d weights for %d vertices", len(weights), n)
+	}
+	res := &Result{
+		Stats: Stats{MessagesPerVertex: make([]int, n)},
+	}
+
+	// --- Weight broadcast (WB): each vertex of the previous strategy
+	// floods its new weight within (2r+1) hops.
+	for _, v := range prevPlayed {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("protocol: played vertex %d out of range [0,%d)", v, n)
+		}
+		res.Stats.WeightBroadcasts++
+		for _, u := range rt.ball2R1[v] {
+			res.Stats.MessagesPerVertex[u]++
+		}
+	}
+	width := 2*rt.r + 1
+	res.Stats.MiniTimeslots += width * width // pipelined CDS broadcast bound
+
+	// --- Mini-round loop (Algorithm 3).
+	status := make([]Status, n)
+	for v := range status {
+		status[v] = Candidate
+	}
+	candidates := n
+	totalWinnerWeight := 0.0
+	maxRounds := rt.d
+	if maxRounds == 0 {
+		maxRounds = n // the paper's worst-case bound
+	}
+	for tau := 0; tau < maxRounds && candidates > 0; tau++ {
+		leaders := rt.selectLeaders(weights, status)
+		if len(leaders) == 0 {
+			// Cannot happen while candidates remain: the global maximum
+			// among candidates is always a leader. Guard anyway.
+			break
+		}
+		for _, v := range leaders {
+			status[v] = LocalLeader
+			res.Stats.LeaderDeclarations++
+			// LS declaration floods the (2r+1)-hop neighborhood.
+			for _, u := range rt.ball2R1[v] {
+				res.Stats.MessagesPerVertex[u]++
+			}
+		}
+		for _, v := range leaders {
+			winners, losers, err := rt.localDecision(v, weights, status)
+			if err != nil {
+				return nil, err
+			}
+			for _, u := range winners {
+				status[u] = Winner
+				totalWinnerWeight += weights[u]
+				candidates--
+			}
+			for _, u := range losers {
+				status[u] = Loser
+				candidates--
+			}
+			// Mirror the centralized PTAS removal semantics: every still
+			// undecided neighbor of a fresh Winner becomes a Loser, even
+			// when it lies outside A_r(v). The LB broadcast radius 3r+1
+			// covers these vertices (winners are within r of the leader,
+			// their neighbors within r+1), so they learn their status in
+			// the same mini-round. Without this rule a later mini-round
+			// could crown a Winner adjacent to an existing one.
+			for _, u := range winners {
+				for _, x := range rt.ext.H.Neighbors(u) {
+					if status[x] == Candidate {
+						status[x] = Loser
+						candidates--
+					}
+				}
+			}
+			// LB: determinations flood the (3r+2)-hop neighborhood (one
+			// hop past the paper's 3r+1 to cover the winner-neighbor
+			// exclusions).
+			res.Stats.LocalBroadcasts++
+			for _, u := range rt.ballLB[v] {
+				res.Stats.MessagesPerVertex[u]++
+			}
+		}
+		res.MiniRounds++
+		res.Stats.MiniTimeslots += (2*rt.r + 1) + (3*rt.r + 2)
+		res.WeightByMiniRound = append(res.WeightByMiniRound, totalWinnerWeight)
+		res.LeadersByMiniRound = append(res.LeadersByMiniRound, len(leaders))
+	}
+	res.Converged = candidates == 0
+
+	for v, st := range status {
+		if st == Winner {
+			res.Winners = append(res.Winners, v)
+		}
+	}
+	sort.Ints(res.Winners)
+	if !h.IsIndependent(res.Winners) {
+		return nil, errors.New("protocol: internal error: winners are not independent")
+	}
+	strategy, err := rt.ext.StrategyFromVertices(res.Winners)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: winners to strategy: %w", err)
+	}
+	res.Strategy = strategy
+	return res, nil
+}
+
+// selectLeaders returns the Candidates whose (weight, -id) is lexicographic
+// maximum among all Candidates within their (2r+1)-hop neighborhood. The
+// strict id tie-break guarantees no two leaders are within 2r+1 hops even
+// under equal weights, which keeps the leaders' r-balls disjoint and the
+// union of their local MWIS results independent.
+func (rt *Runtime) selectLeaders(weights []float64, status []Status) []int {
+	var leaders []int
+	for v, st := range status {
+		if st != Candidate {
+			continue
+		}
+		isLeader := true
+		for _, u := range rt.ball2R1[v] {
+			if u == v || status[u] != Candidate {
+				continue
+			}
+			if weights[u] > weights[v] || (weights[u] == weights[v] && u < v) {
+				isLeader = false
+				break
+			}
+		}
+		if isLeader {
+			leaders = append(leaders, v)
+		}
+	}
+	return leaders
+}
+
+// localDecision computes MWIS(A_r(v)) for LocalLeader v over the Candidate
+// vertices in its r-hop neighborhood (the leader itself counts — its status
+// was just set to LocalLeader, which still makes it undecided) and splits
+// A_r(v) into winners and losers.
+func (rt *Runtime) localDecision(v int, weights []float64, status []Status) (winners, losers []int, err error) {
+	ar := make([]int, 0, len(rt.ballR[v]))
+	for _, u := range rt.ballR[v] {
+		if status[u] == Candidate || u == v {
+			ar = append(ar, u)
+		}
+	}
+	sub, origIDs := rt.ext.H.InducedSubgraph(ar)
+	w := make([]float64, len(origIDs))
+	for i, u := range origIDs {
+		w[i] = weights[u]
+	}
+	localIS, err := rt.solver.Solve(mwis.Instance{G: sub, W: w})
+	if err != nil && !errors.Is(err, mwis.ErrBudgetExceeded) {
+		return nil, nil, fmt.Errorf("protocol: local MWIS at leader %d: %w", v, err)
+	}
+	inIS := make(map[int]bool, len(localIS))
+	for _, li := range localIS {
+		inIS[origIDs[li]] = true
+	}
+	for _, u := range ar {
+		if inIS[u] {
+			winners = append(winners, u)
+		} else {
+			losers = append(losers, u)
+		}
+	}
+	return winners, losers, nil
+}

@@ -1,0 +1,199 @@
+package queueing
+
+import (
+	"testing"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/topology"
+)
+
+func testSetup(t *testing.T, n, m int, seed int64) (*extgraph.Extended, *channel.Model) {
+	t.Helper()
+	nw, err := topology.Random(topology.RandomConfig{N: n}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extgraph.Build(nw.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ext, ch
+}
+
+func TestNewValidation(t *testing.T) {
+	ext, ch := testSetup(t, 8, 2, 1)
+	if _, err := New(Config{Rates: ch, ArrivalRate: 0.1}); err == nil {
+		t.Fatal("expected error for nil graph")
+	}
+	if _, err := New(Config{Ext: ext, ArrivalRate: 0.1}); err == nil {
+		t.Fatal("expected error for nil rates")
+	}
+	if _, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 0}); err == nil {
+		t.Fatal("expected error for zero arrivals")
+	}
+	if _, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 0.1, ServiceScale: -1}); err == nil {
+		t.Fatal("expected error for negative scale")
+	}
+}
+
+func TestQueuesNonNegative(t *testing.T) {
+	ext, ch := testSetup(t, 10, 3, 2)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range sys.Queues() {
+		if q < 0 {
+			t.Fatalf("negative backlog %v", q)
+		}
+	}
+	if stats[len(stats)-1].Slot != 299 {
+		t.Fatal("slot counter wrong")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Total arrived − total served = final backlog.
+	ext, ch := testSetup(t, 10, 3, 4)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 0.4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrived, served := 0.0, 0.0
+	for _, st := range stats {
+		arrived += st.Arrived
+		served += st.Served
+	}
+	if diff := arrived - served - sys.TotalQueue(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("conservation violated by %v", diff)
+	}
+}
+
+func TestStableUnderLowLoad(t *testing.T) {
+	// Light traffic: backlog settles near zero.
+	ext, ch := testSetup(t, 12, 3, 6)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := AverageQueue(stats, 100)
+	// With λ=0.1 packets/slot/node over 12 nodes and service up to 3
+	// packets/slot/link, the system is deep inside the capacity region.
+	if late > 12*3 {
+		t.Fatalf("late-window average backlog %v — system not stable under light load", late)
+	}
+}
+
+func TestUnstableUnderOverload(t *testing.T) {
+	// λ far beyond capacity: backlog grows roughly linearly.
+	ext, ch := testSetup(t, 12, 3, 8)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := AverageQueue(stats[:100], 0)
+	late := AverageQueue(stats, 100)
+	if late < 3*early {
+		t.Fatalf("overloaded system did not blow up: early %v late %v", early, late)
+	}
+}
+
+func TestLearnedApproachesOracleBacklog(t *testing.T) {
+	// At moderate load the learned scheduler's stationary backlog should
+	// be within a small factor of the genie's.
+	mk := func(oracle bool) float64 {
+		ext, ch := testSetup(t, 12, 3, 10)
+		sys, err := New(Config{
+			Ext: ext, Rates: ch, ArrivalRate: 0.6, Seed: 11, UseOracle: oracle,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := sys.Run(800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return AverageQueue(stats, 200)
+	}
+	oracleQ := mk(true)
+	learnedQ := mk(false)
+	if learnedQ > 3*oracleQ+20 {
+		t.Fatalf("learned backlog %v far above oracle %v", learnedQ, oracleQ)
+	}
+}
+
+func TestEstimatesConverge(t *testing.T) {
+	ext, ch := testSetup(t, 10, 2, 12)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	// Frequently scheduled arms have estimates near their true means.
+	close := 0
+	checked := 0
+	for k := 0; k < ext.K(); k++ {
+		if sys.est.Count(k) < 20 {
+			continue
+		}
+		checked++
+		diff := sys.Estimate(k) - ch.Mean(k)
+		if diff < 0.1 && diff > -0.1 {
+			close++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no arm was scheduled 20+ times")
+	}
+	if close < checked*3/4 {
+		t.Fatalf("only %d/%d well-sampled estimates converged", close, checked)
+	}
+}
+
+func TestAverageQueueWindow(t *testing.T) {
+	stats := []SlotStats{{TotalQueue: 2}, {TotalQueue: 4}, {TotalQueue: 6}}
+	if got := AverageQueue(stats, 2); got != 5 {
+		t.Fatalf("AverageQueue(2) = %v", got)
+	}
+	if got := AverageQueue(stats, 0); got != 4 {
+		t.Fatalf("AverageQueue(all) = %v", got)
+	}
+	if got := AverageQueue(nil, 5); got != 0 {
+		t.Fatalf("AverageQueue(nil) = %v", got)
+	}
+}
+
+func TestRunNegative(t *testing.T) {
+	ext, ch := testSetup(t, 5, 2, 14)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(-1); err == nil {
+		t.Fatal("expected error for negative slots")
+	}
+}

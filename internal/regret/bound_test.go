@@ -1,0 +1,123 @@
+package regret
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperParams() BoundParams {
+	return BoundParams{N: 15, K: 45, Beta: math.Sqrt(75), Theta: 0.5}
+}
+
+func TestTheoremBoundValidation(t *testing.T) {
+	bad := []BoundParams{
+		{N: 0, K: 45, Beta: 2, Theta: 0.5},
+		{N: 15, K: 0, Beta: 2, Theta: 0.5},
+		{N: 15, K: 45, Beta: 0, Theta: 0.5},
+		{N: 15, K: 45, Beta: 2, Theta: 0},
+		{N: 15, K: 45, Beta: 2, Theta: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := TheoremBound(p, 100); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := TheoremBound(paperParams(), -1); err == nil {
+		t.Fatal("expected error for negative horizon")
+	}
+}
+
+func TestTheoremBoundPositiveAndGrowing(t *testing.T) {
+	p := paperParams()
+	prev := 0.0
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		b, err := TheoremBound(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= prev {
+			t.Fatalf("bound not increasing at n=%d: %v after %v", n, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestTheoremBoundSublinear(t *testing.T) {
+	// The zero-regret property: bound(n)/n decreases. Check n doublings
+	// from 10^4 upward (below that the constant term can dominate).
+	p := paperParams()
+	for n := 10000; n < 10000000; n *= 2 {
+		ok, err := BoundIsSublinear(p, n, 2*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("bound superlinear between n=%d and n=%d", n, 2*n)
+		}
+	}
+}
+
+func TestTheoremBoundDominatesEmpiricalRegret(t *testing.T) {
+	// The bound is a sup over all distributions; any realized cumulative
+	// β-regret must stay below it (it is astronomically loose at these
+	// horizons, so this is a consistency check, not a tightness check).
+	p := paperParams()
+	bound, err := TheoremBound(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maximum conceivable cumulative regret with per-round rewards in
+	// [0, N]: n·N/β.
+	worst := 1000.0 * float64(p.N) / p.Beta
+	if bound < worst {
+		t.Fatalf("Theorem 5 bound %v below the trivial worst case %v", bound, worst)
+	}
+}
+
+func TestBoundIsSublinearValidation(t *testing.T) {
+	p := paperParams()
+	if _, err := BoundIsSublinear(p, 0, 10); err == nil {
+		t.Fatal("expected error for n1=0")
+	}
+	if _, err := BoundIsSublinear(p, 10, 10); err == nil {
+		t.Fatal("expected error for n2<=n1")
+	}
+}
+
+func TestTheoremBoundMonotoneInNProperty(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		p := paperParams()
+		b1, err := TheoremBound(p, n)
+		if err != nil {
+			return false
+		}
+		b2, err := TheoremBound(p, n+1)
+		if err != nil {
+			return false
+		}
+		return b2 >= b1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheoremBoundTightensWithBeta(t *testing.T) {
+	// A larger β (weaker benchmark R1/β) yields a smaller bound.
+	loose := paperParams()
+	tight := loose
+	tight.Beta = loose.Beta * 4
+	bl, err := TheoremBound(loose, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := TheoremBound(tight, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt >= bl {
+		t.Fatalf("bound did not shrink with beta: %v vs %v", bt, bl)
+	}
+}

@@ -1,0 +1,86 @@
+// Package regret computes the performance measures of the paper: regret
+// against the optimal static strategy (equation (1)), the β-regret of
+// NP-hard combinatorial bandits, and the "practical" variants of §IV-E that
+// charge the time spent on strategy decision against throughput.
+//
+// The paper's Fig. 7 plots the running *per-slot average* practical regret,
+// which is what PracticalSeries and PracticalBetaSeries produce; Cumulative
+// supplies the textbook cumulative definition for tests and benches.
+package regret
+
+import (
+	"fmt"
+)
+
+// Cumulative returns R(n) = n·R1 − Σ_{t≤n} actual[t] for every prefix n,
+// the literal form of equation (1) with the expectation replaced by the
+// realized rewards.
+func Cumulative(optimal float64, actual []float64) []float64 {
+	out := make([]float64, len(actual))
+	sum := 0.0
+	for t, r := range actual {
+		sum += r
+		out[t] = float64(t+1)*optimal - sum
+	}
+	return out
+}
+
+// CumulativeBeta returns the β-regret prefix series
+// R_β(n) = n·R1/β − Σ_{t≤n} actual[t]. Negative values mean the policy beat
+// the 1/β benchmark.
+func CumulativeBeta(optimal, beta float64, actual []float64) ([]float64, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("regret: beta must be positive, got %v", beta)
+	}
+	return Cumulative(optimal/beta, actual), nil
+}
+
+// PracticalSeries returns the running per-slot average practical regret
+//
+//	R1 − θ · (1/n)·Σ_{t≤n} observed[t],
+//
+// the quantity of Fig. 7(a): observed throughput is discounted by θ because
+// only the t_d fraction of each round transmits data.
+func PracticalSeries(optimal, theta float64, observed []float64) []float64 {
+	out := make([]float64, len(observed))
+	sum := 0.0
+	for t, r := range observed {
+		sum += r
+		avg := sum / float64(t+1)
+		out[t] = optimal - theta*avg
+	}
+	return out
+}
+
+// PracticalBetaSeries returns the running per-slot average practical
+// β-regret
+//
+//	R1/β − θ · (1/n)·Σ_{t≤n} observed[t],
+//
+// the quantity of Fig. 7(b). It converges to a negative value whenever the
+// achieved effective throughput exceeds 1/β of the optimum.
+func PracticalBetaSeries(optimal, beta, theta float64, observed []float64) ([]float64, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("regret: beta must be positive, got %v", beta)
+	}
+	return PracticalSeries(optimal/beta, theta, observed), nil
+}
+
+// RunningAverage returns the prefix means of the series.
+func RunningAverage(series []float64) []float64 {
+	out := make([]float64, len(series))
+	sum := 0.0
+	for i, v := range series {
+		sum += v
+		out[i] = sum / float64(i+1)
+	}
+	return out
+}
+
+// Final returns the last element of a series, or 0 for an empty one.
+func Final(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	return series[len(series)-1]
+}

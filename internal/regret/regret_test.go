@@ -1,0 +1,179 @@
+package regret
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCumulativeBasic(t *testing.T) {
+	got := Cumulative(10, []float64{10, 8, 12})
+	want := []float64{0, 2, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Cumulative[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCumulativeEmpty(t *testing.T) {
+	if got := Cumulative(5, nil); len(got) != 0 {
+		t.Fatalf("Cumulative(nil) = %v", got)
+	}
+}
+
+func TestCumulativeOptimalPlayZero(t *testing.T) {
+	// Playing exactly the optimum every slot yields zero regret forever.
+	actual := make([]float64, 100)
+	for i := range actual {
+		actual[i] = 7.5
+	}
+	for i, r := range Cumulative(7.5, actual) {
+		if math.Abs(r) > 1e-9 {
+			t.Fatalf("regret[%d] = %v, want 0", i, r)
+		}
+	}
+}
+
+func TestCumulativeSuboptimalGrowsLinearly(t *testing.T) {
+	actual := make([]float64, 50)
+	for i := range actual {
+		actual[i] = 4
+	}
+	series := Cumulative(10, actual)
+	for i, r := range series {
+		want := 6 * float64(i+1)
+		if math.Abs(r-want) > 1e-9 {
+			t.Fatalf("regret[%d] = %v, want %v", i, r, want)
+		}
+	}
+}
+
+func TestCumulativeBeta(t *testing.T) {
+	series, err := CumulativeBeta(10, 2, []float64{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(series[0]-(-1)) > 1e-12 {
+		t.Fatalf("beta regret = %v, want -1", series[0])
+	}
+}
+
+func TestCumulativeBetaInvalid(t *testing.T) {
+	if _, err := CumulativeBeta(10, 0, nil); err == nil {
+		t.Fatal("expected error for beta=0")
+	}
+	if _, err := CumulativeBeta(10, -1, nil); err == nil {
+		t.Fatal("expected error for negative beta")
+	}
+}
+
+func TestPracticalSeries(t *testing.T) {
+	// optimal 100, theta 0.5, observed constant 100 → regret 50 each slot.
+	obs := []float64{100, 100, 100}
+	series := PracticalSeries(100, 0.5, obs)
+	for i, r := range series {
+		if math.Abs(r-50) > 1e-12 {
+			t.Fatalf("practical[%d] = %v, want 50", i, r)
+		}
+	}
+}
+
+func TestPracticalSeriesRunningAverage(t *testing.T) {
+	obs := []float64{0, 200} // running averages 0, 100
+	series := PracticalSeries(100, 0.5, obs)
+	if math.Abs(series[0]-100) > 1e-12 {
+		t.Fatalf("practical[0] = %v, want 100", series[0])
+	}
+	if math.Abs(series[1]-50) > 1e-12 {
+		t.Fatalf("practical[1] = %v, want 50", series[1])
+	}
+}
+
+func TestPracticalBetaSeriesNegativeWhenBeatingBenchmark(t *testing.T) {
+	// Fig. 7(b): achieved throughput far above R1/β drives regret negative.
+	obs := make([]float64, 10)
+	for i := range obs {
+		obs[i] = 90
+	}
+	series, err := PracticalBetaSeries(100, 8, 0.5, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range series {
+		if r >= 0 {
+			t.Fatalf("beta regret[%d] = %v, want negative", i, r)
+		}
+	}
+}
+
+func TestPracticalBetaSeriesInvalid(t *testing.T) {
+	if _, err := PracticalBetaSeries(100, 0, 0.5, nil); err == nil {
+		t.Fatal("expected error for beta=0")
+	}
+}
+
+func TestPracticalSeriesDecreasesWhenImproving(t *testing.T) {
+	// If observed throughput ramps up, the practical regret must fall.
+	obs := make([]float64, 100)
+	for i := range obs {
+		obs[i] = float64(i)
+	}
+	series := PracticalSeries(1000, 0.5, obs)
+	if series[99] >= series[0] {
+		t.Fatal("regret did not decrease for an improving policy")
+	}
+}
+
+func TestRunningAverage(t *testing.T) {
+	got := RunningAverage([]float64{2, 4, 6})
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("RunningAverage[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunningAverageConstantProperty(t *testing.T) {
+	f := func(raw float64, n uint8) bool {
+		v := math.Mod(raw, 1e6)
+		if math.IsNaN(v) {
+			return true
+		}
+		series := make([]float64, int(n%50)+1)
+		for i := range series {
+			series[i] = v
+		}
+		for _, avg := range RunningAverage(series) {
+			if math.Abs(avg-v) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinal(t *testing.T) {
+	if Final(nil) != 0 {
+		t.Fatal("Final(nil) != 0")
+	}
+	if Final([]float64{1, 2, 3}) != 3 {
+		t.Fatal("Final wrong")
+	}
+}
+
+func TestCumulativeConsistentWithPractical(t *testing.T) {
+	// Cumulative regret divided by n equals practical regret with θ=1.
+	obs := []float64{5, 7, 3, 9, 1}
+	cum := Cumulative(10, obs)
+	practical := PracticalSeries(10, 1, obs)
+	for i := range obs {
+		if math.Abs(cum[i]/float64(i+1)-practical[i]) > 1e-9 {
+			t.Fatalf("inconsistency at %d", i)
+		}
+	}
+}

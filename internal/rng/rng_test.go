@@ -1,0 +1,224 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Float64(), b.Float64(); got != want {
+			t.Fatalf("draw %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := New(99).Seed(); got != 99 {
+		t.Fatalf("Seed() = %d, want 99", got)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// A sub-stream must not depend on how much the parent has drawn.
+	a := New(7)
+	sub1 := a.Split("topology")
+	for i := 0; i < 1000; i++ {
+		a.Float64()
+	}
+	sub2 := New(7).Split("topology")
+	for i := 0; i < 50; i++ {
+		if got, want := sub2.Float64(), sub1.Float64(); got != want {
+			t.Fatalf("split stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDifferentNamesDiffer(t *testing.T) {
+	a := New(7).Split("x")
+	b := New(7).Split("y")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different split names produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := New(3).SplitN("node", i)
+		if seen[s.Seed()] {
+			t.Fatalf("SplitN seed collision at index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestSplitNDeterministic(t *testing.T) {
+	a := New(3).SplitN("node", 17)
+	b := New(3).SplitN("node", 17)
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("SplitN streams with identical inputs diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(11)
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[s.Intn(8)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("Intn(8) bucket %d has %d/8000 draws, grossly non-uniform", i, c)
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Gaussian(3, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("Gaussian mean = %v, want ≈3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Gaussian variance = %v, want ≈4", variance)
+	}
+}
+
+func TestTruncGaussianBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.TruncGaussian(0.5, 10, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("TruncGaussian out of bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncGaussianProperty(t *testing.T) {
+	s := New(9)
+	f := func(mean, stddev float64) bool {
+		mean = math.Mod(math.Abs(mean), 1)
+		stddev = math.Mod(math.Abs(stddev), 2)
+		v := s.TruncGaussian(mean, stddev, 0, 1)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", freq)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		v := s.UniformRange(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("UniformRange(2,5) = %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(19)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(23)
+	vals := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: %v", vals)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(29)
+	for i := 0; i < 1000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/mwis"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/topology"
+)
+
+// AblationConfig parameterizes the single-decision ablations (r, D, solver).
+type AblationConfig struct {
+	// N, M are the network dimensions (defaults 60, 5).
+	N, M int
+	// Seed drives topology and weights.
+	Seed int64
+}
+
+func (c *AblationConfig) fill() {
+	if c.N == 0 {
+		c.N = 60
+	}
+	if c.M == 0 {
+		c.M = 5
+	}
+}
+
+// AblationPoint is one parameter setting's outcome.
+type AblationPoint struct {
+	// Label identifies the setting ("r=2", "D=4", "greedy", ...).
+	Label string
+	// WeightKbps is the committed decision weight.
+	WeightKbps float64
+	// MiniRounds executed.
+	MiniRounds int
+	// MaxMessages is the largest per-vertex relay count.
+	MaxMessages int
+	// MiniTimeslots consumed by the decision.
+	MiniTimeslots int
+}
+
+func ablationInstance(cfg AblationConfig) (*extgraph.Extended, []float64, error) {
+	src := rng.New(cfg.Seed).Split("ablation")
+	nw, err := topology.Random(topology.RandomConfig{N: cfg.N}, src.Split("topology"))
+	if err != nil {
+		return nil, nil, err
+	}
+	ext, err := extgraph.Build(nw.G, cfg.M)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, err := channel.NewModel(channel.Config{N: cfg.N, M: cfg.M}, src.Split("channels"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ext, ch.Means(), nil
+}
+
+func runDecision(ext *extgraph.Extended, w []float64, r, d int, solver mwis.Solver, label string) (AblationPoint, error) {
+	rt, err := protocol.New(protocol.Config{Ext: ext, R: r, D: d, Solver: solver})
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	res, err := rt.Decide(w, nil)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	weight := 0.0
+	if len(res.WeightByMiniRound) > 0 {
+		weight = res.WeightByMiniRound[len(res.WeightByMiniRound)-1]
+	}
+	return AblationPoint{
+		Label:         label,
+		WeightKbps:    channel.Kbps(weight),
+		MiniRounds:    res.MiniRounds,
+		MaxMessages:   res.Stats.MaxMessages(),
+		MiniTimeslots: res.Stats.MiniTimeslots,
+	}, nil
+}
+
+// RunAblationR sweeps the ball parameter r ∈ {1, 2, 3} on one decision.
+func RunAblationR(cfg AblationConfig) ([]AblationPoint, error) {
+	cfg.fill()
+	ext, w, err := ablationInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationPoint
+	for _, r := range []int{1, 2, 3} {
+		p, err := runDecision(ext, w, r, 4, nil, fmt.Sprintf("r=%d", r))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunAblationD sweeps the mini-round cap D ∈ {1, 2, 4, 8, unbounded}.
+func RunAblationD(cfg AblationConfig) ([]AblationPoint, error) {
+	cfg.fill()
+	ext, w, err := ablationInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationPoint
+	for _, d := range []int{1, 2, 4, 8, 0} {
+		label := fmt.Sprintf("D=%d", d)
+		if d == 0 {
+			label = "D=∞"
+		}
+		p, err := runDecision(ext, w, 2, d, nil, label)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunAblationSolver compares the LocalLeaders' local MWIS solver.
+func RunAblationSolver(cfg AblationConfig) ([]AblationPoint, error) {
+	cfg.fill()
+	ext, w, err := ablationInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	solvers := []mwis.Solver{mwis.Greedy{}, mwis.Hybrid{}, mwis.Exact{Budget: 500000}}
+	var out []AblationPoint
+	for _, solver := range solvers {
+		p, err := runDecision(ext, w, 2, 4, solver, solver.Name())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderAblation prints ablation points as an aligned table.
+func RenderAblation(title string, points []AblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%12s %12s %11s %9s %14s\n",
+		"setting", "weight_kbps", "mini-rounds", "max-msgs", "mini-timeslots")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12s %12.0f %11d %9d %14d\n",
+			p.Label, p.WeightKbps, p.MiniRounds, p.MaxMessages, p.MiniTimeslots)
+	}
+	return b.String()
+}
+
+// ShiftConfig parameterizes the non-stationary extension experiment (the
+// paper's future-work adversarial setting).
+type ShiftConfig struct {
+	// N, M are the network dimensions (defaults 15, 3).
+	N, M int
+	// Slots is the horizon (default 1200).
+	Slots int
+	// Period is the slot count between mean rotations (default 150).
+	Period int
+	// Gamma is the discount factor of the discounted policy (default 0.98).
+	Gamma float64
+	// Seed drives everything.
+	Seed int64
+}
+
+func (c *ShiftConfig) fill() {
+	if c.N == 0 {
+		c.N = 15
+	}
+	if c.M == 0 {
+		c.M = 3
+	}
+	if c.Slots == 0 {
+		c.Slots = 1200
+	}
+	if c.Period == 0 {
+		c.Period = 150
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.98
+	}
+}
+
+// ShiftSeries is one policy's running-average throughput on the shifting
+// channel.
+type ShiftSeries struct {
+	Name    string
+	AvgKbps []float64 // running average per slot
+}
+
+// ShiftResult bundles the extension experiment output.
+type ShiftResult struct {
+	Period int
+	Series []ShiftSeries
+}
+
+// RunShift runs the non-stationary extension experiment: channels whose
+// per-node means rotate every Period slots, learned by the vanilla ZhouLi
+// rule and by its discounted variant. The discounted policy's running
+// average recovers after each rotation; the vanilla one decays.
+func RunShift(cfg ShiftConfig) (*ShiftResult, error) {
+	cfg.fill()
+	root := rng.New(cfg.Seed).Split("shift-exp")
+	nw, err := topology.Random(topology.RandomConfig{
+		N:                cfg.N,
+		RequireConnected: true,
+	}, root.Split("topology"))
+	if err != nil {
+		return nil, err
+	}
+	res := &ShiftResult{Period: cfg.Period}
+	type entry struct {
+		name string
+		mk   func() (policy.Policy, error)
+	}
+	entries := []entry{
+		{"Algorithm2", func() (policy.Policy, error) { return policy.NewZhouLi(cfg.N * cfg.M) }},
+		{"Discounted", func() (policy.Policy, error) {
+			return policy.NewDiscountedZhouLi(cfg.N*cfg.M, cfg.Gamma)
+		}},
+	}
+	for _, e := range entries {
+		ch, err := channel.NewShifting(channel.ShiftConfig{
+			N: cfg.N, M: cfg.M, Period: cfg.Period,
+		}, root.Split("channels-"+e.name))
+		if err != nil {
+			return nil, err
+		}
+		pol, err := e.mk()
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := core.New(core.Config{Net: nw, Channels: ch, M: cfg.M, Policy: pol})
+		if err != nil {
+			return nil, err
+		}
+		results, err := scheme.Run(cfg.Slots)
+		if err != nil {
+			return nil, err
+		}
+		series := ShiftSeries{Name: e.name, AvgKbps: make([]float64, len(results))}
+		sum := 0.0
+		for i, r := range results {
+			sum += r.ObservedKbps
+			series.AvgKbps[i] = sum / float64(i+1)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// RenderShift prints the extension experiment as a sampled table.
+func RenderShift(res *ShiftResult, samples int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — non-stationary channels (means rotate every %d slots)\n", res.Period)
+	if len(res.Series) == 0 {
+		return b.String()
+	}
+	n := len(res.Series[0].AvgKbps)
+	samples = clampSamples(samples, n)
+	fmt.Fprintf(&b, "%10s", "slot")
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, " %12s", s.Name)
+	}
+	b.WriteString("\n")
+	for i := 0; i < samples; i++ {
+		idx := (i+1)*n/samples - 1
+		fmt.Fprintf(&b, "%10d", idx+1)
+		for _, s := range res.Series {
+			fmt.Fprintf(&b, " %12.1f", s.AvgKbps[idx])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

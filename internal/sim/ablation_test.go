@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblationR(t *testing.T) {
+	points, err := RunAblationR(AblationConfig{Seed: 1, N: 40, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Larger r must not reduce committed weight on this instance family
+	// (bigger local views see strictly more of the problem); allow tiny
+	// slack for boundary effects.
+	for i := 1; i < len(points); i++ {
+		if points[i].WeightKbps < points[i-1].WeightKbps*0.9 {
+			t.Fatalf("weight dropped sharply from %s (%v) to %s (%v)",
+				points[i-1].Label, points[i-1].WeightKbps,
+				points[i].Label, points[i].WeightKbps)
+		}
+	}
+	// The decision's time cost grows with r: the WB window alone is
+	// (2r+1)² mini-timeslots. (Per-vertex message counts can go either
+	// way — larger balls mean fewer leaders.)
+	if points[2].MiniTimeslots <= points[0].MiniTimeslots {
+		t.Fatalf("r=3 consumed %d mini-timeslots, r=1 %d; expected growth",
+			points[2].MiniTimeslots, points[0].MiniTimeslots)
+	}
+}
+
+func TestRunAblationD(t *testing.T) {
+	points, err := RunAblationD(AblationConfig{Seed: 2, N: 40, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Weight is non-decreasing in D, and D=∞ attains the maximum.
+	for i := 1; i < len(points); i++ {
+		if points[i].WeightKbps < points[i-1].WeightKbps-1e-9 {
+			t.Fatalf("weight not monotone in D: %v after %v",
+				points[i].WeightKbps, points[i-1].WeightKbps)
+		}
+	}
+	if points[0].MiniRounds != 1 {
+		t.Fatalf("D=1 executed %d mini-rounds", points[0].MiniRounds)
+	}
+}
+
+func TestRunAblationSolver(t *testing.T) {
+	points, err := RunAblationSolver(AblationConfig{Seed: 3, N: 40, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	byName := map[string]AblationPoint{}
+	for _, p := range points {
+		byName[p.Label] = p
+	}
+	// Hybrid and exact must not lose to greedy on decision weight.
+	if byName["hybrid"].WeightKbps < byName["greedy"].WeightKbps-1e-6 {
+		t.Fatalf("hybrid %v below greedy %v",
+			byName["hybrid"].WeightKbps, byName["greedy"].WeightKbps)
+	}
+	if byName["exact"].WeightKbps < byName["greedy"].WeightKbps-1e-6 {
+		t.Fatalf("exact %v below greedy %v",
+			byName["exact"].WeightKbps, byName["greedy"].WeightKbps)
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	points, err := RunAblationD(AblationConfig{Seed: 4, N: 30, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAblation("D sweep", points)
+	if !strings.Contains(out, "D sweep") || !strings.Contains(out, "D=4") {
+		t.Fatalf("render output missing content:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2+len(points) {
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestRunShiftDiscountedWins(t *testing.T) {
+	res, err := RunShift(ShiftConfig{Seed: 5, N: 12, M: 3, Slots: 900, Period: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	var vanilla, discounted ShiftSeries
+	for _, s := range res.Series {
+		switch s.Name {
+		case "Algorithm2":
+			vanilla = s
+		case "Discounted":
+			discounted = s
+		}
+	}
+	last := len(vanilla.AvgKbps) - 1
+	if discounted.AvgKbps[last] <= vanilla.AvgKbps[last] {
+		t.Fatalf("discounted %v did not beat vanilla %v on shifting channels",
+			discounted.AvgKbps[last], vanilla.AvgKbps[last])
+	}
+}
+
+func TestRenderShift(t *testing.T) {
+	res, err := RunShift(ShiftConfig{Seed: 6, N: 10, M: 2, Slots: 200, Period: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderShift(res, 5)
+	if !strings.Contains(out, "Discounted") || !strings.Contains(out, "rotate every 50") {
+		t.Fatalf("render output missing content:\n%s", out)
+	}
+}
+
+func TestRenderFunctionsProduceTables(t *testing.T) {
+	series, err := RunFig6(Fig6Config{Seed: 1, Sizes: []Size{{20, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderFig6(series); !strings.Contains(out, "20x3") {
+		t.Fatalf("RenderFig6 output:\n%s", out)
+	}
+	f7, err := RunFig7(Fig7Config{Seed: 1, Slots: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderFig7(f7, 5); !strings.Contains(out, "Algorithm2") {
+		t.Fatalf("RenderFig7 output:\n%s", out)
+	}
+	f8, err := RunFig8(Fig8Config{Seed: 1, N: 12, M: 3, Periods: 5, Ys: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderFig8(f8, 3); !strings.Contains(out, "y=2") {
+		t.Fatalf("RenderFig8 output:\n%s", out)
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/timing"
+	"multihopbandit/internal/topology"
+)
+
+func TestRenderTable2Content(t *testing.T) {
+	out := RenderTable2(timing.Paper())
+	for _, want := range []string{"2s", "250ms", "θ = t_d/t_a = 0.500", "y=20→0.975"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderTable2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildPolicyAllKinds(t *testing.T) {
+	nw, err := topology.Random(topology.RandomConfig{N: 6}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extgraph.Build(nw.G, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewModel(channel.Config{N: 6, M: 2}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []PolicyKind{PolicyZhouLi, PolicyLLR, PolicyEpsGreedy, PolicyOracle, PolicyCUCB}
+	for _, kind := range kinds {
+		pol, err := buildPolicy(kind, ext, ch, rng.New(3))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(pol.Indices()) != ext.K() {
+			t.Fatalf("%s: wrong index count", kind)
+		}
+	}
+	if _, err := buildPolicy(PolicyKind(99), ext, ch, rng.New(3)); err == nil {
+		t.Fatal("expected error for unknown policy kind")
+	}
+}
+
+func TestAblationDefaultsFill(t *testing.T) {
+	// Zero-value configs get the documented defaults.
+	cfg := AblationConfig{}
+	cfg.fill()
+	if cfg.N != 60 || cfg.M != 5 {
+		t.Fatalf("ablation defaults = %+v", cfg)
+	}
+	sc := ShiftConfig{}
+	sc.fill()
+	if sc.N != 15 || sc.M != 3 || sc.Slots != 1200 || sc.Period != 150 || sc.Gamma != 0.98 {
+		t.Fatalf("shift defaults = %+v", sc)
+	}
+}
+
+func TestRunFig6CustomMiniRounds(t *testing.T) {
+	series, err := RunFig6(Fig6Config{Seed: 3, Sizes: []Size{{15, 2}}, MiniRounds: 4, R: 1, TargetDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series[0].WeightKbps) != 4 {
+		t.Fatalf("series length = %d, want 4", len(series[0].WeightKbps))
+	}
+}
+
+func TestRenderFig7SampleClamping(t *testing.T) {
+	res, err := RunFig7(Fig7Config{Seed: 2, Slots: 30, N: 8, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// samples > horizon falls back to 10.
+	out := RenderFig7(res, 500)
+	if !strings.Contains(out, "Algorithm2") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	// Empty result renders just the header.
+	empty := RenderFig7(&Fig7Result{OptimalKbps: 1, Beta: 2, Theta: 0.5}, 5)
+	if !strings.Contains(empty, "Fig. 7") {
+		t.Fatalf("empty render:\n%s", empty)
+	}
+}
+
+func TestRenderFig6Empty(t *testing.T) {
+	out := RenderFig6(nil)
+	if !strings.Contains(out, "mini-round") {
+		t.Fatalf("empty Fig6 render:\n%s", out)
+	}
+}
+
+func TestRenderShiftEmpty(t *testing.T) {
+	out := RenderShift(&ShiftResult{Period: 9}, 3)
+	if !strings.Contains(out, "rotate every 9") {
+		t.Fatalf("empty shift render:\n%s", out)
+	}
+}
+
+func TestRenderFig8SampleClamping(t *testing.T) {
+	subs, err := RunFig8(Fig8Config{Seed: 4, N: 10, M: 2, Periods: 3, Ys: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFig8(subs, 100) // clamps to 10 then to n
+	if !strings.Contains(out, "y=1") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}

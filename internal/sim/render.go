@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"multihopbandit/internal/timing"
+)
+
+// RenderTable2 prints the Table II time model and its derived quantities.
+func RenderTable2(p timing.Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — simulation time parameters\n")
+	fmt.Fprintf(&b, "  round t_a               %v\n", p.Round)
+	fmt.Fprintf(&b, "  local broadcast t_b     %v\n", p.LocalBroadcast)
+	fmt.Fprintf(&b, "  local computation t_l   %v\n", p.LocalCompute)
+	fmt.Fprintf(&b, "  data transmission t_d   %v\n", p.DataTransmission)
+	fmt.Fprintf(&b, "  derived: mini-round t_m = 2·t_b+t_l = %v\n", p.MiniRound())
+	fmt.Fprintf(&b, "  derived: decision t_s = %d·t_m = %v\n", p.DecisionMiniRounds, p.Decision())
+	fmt.Fprintf(&b, "  derived: θ = t_d/t_a = %.3f\n", p.Theta())
+	fmt.Fprintf(&b, "  effective fraction by update period y: ")
+	for i, y := range []int{1, 5, 10, 20} {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "y=%d→%.3f", y, p.EffectiveFraction(y))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderFig6 prints the Fig. 6 series as an aligned table: one column per
+// network size, one row per mini-round.
+func RenderFig6(series []Fig6Series) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — summed weight (kbps) of output ISs by mini-round\n")
+	b.WriteString("mini-round")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%dx%d", s.Size.N, s.Size.M))
+	}
+	b.WriteString("\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	rounds := len(series[0].WeightKbps)
+	for tau := 0; tau < rounds; tau++ {
+		fmt.Fprintf(&b, "%10d", tau+1)
+		for _, s := range series {
+			fmt.Fprintf(&b, " %10.0f", s.WeightKbps[tau])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("converged ")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %10d", s.Converged)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderFig7 prints Fig. 7(a) and 7(b) as tables sampled at regular
+// intervals, plus a summary line per policy.
+func RenderFig7(res *Fig7Result, samples int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — practical regret vs LLR (R1 = %.1f kbps, θ = %.2f, β = %.2f)\n",
+		res.OptimalKbps, res.Theta, res.Beta)
+	if len(res.Policies) == 0 {
+		return b.String()
+	}
+	n := len(res.Policies[0].PracticalRegret)
+	samples = clampSamples(samples, n)
+	b.WriteString("(a) practical regret\n  time-slot")
+	for _, p := range res.Policies {
+		fmt.Fprintf(&b, " %12s", p.Policy)
+	}
+	b.WriteString("\n")
+	for i := 0; i < samples; i++ {
+		idx := (i+1)*n/samples - 1
+		fmt.Fprintf(&b, "  %9d", idx+1)
+		for _, p := range res.Policies {
+			fmt.Fprintf(&b, " %12.1f", p.PracticalRegret[idx])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("(b) practical β-regret\n  time-slot")
+	for _, p := range res.Policies {
+		fmt.Fprintf(&b, " %12s", p.Policy)
+	}
+	b.WriteString("\n")
+	for i := 0; i < samples; i++ {
+		idx := (i+1)*n/samples - 1
+		fmt.Fprintf(&b, "  %9d", idx+1)
+		for _, p := range res.Policies {
+			fmt.Fprintf(&b, " %12.1f", p.PracticalBetaRegret[idx])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("summary: ")
+	for i, p := range res.Policies {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s avg observed %.1f kbps", p.Policy, p.AvgThroughputKbps)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// clampSamples bounds a requested table-row count to [1, n] with a default
+// of 10 (or n when the series is shorter).
+func clampSamples(samples, n int) int {
+	if samples <= 0 {
+		samples = 10
+	}
+	if samples > n {
+		samples = n
+	}
+	return samples
+}
+
+// RenderFig8 prints each subplot of Fig. 8 with estimated vs actual running
+// averages sampled at regular intervals.
+func RenderFig8(subs []Fig8Subplot, samples int) string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — estimated vs actual average effective throughput (kbps)\n")
+	for _, sub := range subs {
+		fmt.Fprintf(&b, "(y=%d slots per period, %d slots total)\n", sub.Y, sub.Slots)
+		n := 0
+		if len(sub.Series) > 0 {
+			n = len(sub.Series[0].ActualAvg)
+		}
+		s := clampSamples(samples, n)
+		b.WriteString("     period")
+		for _, ser := range sub.Series {
+			fmt.Fprintf(&b, " %12s-est %12s-act", ser.Policy, ser.Policy)
+		}
+		b.WriteString("\n")
+		for i := 0; i < s; i++ {
+			idx := (i+1)*n/s - 1
+			fmt.Fprintf(&b, "  %9d", idx+1)
+			for _, ser := range sub.Series {
+				fmt.Fprintf(&b, " %16.1f %16.1f", ser.EstimatedAvg[idx], ser.ActualAvg[idx])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

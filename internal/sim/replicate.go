@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ReplicateConfig controls multi-seed experiment replication.
+type ReplicateConfig struct {
+	// Seeds are the root seeds, one replication each. Required.
+	Seeds []int64
+	// Workers bounds concurrent replications (default GOMAXPROCS, capped
+	// at the seed count).
+	Workers int
+}
+
+// Replicate runs one experiment per seed on a bounded worker pool and
+// returns the results in seed order. Experiments must be independent given
+// their seed (every runner in this package is), so parallel execution is
+// deterministic. The first error cancels nothing but is reported after all
+// workers drain — replications are cheap enough that draining beats
+// cancellation plumbing.
+func Replicate[T any](cfg ReplicateConfig, run func(seed int64) (T, error)) ([]T, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("sim: no seeds to replicate")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Seeds) {
+		workers = len(cfg.Seeds)
+	}
+
+	results := make([]T, len(cfg.Seeds))
+	errs := make([]error, len(cfg.Seeds))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx], errs[idx] = run(cfg.Seeds[idx])
+			}
+		}()
+	}
+	for idx := range cfg.Seeds {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: replication seed %d: %w", cfg.Seeds[idx], err)
+		}
+	}
+	return results, nil
+}
+
+// SeedRange returns n consecutive seeds starting at base — a convenience
+// for ReplicateConfig.
+func SeedRange(base int64, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}
+
+// Summary holds basic statistics of a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	// Std is the sample standard deviation (n−1 denominator).
+	Std float64
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval for the mean.
+	CI95 float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes summary statistics of xs. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(n-1))
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(n))
+	}
+	return s
+}
+
+// Fig7Replicated aggregates the Fig. 7 experiment over many seeds.
+type Fig7Replicated struct {
+	// Seeds used.
+	Seeds []int64
+	// FinalRegret maps policy name to the summary of the final practical
+	// regret across seeds.
+	FinalRegret map[string]Summary
+	// FinalBetaRegret maps policy name to the summary of the final
+	// practical β-regret.
+	FinalBetaRegret map[string]Summary
+	// Throughput maps policy name to the summary of the average observed
+	// throughput (kbps).
+	Throughput map[string]Summary
+}
+
+// RunFig7Replicated runs the Fig. 7 comparison over multiple seeds and
+// summarizes the endpoints, turning the paper's single-instance plot into a
+// statistically grounded comparison.
+func RunFig7Replicated(base Fig7Config, seeds []int64, workers int) (*Fig7Replicated, error) {
+	runs, err := Replicate(ReplicateConfig{Seeds: seeds, Workers: workers},
+		func(seed int64) (*Fig7Result, error) {
+			cfg := base
+			cfg.Seed = seed
+			return RunFig7(cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Replicated{
+		Seeds:           append([]int64(nil), seeds...),
+		FinalRegret:     map[string]Summary{},
+		FinalBetaRegret: map[string]Summary{},
+		Throughput:      map[string]Summary{},
+	}
+	perPolicy := map[string][3][]float64{}
+	for _, run := range runs {
+		for _, p := range run.Policies {
+			name := p.Policy.String()
+			cur := perPolicy[name]
+			cur[0] = append(cur[0], p.PracticalRegret[len(p.PracticalRegret)-1])
+			cur[1] = append(cur[1], p.PracticalBetaRegret[len(p.PracticalBetaRegret)-1])
+			cur[2] = append(cur[2], p.AvgThroughputKbps)
+			perPolicy[name] = cur
+		}
+	}
+	for name, series := range perPolicy {
+		out.FinalRegret[name] = Summarize(series[0])
+		out.FinalBetaRegret[name] = Summarize(series[1])
+		out.Throughput[name] = Summarize(series[2])
+	}
+	return out, nil
+}

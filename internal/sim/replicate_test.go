@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReplicateOrderAndValues(t *testing.T) {
+	seeds := SeedRange(100, 8)
+	out, err := Replicate(ReplicateConfig{Seeds: seeds, Workers: 3},
+		func(seed int64) (int64, error) { return seed * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != seeds[i]*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, seeds[i]*2)
+		}
+	}
+}
+
+func TestReplicateEmptySeeds(t *testing.T) {
+	if _, err := Replicate(ReplicateConfig{}, func(int64) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("expected error for no seeds")
+	}
+}
+
+func TestReplicatePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Replicate(ReplicateConfig{Seeds: []int64{1, 2, 3}},
+		func(seed int64) (int, error) {
+			if seed == 2 {
+				return 0, boom
+			}
+			return 1, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestReplicateRunsAllDespiteError(t *testing.T) {
+	var count atomic.Int64
+	_, _ = Replicate(ReplicateConfig{Seeds: SeedRange(0, 6), Workers: 2},
+		func(seed int64) (int, error) {
+			count.Add(1)
+			if seed == 0 {
+				return 0, errors.New("first fails")
+			}
+			return 0, nil
+		})
+	if count.Load() != 6 {
+		t.Fatalf("only %d/6 replications ran", count.Load())
+	}
+}
+
+func TestReplicateParallelMatchesSerial(t *testing.T) {
+	// Determinism: parallel execution yields the same results as serial.
+	run := func(seed int64) (float64, error) {
+		res, err := RunFig6(Fig6Config{Seed: seed, Sizes: []Size{{15, 2}}})
+		if err != nil {
+			return 0, err
+		}
+		return res[0].WeightKbps[9], nil
+	}
+	seeds := SeedRange(1, 6)
+	par, err := Replicate(ReplicateConfig{Seeds: seeds, Workers: 4}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := Replicate(ReplicateConfig{Seeds: seeds, Workers: 1}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if par[i] != ser[i] {
+			t.Fatalf("parallel/serial mismatch at %d: %v vs %v", i, par[i], ser[i])
+		}
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	seeds := SeedRange(5, 3)
+	want := []int64{5, 6, 7}
+	for i := range want {
+		if seeds[i] != want[i] {
+			t.Fatalf("seeds = %v", seeds)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6, 8})
+	if s.N != 4 || s.Mean != 5 || s.Min != 2 || s.Max != 8 {
+		t.Fatalf("summary = %+v", s)
+	}
+	wantStd := math.Sqrt((9 + 1 + 1 + 9) / 3.0)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+	if math.Abs(s.CI95-1.96*wantStd/2) > 1e-12 {
+		t.Fatalf("ci = %v", s.CI95)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.Std != 0 || s.Mean != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestRunFig7Replicated(t *testing.T) {
+	rep, err := RunFig7Replicated(Fig7Config{Slots: 120, N: 10, M: 3},
+		SeedRange(1, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg2, ok := rep.FinalRegret["Algorithm2"]
+	if !ok {
+		t.Fatal("missing Algorithm2 summary")
+	}
+	llr, ok := rep.FinalRegret["LLR"]
+	if !ok {
+		t.Fatal("missing LLR summary")
+	}
+	if alg2.N != 5 || llr.N != 5 {
+		t.Fatalf("summaries over %d/%d seeds", alg2.N, llr.N)
+	}
+	// The paper's ordering should hold in the cross-seed mean too.
+	if alg2.Mean >= llr.Mean {
+		t.Fatalf("mean regret ordering violated: Alg2 %v vs LLR %v", alg2.Mean, llr.Mean)
+	}
+	if rep.Throughput["Algorithm2"].Mean <= rep.Throughput["LLR"].Mean {
+		t.Fatal("mean throughput ordering violated")
+	}
+}

@@ -1,0 +1,526 @@
+// Package sim contains the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section V): Fig. 6 (mini-round
+// convergence of the distributed decision), Fig. 7 (practical regret and
+// β-regret versus the LLR baseline), Fig. 8 (estimated versus actual
+// effective throughput under periodic weight updates) and Table II (the time
+// model). See DESIGN.md §4 for the experiment index.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
+	"multihopbandit/internal/regret"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/timing"
+	"multihopbandit/internal/topology"
+)
+
+// TheoremBeta returns the paper's approximation factor for ball parameter r
+// and channel count M: Theorem 2 gives ρ^r ≤ M·(2r+1)², so the guaranteed
+// ratio is ρ = (M·(2r+1)²)^{1/r}.
+func TheoremBeta(m, r int) float64 {
+	d := float64(2*r + 1)
+	return math.Pow(float64(m)*d*d, 1.0/float64(r))
+}
+
+// Size is one N×M network size of Fig. 6.
+type Size struct {
+	N int
+	M int
+}
+
+// DefaultFig6Sizes are the paper's six N×M combinations.
+var DefaultFig6Sizes = []Size{
+	{50, 5}, {100, 5}, {200, 5},
+	{50, 10}, {100, 10}, {200, 10},
+}
+
+// Fig6Config parameterizes the mini-round convergence experiment.
+type Fig6Config struct {
+	// Sizes are the N×M networks to sweep (default DefaultFig6Sizes).
+	Sizes []Size
+	// MiniRounds is the x-axis extent (default 10, the paper's plot).
+	MiniRounds int
+	// R is the ball parameter (default 2, the paper's setting).
+	R int
+	// Seed drives topology and channel-mean generation.
+	Seed int64
+	// TargetDegree sizes the random deployment square (default 6).
+	TargetDegree float64
+}
+
+// Fig6Series is one line of Fig. 6: cumulative output-IS weight (kbps) after
+// each mini-round for one network size.
+type Fig6Series struct {
+	Size       Size
+	WeightKbps []float64 // indexed by mini-round-1, padded after convergence
+	Converged  int       // first mini-round (1-based) at which all vertices were marked
+}
+
+// RunFig6 reproduces Fig. 6: for each network size, run the distributed
+// strategy decision with per-vertex weights equal to the true channel means
+// (in kbps, matching the paper's y-scale) and record the cumulative winner
+// weight after every mini-round.
+func RunFig6(cfg Fig6Config) ([]Fig6Series, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultFig6Sizes
+	}
+	if cfg.MiniRounds == 0 {
+		cfg.MiniRounds = 10
+	}
+	if cfg.R == 0 {
+		cfg.R = 2
+	}
+	if cfg.TargetDegree == 0 {
+		cfg.TargetDegree = 6
+	}
+	out := make([]Fig6Series, 0, len(cfg.Sizes))
+	for _, size := range cfg.Sizes {
+		src := rng.New(cfg.Seed).SplitN("fig6", size.N*1000+size.M)
+		nw, err := topology.Random(topology.RandomConfig{
+			N:            size.N,
+			TargetDegree: cfg.TargetDegree,
+		}, src.Split("topology"))
+		if err != nil {
+			return nil, fmt.Errorf("sim: fig6 %dx%d: %w", size.N, size.M, err)
+		}
+		ext, err := extgraph.Build(nw.G, size.M)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := channel.NewModel(channel.Config{N: size.N, M: size.M}, src.Split("channels"))
+		if err != nil {
+			return nil, err
+		}
+		rt, err := protocol.New(protocol.Config{Ext: ext, R: cfg.R, D: cfg.MiniRounds})
+		if err != nil {
+			return nil, err
+		}
+		weights := ch.Means()
+		res, err := rt.Decide(weights, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sim: fig6 decide %dx%d: %w", size.N, size.M, err)
+		}
+		series := Fig6Series{Size: size, Converged: res.MiniRounds}
+		for tau := 0; tau < cfg.MiniRounds; tau++ {
+			var w float64
+			if tau < len(res.WeightByMiniRound) {
+				w = res.WeightByMiniRound[tau]
+			} else {
+				w = res.WeightByMiniRound[len(res.WeightByMiniRound)-1]
+			}
+			series.WeightKbps = append(series.WeightKbps, channel.Kbps(w))
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// PolicyKind selects a learning policy in experiment configs.
+type PolicyKind int
+
+const (
+	// PolicyZhouLi is the paper's Algorithm 2 learning rule.
+	PolicyZhouLi PolicyKind = iota + 1
+	// PolicyLLR is the Gai–Krishnamachari–Jain baseline.
+	PolicyLLR
+	// PolicyEpsGreedy is the ε-greedy ablation baseline.
+	PolicyEpsGreedy
+	// PolicyOracle is the genie.
+	PolicyOracle
+	// PolicyCUCB is the combinatorial-UCB baseline of Chen et al.
+	PolicyCUCB
+)
+
+// String names the policy kind.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyZhouLi:
+		return "Algorithm2"
+	case PolicyLLR:
+		return "LLR"
+	case PolicyEpsGreedy:
+		return "EpsGreedy"
+	case PolicyOracle:
+		return "Oracle"
+	case PolicyCUCB:
+		return "CUCB"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+func buildPolicy(kind PolicyKind, ext *extgraph.Extended, ch *channel.Model, src *rng.Source) (policy.Policy, error) {
+	switch kind {
+	case PolicyZhouLi:
+		return policy.NewZhouLi(ext.K())
+	case PolicyLLR:
+		return policy.NewLLR(ext.K(), ext.N)
+	case PolicyEpsGreedy:
+		return policy.NewEpsilonGreedy(ext.K(), 0.1, src.Split("eps-greedy"))
+	case PolicyOracle:
+		return policy.NewOracle(ch.Means())
+	case PolicyCUCB:
+		return policy.NewCUCB(ext.K())
+	default:
+		return nil, fmt.Errorf("sim: unknown policy kind %d", int(kind))
+	}
+}
+
+// Fig7Config parameterizes the regret comparison of Fig. 7.
+type Fig7Config struct {
+	// N and M are the network size (paper: 15 users, 3 channels).
+	N, M int
+	// Slots is the horizon (paper: 1000).
+	Slots int
+	// R and D configure the distributed decision (defaults 2 and 4).
+	R, D int
+	// Policies to compare (default Algorithm 2 vs LLR).
+	Policies []PolicyKind
+	// Seed drives everything.
+	Seed int64
+	// TargetDegree sizes the deployment square (default 6).
+	TargetDegree float64
+}
+
+func (c *Fig7Config) fill() {
+	if c.N == 0 {
+		c.N = 15
+	}
+	if c.M == 0 {
+		c.M = 3
+	}
+	if c.Slots == 0 {
+		c.Slots = 1000
+	}
+	if c.R == 0 {
+		c.R = 2
+	}
+	if c.D == 0 {
+		c.D = 4
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []PolicyKind{PolicyZhouLi, PolicyLLR}
+	}
+	if c.TargetDegree == 0 {
+		c.TargetDegree = 6
+	}
+}
+
+// Fig7PolicyResult is one policy's regret trajectories.
+type Fig7PolicyResult struct {
+	Policy PolicyKind
+	// PracticalRegret[t] = R1 − θ·avg_{≤t}(observed), kbps (Fig. 7a).
+	PracticalRegret []float64
+	// PracticalBetaRegret[t] = R1/β − θ·avg_{≤t}(observed), kbps (Fig. 7b).
+	PracticalBetaRegret []float64
+	// AvgThroughputKbps is the final average observed throughput.
+	AvgThroughputKbps float64
+}
+
+// Fig7Result bundles the experiment output.
+type Fig7Result struct {
+	// OptimalKbps is the brute-force optimum R1 of the instance.
+	OptimalKbps float64
+	// Beta is the Theorem 2 factor used for the β-regret curve.
+	Beta float64
+	// Theta is t_d/t_a from the time model.
+	Theta float64
+	// Policies holds one trajectory per compared policy.
+	Policies []Fig7PolicyResult
+}
+
+// RunFig7 reproduces Fig. 7: a connected 15×3 random network whose optimum
+// is computed by brute force, with Algorithm 2 and LLR learning for the
+// given horizon; returns per-slot practical regret and β-regret series.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	cfg.fill()
+	root := rng.New(cfg.Seed).Split("fig7")
+	nw, err := topology.Random(topology.RandomConfig{
+		N:                cfg.N,
+		TargetDegree:     cfg.TargetDegree,
+		RequireConnected: true,
+	}, root.Split("topology"))
+	if err != nil {
+		return nil, fmt.Errorf("sim: fig7 topology: %w", err)
+	}
+	ext, err := extgraph.Build(nw.G, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	// The genie optimum over true means (normalized, then kbps).
+	meansCh, err := channel.NewModel(channel.Config{N: cfg.N, M: cfg.M}, root.Split("means"))
+	if err != nil {
+		return nil, err
+	}
+	_, optNorm, err := core.OptimalStatic(ext, meansCh)
+	if err != nil {
+		return nil, err
+	}
+	tp := timing.Paper()
+	res := &Fig7Result{
+		OptimalKbps: channel.Kbps(optNorm),
+		Beta:        TheoremBeta(cfg.M, cfg.R),
+		Theta:       tp.Theta(),
+	}
+	for _, kind := range cfg.Policies {
+		// Every policy sees an identically-distributed channel process:
+		// same means (same "means" sub-stream), per-policy noise stream.
+		ch, err := channel.NewModelWithMeans(
+			channel.Config{N: cfg.N, M: cfg.M},
+			meansCh.Means(),
+			root.Split("noise-"+kind.String()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := buildPolicy(kind, ext, ch, root)
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := core.New(core.Config{
+			Net:      nw,
+			Channels: ch,
+			M:        cfg.M,
+			R:        cfg.R,
+			D:        cfg.D,
+			Policy:   pol,
+			Timing:   tp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		results, err := scheme.Run(cfg.Slots)
+		if err != nil {
+			return nil, fmt.Errorf("sim: fig7 %s: %w", kind, err)
+		}
+		observed := make([]float64, len(results))
+		for i, r := range results {
+			observed[i] = r.ObservedKbps
+		}
+		betaSeries, err := regret.PracticalBetaSeries(res.OptimalKbps, res.Beta, res.Theta, observed)
+		if err != nil {
+			return nil, err
+		}
+		avg := 0.0
+		for _, o := range observed {
+			avg += o
+		}
+		avg /= float64(len(observed))
+		res.Policies = append(res.Policies, Fig7PolicyResult{
+			Policy:              kind,
+			PracticalRegret:     regret.PracticalSeries(res.OptimalKbps, res.Theta, observed),
+			PracticalBetaRegret: betaSeries,
+			AvgThroughputKbps:   avg,
+		})
+	}
+	return res, nil
+}
+
+// Fig8Config parameterizes the periodic-update experiment of Fig. 8.
+type Fig8Config struct {
+	// N and M are the network size (paper: 100 users, 10 channels).
+	N, M int
+	// Periods is the number of update periods (paper: 1000).
+	Periods int
+	// Ys are the update periods in slots (paper: 1, 5, 10, 20).
+	Ys []int
+	// R and D configure the distributed decision (defaults 2 and 4).
+	R, D int
+	// Policies to compare (default Algorithm 2 vs LLR).
+	Policies []PolicyKind
+	// Seed drives everything.
+	Seed int64
+	// TargetDegree sizes the deployment square (default 6).
+	TargetDegree float64
+}
+
+func (c *Fig8Config) fill() {
+	if c.N == 0 {
+		c.N = 100
+	}
+	if c.M == 0 {
+		c.M = 10
+	}
+	if c.Periods == 0 {
+		c.Periods = 1000
+	}
+	if len(c.Ys) == 0 {
+		c.Ys = []int{1, 5, 10, 20}
+	}
+	if c.R == 0 {
+		c.R = 2
+	}
+	if c.D == 0 {
+		c.D = 4
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []PolicyKind{PolicyZhouLi, PolicyLLR}
+	}
+	if c.TargetDegree == 0 {
+		c.TargetDegree = 6
+	}
+}
+
+// Fig8Series is one curve pair of a Fig. 8 subplot: running averages of the
+// actual and estimated effective throughput, per period, in kbps.
+type Fig8Series struct {
+	Policy PolicyKind
+	// ActualAvg[z] is R̃_P(z): running average of actual effective
+	// throughput up to period z.
+	ActualAvg []float64
+	// EstimatedAvg[z] is W̃_P(z): running average of estimated effective
+	// throughput up to period z.
+	EstimatedAvg []float64
+}
+
+// Fig8Subplot is one update-period setting (one subplot of Fig. 8).
+type Fig8Subplot struct {
+	Y      int
+	Slots  int
+	Series []Fig8Series
+}
+
+// RunFig8 reproduces Fig. 8: a 100×10 random network, strategy re-decided
+// every y slots, horizons of Periods·y slots, comparing the running average
+// actual effective throughput R̃_P against the estimated W̃_P for Algorithm 2
+// and LLR.
+func RunFig8(cfg Fig8Config) ([]Fig8Subplot, error) {
+	cfg.fill()
+	root := rng.New(cfg.Seed).Split("fig8")
+	nw, err := topology.Random(topology.RandomConfig{
+		N:            cfg.N,
+		TargetDegree: cfg.TargetDegree,
+	}, root.Split("topology"))
+	if err != nil {
+		return nil, fmt.Errorf("sim: fig8 topology: %w", err)
+	}
+	ext, err := extgraph.Build(nw.G, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	meansCh, err := channel.NewModel(channel.Config{N: cfg.N, M: cfg.M}, root.Split("means"))
+	if err != nil {
+		return nil, err
+	}
+	tp := timing.Paper()
+	// The (y, policy) branches are independent given their sub-streams, so
+	// run them on a bounded worker pool; results are deterministic and
+	// assembled in configuration order.
+	type branch struct {
+		yIdx, pIdx int
+	}
+	var branches []branch
+	for yi := range cfg.Ys {
+		for pi := range cfg.Policies {
+			branches = append(branches, branch{yIdx: yi, pIdx: pi})
+		}
+	}
+	results := make([]Fig8Series, len(branches))
+	errs := make([]error, len(branches))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for bi, br := range branches {
+		wg.Add(1)
+		go func(bi int, br branch) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			y := cfg.Ys[br.yIdx]
+			kind := cfg.Policies[br.pIdx]
+			results[bi], errs[bi] = runFig8Branch(cfg, nw, ext, meansCh.Means(), tp, y, kind, root)
+		}(bi, br)
+	}
+	wg.Wait()
+	for bi, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: fig8 y=%d %s: %w",
+				cfg.Ys[branches[bi].yIdx], cfg.Policies[branches[bi].pIdx], err)
+		}
+	}
+	out := make([]Fig8Subplot, 0, len(cfg.Ys))
+	bi := 0
+	for _, y := range cfg.Ys {
+		sub := Fig8Subplot{Y: y, Slots: y * cfg.Periods}
+		for range cfg.Policies {
+			sub.Series = append(sub.Series, results[bi])
+			bi++
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+// runFig8Branch simulates one (update period, policy) combination of Fig. 8.
+// It only reads shared state (network, graph, means) and derives its own
+// random sub-streams, so branches may run concurrently.
+func runFig8Branch(
+	cfg Fig8Config,
+	nw *topology.Network,
+	ext *extgraph.Extended,
+	means []float64,
+	tp timing.Params,
+	y int,
+	kind PolicyKind,
+	root *rng.Source,
+) (Fig8Series, error) {
+	ch, err := channel.NewModelWithMeans(
+		channel.Config{N: cfg.N, M: cfg.M},
+		means,
+		root.SplitN("noise-"+kind.String(), y),
+	)
+	if err != nil {
+		return Fig8Series{}, err
+	}
+	pol, err := buildPolicy(kind, ext, ch, root)
+	if err != nil {
+		return Fig8Series{}, err
+	}
+	scheme, err := core.New(core.Config{
+		Net:         nw,
+		Channels:    ch,
+		M:           cfg.M,
+		R:           cfg.R,
+		D:           cfg.D,
+		Policy:      pol,
+		Timing:      tp,
+		UpdateEvery: y,
+	})
+	if err != nil {
+		return Fig8Series{}, err
+	}
+	series := Fig8Series{Policy: kind}
+	var actual, estimated []float64
+	slotBuf := make([]float64, 0, y)
+	for z := 0; z < cfg.Periods; z++ {
+		slotBuf = slotBuf[:0]
+		var estWeight float64
+		for i := 0; i < y; i++ {
+			r, err := scheme.Step()
+			if err != nil {
+				return Fig8Series{}, err
+			}
+			slotBuf = append(slotBuf, r.ObservedKbps)
+			if i == 0 {
+				estWeight = channel.Kbps(r.EstimatedWeight)
+			}
+		}
+		rp, err := tp.PeriodThroughput(slotBuf)
+		if err != nil {
+			return Fig8Series{}, err
+		}
+		actual = append(actual, rp)
+		estimated = append(estimated, tp.PeriodEstimate(estWeight, y))
+	}
+	series.ActualAvg = regret.RunningAverage(actual)
+	series.EstimatedAvg = regret.RunningAverage(estimated)
+	return series, nil
+}

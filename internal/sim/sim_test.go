@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTheoremBeta(t *testing.T) {
+	// M=3, r=2: ρ² = 3·25 = 75 → ρ = sqrt(75).
+	if got, want := TheoremBeta(3, 2), math.Sqrt(75); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TheoremBeta(3,2) = %v, want %v", got, want)
+	}
+	// M=10, r=2: ρ = sqrt(250).
+	if got, want := TheoremBeta(10, 2), math.Sqrt(250); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TheoremBeta(10,2) = %v, want %v", got, want)
+	}
+}
+
+func TestPolicyKindString(t *testing.T) {
+	tests := []struct {
+		k    PolicyKind
+		want string
+	}{
+		{PolicyZhouLi, "Algorithm2"},
+		{PolicyLLR, "LLR"},
+		{PolicyEpsGreedy, "EpsGreedy"},
+		{PolicyOracle, "Oracle"},
+		{PolicyKind(42), "PolicyKind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRunFig6Shape(t *testing.T) {
+	// Small sizes keep the test fast; the paper's claim is that every
+	// series converges within a few mini-rounds and stays flat after.
+	series, err := RunFig6(Fig6Config{
+		Seed:  1,
+		Sizes: []Size{{30, 5}, {60, 5}, {30, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.WeightKbps) != 10 {
+			t.Fatalf("%dx%d: series length %d", s.Size.N, s.Size.M, len(s.WeightKbps))
+		}
+		// Monotone non-decreasing.
+		for i := 1; i < len(s.WeightKbps); i++ {
+			if s.WeightKbps[i] < s.WeightKbps[i-1]-1e-9 {
+				t.Fatalf("%dx%d: series not monotone at %d", s.Size.N, s.Size.M, i)
+			}
+		}
+		// Converges within the plot (paper: by mini-round 4; allow 8).
+		if s.Converged > 8 {
+			t.Fatalf("%dx%d: converged only at mini-round %d", s.Size.N, s.Size.M, s.Converged)
+		}
+		// Flat after convergence.
+		final := s.WeightKbps[len(s.WeightKbps)-1]
+		if s.WeightKbps[s.Converged-1] != final {
+			t.Fatalf("%dx%d: series moved after convergence", s.Size.N, s.Size.M)
+		}
+		if final <= 0 {
+			t.Fatalf("%dx%d: zero final weight", s.Size.N, s.Size.M)
+		}
+	}
+}
+
+func TestRunFig6LargerNetsHaveMoreWeight(t *testing.T) {
+	series, err := RunFig6(Fig6Config{
+		Seed:  2,
+		Sizes: []Size{{30, 5}, {90, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := series[0].WeightKbps[9]
+	large := series[1].WeightKbps[9]
+	if large <= small {
+		t.Fatalf("90-node net weight %v not above 30-node net %v", large, small)
+	}
+}
+
+func TestRunFig7Shape(t *testing.T) {
+	res, err := RunFig7(Fig7Config{Seed: 42, Slots: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalKbps <= 0 {
+		t.Fatalf("optimal = %v", res.OptimalKbps)
+	}
+	if res.Theta != 0.5 {
+		t.Fatalf("theta = %v", res.Theta)
+	}
+	if len(res.Policies) != 2 {
+		t.Fatalf("policies = %d", len(res.Policies))
+	}
+	var alg2, llr Fig7PolicyResult
+	for _, p := range res.Policies {
+		switch p.Policy {
+		case PolicyZhouLi:
+			alg2 = p
+		case PolicyLLR:
+			llr = p
+		}
+	}
+	last := len(alg2.PracticalRegret) - 1
+	// Paper Fig. 7(a): Algorithm 2 ends below LLR.
+	if alg2.PracticalRegret[last] >= llr.PracticalRegret[last] {
+		t.Fatalf("Algorithm2 regret %v not below LLR %v",
+			alg2.PracticalRegret[last], llr.PracticalRegret[last])
+	}
+	// Practical regret stays far above zero (learning-time cost).
+	if alg2.PracticalRegret[last] <= 0 {
+		t.Fatalf("practical regret = %v, expected positive", alg2.PracticalRegret[last])
+	}
+	// Fig. 7(b): β-regret converges to a negative value for both.
+	if alg2.PracticalBetaRegret[last] >= 0 || llr.PracticalBetaRegret[last] >= 0 {
+		t.Fatalf("beta regrets not negative: %v, %v",
+			alg2.PracticalBetaRegret[last], llr.PracticalBetaRegret[last])
+	}
+	// Sanity: the practical regret is bounded by the optimum.
+	if alg2.PracticalRegret[last] > res.OptimalKbps {
+		t.Fatal("regret exceeds optimum")
+	}
+}
+
+func TestRunFig7ObservedNeverBeatsOptimumOnAverage(t *testing.T) {
+	res, err := RunFig7(Fig7Config{Seed: 7, Slots: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Policies {
+		// Average observed throughput can fluctuate above the static
+		// optimum only via noise; with σ=0.05 it must stay within a few
+		// percent of it.
+		if p.AvgThroughputKbps > res.OptimalKbps*1.05 {
+			t.Fatalf("%s average %v implausibly above optimum %v",
+				p.Policy, p.AvgThroughputKbps, res.OptimalKbps)
+		}
+	}
+}
+
+func TestRunFig8Shape(t *testing.T) {
+	subs, err := RunFig8(Fig8Config{
+		Seed:    7,
+		N:       30,
+		M:       4,
+		Periods: 60,
+		Ys:      []int{1, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("subplots = %d", len(subs))
+	}
+	bySubplot := map[int]map[PolicyKind]Fig8Series{}
+	for _, sub := range subs {
+		bySubplot[sub.Y] = map[PolicyKind]Fig8Series{}
+		for _, s := range sub.Series {
+			bySubplot[sub.Y][s.Policy] = s
+		}
+	}
+	last := 59
+	// (1) Larger y yields higher actual effective throughput (less time
+	// lost to strategy decisions).
+	a1 := bySubplot[1][PolicyZhouLi].ActualAvg[last]
+	a5 := bySubplot[5][PolicyZhouLi].ActualAvg[last]
+	if a5 <= a1 {
+		t.Fatalf("y=5 actual %v not above y=1 actual %v", a5, a1)
+	}
+	// (2) Algorithm 2 beats LLR on actual throughput.
+	for _, y := range []int{1, 5} {
+		alg2 := bySubplot[y][PolicyZhouLi].ActualAvg[last]
+		llr := bySubplot[y][PolicyLLR].ActualAvg[last]
+		if alg2 <= llr {
+			t.Fatalf("y=%d: Algorithm2 actual %v not above LLR %v", y, alg2, llr)
+		}
+	}
+	// (3) Algorithm 2's estimate tracks its actual throughput much more
+	// tightly than LLR's (the paper's headline observation).
+	for _, y := range []int{1, 5} {
+		alg2 := bySubplot[y][PolicyZhouLi]
+		llr := bySubplot[y][PolicyLLR]
+		gapAlg2 := math.Abs(alg2.EstimatedAvg[last]-alg2.ActualAvg[last]) / alg2.ActualAvg[last]
+		gapLLR := math.Abs(llr.EstimatedAvg[last]-llr.ActualAvg[last]) / llr.ActualAvg[last]
+		if gapAlg2 >= gapLLR {
+			t.Fatalf("y=%d: Algorithm2 gap %v not tighter than LLR gap %v", y, gapAlg2, gapLLR)
+		}
+	}
+}
+
+func TestRunFig8SeriesLengths(t *testing.T) {
+	subs, err := RunFig8(Fig8Config{Seed: 3, N: 20, M: 3, Periods: 25, Ys: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		if sub.Slots != 50 {
+			t.Fatalf("slots = %d, want 50", sub.Slots)
+		}
+		for _, s := range sub.Series {
+			if len(s.ActualAvg) != 25 || len(s.EstimatedAvg) != 25 {
+				t.Fatalf("series lengths %d/%d", len(s.ActualAvg), len(s.EstimatedAvg))
+			}
+		}
+	}
+}
+
+func TestRunFig6Deterministic(t *testing.T) {
+	run := func() []Fig6Series {
+		s, err := RunFig6(Fig6Config{Seed: 5, Sizes: []Size{{25, 3}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	for i := range a[0].WeightKbps {
+		if a[0].WeightKbps[i] != b[0].WeightKbps[i] {
+			t.Fatal("Fig6 run not deterministic")
+		}
+	}
+}

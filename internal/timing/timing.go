@@ -1,0 +1,130 @@
+// Package timing implements the paper's time model (§IV-E, Table II): a
+// round t_a consists of a strategy-decision part t_s and a data-transmission
+// part t_d; the decision part is made of mini-rounds of length
+// t_m = 2·t_b + t_l (two local broadcasts plus the local computation). Only
+// the θ = t_d/t_a fraction of a round carries data, which is why the paper's
+// "practical" regret stays bounded away from zero.
+//
+// With the periodic-update schedule of §V-C (one strategy decision per
+// period of y time slots), only the first slot of a period pays the decision
+// overhead: the effective throughput of period z is
+//
+//	R_P(z) = ( R_x(zy+1)·t_d + Σ_{t=zy+2..(z+1)y} R_x(t)·t_a ) / (y·t_a).
+package timing
+
+import (
+	"fmt"
+	"time"
+)
+
+// Paper's Table II values.
+const (
+	// PaperRound is t_a, the length of one round.
+	PaperRound = 2000 * time.Millisecond
+	// PaperLocalBroadcast is t_b, the time of one local broadcast.
+	PaperLocalBroadcast = 100 * time.Millisecond
+	// PaperLocalCompute is t_l, the total local computation time of a
+	// mini-round (LocalLeader selection + local MWIS).
+	PaperLocalCompute = 50 * time.Millisecond
+	// PaperDataTransmission is t_d, the data-transmission part of a round.
+	PaperDataTransmission = 1000 * time.Millisecond
+	// PaperDecisionMiniRounds is the paper's setting t_s = 4·t_m.
+	PaperDecisionMiniRounds = 4
+)
+
+// Params is a concrete time model for the scheme.
+type Params struct {
+	// Round is t_a.
+	Round time.Duration
+	// LocalBroadcast is t_b.
+	LocalBroadcast time.Duration
+	// LocalCompute is t_l.
+	LocalCompute time.Duration
+	// DataTransmission is t_d.
+	DataTransmission time.Duration
+	// DecisionMiniRounds is the number of mini-rounds budgeted into the
+	// strategy-decision part (the paper's t_s = c·t_m with c=4: one for
+	// weight update, the rest for decision).
+	DecisionMiniRounds int
+}
+
+// Paper returns the Table II parameter set.
+func Paper() Params {
+	return Params{
+		Round:              PaperRound,
+		LocalBroadcast:     PaperLocalBroadcast,
+		LocalCompute:       PaperLocalCompute,
+		DataTransmission:   PaperDataTransmission,
+		DecisionMiniRounds: PaperDecisionMiniRounds,
+	}
+}
+
+// Validate checks internal consistency: t_s + t_d must fit in t_a.
+func (p Params) Validate() error {
+	if p.Round <= 0 || p.LocalBroadcast < 0 || p.LocalCompute < 0 || p.DataTransmission <= 0 {
+		return fmt.Errorf("timing: non-positive durations in %+v", p)
+	}
+	if p.DecisionMiniRounds <= 0 {
+		return fmt.Errorf("timing: DecisionMiniRounds must be positive, got %d", p.DecisionMiniRounds)
+	}
+	if p.Decision()+p.DataTransmission > p.Round {
+		return fmt.Errorf("timing: t_s+t_d = %v exceeds round t_a = %v",
+			p.Decision()+p.DataTransmission, p.Round)
+	}
+	return nil
+}
+
+// MiniRound returns t_m = 2·t_b + t_l.
+func (p Params) MiniRound() time.Duration {
+	return 2*p.LocalBroadcast + p.LocalCompute
+}
+
+// Decision returns t_s = DecisionMiniRounds · t_m.
+func (p Params) Decision() time.Duration {
+	return time.Duration(p.DecisionMiniRounds) * p.MiniRound()
+}
+
+// Theta returns θ = t_d / t_a, the fraction of a round that carries data
+// when the strategy is re-decided every slot.
+func (p Params) Theta() float64 {
+	return float64(p.DataTransmission) / float64(p.Round)
+}
+
+// PeriodLength returns t_P = y · t_a for an update period of y slots.
+func (p Params) PeriodLength(y int) time.Duration {
+	return time.Duration(y) * p.Round
+}
+
+// EffectiveFraction returns the fraction of a y-slot period that carries
+// data: the first slot contributes t_d, the remaining y−1 slots a full t_a,
+// i.e. ((y−1)·t_a + t_d) / (y·t_a). For y=1 this is θ; it approaches 1 as
+// y grows (the paper's ½, 9/10, 19/20, 39/40 sequence for y=1,5,10,20).
+func (p Params) EffectiveFraction(y int) float64 {
+	if y < 1 {
+		return 0
+	}
+	num := float64(y-1)*float64(p.Round) + float64(p.DataTransmission)
+	return num / (float64(y) * float64(p.Round))
+}
+
+// PeriodThroughput computes R_P(z): the effective average throughput of one
+// period given the per-slot observed throughputs slots[0..y-1] (slots[0] is
+// the decision slot).
+func (p Params) PeriodThroughput(slots []float64) (float64, error) {
+	y := len(slots)
+	if y == 0 {
+		return 0, fmt.Errorf("timing: empty period")
+	}
+	total := slots[0] * float64(p.DataTransmission)
+	for _, r := range slots[1:] {
+		total += r * float64(p.Round)
+	}
+	return total / (float64(y) * float64(p.Round)), nil
+}
+
+// PeriodEstimate computes W_P(z): the effective average *estimated*
+// throughput of a period whose decision had estimated strategy weight w,
+// i.e. ((y−1)·t_a + t_d)·w / (y·t_a).
+func (p Params) PeriodEstimate(w float64, y int) float64 {
+	return p.EffectiveFraction(y) * w
+}

@@ -1,0 +1,188 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPaperTableII(t *testing.T) {
+	// Table II: t_a=2000ms, t_b=100ms, t_l=50ms, t_d=1000ms.
+	p := Paper()
+	if p.Round != 2000*time.Millisecond {
+		t.Fatalf("t_a = %v", p.Round)
+	}
+	if p.LocalBroadcast != 100*time.Millisecond {
+		t.Fatalf("t_b = %v", p.LocalBroadcast)
+	}
+	if p.LocalCompute != 50*time.Millisecond {
+		t.Fatalf("t_l = %v", p.LocalCompute)
+	}
+	if p.DataTransmission != 1000*time.Millisecond {
+		t.Fatalf("t_d = %v", p.DataTransmission)
+	}
+}
+
+func TestPaperDerivedQuantities(t *testing.T) {
+	p := Paper()
+	// t_m = 2·t_b + t_l = 250ms (§V).
+	if p.MiniRound() != 250*time.Millisecond {
+		t.Fatalf("t_m = %v, want 250ms", p.MiniRound())
+	}
+	// t_s = 4·t_m = 1000ms.
+	if p.Decision() != 1000*time.Millisecond {
+		t.Fatalf("t_s = %v, want 1000ms", p.Decision())
+	}
+	// θ = t_d/t_a = 0.5: "the actual throughput gained at each round is
+	// 0.5·R_x(t) in our setting".
+	if p.Theta() != 0.5 {
+		t.Fatalf("theta = %v, want 0.5", p.Theta())
+	}
+}
+
+func TestPaperValidates(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := Paper()
+	bad.Round = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero round")
+	}
+	bad = Paper()
+	bad.DecisionMiniRounds = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero mini-rounds")
+	}
+	bad = Paper()
+	bad.DecisionMiniRounds = 100 // t_s = 25s > t_a
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for decision exceeding round")
+	}
+}
+
+func TestEffectiveFractionPaperSequence(t *testing.T) {
+	// §V-C: "around 1/2, 9/10, 19/20, 39/40 of the ideal throughput" for
+	// y = 1, 5, 10, 20.
+	p := Paper()
+	tests := []struct {
+		y    int
+		want float64
+	}{
+		{1, 0.5},
+		{5, 0.9},
+		{10, 0.95},
+		{20, 0.975},
+	}
+	for _, tt := range tests {
+		if got := p.EffectiveFraction(tt.y); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("EffectiveFraction(%d) = %v, want %v", tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestEffectiveFractionBounds(t *testing.T) {
+	p := Paper()
+	if p.EffectiveFraction(0) != 0 {
+		t.Fatal("y=0 must yield 0")
+	}
+	f := func(y uint8) bool {
+		yy := int(y%200) + 1
+		frac := p.EffectiveFraction(yy)
+		return frac >= p.Theta()-1e-12 && frac < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveFractionMonotone(t *testing.T) {
+	p := Paper()
+	prev := 0.0
+	for y := 1; y <= 100; y++ {
+		frac := p.EffectiveFraction(y)
+		if frac <= prev {
+			t.Fatalf("EffectiveFraction not strictly increasing at y=%d", y)
+		}
+		prev = frac
+	}
+}
+
+func TestPeriodLength(t *testing.T) {
+	p := Paper()
+	if got := p.PeriodLength(5); got != 10*time.Second {
+		t.Fatalf("PeriodLength(5) = %v", got)
+	}
+}
+
+func TestPeriodThroughputY1(t *testing.T) {
+	// y=1: R_P = θ·R_x.
+	p := Paper()
+	got, err := p.PeriodThroughput([]float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-9 {
+		t.Fatalf("PeriodThroughput([100]) = %v, want 50", got)
+	}
+}
+
+func TestPeriodThroughputFormula(t *testing.T) {
+	// y=4, slots 10,20,30,40:
+	// (10·t_d + (20+30+40)·t_a) / (4·t_a) = (10·0.5 + 90) / 4 = 23.75.
+	p := Paper()
+	got, err := p.PeriodThroughput([]float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-23.75) > 1e-9 {
+		t.Fatalf("PeriodThroughput = %v, want 23.75", got)
+	}
+}
+
+func TestPeriodThroughputEmpty(t *testing.T) {
+	if _, err := Paper().PeriodThroughput(nil); err == nil {
+		t.Fatal("expected error for empty period")
+	}
+}
+
+func TestPeriodEstimate(t *testing.T) {
+	p := Paper()
+	// y=1: W_P = θ·w.
+	if got := p.PeriodEstimate(100, 1); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("PeriodEstimate(100,1) = %v", got)
+	}
+	// y=5: W_P = 0.9·w.
+	if got := p.PeriodEstimate(100, 5); math.Abs(got-90) > 1e-9 {
+		t.Fatalf("PeriodEstimate(100,5) = %v", got)
+	}
+}
+
+func TestPeriodThroughputConstantSlots(t *testing.T) {
+	// With identical per-slot throughput R, R_P = EffectiveFraction(y)·R.
+	p := Paper()
+	f := func(y uint8, raw float64) bool {
+		yy := int(y%30) + 1
+		r := math.Abs(math.Mod(raw, 1000))
+		if math.IsNaN(r) {
+			return true
+		}
+		slots := make([]float64, yy)
+		for i := range slots {
+			slots[i] = r
+		}
+		got, err := p.PeriodThroughput(slots)
+		if err != nil {
+			return false
+		}
+		want := p.EffectiveFraction(yy) * r
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

