@@ -1,0 +1,40 @@
+# Local targets mirror the CI pipeline (.github/workflows/ci.yml) exactly,
+# so a green `make ci` implies a green CI run.
+
+GO ?= go
+
+.PHONY: all build fmt-check vet test race bench bench-smoke figures ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (slow; regenerates every figure several times).
+bench:
+	$(GO) test -bench=. -benchmem -timeout 60m ./...
+
+# One iteration of every benchmark — the CI smoke run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=NONE -timeout 30m ./...
+
+# Regenerate every table and figure of the paper through the engine.
+figures:
+	$(GO) run ./cmd/figgen -exp all -v
+
+ci: build fmt-check vet race bench-smoke

@@ -4,6 +4,7 @@ import (
 	"multihopbandit/internal/cds"
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
+	"multihopbandit/internal/engine"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/mwis"
 	"multihopbandit/internal/policy"
@@ -292,6 +293,38 @@ func ReplicateFig7(base Fig7Config, seeds []int64, workers int) (*sim.Fig7Replic
 
 // SeedRange returns n consecutive seeds starting at base.
 func SeedRange(base int64, n int) []int64 { return sim.SeedRange(base, n) }
+
+// ---------------------------------------------------------------------------
+// Experiment engine
+
+// ArtifactCache memoizes expensive per-instance artifacts (topology, the
+// extended conflict graph H, channel means, the brute-force optimum) across
+// experiment trials. Pass one cache to several experiment configs to share
+// instances between them.
+type ArtifactCache = engine.ArtifactCache
+
+// NewArtifactCache returns an empty artifact cache.
+func NewArtifactCache() *ArtifactCache { return engine.NewArtifactCache() }
+
+// CacheStats reports artifact-cache hit/miss accounting.
+type CacheStats = engine.CacheStats
+
+// ExperimentSuite selects and parameterizes a batch of evaluation
+// experiments executed through the orchestration engine with a shared
+// artifact cache.
+type ExperimentSuite = sim.SuiteConfig
+
+// ExperimentResults bundles the outputs of RunExperiments.
+type ExperimentResults = sim.SuiteResult
+
+// RunExperiments regenerates the selected evaluation experiments (Fig. 6–8,
+// the ablations, the non-stationary extension, and optionally the Fig. 7
+// multi-seed replication) through the engine: every figure decomposes into
+// figure × policy × seed jobs on a bounded worker pool, with deterministic
+// per-job random streams — results are bit-identical for any worker count.
+func RunExperiments(cfg ExperimentSuite) (*ExperimentResults, error) {
+	return sim.RunExperiments(cfg)
+}
 
 // ---------------------------------------------------------------------------
 // Scheduling substrate (queueing)

@@ -22,6 +22,7 @@ import (
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/dist"
+	"multihopbandit/internal/engine"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/mwis"
 	"multihopbandit/internal/policy"
@@ -541,6 +542,53 @@ func BenchmarkCDSBuild(b *testing.B) {
 		size = len(backbone.Members)
 	}
 	b.ReportMetric(float64(size), "backbone_size")
+}
+
+// BenchmarkInstanceSetupUncached measures the per-trial setup cost the
+// pre-engine harness paid on every replication — topology placement,
+// extended-conflict-graph construction and channel-mean generation at the
+// Fig. 8 scale — by forcing a cold artifact-cache build each iteration.
+func BenchmarkInstanceSetupUncached(b *testing.B) {
+	cfg := engine.InstanceConfig{N: 100, M: 10, TargetDegree: 6, Seed: 7, Stream: "fig8"}
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.NewArtifactCache().Instance(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstanceSetupCached measures the same lookup served from the
+// engine's artifact cache — the steady-state cost every trial after the
+// first pays under the experiment engine.
+func BenchmarkInstanceSetupCached(b *testing.B) {
+	cfg := engine.InstanceConfig{N: 100, M: 10, TargetDegree: 6, Seed: 7, Stream: "fig8"}
+	cache := engine.NewArtifactCache()
+	if _, err := cache.Instance(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Instance(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7CachedReruns measures repeated Fig. 7 runs sharing one
+// artifact cache: every rerun skips topology, extended-graph and
+// brute-force-optimum construction.
+func BenchmarkFig7CachedReruns(b *testing.B) {
+	cache := engine.NewArtifactCache()
+	cfg := sim.Fig7Config{Seed: 42, Slots: 100, Cache: cache}
+	if _, err := sim.RunFig7(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunFig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkReplicateParallel measures the multi-seed driver's scaling on a

@@ -1,12 +1,15 @@
-// Command chansim runs a single channel-access simulation and prints
-// per-interval throughput, the final strategy, and the communication
-// statistics of the distributed protocol.
+// Command chansim runs channel-access simulations and prints per-interval
+// throughput, the final strategy, and the communication statistics of the
+// distributed protocol. With -reps > 1 it replicates the simulation over
+// consecutive seeds on the experiment engine's worker pool and prints
+// cross-seed summary statistics.
 //
 // Usage:
 //
 //	chansim -n 25 -m 5 -slots 2000 -policy zhou-li
 //	chansim -n 15 -m 3 -policy llr -update-every 5
 //	chansim -n 40 -m 4 -topology linear    # the §IV-D worst case
+//	chansim -n 20 -m 4 -reps 16 -workers 8 # 16 seeds, summarized
 package main
 
 import (
@@ -16,8 +19,10 @@ import (
 
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
+	"multihopbandit/internal/engine"
 	"multihopbandit/internal/policy"
 	"multihopbandit/internal/rng"
+	"multihopbandit/internal/sim"
 	"multihopbandit/internal/topology"
 )
 
@@ -28,93 +33,159 @@ func main() {
 	}
 }
 
+// options bundles the parsed command-line flags.
+type options struct {
+	n, m, slots, r, d, update, report int
+	seed                              int64
+	polName, topoName, chName         string
+	degree                            float64
+	reps, workers                     int
+}
+
 func run() error {
-	var (
-		n        = flag.Int("n", 25, "number of nodes (secondary users)")
-		m        = flag.Int("m", 5, "number of channels")
-		slots    = flag.Int("slots", 1000, "time slots to simulate")
-		seed     = flag.Int64("seed", 1, "root random seed")
-		polName  = flag.String("policy", "zhou-li", "policy: zhou-li|llr|cucb|discounted|eps-greedy|oracle")
-		topoName = flag.String("topology", "random", "topology: random|linear|grid|star")
-		chName   = flag.String("channels", "gaussian", "channel model: gaussian|bernoulli|markov|shift|primary")
-		r        = flag.Int("r", 2, "ball parameter r of the distributed PTAS")
-		d        = flag.Int("d", 4, "mini-rounds per strategy decision")
-		update   = flag.Int("update-every", 1, "strategy update period y in slots")
-		degree   = flag.Float64("degree", 6, "target average degree for random topologies")
-		report   = flag.Int("report", 10, "number of progress lines to print")
-	)
+	var opt options
+	flag.IntVar(&opt.n, "n", 25, "number of nodes (secondary users)")
+	flag.IntVar(&opt.m, "m", 5, "number of channels")
+	flag.IntVar(&opt.slots, "slots", 1000, "time slots to simulate")
+	flag.Int64Var(&opt.seed, "seed", 1, "root random seed (first seed with -reps)")
+	flag.StringVar(&opt.polName, "policy", "zhou-li", "policy: zhou-li|llr|cucb|discounted|eps-greedy|oracle")
+	flag.StringVar(&opt.topoName, "topology", "random", "topology: random|linear|grid|star")
+	flag.StringVar(&opt.chName, "channels", "gaussian", "channel model: gaussian|bernoulli|markov|shift|primary")
+	flag.IntVar(&opt.r, "r", 2, "ball parameter r of the distributed PTAS")
+	flag.IntVar(&opt.d, "d", 4, "mini-rounds per strategy decision")
+	flag.IntVar(&opt.update, "update-every", 1, "strategy update period y in slots")
+	flag.Float64Var(&opt.degree, "degree", 6, "target average degree for random topologies")
+	flag.IntVar(&opt.report, "report", 10, "number of progress lines to print")
+	flag.IntVar(&opt.reps, "reps", 1, "replications over consecutive seeds")
+	flag.IntVar(&opt.workers, "workers", 0, "worker pool size for -reps (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	src := rng.New(*seed)
-	nw, err := buildTopology(*topoName, *n, *degree, src)
-	if err != nil {
-		return err
+	if opt.reps <= 1 {
+		return runSingle(opt, opt.seed, true)
 	}
-	ch, err := buildChannels(*chName, *n, *m, src)
+	return runReplicated(opt)
+}
+
+// runSingle simulates one seed; verbose prints the per-interval progress and
+// final decision report. It returns an error only — the replicated path uses
+// simulate for the numbers.
+func runSingle(opt options, seed int64, verbose bool) error {
+	_, err := simulate(opt, seed, verbose)
+	return err
+}
+
+// simulate runs one full simulation for the given seed and returns the final
+// average throughput in kbps.
+func simulate(opt options, seed int64, verbose bool) (float64, error) {
+	src := rng.New(seed)
+	nw, err := buildTopology(opt.topoName, opt.n, opt.degree, src)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	pol, err := buildPolicy(*polName, *n, *m, ch, src)
+	ch, err := buildChannels(opt.chName, opt.n, opt.m, src)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	pol, err := buildPolicy(opt.polName, opt.n, opt.m, ch, src)
+	if err != nil {
+		return 0, err
 	}
 	scheme, err := core.New(core.Config{
 		Net:         nw,
 		Channels:    ch,
-		M:           *m,
-		R:           *r,
-		D:           *d,
+		M:           opt.m,
+		R:           opt.r,
+		D:           opt.d,
 		Policy:      pol,
-		UpdateEvery: *update,
+		UpdateEvery: opt.update,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 
-	fmt.Printf("network: %d nodes, %d channels, avg degree %.2f, %s topology\n",
-		*n, *m, nw.G.AverageDegree(), *topoName)
-	fmt.Printf("policy %s, r=%d, D=%d, update every %d slot(s), seed %d\n",
-		pol.Name(), *r, *d, *update, *seed)
+	if verbose {
+		fmt.Printf("network: %d nodes, %d channels, avg degree %.2f, %s topology\n",
+			opt.n, opt.m, nw.G.AverageDegree(), opt.topoName)
+		fmt.Printf("policy %s, r=%d, D=%d, update every %d slot(s), seed %d\n",
+			pol.Name(), opt.r, opt.d, opt.update, seed)
+	}
 
-	interval := *slots / *report
+	interval := opt.slots / opt.report
 	if interval == 0 {
 		interval = 1
 	}
 	total := 0.0
 	intervalTotal := 0.0
 	var lastDecision *core.SlotResult
-	for i := 0; i < *slots; i++ {
+	for i := 0; i < opt.slots; i++ {
 		res, err := scheme.Step()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		total += res.ObservedKbps
 		intervalTotal += res.ObservedKbps
 		if res.Decided {
 			lastDecision = res
 		}
-		if (i+1)%interval == 0 {
+		if verbose && (i+1)%interval == 0 {
 			fmt.Printf("slot %6d  interval avg %8.1f kbps  overall avg %8.1f kbps\n",
 				i+1, intervalTotal/float64(interval), total/float64(i+1))
 			intervalTotal = 0
 		}
 	}
 
-	fmt.Printf("\nfinal average throughput: %.1f kbps\n", total/float64(*slots))
-	if lastDecision != nil && lastDecision.Decision != nil {
-		st := lastDecision.Decision.Stats
-		fmt.Printf("last decision: %d winners in %d mini-rounds (converged=%v), "+
-			"max per-vertex messages %d, %d mini-timeslots\n",
-			len(lastDecision.Winners), lastDecision.Decision.MiniRounds,
-			lastDecision.Decision.Converged, st.MaxMessages(), st.MiniTimeslots)
-		active := 0
-		for _, c := range lastDecision.Strategy {
-			if c >= 0 {
-				active++
+	avg := total / float64(opt.slots)
+	if verbose {
+		fmt.Printf("\nfinal average throughput: %.1f kbps\n", avg)
+		if lastDecision != nil && lastDecision.Decision != nil {
+			st := lastDecision.Decision.Stats
+			fmt.Printf("last decision: %d winners in %d mini-rounds (converged=%v), "+
+				"max per-vertex messages %d, %d mini-timeslots\n",
+				len(lastDecision.Winners), lastDecision.Decision.MiniRounds,
+				lastDecision.Decision.Converged, st.MaxMessages(), st.MiniTimeslots)
+			active := 0
+			for _, c := range lastDecision.Strategy {
+				if c >= 0 {
+					active++
+				}
 			}
+			fmt.Printf("final strategy: %d/%d nodes active\n", active, opt.n)
 		}
-		fmt.Printf("final strategy: %d/%d nodes active\n", active, *n)
 	}
+	return avg, nil
+}
+
+// runReplicated runs -reps seeds on the experiment engine and prints
+// per-seed final throughput plus cross-seed summary statistics.
+func runReplicated(opt options) error {
+	seeds := sim.SeedRange(opt.seed, opt.reps)
+	runner := engine.NewRunner(engine.Config{Workers: opt.workers, Seed: opt.seed})
+	jobs := make([]engine.Job[float64], len(seeds))
+	for i, seed := range seeds {
+		seed := seed
+		jobs[i] = engine.Job[float64]{
+			ID: engine.CellID("chansim", opt.polName, seed),
+			Run: func(*engine.Ctx) (float64, error) {
+				return simulate(opt, seed, false)
+			},
+		}
+	}
+	workers := runner.Workers()
+	if workers > opt.reps {
+		workers = opt.reps
+	}
+	fmt.Printf("chansim: %d nodes, %d channels, policy %s, %d slots, %d seeds on %d worker(s)\n",
+		opt.n, opt.m, opt.polName, opt.slots, opt.reps, workers)
+	avgs, err := engine.Run(runner, jobs)
+	if err != nil {
+		return err
+	}
+	for i, avg := range avgs {
+		fmt.Printf("  seed %4d  final avg %8.1f kbps\n", seeds[i], avg)
+	}
+	s := sim.Summarize(avgs)
+	fmt.Printf("summary over %d seeds: mean %.1f kbps ± %.1f (95%% CI), std %.1f, min %.1f, max %.1f\n",
+		s.N, s.Mean, s.CI95, s.Std, s.Min, s.Max)
 	return nil
 }
 

@@ -1,9 +1,14 @@
 // Command figgen regenerates the tables and figures of the paper's
-// evaluation section as aligned text tables.
+// evaluation section as aligned text tables. All experiments run through the
+// internal/engine orchestration subsystem: figure × policy × seed cells are
+// scheduled on a bounded worker pool (-workers) and expensive per-instance
+// artifacts are shared through one artifact cache, so -exp all pays each
+// topology/extended-graph construction once.
 //
 // Usage:
 //
 //	figgen -exp all                # every artifact (default)
+//	figgen -exp all -workers 4     # bound the worker pool
 //	figgen -exp table2             # Table II time model
 //	figgen -exp fig6               # mini-round convergence
 //	figgen -exp fig7a|fig7b|fig7   # practical (β-)regret vs LLR
@@ -13,7 +18,8 @@
 //	figgen -exp shift              # non-stationary extension experiment
 //	figgen -exp fig7rep -reps 20   # Fig. 7 endpoints over many seeds (mean ± CI)
 //
-// All experiments are deterministic for a fixed -seed.
+// All experiments are deterministic for a fixed -seed, regardless of
+// -workers.
 package main
 
 import (
@@ -40,63 +46,35 @@ func run() error {
 		slots   = flag.Int("slots", 1000, "Fig. 7 horizon in time slots")
 		periods = flag.Int("periods", 1000, "Fig. 8 update periods per subplot")
 		samples = flag.Int("samples", 10, "table rows per series")
+		workers = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "print engine progress to stderr")
 	)
 	flag.Parse()
-
-	runTable2 := func() error {
-		fmt.Print(sim.RenderTable2(timing.Paper()))
-		return nil
-	}
-	runFig6 := func() error {
-		series, err := sim.RunFig6(sim.Fig6Config{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Print(sim.RenderFig6(series))
-		return nil
-	}
-	runFig7 := func() error {
-		res, err := sim.RunFig7(sim.Fig7Config{Seed: *seed, Slots: *slots})
-		if err != nil {
-			return err
-		}
-		fmt.Print(sim.RenderFig7(res, *samples))
-		return nil
-	}
-	runFig8 := func() error {
-		subs, err := sim.RunFig8(sim.Fig8Config{Seed: *seed, Periods: *periods})
-		if err != nil {
-			return err
-		}
-		fmt.Print(sim.RenderFig8(subs, *samples))
-		return nil
+	if *reps < 1 && (*exp == "all" || *exp == "fig7rep") {
+		return fmt.Errorf("-reps must be >= 1, got %d", *reps)
 	}
 
-	runAblations := func() error {
-		r, err := sim.RunAblationR(sim.AblationConfig{Seed: *seed})
-		if err != nil {
-			return err
+	// suite runs the selected experiments (empty include = all) through one
+	// shared engine; fig7Seeds additionally replicates Fig. 7 across seeds.
+	suite := func(fig7Seeds []int64, include ...string) (*sim.SuiteResult, error) {
+		cfg := sim.SuiteConfig{
+			Seed:      *seed,
+			Workers:   *workers,
+			Include:   include,
+			Fig7:      sim.Fig7Config{Slots: *slots},
+			Fig8:      sim.Fig8Config{Periods: *periods},
+			Fig7Seeds: fig7Seeds,
 		}
-		fmt.Print(sim.RenderAblation("Ablation — ball parameter r (N=60, M=5, one decision)", r))
-		d, err := sim.RunAblationD(sim.AblationConfig{Seed: *seed})
-		if err != nil {
-			return err
+		if *verbose {
+			cfg.Progress = func(name string, done, total int) {
+				fmt.Fprintf(os.Stderr, "figgen: %s done (%d/%d)\n", name, done, total)
+			}
 		}
-		fmt.Print(sim.RenderAblation("Ablation — mini-round cap D", d))
-		sv, err := sim.RunAblationSolver(sim.AblationConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Print(sim.RenderAblation("Ablation — local MWIS solver", sv))
-		return nil
+		return sim.RunExperiments(cfg)
 	}
-	runFig7Rep := func() error {
-		rep, err := sim.RunFig7Replicated(sim.Fig7Config{Slots: *slots},
-			sim.SeedRange(*seed, *reps), 0)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Fig. 7 endpoints over %d seeds (mean ± 95%% CI), kbps\n", *reps)
+
+	renderFig7Rep := func(rep *sim.Fig7Replicated, n int) {
+		fmt.Printf("Fig. 7 endpoints over %d seeds (mean ± 95%% CI), kbps\n", n)
 		fmt.Printf("%12s %22s %22s %22s\n", "policy", "practical regret", "β-regret", "avg throughput")
 		for _, name := range []string{"Algorithm2", "LLR"} {
 			r := rep.FinalRegret[name]
@@ -105,38 +83,82 @@ func run() error {
 			fmt.Printf("%12s %12.1f ± %7.1f %12.1f ± %7.1f %12.1f ± %7.1f\n",
 				name, r.Mean, r.CI95, b.Mean, b.CI95, th.Mean, th.CI95)
 		}
-		return nil
-	}
-	runShift := func() error {
-		res, err := sim.RunShift(sim.ShiftConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Print(sim.RenderShift(res, *samples))
-		return nil
 	}
 
 	switch *exp {
 	case "table2":
-		return runTable2()
+		fmt.Print(sim.RenderTable2(timing.Paper()))
+		return nil
 	case "fig6":
-		return runFig6()
+		res, err := suite(nil, "fig6")
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderFig6(res.Fig6))
+		return nil
 	case "fig7", "fig7a", "fig7b":
-		return runFig7()
+		res, err := suite(nil, "fig7")
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderFig7(res.Fig7, *samples))
+		return nil
 	case "fig8":
-		return runFig8()
+		res, err := suite(nil, "fig8")
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderFig8(res.Fig8, *samples))
+		return nil
 	case "ablations":
-		return runAblations()
+		res, err := suite(nil, "ablations")
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderAblation("Ablation — ball parameter r (N=60, M=5, one decision)", res.AblationR))
+		fmt.Print(sim.RenderAblation("Ablation — mini-round cap D", res.AblationD))
+		fmt.Print(sim.RenderAblation("Ablation — local MWIS solver", res.AblationSolver))
+		return nil
 	case "shift":
-		return runShift()
+		res, err := suite(nil, "shift")
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderShift(res.Shift, *samples))
+		return nil
 	case "fig7rep":
-		return runFig7Rep()
+		rep, err := sim.RunFig7Replicated(sim.Fig7Config{Slots: *slots},
+			sim.SeedRange(*seed, *reps), *workers)
+		if err != nil {
+			return err
+		}
+		renderFig7Rep(rep, *reps)
+		return nil
 	case "all":
-		for _, f := range []func() error{runTable2, runFig6, runFig7, runFig8, runAblations, runShift, runFig7Rep} {
-			if err := f(); err != nil {
-				return err
-			}
-			fmt.Println()
+		fmt.Print(sim.RenderTable2(timing.Paper()))
+		fmt.Println()
+		res, err := suite(sim.SeedRange(*seed, *reps))
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderFig6(res.Fig6))
+		fmt.Println()
+		fmt.Print(sim.RenderFig7(res.Fig7, *samples))
+		fmt.Println()
+		fmt.Print(sim.RenderFig8(res.Fig8, *samples))
+		fmt.Println()
+		fmt.Print(sim.RenderAblation("Ablation — ball parameter r (N=60, M=5, one decision)", res.AblationR))
+		fmt.Print(sim.RenderAblation("Ablation — mini-round cap D", res.AblationD))
+		fmt.Print(sim.RenderAblation("Ablation — local MWIS solver", res.AblationSolver))
+		fmt.Println()
+		fmt.Print(sim.RenderShift(res.Shift, *samples))
+		fmt.Println()
+		renderFig7Rep(res.Fig7Replicated, *reps)
+		fmt.Println()
+		if *verbose {
+			st := res.Cache
+			fmt.Fprintf(os.Stderr, "figgen: artifact cache: %d entries, %d hits, %d misses\n",
+				st.Entries, st.Hits, st.Misses)
 		}
 		return nil
 	default:

@@ -15,9 +15,32 @@
 //     (equation (3)), the LLR baseline, ε-greedy, a genie oracle, and the
 //     naive joint-UCB1 formulation whose O(M^N) state the paper avoids,
 //   - the complete channel-access scheme (Algorithm 2) with the paper's
-//     Table II time model and periodic weight updates, and
+//     Table II time model and periodic weight updates,
 //   - an experiment harness regenerating every figure and table of the
-//     paper's evaluation (see EXPERIMENTS.md).
+//     paper's evaluation (see EXPERIMENTS.md), and
+//   - a parallel experiment engine (internal/engine) that schedules
+//     figure × policy × seed cells on a bounded worker pool and shares
+//     expensive per-instance artifacts through a cache.
+//
+// # The experiment engine
+//
+// RunExperiments drives the whole evaluation through the engine:
+//
+//	res, err := multihopbandit.RunExperiments(multihopbandit.ExperimentSuite{
+//		Seed:    1,
+//		Workers: 8, // 0 = GOMAXPROCS
+//	})
+//	// handle err; res.Fig6, res.Fig7, res.Fig8, ... hold the figures
+//
+// Every experiment decomposes into jobs whose random streams derive from
+// the configuration alone — never from scheduling — so results are
+// bit-identical for any worker count. One ArtifactCache is shared across
+// the suite: N trials over the same network instance pay the topology,
+// extended-conflict-graph and brute-force-optimum cost once (see
+// BenchmarkInstanceSetupCached vs BenchmarkInstanceSetupUncached).
+// Continuous integration (.github/workflows/ci.yml, mirrored by the
+// Makefile) builds the module and runs gofmt, go vet, the race-enabled
+// tests and a one-iteration benchmark smoke pass; see CONTRIBUTING.md.
 //
 // # Quick start
 //

@@ -1,0 +1,3 @@
+module multihopbandit
+
+go 1.21

@@ -1,0 +1,319 @@
+// Package dist simulates the distributed strategy decision (Algorithm 3) at
+// message granularity: every vertex of the extended conflict graph is an
+// independent agent that acts only on control frames it has actually
+// received, and every frame transmission may be lost independently with a
+// configurable probability.
+//
+// It complements internal/protocol, which executes the same algorithm
+// lock-step under an omniscient simulator with perfect delivery. dist
+// quantifies two things the lock-step model abstracts away: the true
+// control-frame volume of the flooding broadcasts (Result.FramesSent) and
+// the cost of dropping the paper's reliable-control-channel assumption
+// (conflicting or missing determinations under loss).
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/mwis"
+	"multihopbandit/internal/rng"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Ext is the extended conflict graph the decision runs on.
+	Ext *extgraph.Extended
+	// R is the ball parameter r (default 2), as in internal/protocol.
+	R int
+	// D caps the mini-rounds per decision. 0 means "run until every agent
+	// has decided or no progress is possible", bounded by the vertex count.
+	D int
+	// Solver computes each LocalLeader's local MWIS (default mwis.Hybrid).
+	Solver mwis.Solver
+	// DropProb is the independent per-link loss probability of one frame
+	// transmission. 0 reproduces the paper's reliable control channel.
+	DropProb float64
+	// LossSeed seeds the loss process; decisions are deterministic given it.
+	LossSeed int64
+}
+
+// Runtime executes message-granular strategy decisions over a fixed extended
+// conflict graph. Create one per topology; it precomputes hop-neighborhoods.
+type Runtime struct {
+	ext    *extgraph.Extended
+	r      int
+	d      int
+	solver mwis.Solver
+	drop   float64
+	loss   *rng.Source
+
+	ballR   [][]int // r-hop neighborhoods per vertex
+	ball2R1 [][]int // (2r+1)-hop neighborhoods per vertex
+
+	decisions int // decision counter for per-decision loss sub-streams
+}
+
+// New builds a Runtime and precomputes the hop-neighborhoods.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Ext == nil {
+		return nil, errors.New("dist: nil extended graph")
+	}
+	r := cfg.R
+	if r == 0 {
+		r = 2
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("dist: r must be >= 1, got %d", r)
+	}
+	if cfg.D < 0 {
+		return nil, fmt.Errorf("dist: D must be >= 0, got %d", cfg.D)
+	}
+	if cfg.DropProb < 0 || cfg.DropProb >= 1 {
+		return nil, fmt.Errorf("dist: DropProb must be in [0,1), got %v", cfg.DropProb)
+	}
+	solver := cfg.Solver
+	if solver == nil {
+		solver = mwis.Hybrid{}
+	}
+	h := cfg.Ext.H
+	n := h.N()
+	rt := &Runtime{
+		ext:     cfg.Ext,
+		r:       r,
+		d:       cfg.D,
+		solver:  solver,
+		drop:    cfg.DropProb,
+		loss:    rng.New(cfg.LossSeed).Split("dist-loss"),
+		ballR:   make([][]int, n),
+		ball2R1: make([][]int, n),
+	}
+	for v := 0; v < n; v++ {
+		rt.ballR[v] = h.Ball(v, r)
+		rt.ball2R1[v] = h.Ball(v, 2*r+1)
+		sort.Ints(rt.ballR[v])
+		sort.Ints(rt.ball2R1[v])
+	}
+	return rt, nil
+}
+
+// Result is the outcome of one message-granular strategy decision.
+type Result struct {
+	// Winners lists the vertices that believe they are in the output set,
+	// sorted ascending. Under loss the set may fail independence — that is
+	// the measured failure mode, not an error.
+	Winners []int
+	// FramesSent is the total number of local-broadcast frames transmitted
+	// across the WB, LS and LB floods, including relays.
+	FramesSent int
+	// MiniRounds is the number of mini-rounds executed.
+	MiniRounds int
+	// Converged reports whether every agent decided before the cap.
+	Converged bool
+	// Independent reports whether Winners is an independent set of H (always
+	// true when DropProb is 0).
+	Independent bool
+}
+
+// flood simulates one hop-bounded flooding broadcast from origin under the
+// runtime's loss process. It returns the vertices that received the payload
+// (origin included) and the number of frames transmitted: every vertex that
+// relays — origin included — sends exactly one local-broadcast frame, and
+// each neighbor independently loses it with probability DropProb.
+func (rt *Runtime) flood(origin, radius int, rnd *rng.Source) (reached []int, frames int) {
+	h := rt.ext.H
+	got := make([]bool, h.N())
+	got[origin] = true
+	reached = append(reached, origin)
+	frontier := []int{origin}
+	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
+		var next []int
+		for _, v := range frontier {
+			frames++
+			for _, u := range h.Neighbors(v) {
+				if got[u] {
+					continue
+				}
+				if rt.drop > 0 && rnd.Float64() < rt.drop {
+					continue
+				}
+				got[u] = true
+				reached = append(reached, u)
+				next = append(next, u)
+			}
+		}
+		frontier = next
+	}
+	return reached, frames
+}
+
+// Decide runs one strategy decision from the given per-vertex index weights.
+// Each agent starts knowing only its own weight and the conflict graph;
+// weights spread via the WB flood, leader declarations via LS floods, and
+// determinations via LB floods, all subject to loss.
+func (rt *Runtime) Decide(weights []float64) (*Result, error) {
+	h := rt.ext.H
+	n := h.N()
+	if len(weights) != n {
+		return nil, fmt.Errorf("dist: %d weights for %d vertices", len(weights), n)
+	}
+	rnd := rt.loss.SplitN("decide", rt.decisions)
+	rt.decisions++
+
+	// Per-agent local views. knows[v][u]: v has received u's weight.
+	// cand[v][u]: v believes u is still undecided. self[v]: v's own status.
+	knows := make([][]bool, n)
+	cand := make([][]bool, n)
+	const (
+		selfCandidate = iota
+		selfWinner
+		selfLoser
+	)
+	self := make([]int, n)
+	for v := 0; v < n; v++ {
+		knows[v] = make([]bool, n)
+		knows[v][v] = true
+		cand[v] = make([]bool, n)
+		for u := range cand[v] {
+			cand[v][u] = true
+		}
+	}
+
+	res := &Result{}
+
+	// WB: every vertex floods its weight within 2r+1 hops.
+	for v := 0; v < n; v++ {
+		reached, f := rt.flood(v, 2*rt.r+1, rnd.SplitN("wb", v))
+		res.FramesSent += f
+		for _, u := range reached {
+			knows[u][v] = true
+		}
+	}
+
+	maxRounds := rt.d
+	if maxRounds == 0 {
+		maxRounds = n
+	}
+	for tau := 0; tau < maxRounds; tau++ {
+		// Leader self-selection from each agent's local view: v leads if no
+		// known, believed-candidate vertex in its (2r+1)-ball beats it.
+		// Vertices whose WB frame was lost do not compete from v's view —
+		// under loss this can crown conflicting leaders.
+		var leaders []int
+		for v := 0; v < n; v++ {
+			if self[v] != selfCandidate {
+				continue
+			}
+			lead := true
+			for _, u := range rt.ball2R1[v] {
+				if u == v || !knows[v][u] || !cand[v][u] {
+					continue
+				}
+				if weights[u] > weights[v] || (weights[u] == weights[v] && u < v) {
+					lead = false
+					break
+				}
+			}
+			if lead {
+				leaders = append(leaders, v)
+			}
+		}
+		if len(leaders) == 0 {
+			break
+		}
+		for _, v := range leaders {
+			// LS: declare leadership within 2r+1 hops (frames only; the
+			// declaration carries no state the LB does not supersede).
+			_, f := rt.flood(v, 2*rt.r+1, rnd.SplitN("ls", tau*n+v))
+			res.FramesSent += f
+
+			// Local MWIS over the candidates v knows of within r hops.
+			ar := make([]int, 0, len(rt.ballR[v]))
+			for _, u := range rt.ballR[v] {
+				if u == v || (knows[v][u] && cand[v][u]) {
+					ar = append(ar, u)
+				}
+			}
+			sub, origIDs := h.InducedSubgraph(ar)
+			w := make([]float64, len(origIDs))
+			for i, u := range origIDs {
+				w[i] = weights[u]
+			}
+			localIS, err := rt.solver.Solve(mwis.Instance{G: sub, W: w})
+			if err != nil && !errors.Is(err, mwis.ErrBudgetExceeded) {
+				return nil, fmt.Errorf("dist: local MWIS at leader %d: %w", v, err)
+			}
+			inIS := make(map[int]bool, len(localIS))
+			for _, li := range localIS {
+				inIS[origIDs[li]] = true
+			}
+			var winners, losers []int
+			for _, u := range ar {
+				if inIS[u] {
+					winners = append(winners, u)
+				} else {
+					losers = append(losers, u)
+				}
+			}
+
+			// LB: flood the determination within 3r+2 hops; only receivers
+			// update their views. First decisions stick.
+			reached, f := rt.flood(v, 3*rt.r+2, rnd.SplitN("lb", tau*n+v))
+			res.FramesSent += f
+			// Winner-neighbor exclusion is common knowledge: every receiver
+			// knows the graph, so the winners list also rules out all their
+			// neighbors from every informed view.
+			excluded := make(map[int]bool)
+			for _, u := range winners {
+				for _, y := range h.Neighbors(u) {
+					excluded[y] = true
+				}
+			}
+			for _, x := range reached {
+				for _, u := range winners {
+					cand[x][u] = false
+					if x == u && self[x] == selfCandidate {
+						self[x] = selfWinner
+					}
+				}
+				for _, u := range losers {
+					cand[x][u] = false
+					if x == u && self[x] == selfCandidate {
+						self[x] = selfLoser
+					}
+				}
+				for y := range excluded {
+					cand[x][y] = false
+					if x == y && self[x] == selfCandidate {
+						self[x] = selfLoser
+					}
+				}
+			}
+		}
+		res.MiniRounds++
+		undecided := 0
+		for v := 0; v < n; v++ {
+			if self[v] == selfCandidate {
+				undecided++
+			}
+		}
+		if undecided == 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if self[v] == selfWinner {
+			res.Winners = append(res.Winners, v)
+		}
+	}
+	sort.Ints(res.Winners)
+	res.Independent = h.IsIndependent(res.Winners)
+	if rt.drop == 0 && !res.Independent {
+		return nil, errors.New("dist: internal error: lossless winners are not independent")
+	}
+	return res, nil
+}

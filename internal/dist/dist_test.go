@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"testing"
+
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/topology"
+)
+
+func testInstance(t *testing.T, n, m int, seed int64) (*extgraph.Extended, []float64) {
+	t.Helper()
+	nw, err := topology.Random(topology.RandomConfig{N: n}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := extgraph.Build(nw.G, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(seed + 1)
+	w := make([]float64, ext.K())
+	for i := range w {
+		w[i] = src.Float64()
+	}
+	return ext, w
+}
+
+func TestLosslessDecisionIsIndependentAndConverges(t *testing.T) {
+	ext, w := testInstance(t, 30, 3, 1)
+	rt, err := New(Config{Ext: ext, R: 2, D: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) == 0 {
+		t.Fatal("no winners")
+	}
+	if !res.Independent {
+		t.Fatal("lossless winners not independent")
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d mini-rounds", res.MiniRounds)
+	}
+	if res.FramesSent == 0 {
+		t.Fatal("no frames accounted")
+	}
+}
+
+func TestDecideDeterministicGivenLossSeed(t *testing.T) {
+	ext, w := testInstance(t, 25, 3, 2)
+	mk := func() *Result {
+		rt, err := New(Config{Ext: ext, R: 2, D: 6, DropProb: 0.3, LossSeed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Decide(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.FramesSent != b.FramesSent || len(a.Winners) != len(b.Winners) {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Winners {
+		if a.Winners[i] != b.Winners[i] {
+			t.Fatalf("winner mismatch at %d", i)
+		}
+	}
+}
+
+func TestLossReducesDeliveredFrames(t *testing.T) {
+	ext, w := testInstance(t, 30, 3, 3)
+	frames := func(drop float64) int {
+		rt, err := New(Config{Ext: ext, R: 2, D: 6, DropProb: drop, LossSeed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Decide(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FramesSent
+	}
+	// Heavy loss prunes flood relays, so far fewer frames are transmitted.
+	if f0, f9 := frames(0), frames(0.9); f9 >= f0 {
+		t.Fatalf("frames did not drop under loss: %d (p=0) vs %d (p=0.9)", f0, f9)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ext, _ := testInstance(t, 6, 2, 4)
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil Ext accepted")
+	}
+	if _, err := New(Config{Ext: ext, R: -1}); err == nil {
+		t.Fatal("negative r accepted")
+	}
+	if _, err := New(Config{Ext: ext, D: -1}); err == nil {
+		t.Fatal("negative D accepted")
+	}
+	if _, err := New(Config{Ext: ext, DropProb: 1}); err == nil {
+		t.Fatal("DropProb 1 accepted")
+	}
+	rt, err := New(Config{Ext: ext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Decide([]float64{1}); err == nil {
+		t.Fatal("wrong weight count accepted")
+	}
+}

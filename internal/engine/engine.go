@@ -1,0 +1,200 @@
+// Package engine is the experiment orchestration subsystem: it schedules
+// experiment cells (figure × policy × seed) as jobs on a bounded worker
+// pool with deterministic per-job random streams, aggregates results in job
+// order, reports progress, and collects errors with optional fail-fast
+// dispatch.
+//
+// Determinism is the design invariant: a job's random stream is derived from
+// the runner's root seed and the job ID alone (rng.Source.Split keyed by the
+// ID), never from scheduling order, so results are bit-identical for any
+// worker count. The companion ArtifactCache memoizes expensive per-instance
+// artifacts (unit-disk topology, extended conflict graph H, channel means,
+// the brute-force optimum) keyed by their full generating configuration, so
+// N trials over one instance pay the construction cost once.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"multihopbandit/internal/rng"
+)
+
+// Job is one schedulable unit of work producing a T.
+type Job[T any] struct {
+	// ID uniquely identifies the job within one Run call; it keys the job's
+	// deterministic random stream. Use CellID for experiment cells.
+	ID string
+	// Run executes the job. It must derive all randomness from ctx.RNG (or
+	// from configuration it recomputes deterministically) and must not
+	// depend on other jobs' execution or ordering.
+	Run func(ctx *Ctx) (T, error)
+}
+
+// Ctx is handed to each running job.
+type Ctx struct {
+	// ID echoes the job ID.
+	ID string
+	// RNG is the job's private deterministic stream, derived from the
+	// runner's root seed and the job ID — independent of scheduling.
+	RNG *rng.Source
+	// Cache is the runner's shared artifact cache.
+	Cache *ArtifactCache
+}
+
+// Progress reports one completed job. Done counts completions so far,
+// including the reported one.
+type Progress struct {
+	Done, Total int
+	JobID       string
+	Err         error
+}
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Workers bounds concurrent jobs (default GOMAXPROCS).
+	Workers int
+	// Seed is the root seed per-job streams are derived from.
+	Seed int64
+	// Cache is an optional shared artifact cache; nil creates a private one.
+	Cache *ArtifactCache
+	// FailFast stops dispatching new jobs after the first error. Running
+	// jobs always drain; already-collected errors are reported either way.
+	FailFast bool
+	// Progress, if set, is invoked after every job completion. Calls are
+	// serialized in Done order under the pool lock, so the callback must be
+	// fast (a status line, not work) and must not invoke the runner
+	// reentrantly.
+	Progress func(Progress)
+}
+
+// Runner executes job sets. It is safe for concurrent use; each Run call
+// spins up its own pool.
+type Runner struct {
+	workers  int
+	seed     int64
+	cache    *ArtifactCache
+	failFast bool
+	progress func(Progress)
+}
+
+// NewRunner builds a Runner, applying defaults for zero-value config fields.
+func NewRunner(cfg Config) *Runner {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	c := cfg.Cache
+	if c == nil {
+		c = NewArtifactCache()
+	}
+	return &Runner{
+		workers:  w,
+		seed:     cfg.Seed,
+		cache:    c,
+		failFast: cfg.FailFast,
+		progress: cfg.Progress,
+	}
+}
+
+// Workers returns the effective worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Cache returns the runner's artifact cache.
+func (r *Runner) Cache() *ArtifactCache { return r.cache }
+
+// CellID formats the canonical job ID of a figure × policy × seed cell.
+func CellID(figure, policy string, seed int64) string {
+	return fmt.Sprintf("%s/%s/seed=%d", figure, policy, seed)
+}
+
+// Run executes jobs on the runner's worker pool and returns the results in
+// job order. All failing jobs' errors are collected and joined; under
+// FailFast, undispatched jobs are skipped after the first failure. Results
+// are bit-identical for any worker count.
+func Run[T any](r *Runner, jobs []Job[T]) ([]T, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("engine: no jobs")
+	}
+	seen := make(map[string]struct{}, len(jobs))
+	for _, j := range jobs {
+		if j.Run == nil {
+			return nil, fmt.Errorf("engine: job %q has no Run function", j.ID)
+		}
+		if _, dup := seen[j.ID]; dup {
+			return nil, fmt.Errorf("engine: duplicate job ID %q", j.ID)
+		}
+		seen[j.ID] = struct{}{}
+	}
+
+	workers := r.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	root := rng.New(r.seed)
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		next   int
+		done   int
+		failed bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(jobs) || (failed && r.failFast) {
+					mu.Unlock()
+					return
+				}
+				idx := next
+				next++
+				mu.Unlock()
+
+				job := jobs[idx]
+				out, err := job.Run(&Ctx{
+					ID:    job.ID,
+					RNG:   root.SplitPath("engine-job", job.ID),
+					Cache: r.cache,
+				})
+				if err != nil {
+					err = fmt.Errorf("engine: job %q: %w", job.ID, err)
+				}
+
+				mu.Lock()
+				results[idx] = out
+				errs[idx] = err
+				done++
+				if err != nil {
+					failed = true
+				}
+				if r.progress != nil {
+					// The callback runs under the pool lock: events arrive
+					// serialized in Done order, at the cost that a slow
+					// callback throttles dispatch. Progress callbacks are
+					// for status lines, not work — keep them fast.
+					r.progress(Progress{Done: done, Total: len(jobs), JobID: job.ID, Err: err})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var collected []error
+	for _, err := range errs {
+		if err != nil {
+			collected = append(collected, err)
+		}
+	}
+	if len(collected) > 0 {
+		return nil, errors.Join(collected...)
+	}
+	return results, nil
+}

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// jobsDrawing builds n jobs that each draw k floats from their private
+// stream and sum them — any scheduling dependence would show up as a
+// different sum for some job.
+func jobsDrawing(n, k int) []Job[float64] {
+	jobs := make([]Job[float64], n)
+	for i := range jobs {
+		jobs[i] = Job[float64]{
+			ID: fmt.Sprintf("draw/%d", i),
+			Run: func(ctx *Ctx) (float64, error) {
+				sum := 0.0
+				for j := 0; j < k; j++ {
+					sum += ctx.RNG.Float64()
+				}
+				return sum, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	want, err := Run(NewRunner(Config{Workers: 1, Seed: 42}), jobsDrawing(24, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		got, err := Run(NewRunner(Config{Workers: workers, Seed: 42}), jobsDrawing(24, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: job %d got %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunResultsInJobOrder(t *testing.T) {
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			ID:  fmt.Sprintf("order/%d", i),
+			Run: func(*Ctx) (int, error) { return i * i, nil },
+		}
+	}
+	out, err := Run(NewRunner(Config{Workers: 4}), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job[int]{
+		{ID: "a", Run: func(*Ctx) (int, error) { return 1, nil }},
+		{ID: "b", Run: func(*Ctx) (int, error) { return 0, boom }},
+		{ID: "c", Run: func(*Ctx) (int, error) { return 3, nil }},
+	}
+	_, err := Run(NewRunner(Config{Workers: 2}), jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := err.Error(); got == "" || !errors.Is(err, boom) {
+		t.Fatalf("unhelpful error %q", got)
+	}
+}
+
+func TestRunFailFastSkipsRemainingJobs(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			ID: fmt.Sprintf("ff/%d", i),
+			Run: func(*Ctx) (int, error) {
+				ran.Add(1)
+				if i == 0 {
+					return 0, errors.New("first fails")
+				}
+				return i, nil
+			},
+		}
+	}
+	_, err := Run(NewRunner(Config{Workers: 1, FailFast: true}), jobs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("%d jobs ran after fail-fast, want 1", ran.Load())
+	}
+}
+
+func TestRunWithoutFailFastDrainsAllJobs(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			ID: fmt.Sprintf("drain/%d", i),
+			Run: func(*Ctx) (int, error) {
+				ran.Add(1)
+				if i == 0 {
+					return 0, errors.New("first fails")
+				}
+				return i, nil
+			},
+		}
+	}
+	if _, err := Run(NewRunner(Config{Workers: 2}), jobs); err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("only %d/8 jobs ran", ran.Load())
+	}
+}
+
+func TestRunProgressReporting(t *testing.T) {
+	var events []Progress
+	r := NewRunner(Config{
+		Workers:  3,
+		Progress: func(p Progress) { events = append(events, p) },
+	})
+	if _, err := Run(r, jobsDrawing(9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 9 {
+		t.Fatalf("%d progress events, want 9", len(events))
+	}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != 9 || e.Err != nil {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestRunRejectsBadJobSets(t *testing.T) {
+	r := NewRunner(Config{})
+	if _, err := Run[int](r, nil); err == nil {
+		t.Fatal("empty job set accepted")
+	}
+	if _, err := Run(r, []Job[int]{{ID: "x"}}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+	dup := []Job[int]{
+		{ID: "x", Run: func(*Ctx) (int, error) { return 0, nil }},
+		{ID: "x", Run: func(*Ctx) (int, error) { return 0, nil }},
+	}
+	if _, err := Run(r, dup); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestCellID(t *testing.T) {
+	if got := CellID("fig7", "LLR", 3); got != "fig7/LLR/seed=3" {
+		t.Fatalf("CellID = %q", got)
+	}
+}

@@ -49,6 +49,17 @@ func (s *Source) Split(name string) *Source {
 	return New(derived)
 }
 
+// SplitPath derives an independent sub-stream identified by a sequence of
+// names, equivalent to chaining Split over each part. The experiment engine
+// uses it to key per-job streams by hierarchical job IDs.
+func (s *Source) SplitPath(parts ...string) *Source {
+	cur := s
+	for _, p := range parts {
+		cur = cur.Split(p)
+	}
+	return cur
+}
+
 // SplitN derives an independent sub-stream identified by a name and an index,
 // e.g. one stream per node.
 func (s *Source) SplitN(name string, n int) *Source {

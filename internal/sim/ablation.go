@@ -6,12 +6,12 @@ import (
 
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
+	"multihopbandit/internal/engine"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/mwis"
 	"multihopbandit/internal/policy"
 	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/rng"
-	"multihopbandit/internal/topology"
 )
 
 // AblationConfig parameterizes the single-decision ablations (r, D, solver).
@@ -20,6 +20,11 @@ type AblationConfig struct {
 	N, M int
 	// Seed drives topology and weights.
 	Seed int64
+	// Workers bounds concurrent sweep points (default GOMAXPROCS).
+	Workers int
+	// Cache optionally shares the instance across sweeps; the r, D and
+	// solver ablations all run on the same cached topology and weights.
+	Cache *engine.ArtifactCache
 }
 
 func (c *AblationConfig) fill() {
@@ -28,6 +33,18 @@ func (c *AblationConfig) fill() {
 	}
 	if c.M == 0 {
 		c.M = 5
+	}
+}
+
+// ablationInstance keys the shared ablation instance; the stream derivation
+// matches the historical code ("ablation" root, "channels" means).
+func (c *AblationConfig) ablationInstance() engine.InstanceConfig {
+	return engine.InstanceConfig{
+		N:           c.N,
+		M:           c.M,
+		Seed:        c.Seed,
+		Stream:      "ablation",
+		MeansStream: "channels",
 	}
 }
 
@@ -43,23 +60,6 @@ type AblationPoint struct {
 	MaxMessages int
 	// MiniTimeslots consumed by the decision.
 	MiniTimeslots int
-}
-
-func ablationInstance(cfg AblationConfig) (*extgraph.Extended, []float64, error) {
-	src := rng.New(cfg.Seed).Split("ablation")
-	nw, err := topology.Random(topology.RandomConfig{N: cfg.N}, src.Split("topology"))
-	if err != nil {
-		return nil, nil, err
-	}
-	ext, err := extgraph.Build(nw.G, cfg.M)
-	if err != nil {
-		return nil, nil, err
-	}
-	ch, err := channel.NewModel(channel.Config{N: cfg.N, M: cfg.M}, src.Split("channels"))
-	if err != nil {
-		return nil, nil, err
-	}
-	return ext, ch.Means(), nil
 }
 
 func runDecision(ext *extgraph.Extended, w []float64, r, d int, solver mwis.Solver, label string) (AblationPoint, error) {
@@ -84,63 +84,66 @@ func runDecision(ext *extgraph.Extended, w []float64, r, d int, solver mwis.Solv
 	}, nil
 }
 
+// sweepPoint is one parameter setting of an ablation sweep.
+type sweepPoint struct {
+	label  string
+	r, d   int
+	solver mwis.Solver
+}
+
+// runAblationSweep executes one decision per sweep point as parallel engine
+// jobs over the shared cached instance, returning points in sweep order.
+func runAblationSweep(cfg AblationConfig, name string, points []sweepPoint) ([]AblationPoint, error) {
+	cfg.fill()
+	runner := engine.NewRunner(engine.Config{
+		Workers: cfg.Workers, Seed: cfg.Seed, Cache: cfg.Cache,
+	})
+	jobs := make([]engine.Job[AblationPoint], len(points))
+	for i, pt := range points {
+		pt := pt
+		jobs[i] = engine.Job[AblationPoint]{
+			ID: engine.CellID(name, fmt.Sprintf("%s#%d", pt.label, i), cfg.Seed),
+			Run: func(ctx *engine.Ctx) (AblationPoint, error) {
+				inst, err := ctx.Cache.Instance(cfg.ablationInstance())
+				if err != nil {
+					return AblationPoint{}, err
+				}
+				return runDecision(inst.Ext, inst.Means, pt.r, pt.d, pt.solver, pt.label)
+			},
+		}
+	}
+	return engine.Run(runner, jobs)
+}
+
 // RunAblationR sweeps the ball parameter r ∈ {1, 2, 3} on one decision.
 func RunAblationR(cfg AblationConfig) ([]AblationPoint, error) {
-	cfg.fill()
-	ext, w, err := ablationInstance(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var out []AblationPoint
+	var points []sweepPoint
 	for _, r := range []int{1, 2, 3} {
-		p, err := runDecision(ext, w, r, 4, nil, fmt.Sprintf("r=%d", r))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		points = append(points, sweepPoint{label: fmt.Sprintf("r=%d", r), r: r, d: 4})
 	}
-	return out, nil
+	return runAblationSweep(cfg, "ablation-r", points)
 }
 
 // RunAblationD sweeps the mini-round cap D ∈ {1, 2, 4, 8, unbounded}.
 func RunAblationD(cfg AblationConfig) ([]AblationPoint, error) {
-	cfg.fill()
-	ext, w, err := ablationInstance(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var out []AblationPoint
+	var points []sweepPoint
 	for _, d := range []int{1, 2, 4, 8, 0} {
 		label := fmt.Sprintf("D=%d", d)
 		if d == 0 {
 			label = "D=∞"
 		}
-		p, err := runDecision(ext, w, 2, d, nil, label)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+		points = append(points, sweepPoint{label: label, r: 2, d: d})
 	}
-	return out, nil
+	return runAblationSweep(cfg, "ablation-d", points)
 }
 
 // RunAblationSolver compares the LocalLeaders' local MWIS solver.
 func RunAblationSolver(cfg AblationConfig) ([]AblationPoint, error) {
-	cfg.fill()
-	ext, w, err := ablationInstance(cfg)
-	if err != nil {
-		return nil, err
+	var points []sweepPoint
+	for _, solver := range []mwis.Solver{mwis.Greedy{}, mwis.Hybrid{}, mwis.Exact{Budget: 500000}} {
+		points = append(points, sweepPoint{label: solver.Name(), r: 2, d: 4, solver: solver})
 	}
-	solvers := []mwis.Solver{mwis.Greedy{}, mwis.Hybrid{}, mwis.Exact{Budget: 500000}}
-	var out []AblationPoint
-	for _, solver := range solvers {
-		p, err := runDecision(ext, w, 2, 4, solver, solver.Name())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return runAblationSweep(cfg, "ablation-solver", points)
 }
 
 // RenderAblation prints ablation points as an aligned table.
@@ -169,6 +172,10 @@ type ShiftConfig struct {
 	Gamma float64
 	// Seed drives everything.
 	Seed int64
+	// Workers bounds concurrent policy jobs (default GOMAXPROCS).
+	Workers int
+	// Cache optionally shares the topology with other experiments.
+	Cache *engine.ArtifactCache
 }
 
 func (c *ShiftConfig) fill() {
@@ -204,19 +211,27 @@ type ShiftResult struct {
 
 // RunShift runs the non-stationary extension experiment: channels whose
 // per-node means rotate every Period slots, learned by the vanilla ZhouLi
-// rule and by its discounted variant. The discounted policy's running
-// average recovers after each rotation; the vanilla one decays.
+// rule and by its discounted variant, one engine job per policy. The
+// discounted policy's running average recovers after each rotation; the
+// vanilla one decays.
 func RunShift(cfg ShiftConfig) (*ShiftResult, error) {
 	cfg.fill()
-	root := rng.New(cfg.Seed).Split("shift-exp")
-	nw, err := topology.Random(topology.RandomConfig{
+	runner := engine.NewRunner(engine.Config{
+		Workers: cfg.Workers, Seed: cfg.Seed, Cache: cfg.Cache,
+	})
+	inst, err := runner.Cache().Instance(engine.InstanceConfig{
 		N:                cfg.N,
+		M:                cfg.M,
 		RequireConnected: true,
-	}, root.Split("topology"))
+		Seed:             cfg.Seed,
+		Stream:           "shift-exp",
+		// The shift experiment brings its own (shifting) channel model and
+		// core.New builds H itself, so only the topology is shared.
+		TopologyOnly: true,
+	})
 	if err != nil {
 		return nil, err
 	}
-	res := &ShiftResult{Period: cfg.Period}
 	type entry struct {
 		name string
 		mk   func() (policy.Policy, error)
@@ -227,34 +242,50 @@ func RunShift(cfg ShiftConfig) (*ShiftResult, error) {
 			return policy.NewDiscountedZhouLi(cfg.N*cfg.M, cfg.Gamma)
 		}},
 	}
-	for _, e := range entries {
-		ch, err := channel.NewShifting(channel.ShiftConfig{
-			N: cfg.N, M: cfg.M, Period: cfg.Period,
-		}, root.Split("channels-"+e.name))
-		if err != nil {
-			return nil, err
+	jobs := make([]engine.Job[ShiftSeries], len(entries))
+	for i, e := range entries {
+		e := e
+		jobs[i] = engine.Job[ShiftSeries]{
+			ID: engine.CellID("shift", fmt.Sprintf("%s#%d", e.name, i), cfg.Seed),
+			Run: func(*engine.Ctx) (ShiftSeries, error) {
+				return runShiftEntry(cfg, inst, e.name, e.mk)
+			},
 		}
-		pol, err := e.mk()
-		if err != nil {
-			return nil, err
-		}
-		scheme, err := core.New(core.Config{Net: nw, Channels: ch, M: cfg.M, Policy: pol})
-		if err != nil {
-			return nil, err
-		}
-		results, err := scheme.Run(cfg.Slots)
-		if err != nil {
-			return nil, err
-		}
-		series := ShiftSeries{Name: e.name, AvgKbps: make([]float64, len(results))}
-		sum := 0.0
-		for i, r := range results {
-			sum += r.ObservedKbps
-			series.AvgKbps[i] = sum / float64(i+1)
-		}
-		res.Series = append(res.Series, series)
 	}
-	return res, nil
+	series, err := engine.Run(runner, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &ShiftResult{Period: cfg.Period, Series: series}, nil
+}
+
+func runShiftEntry(cfg ShiftConfig, inst *engine.Instance, name string, mk func() (policy.Policy, error)) (ShiftSeries, error) {
+	root := rng.New(cfg.Seed).Split("shift-exp")
+	ch, err := channel.NewShifting(channel.ShiftConfig{
+		N: cfg.N, M: cfg.M, Period: cfg.Period,
+	}, root.Split("channels-"+name))
+	if err != nil {
+		return ShiftSeries{}, err
+	}
+	pol, err := mk()
+	if err != nil {
+		return ShiftSeries{}, err
+	}
+	scheme, err := core.New(core.Config{Net: inst.Net, Channels: ch, M: cfg.M, Policy: pol})
+	if err != nil {
+		return ShiftSeries{}, err
+	}
+	results, err := scheme.Run(cfg.Slots)
+	if err != nil {
+		return ShiftSeries{}, err
+	}
+	series := ShiftSeries{Name: name, AvgKbps: make([]float64, len(results))}
+	sum := 0.0
+	for i, r := range results {
+		sum += r.ObservedKbps
+		series.AvgKbps[i] = sum / float64(i+1)
+	}
+	return series, nil
 }
 
 // RenderShift prints the extension experiment as a sampled table.

@@ -3,8 +3,8 @@ package sim
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"multihopbandit/internal/engine"
 )
 
 // ReplicateConfig controls multi-seed experiment replication.
@@ -16,48 +16,32 @@ type ReplicateConfig struct {
 	Workers int
 }
 
-// Replicate runs one experiment per seed on a bounded worker pool and
+// Replicate runs one experiment per seed on the engine's worker pool and
 // returns the results in seed order. Experiments must be independent given
 // their seed (every runner in this package is), so parallel execution is
-// deterministic. The first error cancels nothing but is reported after all
-// workers drain — replications are cheap enough that draining beats
-// cancellation plumbing.
+// deterministic. Every replication runs to completion even when one fails —
+// replications are cheap enough that draining beats cancellation plumbing —
+// and all failures are collected into the returned error.
 func Replicate[T any](cfg ReplicateConfig, run func(seed int64) (T, error)) ([]T, error) {
 	if len(cfg.Seeds) == 0 {
 		return nil, fmt.Errorf("sim: no seeds to replicate")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cfg.Seeds) {
-		workers = len(cfg.Seeds)
-	}
-
-	results := make([]T, len(cfg.Seeds))
-	errs := make([]error, len(cfg.Seeds))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				results[idx], errs[idx] = run(cfg.Seeds[idx])
-			}
-		}()
-	}
-	for idx := range cfg.Seeds {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-	for idx, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: replication seed %d: %w", cfg.Seeds[idx], err)
+	runner := engine.NewRunner(engine.Config{Workers: cfg.Workers})
+	jobs := make([]engine.Job[T], len(cfg.Seeds))
+	for i, seed := range cfg.Seeds {
+		seed := seed
+		jobs[i] = engine.Job[T]{
+			ID: fmt.Sprintf("replicate/%d/seed=%d", i, seed),
+			Run: func(*engine.Ctx) (T, error) {
+				out, err := run(seed)
+				if err != nil {
+					err = fmt.Errorf("sim: replication seed %d: %w", seed, err)
+				}
+				return out, err
+			},
 		}
 	}
-	return results, nil
+	return engine.Run(runner, jobs)
 }
 
 // SeedRange returns n consecutive seeds starting at base — a convenience
@@ -131,12 +115,21 @@ type Fig7Replicated struct {
 
 // RunFig7Replicated runs the Fig. 7 comparison over multiple seeds and
 // summarizes the endpoints, turning the paper's single-instance plot into a
-// statistically grounded comparison.
+// statistically grounded comparison. All replications share one artifact
+// cache, so repeated seeds pay the instance cost once.
 func RunFig7Replicated(base Fig7Config, seeds []int64, workers int) (*Fig7Replicated, error) {
+	cache := base.Cache
+	if cache == nil {
+		cache = engine.NewArtifactCache()
+	}
 	runs, err := Replicate(ReplicateConfig{Seeds: seeds, Workers: workers},
 		func(seed int64) (*Fig7Result, error) {
 			cfg := base
 			cfg.Seed = seed
+			cfg.Cache = cache
+			// The outer pool already saturates the workers; run each
+			// replication's policies serially to avoid oversubscription.
+			cfg.Workers = 1
 			return RunFig7(cfg)
 		})
 	if err != nil {

@@ -4,23 +4,29 @@
 // β-regret versus the LLR baseline), Fig. 8 (estimated versus actual
 // effective throughput under periodic weight updates) and Table II (the time
 // model). See DESIGN.md §4 for the experiment index.
+//
+// All experiments run on the internal/engine orchestration subsystem: each
+// figure decomposes into figure × policy × seed jobs scheduled on a bounded
+// worker pool, and expensive per-instance artifacts (topology, extended
+// conflict graph, channel means, the brute-force optimum) are shared through
+// the engine's artifact cache. Random streams are derived from the
+// configuration alone, never from scheduling, so every result is
+// bit-identical for any worker count.
 package sim
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
+	"multihopbandit/internal/engine"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/policy"
 	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/regret"
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/timing"
-	"multihopbandit/internal/topology"
 )
 
 // TheoremBeta returns the paper's approximation factor for ball parameter r
@@ -55,6 +61,10 @@ type Fig6Config struct {
 	Seed int64
 	// TargetDegree sizes the random deployment square (default 6).
 	TargetDegree float64
+	// Workers bounds concurrent per-size jobs (default GOMAXPROCS).
+	Workers int
+	// Cache optionally shares instance artifacts with other experiments.
+	Cache *engine.ArtifactCache
 }
 
 // Fig6Series is one line of Fig. 6: cumulative output-IS weight (kbps) after
@@ -65,10 +75,25 @@ type Fig6Series struct {
 	Converged  int       // first mini-round (1-based) at which all vertices were marked
 }
 
+// fig6Instance keys the cached artifacts of one Fig. 6 network size; the
+// stream derivation matches the historical per-size code exactly.
+func fig6Instance(cfg Fig6Config, size Size) engine.InstanceConfig {
+	return engine.InstanceConfig{
+		N:            size.N,
+		M:            size.M,
+		TargetDegree: cfg.TargetDegree,
+		Seed:         cfg.Seed,
+		Stream:       "fig6",
+		StreamN:      size.N*1000 + size.M,
+		HasStreamN:   true,
+		MeansStream:  "channels",
+	}
+}
+
 // RunFig6 reproduces Fig. 6: for each network size, run the distributed
 // strategy decision with per-vertex weights equal to the true channel means
 // (in kbps, matching the paper's y-scale) and record the cumulative winner
-// weight after every mini-round.
+// weight after every mini-round. Sizes run as parallel engine jobs.
 func RunFig6(cfg Fig6Config) ([]Fig6Series, error) {
 	if len(cfg.Sizes) == 0 {
 		cfg.Sizes = DefaultFig6Sizes
@@ -82,46 +107,46 @@ func RunFig6(cfg Fig6Config) ([]Fig6Series, error) {
 	if cfg.TargetDegree == 0 {
 		cfg.TargetDegree = 6
 	}
-	out := make([]Fig6Series, 0, len(cfg.Sizes))
-	for _, size := range cfg.Sizes {
-		src := rng.New(cfg.Seed).SplitN("fig6", size.N*1000+size.M)
-		nw, err := topology.Random(topology.RandomConfig{
-			N:            size.N,
-			TargetDegree: cfg.TargetDegree,
-		}, src.Split("topology"))
-		if err != nil {
-			return nil, fmt.Errorf("sim: fig6 %dx%d: %w", size.N, size.M, err)
+	runner := engine.NewRunner(engine.Config{
+		Workers: cfg.Workers, Seed: cfg.Seed, Cache: cfg.Cache,
+	})
+	jobs := make([]engine.Job[Fig6Series], len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		size := size
+		jobs[i] = engine.Job[Fig6Series]{
+			ID: engine.CellID("fig6", fmt.Sprintf("%dx%d#%d", size.N, size.M, i), cfg.Seed),
+			Run: func(ctx *engine.Ctx) (Fig6Series, error) {
+				return runFig6Size(cfg, size, ctx.Cache)
+			},
 		}
-		ext, err := extgraph.Build(nw.G, size.M)
-		if err != nil {
-			return nil, err
-		}
-		ch, err := channel.NewModel(channel.Config{N: size.N, M: size.M}, src.Split("channels"))
-		if err != nil {
-			return nil, err
-		}
-		rt, err := protocol.New(protocol.Config{Ext: ext, R: cfg.R, D: cfg.MiniRounds})
-		if err != nil {
-			return nil, err
-		}
-		weights := ch.Means()
-		res, err := rt.Decide(weights, nil)
-		if err != nil {
-			return nil, fmt.Errorf("sim: fig6 decide %dx%d: %w", size.N, size.M, err)
-		}
-		series := Fig6Series{Size: size, Converged: res.MiniRounds}
-		for tau := 0; tau < cfg.MiniRounds; tau++ {
-			var w float64
-			if tau < len(res.WeightByMiniRound) {
-				w = res.WeightByMiniRound[tau]
-			} else {
-				w = res.WeightByMiniRound[len(res.WeightByMiniRound)-1]
-			}
-			series.WeightKbps = append(series.WeightKbps, channel.Kbps(w))
-		}
-		out = append(out, series)
 	}
-	return out, nil
+	return engine.Run(runner, jobs)
+}
+
+func runFig6Size(cfg Fig6Config, size Size, cache *engine.ArtifactCache) (Fig6Series, error) {
+	inst, err := cache.Instance(fig6Instance(cfg, size))
+	if err != nil {
+		return Fig6Series{}, fmt.Errorf("sim: fig6 %dx%d: %w", size.N, size.M, err)
+	}
+	rt, err := protocol.New(protocol.Config{Ext: inst.Ext, R: cfg.R, D: cfg.MiniRounds})
+	if err != nil {
+		return Fig6Series{}, err
+	}
+	res, err := rt.Decide(inst.Means, nil)
+	if err != nil {
+		return Fig6Series{}, fmt.Errorf("sim: fig6 decide %dx%d: %w", size.N, size.M, err)
+	}
+	series := Fig6Series{Size: size, Converged: res.MiniRounds}
+	for tau := 0; tau < cfg.MiniRounds; tau++ {
+		var w float64
+		if tau < len(res.WeightByMiniRound) {
+			w = res.WeightByMiniRound[tau]
+		} else {
+			w = res.WeightByMiniRound[len(res.WeightByMiniRound)-1]
+		}
+		series.WeightKbps = append(series.WeightKbps, channel.Kbps(w))
+	}
+	return series, nil
 }
 
 // PolicyKind selects a learning policy in experiment configs.
@@ -189,6 +214,12 @@ type Fig7Config struct {
 	Seed int64
 	// TargetDegree sizes the deployment square (default 6).
 	TargetDegree float64
+	// Workers bounds concurrent per-policy jobs (default GOMAXPROCS).
+	Workers int
+	// Cache optionally shares instance artifacts across runs: repeated
+	// RunFig7 calls with equal instance parameters then pay the topology,
+	// extended-graph and brute-force-optimum cost once.
+	Cache *engine.ArtifactCache
 }
 
 func (c *Fig7Config) fill() {
@@ -212,6 +243,19 @@ func (c *Fig7Config) fill() {
 	}
 	if c.TargetDegree == 0 {
 		c.TargetDegree = 6
+	}
+}
+
+// fig7Instance keys the cached Fig. 7 instance; streams match the
+// historical code ("fig7" root, "topology" and "means" sub-streams).
+func (c *Fig7Config) fig7Instance() engine.InstanceConfig {
+	return engine.InstanceConfig{
+		N:                c.N,
+		M:                c.M,
+		TargetDegree:     c.TargetDegree,
+		RequireConnected: true,
+		Seed:             c.Seed,
+		Stream:           "fig7",
 	}
 }
 
@@ -239,29 +283,19 @@ type Fig7Result struct {
 }
 
 // RunFig7 reproduces Fig. 7: a connected 15×3 random network whose optimum
-// is computed by brute force, with Algorithm 2 and LLR learning for the
-// given horizon; returns per-slot practical regret and β-regret series.
+// is computed by brute force (once per instance, memoized by the artifact
+// cache), with each policy learning for the given horizon as a parallel
+// engine job; returns per-slot practical regret and β-regret series.
 func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 	cfg.fill()
-	root := rng.New(cfg.Seed).Split("fig7")
-	nw, err := topology.Random(topology.RandomConfig{
-		N:                cfg.N,
-		TargetDegree:     cfg.TargetDegree,
-		RequireConnected: true,
-	}, root.Split("topology"))
+	runner := engine.NewRunner(engine.Config{
+		Workers: cfg.Workers, Seed: cfg.Seed, Cache: cfg.Cache,
+	})
+	inst, err := runner.Cache().Instance(cfg.fig7Instance())
 	if err != nil {
-		return nil, fmt.Errorf("sim: fig7 topology: %w", err)
+		return nil, fmt.Errorf("sim: fig7 instance: %w", err)
 	}
-	ext, err := extgraph.Build(nw.G, cfg.M)
-	if err != nil {
-		return nil, err
-	}
-	// The genie optimum over true means (normalized, then kbps).
-	meansCh, err := channel.NewModel(channel.Config{N: cfg.N, M: cfg.M}, root.Split("means"))
-	if err != nil {
-		return nil, err
-	}
-	_, optNorm, err := core.OptimalStatic(ext, meansCh)
+	optNorm, err := inst.Optimal()
 	if err != nil {
 		return nil, err
 	}
@@ -271,58 +305,78 @@ func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 		Beta:        TheoremBeta(cfg.M, cfg.R),
 		Theta:       tp.Theta(),
 	}
-	for _, kind := range cfg.Policies {
-		// Every policy sees an identically-distributed channel process:
-		// same means (same "means" sub-stream), per-policy noise stream.
-		ch, err := channel.NewModelWithMeans(
-			channel.Config{N: cfg.N, M: cfg.M},
-			meansCh.Means(),
-			root.Split("noise-"+kind.String()),
-		)
-		if err != nil {
-			return nil, err
+	jobs := make([]engine.Job[Fig7PolicyResult], len(cfg.Policies))
+	for i, kind := range cfg.Policies {
+		kind := kind
+		jobs[i] = engine.Job[Fig7PolicyResult]{
+			ID: engine.CellID("fig7", fmt.Sprintf("%s#%d", kind, i), cfg.Seed),
+			Run: func(*engine.Ctx) (Fig7PolicyResult, error) {
+				return runFig7Policy(cfg, inst, res.OptimalKbps, res.Beta, res.Theta, tp, kind)
+			},
 		}
-		pol, err := buildPolicy(kind, ext, ch, root)
-		if err != nil {
-			return nil, err
-		}
-		scheme, err := core.New(core.Config{
-			Net:      nw,
-			Channels: ch,
-			M:        cfg.M,
-			R:        cfg.R,
-			D:        cfg.D,
-			Policy:   pol,
-			Timing:   tp,
-		})
-		if err != nil {
-			return nil, err
-		}
-		results, err := scheme.Run(cfg.Slots)
-		if err != nil {
-			return nil, fmt.Errorf("sim: fig7 %s: %w", kind, err)
-		}
-		observed := make([]float64, len(results))
-		for i, r := range results {
-			observed[i] = r.ObservedKbps
-		}
-		betaSeries, err := regret.PracticalBetaSeries(res.OptimalKbps, res.Beta, res.Theta, observed)
-		if err != nil {
-			return nil, err
-		}
-		avg := 0.0
-		for _, o := range observed {
-			avg += o
-		}
-		avg /= float64(len(observed))
-		res.Policies = append(res.Policies, Fig7PolicyResult{
-			Policy:              kind,
-			PracticalRegret:     regret.PracticalSeries(res.OptimalKbps, res.Theta, observed),
-			PracticalBetaRegret: betaSeries,
-			AvgThroughputKbps:   avg,
-		})
 	}
+	out, err := engine.Run(runner, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res.Policies = out
 	return res, nil
+}
+
+// runFig7Policy simulates one policy of Fig. 7. Every policy sees an
+// identically-distributed channel process: same means (the cached instance),
+// per-policy noise stream.
+func runFig7Policy(
+	cfg Fig7Config,
+	inst *engine.Instance,
+	optKbps, beta, theta float64,
+	tp timing.Params,
+	kind PolicyKind,
+) (Fig7PolicyResult, error) {
+	root := rng.New(cfg.Seed).Split("fig7")
+	ch, err := inst.Channels(root.Split("noise-" + kind.String()))
+	if err != nil {
+		return Fig7PolicyResult{}, err
+	}
+	pol, err := buildPolicy(kind, inst.Ext, ch, root)
+	if err != nil {
+		return Fig7PolicyResult{}, err
+	}
+	scheme, err := core.New(core.Config{
+		Net:      inst.Net,
+		Channels: ch,
+		M:        cfg.M,
+		R:        cfg.R,
+		D:        cfg.D,
+		Policy:   pol,
+		Timing:   tp,
+	})
+	if err != nil {
+		return Fig7PolicyResult{}, err
+	}
+	results, err := scheme.Run(cfg.Slots)
+	if err != nil {
+		return Fig7PolicyResult{}, fmt.Errorf("sim: fig7 %s: %w", kind, err)
+	}
+	observed := make([]float64, len(results))
+	for i, r := range results {
+		observed[i] = r.ObservedKbps
+	}
+	betaSeries, err := regret.PracticalBetaSeries(optKbps, beta, theta, observed)
+	if err != nil {
+		return Fig7PolicyResult{}, err
+	}
+	avg := 0.0
+	for _, o := range observed {
+		avg += o
+	}
+	avg /= float64(len(observed))
+	return Fig7PolicyResult{
+		Policy:              kind,
+		PracticalRegret:     regret.PracticalSeries(optKbps, theta, observed),
+		PracticalBetaRegret: betaSeries,
+		AvgThroughputKbps:   avg,
+	}, nil
 }
 
 // Fig8Config parameterizes the periodic-update experiment of Fig. 8.
@@ -341,6 +395,10 @@ type Fig8Config struct {
 	Seed int64
 	// TargetDegree sizes the deployment square (default 6).
 	TargetDegree float64
+	// Workers bounds concurrent (y, policy) jobs (default GOMAXPROCS).
+	Workers int
+	// Cache optionally shares instance artifacts with other experiments.
+	Cache *engine.ArtifactCache
 }
 
 func (c *Fig8Config) fill() {
@@ -370,6 +428,17 @@ func (c *Fig8Config) fill() {
 	}
 }
 
+// fig8Instance keys the cached Fig. 8 instance.
+func (c *Fig8Config) fig8Instance() engine.InstanceConfig {
+	return engine.InstanceConfig{
+		N:            c.N,
+		M:            c.M,
+		TargetDegree: c.TargetDegree,
+		Seed:         c.Seed,
+		Stream:       "fig8",
+	}
+}
+
 // Fig8Series is one curve pair of a Fig. 8 subplot: running averages of the
 // actual and estimated effective throughput, per period, in kbps.
 type Fig8Series struct {
@@ -392,59 +461,37 @@ type Fig8Subplot struct {
 // RunFig8 reproduces Fig. 8: a 100×10 random network, strategy re-decided
 // every y slots, horizons of Periods·y slots, comparing the running average
 // actual effective throughput R̃_P against the estimated W̃_P for Algorithm 2
-// and LLR.
+// and LLR. Each (y, policy) branch is one engine job over the shared cached
+// instance.
 func RunFig8(cfg Fig8Config) ([]Fig8Subplot, error) {
 	cfg.fill()
-	root := rng.New(cfg.Seed).Split("fig8")
-	nw, err := topology.Random(topology.RandomConfig{
-		N:            cfg.N,
-		TargetDegree: cfg.TargetDegree,
-	}, root.Split("topology"))
+	runner := engine.NewRunner(engine.Config{
+		Workers: cfg.Workers, Seed: cfg.Seed, Cache: cfg.Cache,
+	})
+	inst, err := runner.Cache().Instance(cfg.fig8Instance())
 	if err != nil {
-		return nil, fmt.Errorf("sim: fig8 topology: %w", err)
-	}
-	ext, err := extgraph.Build(nw.G, cfg.M)
-	if err != nil {
-		return nil, err
-	}
-	meansCh, err := channel.NewModel(channel.Config{N: cfg.N, M: cfg.M}, root.Split("means"))
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sim: fig8 instance: %w", err)
 	}
 	tp := timing.Paper()
-	// The (y, policy) branches are independent given their sub-streams, so
-	// run them on a bounded worker pool; results are deterministic and
-	// assembled in configuration order.
-	type branch struct {
-		yIdx, pIdx int
-	}
-	var branches []branch
-	for yi := range cfg.Ys {
-		for pi := range cfg.Policies {
-			branches = append(branches, branch{yIdx: yi, pIdx: pi})
+	var jobs []engine.Job[Fig8Series]
+	for yi, y := range cfg.Ys {
+		for pi, kind := range cfg.Policies {
+			y, kind := y, kind
+			jobs = append(jobs, engine.Job[Fig8Series]{
+				ID: engine.CellID("fig8", fmt.Sprintf("y=%d#%d/%s#%d", y, yi, kind, pi), cfg.Seed),
+				Run: func(*engine.Ctx) (Fig8Series, error) {
+					s, err := runFig8Branch(cfg, inst, tp, y, kind)
+					if err != nil {
+						return Fig8Series{}, fmt.Errorf("sim: fig8 y=%d %s: %w", y, kind, err)
+					}
+					return s, nil
+				},
+			})
 		}
 	}
-	results := make([]Fig8Series, len(branches))
-	errs := make([]error, len(branches))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for bi, br := range branches {
-		wg.Add(1)
-		go func(bi int, br branch) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			y := cfg.Ys[br.yIdx]
-			kind := cfg.Policies[br.pIdx]
-			results[bi], errs[bi] = runFig8Branch(cfg, nw, ext, meansCh.Means(), tp, y, kind, root)
-		}(bi, br)
-	}
-	wg.Wait()
-	for bi, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: fig8 y=%d %s: %w",
-				cfg.Ys[branches[bi].yIdx], cfg.Policies[branches[bi].pIdx], err)
-		}
+	results, err := engine.Run(runner, jobs)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]Fig8Subplot, 0, len(cfg.Ys))
 	bi := 0
@@ -460,32 +507,26 @@ func RunFig8(cfg Fig8Config) ([]Fig8Subplot, error) {
 }
 
 // runFig8Branch simulates one (update period, policy) combination of Fig. 8.
-// It only reads shared state (network, graph, means) and derives its own
-// random sub-streams, so branches may run concurrently.
+// It only reads the shared cached instance and derives its own random
+// sub-streams, so branches run concurrently and deterministically.
 func runFig8Branch(
 	cfg Fig8Config,
-	nw *topology.Network,
-	ext *extgraph.Extended,
-	means []float64,
+	inst *engine.Instance,
 	tp timing.Params,
 	y int,
 	kind PolicyKind,
-	root *rng.Source,
 ) (Fig8Series, error) {
-	ch, err := channel.NewModelWithMeans(
-		channel.Config{N: cfg.N, M: cfg.M},
-		means,
-		root.SplitN("noise-"+kind.String(), y),
-	)
+	root := rng.New(cfg.Seed).Split("fig8")
+	ch, err := inst.Channels(root.SplitN("noise-"+kind.String(), y))
 	if err != nil {
 		return Fig8Series{}, err
 	}
-	pol, err := buildPolicy(kind, ext, ch, root)
+	pol, err := buildPolicy(kind, inst.Ext, ch, root)
 	if err != nil {
 		return Fig8Series{}, err
 	}
 	scheme, err := core.New(core.Config{
-		Net:         nw,
+		Net:         inst.Net,
 		Channels:    ch,
 		M:           cfg.M,
 		R:           cfg.R,

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+
+	"multihopbandit/internal/engine"
+)
+
+// SuiteExperiments lists the experiment names RunExperiments understands, in
+// execution order.
+var SuiteExperiments = []string{"fig6", "fig7", "fig8", "ablations", "shift"}
+
+// SuiteConfig selects and parameterizes a batch of evaluation experiments
+// executed through one shared engine and artifact cache.
+type SuiteConfig struct {
+	// Seed is the default root seed for experiments whose own Seed is zero.
+	Seed int64
+	// Workers bounds each experiment's concurrency (default GOMAXPROCS).
+	Workers int
+	// Include selects experiments by name (see SuiteExperiments); empty
+	// runs all of them.
+	Include []string
+	// Per-experiment configurations. Zero Seed/Workers fields inherit the
+	// suite's; Cache is always overridden with the suite's shared cache.
+	Fig6     Fig6Config
+	Fig7     Fig7Config
+	Fig8     Fig8Config
+	Ablation AblationConfig
+	Shift    ShiftConfig
+	// Fig7Seeds, when non-empty, additionally replicates Fig. 7 across
+	// these seeds and fills Fig7Replicated.
+	Fig7Seeds []int64
+	// Progress, if set, is called after each completed experiment.
+	Progress func(name string, done, total int)
+}
+
+// SuiteResult bundles the outputs of one RunExperiments call. Only the
+// fields of included experiments are populated.
+type SuiteResult struct {
+	Fig6           []Fig6Series
+	Fig7           *Fig7Result
+	Fig8           []Fig8Subplot
+	AblationR      []AblationPoint
+	AblationD      []AblationPoint
+	AblationSolver []AblationPoint
+	Shift          *ShiftResult
+	Fig7Replicated *Fig7Replicated
+	// Cache reports the shared artifact cache's accounting after the run.
+	Cache engine.CacheStats
+}
+
+// RunExperiments regenerates the selected evaluation experiments through the
+// engine. All experiments share one artifact cache, so overlapping instance
+// parameters (e.g. the three ablation sweeps, or Fig. 7 and its replication
+// at the same seed) pay the topology/extended-graph/optimum cost once.
+func RunExperiments(cfg SuiteConfig) (*SuiteResult, error) {
+	include := cfg.Include
+	if len(include) == 0 {
+		include = SuiteExperiments
+	}
+	cache := engine.NewArtifactCache()
+	res := &SuiteResult{}
+
+	type step struct {
+		name string
+		run  func() error
+	}
+	var steps []step
+	for _, name := range include {
+		switch name {
+		case "fig6":
+			c := cfg.Fig6
+			inheritSuite(&c.Seed, &c.Workers, cfg)
+			c.Cache = cache
+			steps = append(steps, step{"fig6", func() error {
+				out, err := RunFig6(c)
+				res.Fig6 = out
+				return err
+			}})
+		case "fig7":
+			c := cfg.Fig7
+			inheritSuite(&c.Seed, &c.Workers, cfg)
+			c.Cache = cache
+			steps = append(steps, step{"fig7", func() error {
+				out, err := RunFig7(c)
+				res.Fig7 = out
+				return err
+			}})
+		case "fig8":
+			c := cfg.Fig8
+			inheritSuite(&c.Seed, &c.Workers, cfg)
+			c.Cache = cache
+			steps = append(steps, step{"fig8", func() error {
+				out, err := RunFig8(c)
+				res.Fig8 = out
+				return err
+			}})
+		case "ablations":
+			c := cfg.Ablation
+			inheritSuite(&c.Seed, &c.Workers, cfg)
+			c.Cache = cache
+			steps = append(steps, step{"ablations", func() error {
+				var err error
+				if res.AblationR, err = RunAblationR(c); err != nil {
+					return err
+				}
+				if res.AblationD, err = RunAblationD(c); err != nil {
+					return err
+				}
+				res.AblationSolver, err = RunAblationSolver(c)
+				return err
+			}})
+		case "shift":
+			c := cfg.Shift
+			inheritSuite(&c.Seed, &c.Workers, cfg)
+			c.Cache = cache
+			steps = append(steps, step{"shift", func() error {
+				out, err := RunShift(c)
+				res.Shift = out
+				return err
+			}})
+		default:
+			return nil, fmt.Errorf("sim: unknown experiment %q (known: %v)", name, SuiteExperiments)
+		}
+	}
+	if len(cfg.Fig7Seeds) > 0 {
+		c := cfg.Fig7
+		inheritSuite(&c.Seed, &c.Workers, cfg)
+		c.Cache = cache
+		steps = append(steps, step{"fig7rep", func() error {
+			out, err := RunFig7Replicated(c, cfg.Fig7Seeds, cfg.Workers)
+			res.Fig7Replicated = out
+			return err
+		}})
+	}
+
+	for i, st := range steps {
+		if err := st.run(); err != nil {
+			return nil, err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(st.name, i+1, len(steps))
+		}
+	}
+	res.Cache = cache.Stats()
+	return res, nil
+}
+
+// inheritSuite fills an experiment's zero Seed/Workers from the suite's.
+func inheritSuite(seed *int64, workers *int, cfg SuiteConfig) {
+	if *seed == 0 {
+		*seed = cfg.Seed
+	}
+	if *workers == 0 {
+		*workers = cfg.Workers
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"multihopbandit/internal/engine"
+)
+
+// fig7sEqual compares two Fig. 7 results bit-for-bit.
+func fig7sEqual(t *testing.T, a, b *Fig7Result) {
+	t.Helper()
+	if a.OptimalKbps != b.OptimalKbps || a.Beta != b.Beta || a.Theta != b.Theta {
+		t.Fatalf("headline mismatch: %+v vs %+v", a, b)
+	}
+	if len(a.Policies) != len(b.Policies) {
+		t.Fatalf("policy count mismatch")
+	}
+	for i := range a.Policies {
+		pa, pb := a.Policies[i], b.Policies[i]
+		if pa.Policy != pb.Policy || pa.AvgThroughputKbps != pb.AvgThroughputKbps {
+			t.Fatalf("policy %d summary mismatch", i)
+		}
+		for j := range pa.PracticalRegret {
+			if pa.PracticalRegret[j] != pb.PracticalRegret[j] ||
+				pa.PracticalBetaRegret[j] != pb.PracticalBetaRegret[j] {
+				t.Fatalf("policy %d diverges at slot %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRunFig7WorkersBitIdentical(t *testing.T) {
+	base := Fig7Config{Seed: 9, Slots: 150, N: 10, M: 3}
+	w1 := base
+	w1.Workers = 1
+	a, err := RunFig7(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8 := base
+	w8.Workers = 8
+	b, err := RunFig7(w8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7sEqual(t, a, b)
+}
+
+func TestRunFig8WorkersBitIdentical(t *testing.T) {
+	base := Fig8Config{Seed: 3, N: 12, M: 3, Periods: 8, Ys: []int{1, 3}}
+	w1 := base
+	w1.Workers = 1
+	a, err := RunFig8(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8 := base
+	w8.Workers = 8
+	b, err := RunFig8(w8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("subplot count mismatch")
+	}
+	for i := range a {
+		for j := range a[i].Series {
+			sa, sb := a[i].Series[j], b[i].Series[j]
+			for k := range sa.ActualAvg {
+				if sa.ActualAvg[k] != sb.ActualAvg[k] || sa.EstimatedAvg[k] != sb.EstimatedAvg[k] {
+					t.Fatalf("subplot %d series %d diverges at period %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSharedCacheAcrossRepeatedFig7(t *testing.T) {
+	cache := engine.NewArtifactCache()
+	cfg := Fig7Config{Seed: 5, Slots: 40, N: 8, M: 2, Cache: cache}
+	a, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7sEqual(t, a, b)
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits < 1 {
+		t.Fatalf("cache stats = %+v; repeated run rebuilt the instance", st)
+	}
+}
+
+func TestRunExperimentsSuite(t *testing.T) {
+	var names []string
+	res, err := RunExperiments(SuiteConfig{
+		Seed:     1,
+		Fig6:     Fig6Config{Sizes: []Size{{15, 2}}},
+		Fig7:     Fig7Config{Slots: 40, N: 8, M: 2},
+		Fig8:     Fig8Config{N: 10, M: 2, Periods: 3, Ys: []int{2}},
+		Ablation: AblationConfig{N: 20, M: 3},
+		Shift:    ShiftConfig{N: 10, M: 2, Slots: 120, Period: 40},
+		Progress: func(name string, done, total int) { names = append(names, name) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fig6) != 1 || res.Fig7 == nil || len(res.Fig8) != 1 || res.Shift == nil {
+		t.Fatalf("missing suite outputs: %+v", res)
+	}
+	if len(res.AblationR) != 3 || len(res.AblationD) != 5 || len(res.AblationSolver) != 3 {
+		t.Fatal("missing ablation outputs")
+	}
+	if len(names) != 5 {
+		t.Fatalf("progress fired %d times: %v", len(names), names)
+	}
+	// The three ablation sweeps share one instance, so the suite must have
+	// served some lookups from cache.
+	if res.Cache.Hits == 0 {
+		t.Fatalf("cache never hit: %+v", res.Cache)
+	}
+}
+
+func TestRunExperimentsInclude(t *testing.T) {
+	res, err := RunExperiments(SuiteConfig{
+		Seed:    2,
+		Include: []string{"fig6"},
+		Fig6:    Fig6Config{Sizes: []Size{{12, 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fig6) != 1 || res.Fig7 != nil || res.Shift != nil {
+		t.Fatalf("include filter ignored: %+v", res)
+	}
+	if _, err := RunExperiments(SuiteConfig{Include: []string{"nope"}}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentsFig7Seeds(t *testing.T) {
+	res, err := RunExperiments(SuiteConfig{
+		Seed:      1,
+		Include:   []string{"fig7"},
+		Fig7:      Fig7Config{Slots: 40, N: 8, M: 2},
+		Fig7Seeds: SeedRange(1, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fig7Replicated == nil || res.Fig7Replicated.FinalRegret["Algorithm2"].N != 3 {
+		t.Fatalf("replication missing: %+v", res.Fig7Replicated)
+	}
+	// Seed 1 appears both as the single run and in the replication: its
+	// instance must have been cached, not rebuilt.
+	if res.Cache.Hits == 0 {
+		t.Fatalf("no cache reuse across fig7 and fig7rep: %+v", res.Cache)
+	}
+}
