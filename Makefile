@@ -2,8 +2,9 @@
 # so a green `make ci` implies a green CI run.
 
 GO ?= go
+BANDITD_ADDR ?= 127.0.0.1:8650
 
-.PHONY: all build fmt-check vet test race bench bench-smoke figures ci
+.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve serve-smoke figures ci
 
 all: build
 
@@ -33,8 +34,31 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=NONE -timeout 30m ./...
 
+# Serve load test: start banditd, drive it with banditload over loopback,
+# record the machine-readable summary in BENCH_serve.json, then assert the
+# daemon shuts down cleanly on SIGTERM.
+bench-serve:
+	$(GO) build -o bin/banditd ./cmd/banditd
+	$(GO) build -o bin/banditload ./cmd/banditload
+	@set -e; bin/banditd -addr $(BANDITD_ADDR) & pid=$$!; \
+	bin/banditload -addr http://$(BANDITD_ADDR) -duration 5s \
+		-json BENCH_serve.json -min-throughput 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
+# CI smoke: the same loop built with the race detector, shorter and with a
+# nonzero-throughput assertion. A race or an unclean shutdown fails it.
+serve-smoke:
+	$(GO) build -race -o bin/banditd.race ./cmd/banditd
+	$(GO) build -race -o bin/banditload.race ./cmd/banditload
+	@set -e; bin/banditd.race -addr $(BANDITD_ADDR) & pid=$$!; \
+	bin/banditload.race -addr http://$(BANDITD_ADDR) -instances 64 -clients 4 \
+		-batch 32 -duration 2s -min-throughput 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
 # Regenerate every table and figure of the paper through the engine.
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke
+ci: build fmt-check vet race bench-smoke serve-smoke

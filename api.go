@@ -12,6 +12,7 @@ import (
 	"multihopbandit/internal/queueing"
 	"multihopbandit/internal/regret"
 	"multihopbandit/internal/rng"
+	"multihopbandit/internal/serve"
 	"multihopbandit/internal/sim"
 	"multihopbandit/internal/timing"
 	"multihopbandit/internal/topology"
@@ -169,6 +170,19 @@ func NewDiscountedZhouLiPolicy(k int, gamma float64) (Policy, error) {
 // NewCUCBPolicy returns the combinatorial-UCB baseline of Chen et al.
 func NewCUCBPolicy(k int) (Policy, error) { return policy.NewCUCB(k) }
 
+// PolicyIndexWriter is the allocation-free variant of Policy.Indices,
+// implemented by every built-in policy: WriteIndices fills a caller-owned
+// buffer of length K instead of allocating per decision.
+type PolicyIndexWriter = policy.IndexWriter
+
+// LearnerState is a portable snapshot of a policy's sufficient statistics
+// (the payload of the serving runtime's snapshot/restore API).
+type LearnerState = policy.State
+
+// PolicySnapshotter is implemented by policies whose learner state can be
+// exported and re-imported (all built-ins except ε-greedy).
+type PolicySnapshotter = policy.Snapshotter
+
 // ---------------------------------------------------------------------------
 // MWIS solvers
 
@@ -325,6 +339,53 @@ type ExperimentResults = sim.SuiteResult
 func RunExperiments(cfg ExperimentSuite) (*ExperimentResults, error) {
 	return sim.RunExperiments(cfg)
 }
+
+// ---------------------------------------------------------------------------
+// Online decision serving (internal/serve, cmd/banditd, cmd/banditload)
+
+// ServeRegistry is the sharded registry of the online decision-serving
+// runtime: each hosted instance is an actor goroutine running Algorithm 2
+// as a request/response service, with immutable artifacts (topology,
+// extended graph, protocol runtime) shared through an ArtifactCache.
+type ServeRegistry = serve.Registry
+
+// ServeRegistryConfig parameterizes NewServeRegistry.
+type ServeRegistryConfig = serve.RegistryConfig
+
+// ServeInstanceConfig parameterizes one hosted instance.
+type ServeInstanceConfig = serve.InstanceConfig
+
+// ServeInstance is a handle to one hosted instance (Step, Observe,
+// Assignment, Snapshot, Restore).
+type ServeInstance = serve.Instance
+
+// ServeAssignment is the channel assignment an instance currently serves.
+type ServeAssignment = serve.Assignment
+
+// ServeSnapshot is the full restorable state of a hosted instance.
+type ServeSnapshot = serve.Snapshot
+
+// ObservationBatch is one round of external observations pushed to a
+// hosted instance.
+type ObservationBatch = serve.ObservationBatch
+
+// NewServeRegistry builds a decision-serving registry.
+func NewServeRegistry(cfg ServeRegistryConfig) *ServeRegistry { return serve.NewRegistry(cfg) }
+
+// DecisionServer exposes a ServeRegistry over HTTP/JSON; it is the handler
+// cmd/banditd listens with.
+type DecisionServer = serve.Server
+
+// NewDecisionServer wraps a registry in an HTTP handler.
+func NewDecisionServer(reg *ServeRegistry) *DecisionServer { return serve.NewServer(reg) }
+
+// ServeClient is the typed HTTP client for a banditd server (cmd/banditload
+// is built on it).
+type ServeClient = serve.Client
+
+// NewServeClient returns a client for the banditd server at base, e.g.
+// "http://127.0.0.1:8650".
+func NewServeClient(base string) *ServeClient { return serve.NewClient(base) }
 
 // ---------------------------------------------------------------------------
 // Scheduling substrate (queueing)

@@ -1,0 +1,78 @@
+// Command banditd is the online decision-serving daemon: it hosts
+// multi-hop channel-access instances (internal/serve) and exposes them
+// over an HTTP/JSON API.
+//
+//	banditd -addr 127.0.0.1:8650 -shards 4
+//
+// Endpoints (see internal/serve.Server for the full route table):
+//
+//	POST   /v1/instances                   create an instance
+//	GET    /v1/instances                   list instances
+//	POST   /v1/instances/{id}/step         run self-simulation slots
+//	POST   /v1/instances/{id}/observations push observation batches
+//	GET    /v1/instances/{id}/assignment   current channel assignment
+//	GET    /v1/instances/{id}/snapshot     export learner state
+//	POST   /v1/instances/{id}/restore      import learner state
+//	GET    /metrics                        per-shard counters + latency histograms
+//	GET    /healthz                        liveness probe
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight requests
+// drain (up to -drain), instances close, and the exit code is 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multihopbandit/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8650", "listen address")
+		shards  = flag.Int("shards", 0, "registry shards (0 = GOMAXPROCS)")
+		mailbox = flag.Int("mailbox", 0, "per-instance mailbox depth (0 = default)")
+		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+	log.SetPrefix("banditd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	reg := serve.NewRegistry(serve.RegistryConfig{Shards: *shards, MailboxDepth: *mailbox})
+	srv := &http.Server{Handler: serve.NewServer(reg)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving on http://%s (%d shards)", ln.Addr(), reg.Shards())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	log.Printf("shutting down (drain %v)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	reg.Close()
+	m := reg.Metrics()
+	log.Printf("clean shutdown: %d slots served, %d strategy decisions", m.TotalSlots(), m.TotalDecisions())
+}

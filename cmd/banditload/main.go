@@ -1,0 +1,250 @@
+// Command banditload is the closed-loop load generator for banditd: it
+// creates N hosted instances (replicas of one cached network by default, so
+// the server's artifact cache is exercised), then drives them with K
+// concurrent clients issuing batched self-simulation step requests over
+// loopback HTTP until the duration elapses. It reports served-decision
+// throughput and client-side request latency, optionally as a
+// machine-readable JSON summary (BENCH_serve.json in `make bench-serve`).
+//
+//	banditload -addr http://127.0.0.1:8650 -instances 64 -clients 4 \
+//	    -batch 128 -duration 5s -json BENCH_serve.json
+//
+// Every served slot is one decision (an assignment served and a learner
+// update applied); the MWIS strategy decisions actually run are reported
+// separately (they occur every -update-every slots). The exit code is
+// nonzero if any request fails or the throughput floor (-min-throughput)
+// is missed, which is what the CI smoke job asserts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"multihopbandit/internal/serve"
+)
+
+// summary is the machine-readable load-test report.
+type summary struct {
+	Timestamp   string  `json:"timestamp"`
+	Addr        string  `json:"addr"`
+	Instances   int     `json:"instances"`
+	Clients     int     `json:"clients"`
+	Batch       int     `json:"batch"`
+	DurationSec float64 `json:"duration_sec"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	UpdateEvery int     `json:"update_every"`
+	Policy      string  `json:"policy"`
+	Seed        int64   `json:"seed"`
+
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	Slots           int64   `json:"slots"`
+	MWISDecisions   int64   `json:"mwis_decisions"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	MWISPerSec      float64 `json:"mwis_decisions_per_sec"`
+
+	LatencyMS latencyMS `json:"latency_ms"`
+}
+
+type latencyMS struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// clientStats accumulates one worker's counters.
+type clientStats struct {
+	requests  int64
+	errors    int64
+	slots     int64
+	decisions int64
+	latencies []float64 // milliseconds
+	firstErr  error
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8650", "banditd base URL")
+		instances   = flag.Int("instances", 64, "hosted instances to create")
+		clients     = flag.Int("clients", 4, "concurrent closed-loop clients")
+		batch       = flag.Int("batch", 128, "slots per step request")
+		duration    = flag.Duration("duration", 5*time.Second, "load duration")
+		n           = flag.Int("n", 10, "nodes per instance")
+		m           = flag.Int("m", 2, "channels per instance")
+		updateEvery = flag.Int("update-every", 1, "strategy update period y in slots")
+		policyName  = flag.String("policy", "zhou-li", "learning policy")
+		seed        = flag.Int64("seed", 1, "artifact seed (all instances share it; noise seeds differ)")
+		distinct    = flag.Int("distinct-topologies", 1, "spread instances over this many artifact seeds")
+		jsonOut     = flag.String("json", "", "write a JSON summary to this file")
+		minTput     = flag.Float64("min-throughput", 0, "exit nonzero below this many decisions/sec")
+		keep        = flag.Bool("keep", false, "leave the instances on the server afterwards")
+		verbose     = flag.Bool("v", false, "print the server /metrics after the run")
+	)
+	flag.Parse()
+	log.SetPrefix("banditload: ")
+	log.SetFlags(0)
+	if *instances <= 0 || *clients <= 0 || *batch <= 0 || *distinct <= 0 {
+		log.Fatal("instances, clients, batch and distinct-topologies must be positive")
+	}
+
+	c := serve.NewClient(*addr)
+	if err := c.WaitHealthy(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	ids := make([]string, *instances)
+	for i := range ids {
+		created, err := c.Create(serve.InstanceConfig{
+			N:                *n,
+			M:                *m,
+			Seed:             *seed + int64(i%*distinct),
+			NoiseSeed:        *seed + 7919*int64(i+1), // distinct trajectories per replica
+			RequireConnected: true,
+			Policy:           *policyName,
+			UpdateEvery:      *updateEvery,
+		})
+		if err != nil {
+			log.Fatalf("create instance %d: %v", i, err)
+		}
+		ids[i] = created.ID
+	}
+	log.Printf("created %d instances (N=%d M=%d policy=%s y=%d, %d distinct topologies)",
+		*instances, *n, *m, *policyName, *updateEvery, *distinct)
+
+	stats := make([]clientStats, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			// Each client owns a strided subset so no two clients contend
+			// for one actor's mailbox in lockstep.
+			for time.Now().Before(deadline) {
+				for i := w; i < len(ids); i += *clients {
+					if !time.Now().Before(deadline) {
+						break
+					}
+					t0 := time.Now()
+					res, err := c.Step(ids[i], *batch)
+					lat := time.Since(t0)
+					st.requests++
+					st.latencies = append(st.latencies, float64(lat.Nanoseconds())/1e6)
+					if err != nil {
+						st.errors++
+						if st.firstErr == nil {
+							st.firstErr = err
+						}
+						continue
+					}
+					st.slots += int64(res.Slots)
+					st.decisions += int64(res.Decisions)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total clientStats
+	var all []float64
+	for i := range stats {
+		total.requests += stats[i].requests
+		total.errors += stats[i].errors
+		total.slots += stats[i].slots
+		total.decisions += stats[i].decisions
+		all = append(all, stats[i].latencies...)
+		if total.firstErr == nil {
+			total.firstErr = stats[i].firstErr
+		}
+	}
+	sort.Float64s(all)
+	lat := latencyMS{}
+	if len(all) > 0 {
+		sum := 0.0
+		for _, x := range all {
+			sum += x
+		}
+		lat.Mean = sum / float64(len(all))
+		lat.P50 = quantile(all, 0.50)
+		lat.P90 = quantile(all, 0.90)
+		lat.P99 = quantile(all, 0.99)
+		lat.Max = all[len(all)-1]
+	}
+	rep := summary{
+		Timestamp:       start.UTC().Format(time.RFC3339),
+		Addr:            *addr,
+		Instances:       *instances,
+		Clients:         *clients,
+		Batch:           *batch,
+		DurationSec:     elapsed.Seconds(),
+		N:               *n,
+		M:               *m,
+		UpdateEvery:     *updateEvery,
+		Policy:          *policyName,
+		Seed:            *seed,
+		Requests:        total.requests,
+		Errors:          total.errors,
+		Slots:           total.slots,
+		MWISDecisions:   total.decisions,
+		DecisionsPerSec: float64(total.slots) / elapsed.Seconds(),
+		MWISPerSec:      float64(total.decisions) / elapsed.Seconds(),
+		LatencyMS:       lat,
+	}
+
+	log.Printf("%d requests (%d errors), %d decisions in %.2fs", rep.Requests, rep.Errors, rep.Slots, rep.DurationSec)
+	log.Printf("throughput: %.0f decisions/sec (%.0f MWIS strategy decisions/sec)", rep.DecisionsPerSec, rep.MWISPerSec)
+	log.Printf("request latency ms: mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+		lat.Mean, lat.P50, lat.P90, lat.P99, lat.Max)
+
+	if *verbose {
+		if m, err := c.Metrics(); err == nil {
+			fmt.Fprintln(os.Stderr, m)
+		}
+	}
+	if !*keep {
+		for _, id := range ids {
+			if err := c.Delete(id); err != nil {
+				log.Printf("delete %s: %v", id, err)
+			}
+		}
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal summary: %v", err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonOut, err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+
+	if total.errors > 0 {
+		log.Fatalf("%d requests failed; first error: %v", total.errors, total.firstErr)
+	}
+	if rep.DecisionsPerSec < *minTput {
+		log.Fatalf("throughput %.0f decisions/sec is below the %.0f floor", rep.DecisionsPerSec, *minTput)
+	}
+}
+
+// quantile returns the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

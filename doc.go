@@ -17,10 +17,12 @@
 //   - the complete channel-access scheme (Algorithm 2) with the paper's
 //     Table II time model and periodic weight updates,
 //   - an experiment harness regenerating every figure and table of the
-//     paper's evaluation (see EXPERIMENTS.md), and
+//     paper's evaluation (see EXPERIMENTS.md),
 //   - a parallel experiment engine (internal/engine) that schedules
 //     figure × policy × seed cells on a bounded worker pool and shares
-//     expensive per-instance artifacts through a cache.
+//     expensive per-instance artifacts through a cache, and
+//   - an online decision-serving runtime (internal/serve) hosting many
+//     independent instances behind an HTTP/JSON daemon.
 //
 // # The experiment engine
 //
@@ -40,7 +42,31 @@
 // BenchmarkInstanceSetupCached vs BenchmarkInstanceSetupUncached).
 // Continuous integration (.github/workflows/ci.yml, mirrored by the
 // Makefile) builds the module and runs gofmt, go vet, the race-enabled
-// tests and a one-iteration benchmark smoke pass; see CONTRIBUTING.md.
+// tests, a one-iteration benchmark smoke pass, and the serving smoke test;
+// see CONTRIBUTING.md.
+//
+// # The decision-serving runtime
+//
+// The serving runtime turns Algorithm 2's loop (observe rates → update
+// indices → solve MWIS → assign channels) into a request/response service.
+// A ServeRegistry shards hosted instances across lock-free counters; each
+// instance is an actor goroutine owning its policy state and mailbox, and
+// instances with identical artifact configs share the topology, extended
+// conflict graph and protocol runtime through the ArtifactCache. For a
+// fixed seed a served instance's assignment sequence is bit-identical to
+// the equivalent serial Scheme run.
+//
+//	reg := multihopbandit.NewServeRegistry(multihopbandit.ServeRegistryConfig{})
+//	inst, err := reg.Create(multihopbandit.ServeInstanceConfig{N: 10, M: 2, Seed: 1})
+//	// handle err
+//	res, err := inst.Step(100)      // self-simulation: decide, transmit, learn
+//	as, err := inst.Assignment()    // or drive it externally:
+//	_, err = inst.Observe([]multihopbandit.ObservationBatch{{Played: as.Winners, Rewards: rewards}})
+//
+// cmd/banditd serves a registry over HTTP/JSON (create/step/observe/
+// assignment/snapshot/restore plus /metrics), and cmd/banditload is the
+// closed-loop load generator behind `make bench-serve` (results tracked in
+// BENCH_serve.json). See EXPERIMENTS.md for the serving workflow.
 //
 // # Quick start
 //

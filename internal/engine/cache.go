@@ -8,6 +8,7 @@ import (
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/mwis"
+	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/topology"
 )
@@ -69,7 +70,13 @@ type Instance struct {
 	optOnce sync.Once
 	optVal  float64
 	optErr  error
+
+	rtMu sync.Mutex
+	rts  map[runtimeKey]*protocol.Runtime
 }
+
+// runtimeKey identifies one memoized protocol runtime of an instance.
+type runtimeKey struct{ r, d int }
 
 // Config returns the normalized config the instance was built from.
 func (in *Instance) Config() InstanceConfig { return in.cfg }
@@ -109,6 +116,36 @@ func (in *Instance) Optimal() (float64, error) {
 		in.optVal = inst.Weight(set)
 	})
 	return in.optVal, in.optErr
+}
+
+// Runtime returns a protocol runtime (default MWIS solver) over the
+// instance's extended graph for ball parameter r and mini-round cap d,
+// memoized per (r, d). The runtime's hop-neighborhood precomputation is the
+// dominant per-instance setup cost after the optimum, and a Runtime is safe
+// for concurrent Decide calls (Decide only reads the precomputed balls), so
+// one build serves every consumer of the instance — this is what lets the
+// serving runtime host many replicas of one network for the price of one
+// BFS sweep. Concurrent first calls serialize on the instance; exactly one
+// builds.
+func (in *Instance) Runtime(r, d int) (*protocol.Runtime, error) {
+	if in.Ext == nil {
+		return nil, errors.New("engine: Runtime on a topology-only instance")
+	}
+	in.rtMu.Lock()
+	defer in.rtMu.Unlock()
+	key := runtimeKey{r: r, d: d}
+	if rt, ok := in.rts[key]; ok {
+		return rt, nil
+	}
+	rt, err := protocol.New(protocol.Config{Ext: in.Ext, R: r, D: d})
+	if err != nil {
+		return nil, fmt.Errorf("engine: instance runtime: %w", err)
+	}
+	if in.rts == nil {
+		in.rts = make(map[runtimeKey]*protocol.Runtime)
+	}
+	in.rts[key] = rt
+	return rt, nil
 }
 
 // CacheStats reports the cache's accounting counters.

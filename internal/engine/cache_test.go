@@ -194,3 +194,67 @@ func TestTopologyOnlyInstance(t *testing.T) {
 		t.Fatal("topology differs between topology-only and full instance")
 	}
 }
+
+func TestInstanceRuntimeMemoized(t *testing.T) {
+	c := NewArtifactCache()
+	in, err := c.Instance(fig7LikeConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := in.Runtime(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent lookups of the same (r, d) all get the one build.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := in.Runtime(2, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if b != a {
+				t.Error("same (r, d) returned a distinct runtime")
+			}
+		}()
+	}
+	wg.Wait()
+	other, err := in.Runtime(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Fatal("distinct (r, d) shared a runtime")
+	}
+	if a.R() != 2 || other.R() != 1 {
+		t.Fatalf("runtime ball parameters = %d, %d, want 2, 1", a.R(), other.R())
+	}
+	// The shared runtime must actually decide.
+	weights := make([]float64, in.Ext.K())
+	for k := range weights {
+		weights[k] = in.Means[k]
+	}
+	dec, err := a.Decide(weights, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Winners) == 0 {
+		t.Fatal("shared runtime produced an empty decision")
+	}
+}
+
+func TestTopologyOnlyRuntimeErrors(t *testing.T) {
+	c := NewArtifactCache()
+	cfg := fig7LikeConfig(1)
+	cfg.TopologyOnly = true
+	in, err := c.Instance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Runtime(2, 4); err == nil {
+		t.Fatal("Runtime on a topology-only instance should fail")
+	}
+}

@@ -291,12 +291,30 @@ func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
 		index[v] = i
 	}
 	sub := New(len(uniq))
+	// Two passes instead of per-edge AddEdge: count degrees for exact-size
+	// adjacency allocations, then fill with plain appends. uniq is sorted
+	// and each g.adj[v] is sorted, so the mapped neighbor ids arrive in
+	// ascending order and the append preserves the sorted-adjacency
+	// invariant — the result is identical to repeated AddEdge, without its
+	// per-insert binary search and memmove (this is the protocol
+	// simulator's hottest allocation site).
+	deg := make([]int, len(uniq))
 	for i, v := range uniq {
 		for _, w := range g.adj[v] {
-			if j, ok := index[w]; ok && j > i {
-				// Only the endpoint with the smaller new id inserts the
-				// edge, so each undirected edge is added once.
-				_ = sub.AddEdge(i, j)
+			if _, ok := index[w]; ok {
+				deg[i]++
+			}
+		}
+	}
+	for i, d := range deg {
+		if d > 0 {
+			sub.adj[i] = make([]int, 0, d)
+		}
+	}
+	for i, v := range uniq {
+		for _, w := range g.adj[v] {
+			if j, ok := index[w]; ok {
+				sub.adj[i] = append(sub.adj[i], j)
 			}
 		}
 	}

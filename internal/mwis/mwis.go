@@ -195,18 +195,29 @@ type search struct {
 func newSearch(in Instance, budget int) *search {
 	n := in.G.N()
 	st := &search{
-		n:    n,
-		adj:  make([]bitset, n),
-		w:    in.W,
-		best: newBitset(n),
+		n:   n,
+		adj: make([]bitset, n),
+		w:   in.W,
 	}
 	if budget <= 0 {
 		st.budget = -1
 	} else {
 		st.budget = budget
 	}
+	// All of the search's 3n+3 bitsets (adjacency, best, two per depth)
+	// come out of one arena allocation: the solver runs per LocalLeader per
+	// mini-round in the protocol simulator, where 3n tiny allocations per
+	// solve dominated the allocation profile.
+	words := (n + 63) / 64
+	arena := make(bitset, words*(3*n+3))
+	take := func() bitset {
+		b := arena[:words:words]
+		arena = arena[words:]
+		return b
+	}
+	st.best = take()
 	for v := 0; v < n; v++ {
-		b := newBitset(n)
+		b := take()
 		for _, u := range in.G.Neighbors(v) {
 			b.set(u)
 		}
@@ -221,7 +232,7 @@ func newSearch(in Instance, budget int) *search {
 	st.cliqueMax = make([]float64, st.ncliques)
 	st.depthBufs = make([][2]bitset, n+1)
 	for i := range st.depthBufs {
-		st.depthBufs[i] = [2]bitset{newBitset(n), newBitset(n)}
+		st.depthBufs[i] = [2]bitset{take(), take()}
 	}
 	return st
 }

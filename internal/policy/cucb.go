@@ -33,22 +33,32 @@ func (*CUCB) Name() string { return "cucb" }
 
 // Indices implements Policy.
 func (p *CUCB) Indices() []float64 {
+	out := make([]float64, p.est.K())
+	p.WriteIndices(out)
+	return out
+}
+
+// WriteIndices implements IndexWriter, hoisting the 3·ln t numerator out of
+// the per-arm loop.
+func (p *CUCB) WriteIndices(dst []float64) {
 	k := p.est.K()
 	t := float64(p.est.Round())
-	out := make([]float64, k)
+	num := 0.0
+	if t > 1 {
+		num = 3 * math.Log(t)
+	}
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			out[i] = UnseenIndex
+			dst[i] = UnseenIndex
 			continue
 		}
 		bonus := 0.0
 		if t > 1 {
-			bonus = math.Sqrt(3 * math.Log(t) / (2 * float64(m)))
+			bonus = math.Sqrt(num / (2 * float64(m)))
 		}
-		out[i] = p.est.Mean(i) + bonus
+		dst[i] = p.est.Mean(i) + bonus
 	}
-	return out
 }
 
 // Update implements Policy.

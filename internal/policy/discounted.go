@@ -57,18 +57,33 @@ func (p *DiscountedZhouLi) effectiveRound() float64 {
 
 // Indices implements Policy.
 func (p *DiscountedZhouLi) Indices() []float64 {
+	out := make([]float64, len(p.sum))
+	p.WriteIndices(out)
+	return out
+}
+
+// WriteIndices implements IndexWriter, hoisting the t^{2/3} of the bonus out
+// of the per-arm loop.
+func (p *DiscountedZhouLi) WriteIndices(dst []float64) {
 	k := len(p.sum)
+	kf := float64(k)
 	t := p.effectiveRound()
-	out := make([]float64, k)
+	t23 := 0.0
+	if t >= 1 {
+		t23 = math.Pow(t, 2.0/3.0)
+	}
 	for i := 0; i < k; i++ {
 		if p.eff[i] <= 1e-12 {
-			out[i] = UnseenIndex
+			dst[i] = UnseenIndex
 			continue
 		}
 		mean := p.sum[i] / p.eff[i]
-		out[i] = mean + zhouLiBonus(t, float64(k), p.eff[i])
+		bonus := 0.0
+		if t >= 1 {
+			bonus = zhouLiBonusPow(t23, kf, p.eff[i])
+		}
+		dst[i] = mean + bonus
 	}
-	return out
 }
 
 // Update implements Policy: all statistics decay by γ, then the played arms

@@ -69,6 +69,37 @@ func (e *Estimator) Update(played []int, rewards []float64) error {
 	return nil
 }
 
+// Snapshot exports the estimator statistics as a State (Policy left empty;
+// wrapping policies stamp their name).
+func (e *Estimator) Snapshot() State {
+	return State{
+		Round:  e.round,
+		Means:  append([]float64(nil), e.mean...),
+		Counts: append([]int(nil), e.count...),
+	}
+}
+
+// Restore replaces the statistics with a snapshot taken from an estimator
+// over the same number of arms.
+func (e *Estimator) Restore(s State) error {
+	if len(s.Means) != len(e.mean) || len(s.Counts) != len(e.count) {
+		return fmt.Errorf("policy: snapshot has %d means / %d counts, estimator has %d arms",
+			len(s.Means), len(s.Counts), len(e.mean))
+	}
+	if s.Round < 0 {
+		return fmt.Errorf("policy: snapshot round must be non-negative, got %d", s.Round)
+	}
+	for k, c := range s.Counts {
+		if c < 0 {
+			return fmt.Errorf("policy: snapshot count[%d]=%d is negative", k, c)
+		}
+	}
+	copy(e.mean, s.Means)
+	copy(e.count, s.Counts)
+	e.round = s.Round
+	return nil
+}
+
 // Reset zeroes all statistics.
 func (e *Estimator) Reset() {
 	for i := range e.mean {

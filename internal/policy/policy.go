@@ -15,6 +15,16 @@ import (
 // estimated-throughput series of Fig. 8 stay well-scaled.
 const UnseenIndex = 2.0
 
+// IndexWriter is the allocation-free variant of Policy.Indices: WriteIndices
+// fills dst, which must have length K, with the current per-arm index
+// weights. Every policy in this package implements it; hot loops (the
+// serving runtime's per-decision path) reuse one buffer across rounds
+// instead of allocating a fresh slice per decision. The written values are
+// bit-identical to what Indices returns.
+type IndexWriter interface {
+	WriteIndices(dst []float64)
+}
+
 // Policy produces per-arm index weights for the strategy decision and learns
 // from the observed rewards of the arms that were played.
 type Policy interface {
@@ -64,18 +74,34 @@ func (*ZhouLi) Name() string { return "zhou-li" }
 
 // Indices implements Policy.
 func (p *ZhouLi) Indices() []float64 {
+	out := make([]float64, p.est.K())
+	p.WriteIndices(out)
+	return out
+}
+
+// WriteIndices implements IndexWriter. The t^{2/3} of equation (3) is
+// identical for every arm, so it is computed once per call rather than once
+// per arm (it dominated the index-update hot path).
+func (p *ZhouLi) WriteIndices(dst []float64) {
 	k := p.est.K()
+	kf := float64(k)
 	t := float64(p.est.Round())
-	out := make([]float64, k)
+	t23 := 0.0
+	if t >= 1 {
+		t23 = math.Pow(t, 2.0/3.0)
+	}
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			out[i] = UnseenIndex
+			dst[i] = UnseenIndex
 			continue
 		}
-		out[i] = p.est.Mean(i) + zhouLiBonus(t, float64(k), float64(m))
+		bonus := 0.0
+		if t >= 1 {
+			bonus = zhouLiBonusPow(t23, kf, float64(m))
+		}
+		dst[i] = p.est.Mean(i) + bonus
 	}
-	return out
 }
 
 // zhouLiBonus computes the exploration term of equation (3).
@@ -83,7 +109,13 @@ func zhouLiBonus(t, k, m float64) float64 {
 	if t < 1 {
 		return 0
 	}
-	arg := math.Pow(t, 2.0/3.0) / (k * m)
+	return zhouLiBonusPow(math.Pow(t, 2.0/3.0), k, m)
+}
+
+// zhouLiBonusPow is zhouLiBonus with t^{2/3} precomputed, so per-arm index
+// loops can hoist the math.Pow call.
+func zhouLiBonusPow(t23, k, m float64) float64 {
+	arg := t23 / (k * m)
 	logTerm := math.Log(arg)
 	if logTerm <= 0 {
 		return 0
@@ -141,22 +173,32 @@ func (*LLR) Name() string { return "llr" }
 
 // Indices implements Policy.
 func (p *LLR) Indices() []float64 {
+	out := make([]float64, p.est.K())
+	p.WriteIndices(out)
+	return out
+}
+
+// WriteIndices implements IndexWriter, hoisting the (L+1)·ln t numerator out
+// of the per-arm loop.
+func (p *LLR) WriteIndices(dst []float64) {
 	k := p.est.K()
 	t := float64(p.est.Round())
-	out := make([]float64, k)
+	num := 0.0
+	if t > 1 {
+		num = float64(p.l+1) * math.Log(t)
+	}
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			out[i] = UnseenIndex
+			dst[i] = UnseenIndex
 			continue
 		}
 		bonus := 0.0
 		if t > 1 {
-			bonus = math.Sqrt(float64(p.l+1) * math.Log(t) / float64(m))
+			bonus = math.Sqrt(num / float64(m))
 		}
-		out[i] = p.est.Mean(i) + bonus
+		dst[i] = p.est.Mean(i) + bonus
 	}
-	return out
 }
 
 // Update implements Policy.
@@ -208,21 +250,27 @@ func (*EpsilonGreedy) Name() string { return "eps-greedy" }
 
 // Indices implements Policy.
 func (p *EpsilonGreedy) Indices() []float64 {
+	out := make([]float64, p.est.K())
+	p.WriteIndices(out)
+	return out
+}
+
+// WriteIndices implements IndexWriter. Like Indices, it consumes random
+// draws from the policy's source.
+func (p *EpsilonGreedy) WriteIndices(dst []float64) {
 	k := p.est.K()
-	out := make([]float64, k)
 	explore := p.src.Bernoulli(p.epsilon)
 	for i := 0; i < k; i++ {
 		if p.est.Count(i) == 0 {
-			out[i] = UnseenIndex
+			dst[i] = UnseenIndex
 			continue
 		}
 		if explore {
-			out[i] = p.src.Float64()
+			dst[i] = p.src.Float64()
 		} else {
-			out[i] = p.est.Mean(i)
+			dst[i] = p.est.Mean(i)
 		}
 	}
-	return out
 }
 
 // Update implements Policy.
@@ -266,6 +314,9 @@ func (*Oracle) Name() string { return "oracle" }
 
 // Indices implements Policy.
 func (p *Oracle) Indices() []float64 { return append([]float64(nil), p.means...) }
+
+// WriteIndices implements IndexWriter.
+func (p *Oracle) WriteIndices(dst []float64) { copy(dst, p.means) }
 
 // Update implements Policy.
 func (p *Oracle) Update(played []int, rewards []float64) error {

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/mwis"
@@ -181,6 +182,37 @@ type Stats struct {
 	LocalBroadcasts int
 }
 
+// scratch holds the per-Decide working buffers. Pooling them cuts the
+// per-decision allocation count roughly in half, which matters to the
+// serving runtime where Decide runs tens of thousands of times per second;
+// a scratch is private to one Decide call, so pooled reuse cannot change
+// any output.
+type scratch struct {
+	status  []Status
+	leaders []int
+	ar      []int
+	w       []float64
+	inIS    []bool // indexed by original vertex id; cleared after each use
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grab resizes the scratch for an n-vertex graph, zeroing what Decide
+// expects zeroed.
+func (sc *scratch) grab(n int) {
+	if cap(sc.status) < n {
+		sc.status = make([]Status, n)
+		sc.inIS = make([]bool, n)
+	}
+	sc.status = sc.status[:n]
+	sc.inIS = sc.inIS[:n]
+	for i := range sc.status {
+		sc.status[i] = Candidate
+	}
+	// sc.inIS is cleared by localDecision after every use; a fresh
+	// allocation above is already zero.
+}
+
 // MaxMessages returns the largest per-vertex relay count.
 func (s Stats) MaxMessages() int {
 	max := 0
@@ -246,10 +278,10 @@ func (rt *Runtime) Decide(weights []float64, prevPlayed []int) (*Result, error) 
 	res.Stats.MiniTimeslots += width * width // pipelined CDS broadcast bound
 
 	// --- Mini-round loop (Algorithm 3).
-	status := make([]Status, n)
-	for v := range status {
-		status[v] = Candidate
-	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.grab(n)
+	status := sc.status
 	candidates := n
 	totalWinnerWeight := 0.0
 	maxRounds := rt.d
@@ -257,7 +289,7 @@ func (rt *Runtime) Decide(weights []float64, prevPlayed []int) (*Result, error) 
 		maxRounds = n // the paper's worst-case bound
 	}
 	for tau := 0; tau < maxRounds && candidates > 0; tau++ {
-		leaders := rt.selectLeaders(weights, status)
+		leaders := rt.selectLeaders(weights, status, sc)
 		if len(leaders) == 0 {
 			// Cannot happen while candidates remain: the global maximum
 			// among candidates is always a leader. Guard anyway.
@@ -272,7 +304,7 @@ func (rt *Runtime) Decide(weights []float64, prevPlayed []int) (*Result, error) 
 			}
 		}
 		for _, v := range leaders {
-			winners, losers, err := rt.localDecision(v, weights, status)
+			winners, losers, err := rt.localDecision(v, weights, status, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -336,9 +368,10 @@ func (rt *Runtime) Decide(weights []float64, prevPlayed []int) (*Result, error) 
 // maximum among all Candidates within their (2r+1)-hop neighborhood. The
 // strict id tie-break guarantees no two leaders are within 2r+1 hops even
 // under equal weights, which keeps the leaders' r-balls disjoint and the
-// union of their local MWIS results independent.
-func (rt *Runtime) selectLeaders(weights []float64, status []Status) []int {
-	var leaders []int
+// union of their local MWIS results independent. The returned slice is
+// scratch-backed: it is only valid until the next selectLeaders call.
+func (rt *Runtime) selectLeaders(weights []float64, status []Status, sc *scratch) []int {
+	leaders := sc.leaders[:0]
 	for v, st := range status {
 		if st != Candidate {
 			continue
@@ -357,6 +390,7 @@ func (rt *Runtime) selectLeaders(weights []float64, status []Status) []int {
 			leaders = append(leaders, v)
 		}
 	}
+	sc.leaders = leaders
 	return leaders
 }
 
@@ -364,32 +398,37 @@ func (rt *Runtime) selectLeaders(weights []float64, status []Status) []int {
 // vertices in its r-hop neighborhood (the leader itself counts — its status
 // was just set to LocalLeader, which still makes it undecided) and splits
 // A_r(v) into winners and losers.
-func (rt *Runtime) localDecision(v int, weights []float64, status []Status) (winners, losers []int, err error) {
-	ar := make([]int, 0, len(rt.ballR[v]))
+func (rt *Runtime) localDecision(v int, weights []float64, status []Status, sc *scratch) (winners, losers []int, err error) {
+	ar := sc.ar[:0]
 	for _, u := range rt.ballR[v] {
 		if status[u] == Candidate || u == v {
 			ar = append(ar, u)
 		}
 	}
+	sc.ar = ar
 	sub, origIDs := rt.ext.H.InducedSubgraph(ar)
-	w := make([]float64, len(origIDs))
-	for i, u := range origIDs {
-		w[i] = weights[u]
+	w := sc.w[:0]
+	for _, u := range origIDs {
+		w = append(w, weights[u])
 	}
+	sc.w = w
 	localIS, err := rt.solver.Solve(mwis.Instance{G: sub, W: w})
 	if err != nil && !errors.Is(err, mwis.ErrBudgetExceeded) {
 		return nil, nil, fmt.Errorf("protocol: local MWIS at leader %d: %w", v, err)
 	}
-	inIS := make(map[int]bool, len(localIS))
 	for _, li := range localIS {
-		inIS[origIDs[li]] = true
+		sc.inIS[origIDs[li]] = true
 	}
 	for _, u := range ar {
-		if inIS[u] {
+		if sc.inIS[u] {
 			winners = append(winners, u)
 		} else {
 			losers = append(losers, u)
 		}
+	}
+	// Clear only the bits we set so the scratch stays zero for the next use.
+	for _, li := range localIS {
+		sc.inIS[origIDs[li]] = false
 	}
 	return winners, losers, nil
 }

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -175,7 +177,7 @@ func TestLeadersPairwiseSeparated(t *testing.T) {
 	for i := range status {
 		status[i] = Candidate
 	}
-	leaders := rt.selectLeaders(w, status)
+	leaders := rt.selectLeaders(w, status, new(scratch))
 	if len(leaders) == 0 {
 		t.Fatal("no leaders selected")
 	}
@@ -203,7 +205,7 @@ func TestGlobalMaxIsAlwaysLeader(t *testing.T) {
 	for i := range status {
 		status[i] = Candidate
 	}
-	leaders := rt.selectLeaders(w, status)
+	leaders := rt.selectLeaders(w, status, new(scratch))
 	found := false
 	for _, l := range leaders {
 		if l == best {
@@ -477,4 +479,145 @@ func TestEmptyGraphDecide(t *testing.T) {
 	if len(res.Winners) != 0 || !res.Converged {
 		t.Fatalf("empty graph result: %+v", res)
 	}
+}
+
+// TestConcurrentDecideAccounting shares one Runtime across many goroutines
+// — the serving runtime hosts many instances on one memoized runtime — and
+// checks every concurrent Decide reproduces the serial run exactly,
+// including the full message/mini-timeslot accounting. Run under -race this
+// is the proof that Decide only reads the precomputed balls.
+func TestConcurrentDecideAccounting(t *testing.T) {
+	ext := buildExt(t, 14, 3, 21)
+	rt, err := New(Config{Ext: ext, R: 2, D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, ext.K())
+	src := rng.New(22)
+	for i := range weights {
+		weights[i] = src.Float64()
+	}
+	ref, err := rt.Decide(weights, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ref.Winners
+	ref2, err := rt.Decide(weights, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				// Alternate the WB pattern so both code paths run hot.
+				want := ref
+				var played []int
+				if it%2 == 1 {
+					want, played = ref2, prev
+				}
+				got, err := rt.Decide(weights, played)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got.Winners, want.Winners) {
+					t.Errorf("concurrent winners %v != serial %v", got.Winners, want.Winners)
+					return
+				}
+				if !reflect.DeepEqual(got.Strategy, want.Strategy) {
+					t.Errorf("concurrent strategy %v != serial %v", got.Strategy, want.Strategy)
+					return
+				}
+				if !reflect.DeepEqual(got.Stats, want.Stats) {
+					t.Errorf("concurrent stats %+v != serial %+v", got.Stats, want.Stats)
+					return
+				}
+				if got.MiniRounds != want.MiniRounds || got.Converged != want.Converged {
+					t.Errorf("concurrent rounds/convergence (%d,%v) != serial (%d,%v)",
+						got.MiniRounds, got.Converged, want.MiniRounds, want.Converged)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestManyInstancesMessageAccounting runs independent per-instance decision
+// sequences concurrently (distinct runtimes, the multi-tenant serving
+// shape) and checks each instance's accounting matches its own serial
+// replay: concurrency must not leak messages across instances.
+func TestManyInstancesMessageAccounting(t *testing.T) {
+	const instances = 6
+	type seq struct {
+		rt      *Runtime
+		weights []float64
+	}
+	seqs := make([]seq, instances)
+	for i := range seqs {
+		ext := buildExt(t, 10, 2, int64(30+i))
+		rt, err := New(Config{Ext: ext, R: 2, D: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := make([]float64, ext.K())
+		src := rng.New(int64(100 + i))
+		for k := range weights {
+			weights[k] = src.Float64()
+		}
+		seqs[i] = seq{rt: rt, weights: weights}
+	}
+	// Serial reference: total messages and broadcasts of a 3-decision chain.
+	type account struct {
+		messages   int
+		broadcasts int
+		winners    []int
+	}
+	replay := func(s seq) (account, error) {
+		var acc account
+		var prev []int
+		for d := 0; d < 3; d++ {
+			res, err := s.rt.Decide(s.weights, prev)
+			if err != nil {
+				return acc, err
+			}
+			for _, m := range res.Stats.MessagesPerVertex {
+				acc.messages += m
+			}
+			acc.broadcasts += res.Stats.WeightBroadcasts + res.Stats.LocalBroadcasts
+			prev = res.Winners
+			acc.winners = res.Winners
+		}
+		return acc, nil
+	}
+	want := make([]account, instances)
+	for i, s := range seqs {
+		var err error
+		want[i], err = replay(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range seqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := replay(seqs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("instance %d: concurrent accounting %+v != serial %+v", i, got, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
 }

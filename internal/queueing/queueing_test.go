@@ -197,3 +197,120 @@ func TestRunNegative(t *testing.T) {
 		t.Fatal("expected error for negative slots")
 	}
 }
+
+// TestEmptyQueueSlots drives the system with a near-zero arrival rate so
+// most slots begin with empty queues: scheduling on all-zero MaxWeight
+// weights must not panic, must never serve more than the backlog, and must
+// keep every queue at exactly zero when nothing has arrived.
+func TestEmptyQueueSlots(t *testing.T) {
+	ext, ch := testSetup(t, 8, 2, 11)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 1e-9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrived, served float64
+	for _, st := range stats {
+		arrived += st.Arrived
+		served += st.Served
+		if served > arrived+1e-9 {
+			t.Fatalf("slot %d: cumulative served %v exceeds cumulative arrivals %v", st.Slot, served, arrived)
+		}
+		if st.TotalQueue < 0 {
+			t.Fatalf("slot %d: negative total queue %v", st.Slot, st.TotalQueue)
+		}
+	}
+	for i, q := range sys.Queues() {
+		if q < 0 {
+			t.Fatalf("queue %d is negative: %v", i, q)
+		}
+	}
+	// With λ = 1e-9 over 200 slots, essentially nothing arrives: the system
+	// must stay empty rather than invent work.
+	if arrived == 0 && sys.TotalQueue() != 0 {
+		t.Fatalf("no arrivals but total queue is %v", sys.TotalQueue())
+	}
+	if served > arrived {
+		t.Fatalf("served %v > arrived %v", served, arrived)
+	}
+}
+
+// TestSaturationOverload pushes far more work than the schedule can serve:
+// the backlog must grow roughly linearly (within half the arrival slope),
+// the scheduler must keep scheduling nonetheless, and flow conservation
+// must hold exactly per slot.
+func TestSaturationOverload(t *testing.T) {
+	ext, ch := testSetup(t, 8, 2, 12)
+	const lambda = 25.0
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: lambda, ServiceScale: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slots = 150
+	prevQueue := 0.0
+	scheduledSlots := 0
+	for s := 0; s < slots; s++ {
+		st, err := sys.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-slot flow conservation: Δqueue = arrived − served.
+		delta := st.TotalQueue - prevQueue
+		if diff := delta - (st.Arrived - st.Served); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("slot %d: conservation violated by %v", s, diff)
+		}
+		prevQueue = st.TotalQueue
+		if st.Scheduled > 0 {
+			scheduledSlots++
+		}
+		// Service can never exceed the scheduled nodes' max drain.
+		if st.Served > float64(st.Scheduled)*1.0+1e-9 {
+			t.Fatalf("slot %d: served %v with only %d scheduled (scale 1)", s, st.Served, st.Scheduled)
+		}
+	}
+	if scheduledSlots != slots {
+		t.Fatalf("scheduler idled on %d of %d overloaded slots", slots-scheduledSlots, slots)
+	}
+	// Overload: per-slot arrivals are 8·25 = 200 packets against a max
+	// drain of 8; the backlog after T slots must reflect most of that gap.
+	minBacklog := float64(slots) * (8*lambda - 8) * 0.5
+	if sys.TotalQueue() < minBacklog {
+		t.Fatalf("overloaded backlog %v, want at least %v", sys.TotalQueue(), minBacklog)
+	}
+}
+
+// TestSaturationKeepsServing runs at critical load (λ equal to the
+// per-node max drain, so interference makes the system overloaded): the
+// learned MaxWeight schedule must keep doing real work — cumulative
+// service must stay a nontrivial fraction of cumulative arrivals. A
+// scheduler that silently stops serving passes flow conservation but
+// fails this.
+func TestSaturationKeepsServing(t *testing.T) {
+	ext, ch := testSetup(t, 8, 2, 13)
+	sys, err := New(Config{Ext: ext, Rates: ch, ArrivalRate: 3, ServiceScale: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Run(350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrived, served float64
+	for _, st := range stats {
+		arrived += st.Arrived
+		served += st.Served
+	}
+	if arrived == 0 {
+		t.Fatal("no arrivals at λ=3")
+	}
+	if frac := served / arrived; frac < 0.1 {
+		t.Fatalf("served only %.1f%% of arrivals under saturation; the schedule stopped working", 100*frac)
+	}
+	// And the backlog must equal the arrive−serve gap exactly.
+	if diff := sys.TotalQueue() - (arrived - served); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("backlog %v != arrived−served %v", sys.TotalQueue(), arrived-served)
+	}
+}

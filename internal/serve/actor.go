@@ -1,0 +1,587 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
+)
+
+// ObservationBatch is one round of external observations: the played
+// virtual-vertex ids and their realized rewards (normalized units). Each
+// batch advances the instance by one slot, exactly like one transmission
+// round of Algorithm 2.
+type ObservationBatch struct {
+	Played  []int     `json:"played"`
+	Rewards []float64 `json:"rewards"`
+}
+
+// Assignment is the channel assignment an instance currently serves.
+type Assignment struct {
+	// Slot is the slot the assignment is valid for.
+	Slot int `json:"slot"`
+	// DecidedSlot is the slot the strategy was decided at (-1 before the
+	// first decision; otherwise the largest update boundary ≤ Slot).
+	DecidedSlot int `json:"decided_slot"`
+	// Winners are the selected virtual-vertex ids, sorted ascending.
+	Winners []int `json:"winners"`
+	// Strategy is the per-node channel assignment (-1 = silent).
+	Strategy []int `json:"strategy"`
+	// EstimatedWeight is the index-weight sum of the strategy at decision
+	// time (the W_x of §V-C, normalized units).
+	EstimatedWeight float64 `json:"estimated_weight"`
+}
+
+// StepResult summarizes a batch of self-simulation slots.
+type StepResult struct {
+	// Slots is the number of slots run by this request.
+	Slots int `json:"slots"`
+	// Slot is the instance's completed slot count after the batch.
+	Slot int `json:"slot"`
+	// Observed is the summed realized throughput of the batch (normalized);
+	// ObservedKbps is the same on the paper's kbps scale.
+	Observed     float64 `json:"observed"`
+	ObservedKbps float64 `json:"observed_kbps"`
+	// Decisions is the number of MWIS strategy decisions run in the batch.
+	Decisions int `json:"decisions"`
+	// Assignment is the strategy in force after the batch.
+	Assignment Assignment `json:"assignment"`
+}
+
+// ObserveResult reports an applied observation request.
+type ObserveResult struct {
+	// Applied is the number of observation batches (slots) applied.
+	Applied int `json:"applied"`
+	// Slot is the instance's completed slot count after the batches.
+	Slot int `json:"slot"`
+}
+
+// Snapshot is the full restorable state of a hosted instance: the learner
+// statistics plus the serving loop's position.
+type Snapshot struct {
+	ID              string       `json:"id"`
+	Slot            int          `json:"slot"`
+	DecidedSlot     int          `json:"decided_slot"`
+	LastPlayed      []int        `json:"last_played"`
+	Winners         []int        `json:"winners"`
+	Strategy        []int        `json:"strategy"`
+	EstimatedWeight float64      `json:"estimated_weight"`
+	Learner         policy.State `json:"learner"`
+}
+
+// InstanceInfo summarizes a hosted instance.
+type InstanceInfo struct {
+	ID           string `json:"id"`
+	Shard        int    `json:"shard"`
+	N            int    `json:"n"`
+	M            int    `json:"m"`
+	K            int    `json:"k"`
+	Policy       string `json:"policy"`
+	UpdateEvery  int    `json:"update_every"`
+	Slot         int    `json:"slot"`
+	Decisions    int64  `json:"decisions"`
+	Observations int64  `json:"observations"`
+}
+
+type reqKind uint8
+
+const (
+	reqStep reqKind = iota + 1
+	reqObserve
+	reqAssign
+	reqSnapshot
+	reqRestore
+	reqInfo
+)
+
+type request struct {
+	kind    reqKind
+	slots   int
+	batches []ObservationBatch
+	snap    *Snapshot
+	// reply receives the response; nil marks a fire-and-forget request
+	// (async observations). Always buffered (cap 1) so the actor never
+	// blocks on an abandoned sender.
+	reply chan response
+}
+
+type response struct {
+	step   *StepResult
+	obs    *ObserveResult
+	assign *Assignment
+	snap   *Snapshot
+	info   *InstanceInfo
+	err    error
+}
+
+// instanceStats is the actor's published view of its progress counters,
+// refreshed after every handled request. It lets the registry listing (and
+// anything else that only needs a recent snapshot) read an instance without
+// queueing behind its mailbox.
+type instanceStats struct {
+	slot         atomic.Int64
+	decisions    atomic.Int64
+	observations atomic.Int64
+}
+
+// Instance is a handle to one hosted instance. All methods are safe for
+// concurrent use: they enqueue requests on the actor's mailbox (blocking
+// while it is full — natural backpressure) and wait for the reply, except
+// PushObservations which returns as soon as the batch is enqueued.
+type Instance struct {
+	id      string
+	shard   int
+	cfg     InstanceConfig
+	k       int
+	stats   *instanceStats
+	mailbox chan request
+	stop    chan struct{}
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// ID returns the instance ID.
+func (i *Instance) ID() string { return i.id }
+
+// Shard returns the registry shard hosting the instance.
+func (i *Instance) Shard() int { return i.shard }
+
+// Config returns the filled configuration the instance was created from.
+func (i *Instance) Config() InstanceConfig { return i.cfg }
+
+// K returns the instance's arm count N·M.
+func (i *Instance) K() int { return i.k }
+
+func (i *Instance) close() {
+	i.once.Do(func() { close(i.stop) })
+}
+
+// do enqueues a synchronous request and waits for the actor's reply. The
+// leading stop check makes closure deterministic: once close returns, no
+// new request is accepted (a bare two-way select could still pick the
+// buffered mailbox send).
+func (i *Instance) do(req request) (response, error) {
+	select {
+	case <-i.stop:
+		return response{}, ErrClosed
+	default:
+	}
+	req.reply = make(chan response, 1)
+	select {
+	case i.mailbox <- req:
+	case <-i.stop:
+		return response{}, ErrClosed
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, resp.err
+	case <-i.closed:
+		// The actor exited before serving the request; a reply may still
+		// have raced the exit.
+		select {
+		case resp := <-req.reply:
+			return resp, resp.err
+		default:
+			return response{}, ErrClosed
+		}
+	}
+}
+
+// Step runs n self-simulation slots (decide when due, transmit, observe the
+// hosted channel model, update the learner).
+func (i *Instance) Step(n int) (*StepResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: step count must be positive, got %d", n)
+	}
+	resp, err := i.do(request{kind: reqStep, slots: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.step, nil
+}
+
+// Observe applies external observation batches synchronously: each batch is
+// one slot's played arms and rewards.
+func (i *Instance) Observe(batches []ObservationBatch) (*ObserveResult, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("serve: no observation batches")
+	}
+	resp, err := i.do(request{kind: reqObserve, batches: batches})
+	if err != nil {
+		return nil, err
+	}
+	return resp.obs, nil
+}
+
+// PushObservations enqueues observation batches without waiting for them to
+// be applied. Errors inside the batch (for example an out-of-range arm) are
+// only visible in the shard's ObservationErrors counter; use Observe when
+// per-request errors matter. Batches still queued when the instance closes
+// are dropped.
+func (i *Instance) PushObservations(batches []ObservationBatch) error {
+	if len(batches) == 0 {
+		return fmt.Errorf("serve: no observation batches")
+	}
+	select {
+	case <-i.stop:
+		return ErrClosed
+	default:
+	}
+	select {
+	case i.mailbox <- request{kind: reqObserve, batches: batches}:
+		return nil
+	case <-i.stop:
+		return ErrClosed
+	}
+}
+
+// Assignment returns the strategy for the instance's current slot, running
+// the strategy decision first if the slot is an update boundary.
+func (i *Instance) Assignment() (*Assignment, error) {
+	resp, err := i.do(request{kind: reqAssign})
+	if err != nil {
+		return nil, err
+	}
+	return resp.assign, nil
+}
+
+// Snapshot exports the instance's restorable state.
+func (i *Instance) Snapshot() (*Snapshot, error) {
+	resp, err := i.do(request{kind: reqSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	return resp.snap, nil
+}
+
+// Restore replaces the learner and loop state with a snapshot taken from an
+// instance of the same configuration.
+func (i *Instance) Restore(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("serve: nil snapshot")
+	}
+	_, err := i.do(request{kind: reqRestore, snap: s})
+	return err
+}
+
+// Info returns a summary of the instance, serialized through the mailbox:
+// it reflects every request enqueued before it (including fire-and-forget
+// observations). For a lock-free approximate snapshot use InfoSnapshot.
+func (i *Instance) Info() (*InstanceInfo, error) {
+	resp, err := i.do(request{kind: reqInfo})
+	if err != nil {
+		return nil, err
+	}
+	resp.info.Shard = i.shard
+	return resp.info, nil
+}
+
+// InfoSnapshot returns a summary without entering the mailbox, from the
+// counters the actor publishes after each handled request. It can trail
+// in-flight work by one request but never blocks — the registry listing
+// uses it so one slow instance cannot stall monitoring.
+func (i *Instance) InfoSnapshot() InstanceInfo {
+	return InstanceInfo{
+		ID:           i.id,
+		Shard:        i.shard,
+		N:            i.cfg.N,
+		M:            i.cfg.M,
+		K:            i.k,
+		Policy:       i.cfg.Policy,
+		UpdateEvery:  i.cfg.UpdateEvery,
+		Slot:         int(i.stats.slot.Load()),
+		Decisions:    i.stats.decisions.Load(),
+		Observations: i.stats.observations.Load(),
+	}
+}
+
+// actor owns all mutable state of one hosted instance. Only the actor
+// goroutine touches these fields; the decision-result slices it publishes
+// in replies (winners, strategies) are never mutated after publication —
+// each decision allocates fresh ones — so replies are race-free without
+// copying on the hot path.
+type actor struct {
+	id       string
+	counters *ShardCounters
+	stats    *instanceStats
+	ext      *extgraph.Extended
+	rt       *protocol.Runtime
+	pol      policy.Policy
+	wr       policy.IndexWriter // non-nil fast path (no per-decision alloc)
+	sampler  channel.Sampler
+	y        int
+
+	slot         int
+	decidedSlot  int // slot the current strategy was decided at; -1 initially
+	curWinners   []int
+	curStrategy  extgraph.Strategy
+	curEstimate  float64
+	lastPlayed   []int
+	decisions    int64
+	observations int64
+
+	indices []float64 // reused per-decision weight buffer
+	rewards []float64 // reused per-slot reward buffer
+}
+
+func (a *actor) run(mailbox chan request, stop, closed chan struct{}) {
+	defer close(closed)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		select {
+		case <-stop:
+			return
+		case req := <-mailbox:
+			resp := a.handle(req)
+			a.publishStats()
+			if req.reply != nil {
+				req.reply <- resp
+			}
+		}
+	}
+}
+
+// publishStats refreshes the lock-free snapshot read by InfoSnapshot.
+func (a *actor) publishStats() {
+	a.stats.slot.Store(int64(a.slot))
+	a.stats.decisions.Store(a.decisions)
+	a.stats.observations.Store(a.observations)
+}
+
+func (a *actor) handle(req request) response {
+	switch req.kind {
+	case reqStep:
+		res, err := a.step(req.slots)
+		return response{step: res, err: err}
+	case reqObserve:
+		res, err := a.observe(req.batches)
+		if err != nil && req.reply == nil {
+			a.counters.ObservationErrors.Add(1)
+		}
+		return response{obs: res, err: err}
+	case reqAssign:
+		as, err := a.assignment()
+		return response{assign: as, err: err}
+	case reqSnapshot:
+		snap, err := a.snapshot()
+		return response{snap: snap, err: err}
+	case reqRestore:
+		return response{err: a.restore(req.snap)}
+	case reqInfo:
+		return response{info: a.info()}
+	default:
+		return response{err: fmt.Errorf("serve: unknown request kind %d", req.kind)}
+	}
+}
+
+// ensureDecided runs the distributed strategy decision if the current slot
+// is an update boundary that has not decided yet. This mirrors
+// core.Scheme.Step's "decide at slot ≡ 0 (mod y)" exactly, but lazily, so
+// it serves both the self-simulation and the external-observation loops.
+func (a *actor) ensureDecided() error {
+	if a.slot%a.y != 0 || a.decidedSlot == a.slot {
+		return nil
+	}
+	if a.wr != nil {
+		a.wr.WriteIndices(a.indices)
+	} else {
+		copy(a.indices, a.pol.Indices())
+	}
+	dec, err := a.rt.Decide(a.indices, a.lastPlayed)
+	if err != nil {
+		return fmt.Errorf("serve: strategy decision at slot %d: %w", a.slot, err)
+	}
+	a.curWinners = dec.Winners
+	a.curStrategy = dec.Strategy
+	a.curEstimate = 0
+	for _, v := range dec.Winners {
+		a.curEstimate += a.indices[v]
+	}
+	a.lastPlayed = append(a.lastPlayed[:0], dec.Winners...)
+	a.decidedSlot = a.slot
+	a.decisions++
+	a.counters.Decisions.Add(1)
+	return nil
+}
+
+func (a *actor) step(n int) (*StepResult, error) {
+	decBefore := a.decisions
+	total := 0.0
+	// Count what was actually applied even if a mid-batch decision fails,
+	// so the shard counters never diverge from the instance's slot count.
+	applied := 0
+	defer func() {
+		if applied > 0 {
+			a.counters.Slots.Add(int64(applied))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := a.ensureDecided(); err != nil {
+			return nil, err
+		}
+		a.rewards = a.rewards[:0]
+		for _, v := range a.curWinners {
+			a.rewards = append(a.rewards, a.sampler.Sample(v))
+		}
+		for _, x := range a.rewards {
+			total += x
+		}
+		if err := a.pol.Update(a.curWinners, a.rewards); err != nil {
+			return nil, fmt.Errorf("serve: policy update at slot %d: %w", a.slot, err)
+		}
+		if dyn, ok := a.sampler.(channel.Dynamic); ok {
+			dyn.Tick()
+		}
+		a.slot++
+		applied++
+	}
+	return &StepResult{
+		Slots:        n,
+		Slot:         a.slot,
+		Observed:     total,
+		ObservedKbps: channel.Kbps(total),
+		Decisions:    int(a.decisions - decBefore),
+		Assignment:   a.currentAssignment(),
+	}, nil
+}
+
+func (a *actor) observe(batches []ObservationBatch) (*ObserveResult, error) {
+	// Validate every batch before applying any: clients retry whole
+	// requests, so a mid-request validation failure must not leave earlier
+	// batches half-applied (it would silently break serial equivalence).
+	k := a.ext.K()
+	for bi, b := range batches {
+		if len(b.Played) != len(b.Rewards) {
+			return nil, fmt.Errorf("serve: batch %d has %d played arms but %d rewards", bi, len(b.Played), len(b.Rewards))
+		}
+		for _, v := range b.Played {
+			if v < 0 || v >= k {
+				return nil, fmt.Errorf("serve: batch %d: arm %d out of range [0,%d)", bi, v, k)
+			}
+		}
+	}
+	applied := 0
+	defer func() {
+		if applied > 0 {
+			a.counters.Slots.Add(int64(applied))
+			a.counters.Observations.Add(int64(applied))
+		}
+	}()
+	for bi, b := range batches {
+		if err := a.ensureDecided(); err != nil {
+			return nil, err
+		}
+		if err := a.pol.Update(b.Played, b.Rewards); err != nil {
+			return nil, fmt.Errorf("serve: observation batch %d at slot %d: %w", bi, a.slot, err)
+		}
+		a.observations++
+		a.slot++
+		applied++
+	}
+	return &ObserveResult{Applied: applied, Slot: a.slot}, nil
+}
+
+// currentAssignment publishes the current strategy. The winner/strategy
+// slices are shared with the actor but immutable once published (decisions
+// allocate fresh slices), so no copy is needed.
+func (a *actor) currentAssignment() Assignment {
+	winners := a.curWinners
+	if winners == nil {
+		winners = []int{}
+	}
+	strategy := a.curStrategy
+	if strategy == nil {
+		strategy = extgraph.Strategy{}
+	}
+	return Assignment{
+		Slot:            a.slot,
+		DecidedSlot:     a.decidedSlot,
+		Winners:         winners,
+		Strategy:        strategy,
+		EstimatedWeight: a.curEstimate,
+	}
+}
+
+func (a *actor) assignment() (*Assignment, error) {
+	if err := a.ensureDecided(); err != nil {
+		return nil, err
+	}
+	as := a.currentAssignment()
+	return &as, nil
+}
+
+func (a *actor) snapshot() (*Snapshot, error) {
+	snap, ok := a.pol.(policy.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("serve: policy %q does not support snapshots", a.pol.Name())
+	}
+	return &Snapshot{
+		ID:              a.id,
+		Slot:            a.slot,
+		DecidedSlot:     a.decidedSlot,
+		LastPlayed:      append([]int(nil), a.lastPlayed...),
+		Winners:         append([]int(nil), a.curWinners...),
+		Strategy:        append([]int(nil), a.curStrategy...),
+		EstimatedWeight: a.curEstimate,
+		Learner:         snap.Snapshot(),
+	}, nil
+}
+
+func (a *actor) restore(s *Snapshot) error {
+	snap, ok := a.pol.(policy.Snapshotter)
+	if !ok {
+		return fmt.Errorf("serve: policy %q does not support snapshots", a.pol.Name())
+	}
+	if s.Slot < 0 {
+		return fmt.Errorf("serve: snapshot slot must be non-negative, got %d", s.Slot)
+	}
+	if s.DecidedSlot > s.Slot {
+		return fmt.Errorf("serve: snapshot decided slot %d is after slot %d", s.DecidedSlot, s.Slot)
+	}
+	if len(s.Strategy) != 0 && len(s.Strategy) != a.ext.N {
+		return fmt.Errorf("serve: snapshot strategy has %d nodes, instance has %d", len(s.Strategy), a.ext.N)
+	}
+	k := a.ext.K()
+	for _, v := range s.Winners {
+		if v < 0 || v >= k {
+			return fmt.Errorf("serve: snapshot winner %d out of range [0,%d)", v, k)
+		}
+	}
+	for _, v := range s.LastPlayed {
+		if v < 0 || v >= k {
+			return fmt.Errorf("serve: snapshot played vertex %d out of range [0,%d)", v, k)
+		}
+	}
+	if err := snap.Restore(s.Learner); err != nil {
+		return err
+	}
+	a.slot = s.Slot
+	a.decidedSlot = s.DecidedSlot
+	a.lastPlayed = append(a.lastPlayed[:0], s.LastPlayed...)
+	a.curWinners = append([]int(nil), s.Winners...)
+	a.curStrategy = append(extgraph.Strategy(nil), s.Strategy...)
+	a.curEstimate = s.EstimatedWeight
+	return nil
+}
+
+func (a *actor) info() *InstanceInfo {
+	return &InstanceInfo{
+		ID:           a.id,
+		N:            a.ext.N,
+		M:            a.ext.M,
+		K:            a.ext.K(),
+		Policy:       a.pol.Name(),
+		UpdateEvery:  a.y,
+		Slot:         a.slot,
+		Decisions:    a.decisions,
+		Observations: a.observations,
+	}
+}

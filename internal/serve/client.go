@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for a banditd server, used by the load
+// generator (cmd/banditload) and the smoke tests. It is safe for concurrent
+// use; the underlying transport keeps loopback connections alive so a
+// closed-loop driver pays the TCP setup once per client goroutine.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8650").
+func NewClient(base string) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Transport: tr, Timeout: 60 * time.Second},
+	}
+}
+
+// do issues one request and decodes the JSON response into out (unless out
+// is nil). Non-2xx responses are returned as errors carrying the server's
+// error message.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("serve client: marshal request: %w", err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("serve client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e errorResponse
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			return fmt.Errorf("serve client: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve client: decode response: %w", err)
+	}
+	return nil
+}
+
+// WaitHealthy polls /healthz until the server answers or the timeout
+// elapses.
+func (c *Client) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = c.do(http.MethodGet, "/healthz", nil, nil); last == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("serve client: server not healthy after %v: %w", timeout, last)
+}
+
+// Create creates a hosted instance.
+func (c *Client) Create(cfg InstanceConfig) (*CreateResponse, error) {
+	var out CreateResponse
+	if err := c.do(http.MethodPost, "/v1/instances", cfg, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// List returns summaries of all hosted instances.
+func (c *Client) List() ([]InstanceInfo, error) {
+	var out struct {
+		Instances []InstanceInfo `json:"instances"`
+	}
+	if err := c.do(http.MethodGet, "/v1/instances", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Instances, nil
+}
+
+// Info returns one instance's summary.
+func (c *Client) Info(id string) (*InstanceInfo, error) {
+	var out InstanceInfo
+	if err := c.do(http.MethodGet, "/v1/instances/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Step runs n self-simulation slots on the instance.
+func (c *Client) Step(id string, slots int) (*StepResult, error) {
+	var out StepResult
+	in := struct {
+		Slots int `json:"slots"`
+	}{Slots: slots}
+	if err := c.do(http.MethodPost, "/v1/instances/"+id+"/step", in, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Observe applies observation batches synchronously.
+func (c *Client) Observe(id string, batches []ObservationBatch) (*ObserveResult, error) {
+	var out ObserveResult
+	in := struct {
+		Batches []ObservationBatch `json:"batches"`
+	}{Batches: batches}
+	if err := c.do(http.MethodPost, "/v1/instances/"+id+"/observations", in, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Assignment returns the instance's current channel assignment.
+func (c *Client) Assignment(id string) (*Assignment, error) {
+	var out Assignment
+	if err := c.do(http.MethodGet, "/v1/instances/"+id+"/assignment", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot exports the instance's restorable state.
+func (c *Client) Snapshot(id string) (*Snapshot, error) {
+	var out Snapshot
+	if err := c.do(http.MethodGet, "/v1/instances/"+id+"/snapshot", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Restore imports a snapshot into the instance.
+func (c *Client) Restore(id string, snap *Snapshot) error {
+	return c.do(http.MethodPost, "/v1/instances/"+id+"/restore", snap, nil)
+}
+
+// Delete closes and removes the instance.
+func (c *Client) Delete(id string) error {
+	return c.do(http.MethodDelete, "/v1/instances/"+id, nil, nil)
+}
+
+// Metrics fetches the /metrics text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("serve client: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("serve client: read metrics: %w", err)
+	}
+	return string(blob), nil
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"testing"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/engine"
+)
+
+// serialScheme builds the serial core.Scheme equivalent of a served
+// instance: same cached artifacts, same noise stream derivation, same
+// policy construction.
+func serialScheme(t *testing.T, cfg InstanceConfig) *core.Scheme {
+	t.Helper()
+	filled := cfg
+	if err := filled.fill(); err != nil {
+		t.Fatal(err)
+	}
+	cache := engine.NewArtifactCache()
+	inst, err := cache.Instance(engine.InstanceConfig{
+		N:                filled.N,
+		M:                filled.M,
+		Seed:             filled.Seed,
+		TargetDegree:     filled.TargetDegree,
+		RequireConnected: filled.RequireConnected,
+		Stream:           "serve",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewModelWithMeans(
+		channel.Config{N: filled.N, M: filled.M, Sigma: filled.Sigma},
+		inst.Means, NoiseStream(filled.NoiseSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := buildPolicy(filled, inst.Ext.K(), inst.Means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.New(core.Config{
+		Net:         inst.Net,
+		Channels:    ch,
+		M:           filled.M,
+		R:           filled.R,
+		D:           filled.D,
+		Policy:      pol,
+		UpdateEvery: filled.UpdateEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scheme
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServedMatchesSerialScheme is the golden test of the serving runtime:
+// for a fixed seed, a served instance's per-slot assignment sequence and
+// observed throughput are bit-identical to the equivalent serial
+// core.Scheme run, across policies and update periods.
+func TestServedMatchesSerialScheme(t *testing.T) {
+	const slots = 300
+	cases := []InstanceConfig{
+		{N: 10, M: 2, Seed: 1, RequireConnected: true},
+		{N: 10, M: 2, Seed: 1, RequireConnected: true, UpdateEvery: 4},
+		{N: 8, M: 3, Seed: 7, RequireConnected: true, Policy: "llr"},
+		{N: 8, M: 2, Seed: 3, RequireConnected: true, Policy: "cucb", UpdateEvery: 8},
+		{N: 8, M: 2, Seed: 5, RequireConnected: true, Policy: "discounted-zhou-li", Gamma: 0.97},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		name := cfg.Policy
+		if name == "" {
+			name = "zhou-li"
+		}
+		t.Run(name, func(t *testing.T) {
+			reg := NewRegistry(RegistryConfig{Shards: 2})
+			defer reg.Close()
+			h, err := reg.Create(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheme := serialScheme(t, cfg)
+			for s := 0; s < slots; s++ {
+				got, err := h.Step(1)
+				if err != nil {
+					t.Fatalf("slot %d: served step: %v", s, err)
+				}
+				want, err := scheme.Step()
+				if err != nil {
+					t.Fatalf("slot %d: serial step: %v", s, err)
+				}
+				if got.Observed != want.Observed {
+					t.Fatalf("slot %d: observed %v (served) vs %v (serial)", s, got.Observed, want.Observed)
+				}
+				if !equalInts(got.Assignment.Winners, want.Winners) {
+					t.Fatalf("slot %d: winners %v (served) vs %v (serial)", s, got.Assignment.Winners, want.Winners)
+				}
+				if !equalInts(got.Assignment.Strategy, want.Strategy) {
+					t.Fatalf("slot %d: strategy %v (served) vs %v (serial)", s, got.Assignment.Strategy, want.Strategy)
+				}
+				if want.Decided && got.Assignment.EstimatedWeight != want.EstimatedWeight {
+					t.Fatalf("slot %d: estimated weight %v (served) vs %v (serial)",
+						s, got.Assignment.EstimatedWeight, want.EstimatedWeight)
+				}
+			}
+		})
+	}
+}
+
+// TestExternalObserveMatchesSerialScheme drives an instance in the
+// external-environment mode: the client reads assignments, samples its own
+// channel model (seeded like the server's), and pushes the rewards back.
+// The resulting assignment sequence must match the serial run too.
+func TestExternalObserveMatchesSerialScheme(t *testing.T) {
+	const slots = 200
+	cfg := InstanceConfig{N: 10, M: 2, Seed: 2, RequireConnected: true, UpdateEvery: 2}
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	h, err := reg.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := serialScheme(t, cfg)
+
+	// The client's own environment, seeded exactly like the hosted one.
+	filled := cfg
+	if err := filled.fill(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := reg.Cache().Instance(engine.InstanceConfig{
+		N: filled.N, M: filled.M, Seed: filled.Seed,
+		RequireConnected: filled.RequireConnected, Stream: "serve",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := channel.NewModelWithMeans(
+		channel.Config{N: filled.N, M: filled.M, Sigma: filled.Sigma},
+		inst.Means, NoiseStream(filled.NoiseSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for s := 0; s < slots; s++ {
+		as, err := h.Assignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scheme.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(as.Winners, want.Winners) {
+			t.Fatalf("slot %d: winners %v (served) vs %v (serial)", s, as.Winners, want.Winners)
+		}
+		rewards := make([]float64, len(as.Winners))
+		for i, v := range as.Winners {
+			rewards[i] = env.Sample(v)
+		}
+		res, err := h.Observe([]ObservationBatch{{Played: as.Winners, Rewards: rewards}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slot != s+1 {
+			t.Fatalf("slot %d: observe advanced to %d", s, res.Slot)
+		}
+	}
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Slot != slots || info.Observations != slots {
+		t.Fatalf("info = %+v, want slot=%d observations=%d", info, slots, slots)
+	}
+}
+
+// TestSnapshotRestoreResumesTrajectory snapshots a served instance mid-run,
+// restores it into a fresh instance, and checks the restored instance's
+// external-mode decisions continue the original trajectory.
+func TestSnapshotRestoreResumesTrajectory(t *testing.T) {
+	cfg := InstanceConfig{N: 10, M: 2, Seed: 4, RequireConnected: true, UpdateEvery: 2}
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	orig, err := reg.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Step(101); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cloneCfg := cfg
+	cloneCfg.ID = "clone"
+	clone, err := reg.Create(cloneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both instances now see identical observation streams; their decisions
+	// must stay identical (the hosted samplers have diverged, so drive both
+	// externally).
+	for s := 0; s < 60; s++ {
+		a, err := orig.Assignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := clone.Assignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(a.Winners, b.Winners) || a.Slot != b.Slot {
+			t.Fatalf("round %d: diverged: %+v vs %+v", s, a, b)
+		}
+		rewards := make([]float64, len(a.Winners))
+		for i := range rewards {
+			rewards[i] = float64((s+i)%10) / 10
+		}
+		batch := []ObservationBatch{{Played: a.Winners, Rewards: rewards}}
+		if _, err := orig.Observe(batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clone.Observe(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Server exposes a Registry over HTTP/JSON. Routes:
+//
+//	GET    /healthz                        liveness probe
+//	GET    /metrics                        per-shard counters + latency histograms (text)
+//	POST   /v1/instances                   create an instance (body: InstanceConfig)
+//	GET    /v1/instances                   list instances
+//	GET    /v1/instances/{id}              instance info
+//	DELETE /v1/instances/{id}              close and remove the instance
+//	GET    /v1/instances/{id}/assignment   current channel assignment
+//	POST   /v1/instances/{id}/step         run self-simulation slots (body: {"slots": n})
+//	POST   /v1/instances/{id}/observations apply observation batches (?async=1 = fire-and-forget)
+//	GET    /v1/instances/{id}/snapshot     export learner + loop state
+//	POST   /v1/instances/{id}/restore      import a snapshot
+//
+// The routing is hand-rolled (no Go 1.22 mux patterns) so the module keeps
+// its go 1.21 floor.
+type Server struct {
+	reg   *Registry
+	start time.Time
+
+	latCreate   Histogram
+	latStep     Histogram
+	latObserve  Histogram
+	latAssign   Histogram
+	latSnapshot Histogram
+	latRestore  Histogram
+	latInfo     Histogram
+}
+
+// NewServer wraps a registry in an HTTP handler.
+func NewServer(reg *Registry) *Server {
+	return &Server{reg: reg, start: time.Now()}
+}
+
+// CreateResponse reports a created instance.
+type CreateResponse struct {
+	ID          string `json:"id"`
+	Shard       int    `json:"shard"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	K           int    `json:"k"`
+	Policy      string `json:"policy"`
+	UpdateEvery int    `json:"update_every"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// decodeBody decodes a JSON request body into v, rejecting unknown fields
+// so typos in client payloads fail loudly.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decode request body: %w", err)
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case path == "/metrics":
+		s.handleMetrics(w)
+	case path == "/v1/instances":
+		switch r.Method {
+		case http.MethodPost:
+			s.handleCreate(w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, map[string]any{"instances": s.reg.List()})
+		default:
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed on %s", r.Method, path))
+		}
+	case strings.HasPrefix(path, "/v1/instances/"):
+		rest := strings.TrimPrefix(path, "/v1/instances/")
+		id, op, _ := strings.Cut(rest, "/")
+		if id == "" {
+			writeError(w, http.StatusNotFound, errors.New("serve: missing instance id"))
+			return
+		}
+		s.handleInstance(w, r, id, op)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no route %s", path))
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	defer s.observeSince(&s.latCreate, time.Now())
+	var cfg InstanceConfig
+	if err := decodeBody(r, &cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := s.reg.Create(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	filled := h.Config()
+	writeJSON(w, http.StatusCreated, CreateResponse{
+		ID:          h.ID(),
+		Shard:       h.Shard(),
+		N:           filled.N,
+		M:           filled.M,
+		K:           h.K(),
+		Policy:      filled.Policy,
+		UpdateEvery: filled.UpdateEvery,
+	})
+}
+
+func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op string) {
+	h, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+		return
+	}
+	switch op {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			defer s.observeSince(&s.latInfo, time.Now())
+			info, err := h.Info()
+			if err != nil {
+				s.writeInstanceError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		case http.MethodDelete:
+			if err := s.reg.Remove(id); err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		default:
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+		}
+	case "assignment":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			return
+		}
+		defer s.observeSince(&s.latAssign, time.Now())
+		as, err := h.Assignment()
+		if err != nil {
+			s.writeInstanceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, as)
+	case "step":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			return
+		}
+		defer s.observeSince(&s.latStep, time.Now())
+		var body struct {
+			Slots int `json:"slots"`
+		}
+		if err := decodeBody(r, &body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if body.Slots == 0 {
+			body.Slots = 1
+		}
+		res, err := h.Step(body.Slots)
+		if err != nil {
+			s.writeInstanceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case "observations":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			return
+		}
+		defer s.observeSince(&s.latObserve, time.Now())
+		var body struct {
+			Batches []ObservationBatch `json:"batches"`
+		}
+		if err := decodeBody(r, &body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if r.URL.Query().Get("async") == "1" {
+			if err := h.PushObservations(body.Batches); err != nil {
+				s.writeInstanceError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, map[string]int{"enqueued": len(body.Batches)})
+			return
+		}
+		res, err := h.Observe(body.Batches)
+		if err != nil {
+			s.writeInstanceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case "snapshot":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			return
+		}
+		defer s.observeSince(&s.latSnapshot, time.Now())
+		snap, err := h.Snapshot()
+		if err != nil {
+			s.writeInstanceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	case "restore":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			return
+		}
+		defer s.observeSince(&s.latRestore, time.Now())
+		var snap Snapshot
+		if err := decodeBody(r, &snap); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := h.Restore(&snap); err != nil {
+			s.writeInstanceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"restored": id})
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no operation %q", op))
+	}
+}
+
+func (s *Server) writeInstanceError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if errors.Is(err, ErrClosed) {
+		code = http.StatusGone
+	}
+	writeError(w, code, err)
+}
+
+func (s *Server) observeSince(h *Histogram, start time.Time) {
+	h.Observe(time.Since(start))
+}
+
+// handleMetrics renders counters and latency histograms in a
+// Prometheus-compatible text format.
+func (s *Server) handleMetrics(w http.ResponseWriter) {
+	var b strings.Builder
+	m := s.reg.Metrics()
+	fmt.Fprintf(&b, "banditd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(&b, "banditd_shards %d\n", len(m.Shards))
+	for i := range m.Shards {
+		sc := &m.Shards[i]
+		fmt.Fprintf(&b, "banditd_instances{shard=\"%d\"} %d\n", i, sc.Instances.Load())
+		fmt.Fprintf(&b, "banditd_instances_created_total{shard=\"%d\"} %d\n", i, sc.Created.Load())
+		fmt.Fprintf(&b, "banditd_instances_closed_total{shard=\"%d\"} %d\n", i, sc.Closed.Load())
+		fmt.Fprintf(&b, "banditd_slots_served_total{shard=\"%d\"} %d\n", i, sc.Slots.Load())
+		fmt.Fprintf(&b, "banditd_decisions_total{shard=\"%d\"} %d\n", i, sc.Decisions.Load())
+		fmt.Fprintf(&b, "banditd_observations_total{shard=\"%d\"} %d\n", i, sc.Observations.Load())
+		fmt.Fprintf(&b, "banditd_observation_errors_total{shard=\"%d\"} %d\n", i, sc.ObservationErrors.Load())
+	}
+	cs := s.reg.Cache().Stats()
+	fmt.Fprintf(&b, "banditd_artifact_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(&b, "banditd_artifact_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(&b, "banditd_artifact_cache_entries %d\n", cs.Entries)
+	ops := []struct {
+		name string
+		h    *Histogram
+	}{
+		{"create", &s.latCreate},
+		{"step", &s.latStep},
+		{"observe", &s.latObserve},
+		{"assignment", &s.latAssign},
+		{"snapshot", &s.latSnapshot},
+		{"restore", &s.latRestore},
+		{"info", &s.latInfo},
+	}
+	for _, op := range ops {
+		if op.h.Count() == 0 {
+			continue
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(&b, "banditd_request_duration_seconds{op=%q,quantile=\"%.2f\"} %.6f\n",
+				op.name, q, op.h.Quantile(q).Seconds())
+		}
+		fmt.Fprintf(&b, "banditd_request_duration_seconds_sum{op=%q} %.6f\n", op.name, op.h.Sum().Seconds())
+		fmt.Fprintf(&b, "banditd_request_duration_seconds_count{op=%q} %d\n", op.name, op.h.Count())
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}

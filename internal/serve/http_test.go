@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client, *Registry) {
+	t.Helper()
+	reg := NewRegistry(RegistryConfig{Shards: 2})
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return ts, NewClient(ts.URL), reg
+}
+
+// TestHTTPWorkflow exercises the full API surface over real HTTP: create,
+// step, assignment, observe (sync + async), snapshot, restore, list, info,
+// metrics, delete.
+func TestHTTPWorkflow(t *testing.T) {
+	_, c, _ := newTestServer(t)
+	if err := c.WaitHealthy(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	created, err := c.Create(InstanceConfig{ID: "w", N: 8, M: 2, Seed: 1, RequireConnected: true, UpdateEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != "w" || created.K != 16 || created.Policy != "zhou-li" || created.UpdateEvery != 2 {
+		t.Fatalf("create response = %+v", created)
+	}
+
+	step, err := c.Step("w", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Slots != 50 || step.Slot != 50 || step.Decisions != 25 {
+		t.Fatalf("step = %+v, want 50 slots, 25 decisions (y=2)", step)
+	}
+	if step.Observed <= 0 {
+		t.Fatalf("step observed %v, want positive throughput", step.Observed)
+	}
+
+	as, err := c.Assignment("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Slot != 50 || len(as.Strategy) != 8 {
+		t.Fatalf("assignment = %+v", as)
+	}
+
+	rewards := make([]float64, len(as.Winners))
+	for i := range rewards {
+		rewards[i] = 0.4
+	}
+	obs, err := c.Observe("w", []ObservationBatch{{Played: as.Winners, Rewards: rewards}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Applied != 1 || obs.Slot != 51 {
+		t.Fatalf("observe = %+v", obs)
+	}
+
+	snap, err := c.Snapshot("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Slot != 51 || snap.Learner.Policy != "zhou-li" {
+		t.Fatalf("snapshot = slot %d policy %q", snap.Slot, snap.Learner.Policy)
+	}
+
+	if _, err := c.Create(InstanceConfig{ID: "w2", N: 8, M: 2, Seed: 1, RequireConnected: true, UpdateEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore("w2", snap); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Slot != 51 {
+		t.Fatalf("restored info = %+v", info)
+	}
+
+	list, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != "w" || list[1].ID != "w2" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	metrics, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"banditd_shards 2",
+		"banditd_slots_served_total",
+		"banditd_decisions_total",
+		"banditd_artifact_cache_hits_total 1",
+		`banditd_request_duration_seconds{op="step",quantile="0.50"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	if err := c.Delete("w"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Info("w"); err == nil {
+		t.Fatal("info on deleted instance should 404")
+	}
+}
+
+func TestHTTPAsyncObservations(t *testing.T) {
+	ts, c, _ := newTestServer(t)
+	if _, err := c.Create(InstanceConfig{ID: "a", N: 8, M: 2, Seed: 1, RequireConnected: true}); err != nil {
+		t.Fatal(err)
+	}
+	as, err := c.Assignment("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := make([]float64, len(as.Winners))
+	body := `{"batches":[{"played":[` + intsCSV(as.Winners) + `],"rewards":[` + zerosCSV(len(rewards)) + `]}]}`
+	resp, err := http.Post(ts.URL+"/v1/instances/a/observations?async=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async observe status = %d", resp.StatusCode)
+	}
+	info, err := c.Info("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Slot != 1 {
+		t.Fatalf("async batch not applied: %+v", info)
+	}
+}
+
+func intsCSV(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func zerosCSV(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = "0.1"
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, c, _ := newTestServer(t)
+	// Unknown instance.
+	if _, err := c.Step("nope", 1); err == nil || !strings.Contains(err.Error(), "404") && !strings.Contains(err.Error(), "no instance") {
+		t.Fatalf("step on unknown instance: %v", err)
+	}
+	// Bad JSON body.
+	resp, err := http.Post(ts.URL+"/v1/instances", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	}
+	// Unknown field rejected.
+	resp, err = http.Post(ts.URL+"/v1/instances", "application/json", strings.NewReader(`{"n":8,"m":2,"frobnicate":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status = %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/instances/x/step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET step status = %d", resp.StatusCode)
+	}
+	// Unknown route.
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route status = %d", resp.StatusCode)
+	}
+	// Invalid config via HTTP.
+	if _, err := c.Create(InstanceConfig{N: -1, M: 2}); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// ShardCounters are the per-shard serving counters, updated lock-free by
+// the actors hosted on the shard.
+type ShardCounters struct {
+	// Instances is the number of currently hosted instances.
+	Instances atomic.Int64
+	// Created and Closed count instance lifecycle events.
+	Created atomic.Int64
+	Closed  atomic.Int64
+	// Slots counts served slots (self-simulation steps plus applied
+	// observation rounds) — one served decision per slot.
+	Slots atomic.Int64
+	// Decisions counts MWIS strategy decisions actually run.
+	Decisions atomic.Int64
+	// Observations counts applied external observation batches.
+	Observations atomic.Int64
+	// ObservationErrors counts failed fire-and-forget observation batches
+	// (the only place their errors surface).
+	ObservationErrors atomic.Int64
+}
+
+// Metrics aggregates the registry's per-shard counters.
+type Metrics struct {
+	// Shards holds one counter block per registry shard.
+	Shards []ShardCounters
+}
+
+func newMetrics(shards int) *Metrics {
+	return &Metrics{Shards: make([]ShardCounters, shards)}
+}
+
+// TotalSlots sums the served-slot counters across shards.
+func (m *Metrics) TotalSlots() int64 {
+	var t int64
+	for i := range m.Shards {
+		t += m.Shards[i].Slots.Load()
+	}
+	return t
+}
+
+// TotalDecisions sums the MWIS decision counters across shards.
+func (m *Metrics) TotalDecisions() int64 {
+	var t int64
+	for i := range m.Shards {
+		t += m.Shards[i].Decisions.Load()
+	}
+	return t
+}
+
+// histBuckets is the bucket count of Histogram: log₂ buckets of
+// microseconds, bucket b holding durations in [2^(b-1), 2^b) µs (bucket 0
+// holds sub-microsecond observations), topping out above ~4.2 s.
+const histBuckets = 24
+
+// Histogram is a lock-free log₂-bucketed latency histogram. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns / 1000))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the summed observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0, 1]):
+// the upper edge of the bucket the quantile falls in.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum > target {
+			return time.Duration(1<<uint(b)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<uint(histBuckets-1)) * time.Microsecond
+}

@@ -1,0 +1,367 @@
+// Package serve is the online decision-serving runtime: a sharded registry
+// of hosted network instances, each owned by an actor goroutine that runs
+// the paper's Algorithm 2 loop as a request/response service. Clients can
+// push observation batches and read the current channel assignment (the
+// external-environment mode), or ask the server to run the
+// decide→transmit→observe→update loop itself against the instance's hosted
+// channel model (the self-simulation mode used by the load generator and
+// the golden tests).
+//
+// Instances with identical artifact configurations (N, M, seed, degree)
+// share their expensive immutable artifacts — the unit-disk topology, the
+// extended conflict graph H, the true channel means, and the protocol
+// runtime's hop-neighborhood precomputation — through an
+// engine.ArtifactCache, so hosting 64 replicas of one network pays the
+// construction cost once. All mutable state (policy statistics, channel
+// noise streams, the current strategy) is confined to the actor goroutine:
+// requests are serialized through the instance mailbox, so per-instance
+// state needs no locks and a served instance's trajectory is bit-identical
+// to the equivalent serial core.Scheme run.
+//
+// Server exposes the registry over HTTP/JSON (cmd/banditd), and Client is
+// the matching typed client (cmd/banditload, the smoke tests).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/engine"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/rng"
+)
+
+// ErrClosed is returned by handle operations on a closed instance.
+var ErrClosed = errors.New("serve: instance closed")
+
+// RegistryConfig parameterizes a Registry.
+type RegistryConfig struct {
+	// Shards is the number of registry shards (default GOMAXPROCS). Sharding
+	// bounds lock contention on the instance table, not on instances
+	// themselves (those are single-actor).
+	Shards int
+	// Cache is an optional shared artifact cache; nil creates a private one.
+	Cache *engine.ArtifactCache
+	// MailboxDepth is the per-instance mailbox buffer (default 128). A full
+	// mailbox applies backpressure: senders block until the actor drains.
+	MailboxDepth int
+}
+
+// Registry hosts decision-serving instances, sharded by instance ID. It is
+// safe for concurrent use.
+type Registry struct {
+	shards  []*shard
+	cache   *engine.ArtifactCache
+	mailbox int
+	metrics *Metrics
+	nextID  atomic.Uint64
+}
+
+type shard struct {
+	mu        sync.RWMutex
+	instances map[string]*Instance
+}
+
+// NewRegistry builds a Registry, applying defaults for zero-value fields.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c := cfg.Cache
+	if c == nil {
+		c = engine.NewArtifactCache()
+	}
+	depth := cfg.MailboxDepth
+	if depth <= 0 {
+		depth = 128
+	}
+	r := &Registry{
+		shards:  make([]*shard, n),
+		cache:   c,
+		mailbox: depth,
+		metrics: newMetrics(n),
+	}
+	for i := range r.shards {
+		r.shards[i] = &shard{instances: make(map[string]*Instance)}
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Registry) Shards() int { return len(r.shards) }
+
+// Cache returns the registry's shared artifact cache.
+func (r *Registry) Cache() *engine.ArtifactCache { return r.cache }
+
+// Metrics returns the registry's counters.
+func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// shardFor maps an instance ID to its shard. The mapping depends only on
+// the ID, so uniqueness checks within one shard suffice globally.
+func (r *Registry) shardFor(id string) (int, *shard) {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	i := int(h.Sum32()) % len(r.shards)
+	if i < 0 {
+		i += len(r.shards)
+	}
+	return i, r.shards[i]
+}
+
+// InstanceConfig parameterizes one hosted instance. The artifact fields
+// (N, M, Seed, TargetDegree, RequireConnected) key the shared cache: two
+// instances with equal artifact fields share topology, extended graph,
+// means, and protocol runtime.
+type InstanceConfig struct {
+	// ID names the instance; empty generates "inst-<n>".
+	ID string `json:"id,omitempty"`
+	// N and M are the node and channel counts. Required.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Seed draws the instance artifacts (topology, true channel means).
+	Seed int64 `json:"seed"`
+	// NoiseSeed drives the per-instance channel noise stream; 0 means "use
+	// Seed". Give replicas sharing one artifact Seed distinct NoiseSeeds to
+	// get distinct reward trajectories.
+	NoiseSeed int64 `json:"noise_seed,omitempty"`
+	// TargetDegree sizes the deployment square (0 = topology default).
+	TargetDegree float64 `json:"target_degree,omitempty"`
+	// RequireConnected retries placement until the conflict graph connects.
+	RequireConnected bool `json:"require_connected,omitempty"`
+	// Policy selects the learning rule: "zhou-li" (default), "llr", "cucb",
+	// "oracle", or "discounted-zhou-li".
+	Policy string `json:"policy,omitempty"`
+	// Gamma is the discount factor of "discounted-zhou-li" (default 0.99).
+	Gamma float64 `json:"gamma,omitempty"`
+	// R and D configure the distributed decision (defaults 2, 4).
+	R int `json:"r,omitempty"`
+	D int `json:"d,omitempty"`
+	// UpdateEvery is the update period y in slots (default 1).
+	UpdateEvery int `json:"update_every,omitempty"`
+	// Sigma is the hosted channel model's noise stddev (default 0.05).
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+func (c *InstanceConfig) fill() error {
+	if c.N <= 0 || c.M <= 0 {
+		return fmt.Errorf("serve: N and M must be positive, got N=%d M=%d", c.N, c.M)
+	}
+	if c.R == 0 {
+		c.R = 2
+	}
+	if c.R < 1 {
+		return fmt.Errorf("serve: R must be >= 1, got %d", c.R)
+	}
+	if c.D == 0 {
+		c.D = 4
+	}
+	if c.D < 0 {
+		return fmt.Errorf("serve: D must be >= 0, got %d", c.D)
+	}
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 1
+	}
+	if c.UpdateEvery < 1 {
+		return fmt.Errorf("serve: UpdateEvery must be >= 1, got %d", c.UpdateEvery)
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.05
+	}
+	if c.Sigma < 0 {
+		return fmt.Errorf("serve: Sigma must be non-negative, got %v", c.Sigma)
+	}
+	if c.NoiseSeed == 0 {
+		c.NoiseSeed = c.Seed
+	}
+	if c.Policy == "" {
+		c.Policy = "zhou-li"
+	}
+	if c.Policy == "discounted-zhou-li" {
+		if c.Gamma == 0 {
+			c.Gamma = 0.99
+		}
+		if c.Gamma <= 0 || c.Gamma > 1 {
+			return fmt.Errorf("serve: gamma must be in (0,1], got %v", c.Gamma)
+		}
+	}
+	return nil
+}
+
+// buildPolicy constructs the configured learning policy over k arms.
+func buildPolicy(cfg InstanceConfig, k int, means []float64) (policy.Policy, error) {
+	switch cfg.Policy {
+	case "zhou-li":
+		return policy.NewZhouLi(k)
+	case "llr":
+		return policy.NewLLR(k, cfg.N)
+	case "cucb":
+		return policy.NewCUCB(k)
+	case "oracle":
+		return policy.NewOracle(means)
+	case "discounted-zhou-li":
+		return policy.NewDiscountedZhouLi(k, cfg.Gamma)
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (want zhou-li, llr, cucb, oracle or discounted-zhou-li)", cfg.Policy)
+	}
+}
+
+// NoiseStream derives the channel-noise stream of an instance with the
+// given noise seed. Exported so the golden tests (and any external
+// verifier) can reconstruct a served instance's exact reward sequence.
+func NoiseStream(noiseSeed int64) *rng.Source {
+	return rng.New(noiseSeed).SplitPath("serve", "noise")
+}
+
+// Create builds, registers and starts a hosted instance.
+func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	id := cfg.ID
+	if id == "" {
+		id = fmt.Sprintf("inst-%d", r.nextID.Add(1))
+	}
+	inst, err := r.cache.Instance(engine.InstanceConfig{
+		N:                cfg.N,
+		M:                cfg.M,
+		Seed:             cfg.Seed,
+		TargetDegree:     cfg.TargetDegree,
+		RequireConnected: cfg.RequireConnected,
+		Stream:           "serve",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: instance artifacts: %w", err)
+	}
+	rt, err := inst.Runtime(cfg.R, cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := channel.NewModelWithMeans(
+		channel.Config{N: cfg.N, M: cfg.M, Sigma: cfg.Sigma},
+		inst.Means, NoiseStream(cfg.NoiseSeed))
+	if err != nil {
+		return nil, fmt.Errorf("serve: instance channels: %w", err)
+	}
+	pol, err := buildPolicy(cfg, inst.Ext.K(), inst.Means)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register under the (possibly generated) ID. Auto-generated names
+	// retry on collision with user-supplied ones (a client may have taken
+	// "inst-<n>" explicitly); explicit names fail loudly. Only the cheap
+	// handle construction sits inside the retry loop — the expensive
+	// artifacts above are reused across retries.
+	auto := cfg.ID == ""
+	for {
+		si, sh := r.shardFor(id)
+		stats := &instanceStats{}
+		a := &actor{
+			id:          id,
+			counters:    &r.metrics.Shards[si],
+			stats:       stats,
+			ext:         inst.Ext,
+			rt:          rt,
+			pol:         pol,
+			sampler:     sampler,
+			y:           cfg.UpdateEvery,
+			decidedSlot: -1,
+			indices:     make([]float64, inst.Ext.K()),
+		}
+		if wr, ok := pol.(policy.IndexWriter); ok {
+			a.wr = wr
+		}
+		h := &Instance{
+			id:      id,
+			shard:   si,
+			cfg:     cfg,
+			k:       inst.Ext.K(),
+			stats:   stats,
+			mailbox: make(chan request, r.mailbox),
+			stop:    make(chan struct{}),
+			closed:  make(chan struct{}),
+		}
+		sh.mu.Lock()
+		if _, exists := sh.instances[id]; exists {
+			sh.mu.Unlock()
+			if !auto {
+				return nil, fmt.Errorf("serve: instance %q already exists", id)
+			}
+			id = fmt.Sprintf("inst-%d", r.nextID.Add(1))
+			continue
+		}
+		sh.instances[id] = h
+		sh.mu.Unlock()
+
+		go a.run(h.mailbox, h.stop, h.closed)
+		r.metrics.Shards[si].Created.Add(1)
+		r.metrics.Shards[si].Instances.Add(1)
+		return h, nil
+	}
+}
+
+// Get returns the hosted instance with the given ID.
+func (r *Registry) Get(id string) (*Instance, bool) {
+	_, sh := r.shardFor(id)
+	sh.mu.RLock()
+	h, ok := sh.instances[id]
+	sh.mu.RUnlock()
+	return h, ok
+}
+
+// List returns summaries of every hosted instance, sorted by ID. It reads
+// the actors' published snapshots (InfoSnapshot) rather than their
+// mailboxes, so a monitoring call never queues behind instance work — at
+// the cost that a snapshot may trail the instance's in-flight request.
+func (r *Registry) List() []InstanceInfo {
+	var infos []InstanceInfo
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, h := range sh.instances {
+			infos = append(infos, h.InfoSnapshot())
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// Remove closes and unregisters an instance. Requests in flight (including
+// queued fire-and-forget observations) fail with ErrClosed or are dropped.
+func (r *Registry) Remove(id string) error {
+	si, sh := r.shardFor(id)
+	sh.mu.Lock()
+	h, ok := sh.instances[id]
+	if ok {
+		delete(sh.instances, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: no instance %q", id)
+	}
+	h.close()
+	r.metrics.Shards[si].Closed.Add(1)
+	r.metrics.Shards[si].Instances.Add(-1)
+	return nil
+}
+
+// Close closes every hosted instance.
+func (r *Registry) Close() {
+	for si, sh := range r.shards {
+		sh.mu.Lock()
+		for id, h := range sh.instances {
+			h.close()
+			delete(sh.instances, id)
+			r.metrics.Shards[si].Closed.Add(1)
+			r.metrics.Shards[si].Instances.Add(-1)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() InstanceConfig {
+	return InstanceConfig{N: 8, M: 2, Seed: 1, RequireConnected: true}
+}
+
+func TestCreateDefaultsAndInfo(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Shards: 4})
+	defer reg.Close()
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Config()
+	if cfg.R != 2 || cfg.D != 4 || cfg.UpdateEvery != 1 || cfg.Policy != "zhou-li" || cfg.Sigma != 0.05 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+	if cfg.NoiseSeed != cfg.Seed {
+		t.Fatalf("noise seed defaulted to %d, want %d", cfg.NoiseSeed, cfg.Seed)
+	}
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.K != 16 || info.Policy != "zhou-li" || info.Slot != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Shard != h.Shard() {
+		t.Fatalf("info shard %d, handle shard %d", info.Shard, h.Shard())
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	bad := []InstanceConfig{
+		{N: 0, M: 2},
+		{N: 8, M: 0},
+		{N: 8, M: 2, UpdateEvery: -1},
+		{N: 8, M: 2, Sigma: -0.1},
+		{N: 8, M: 2, R: -1},
+		{N: 8, M: 2, Policy: "no-such-policy"},
+		{N: 8, M: 2, Policy: "discounted-zhou-li", Gamma: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := reg.Create(cfg); err == nil {
+			t.Errorf("config %d (%+v) should be rejected", i, cfg)
+		}
+	}
+}
+
+func TestDuplicateID(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	cfg := testConfig()
+	cfg.ID = "dup"
+	if _, err := reg.Create(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(cfg); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate create: err = %v", err)
+	}
+}
+
+func TestArtifactSharingAcrossInstances(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	for i := 0; i < 8; i++ {
+		cfg := testConfig()
+		cfg.NoiseSeed = int64(100 + i)
+		if _, err := reg.Create(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := reg.Cache().Stats()
+	if st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats = %+v, want one build shared by 8 instances", st)
+	}
+	if st.Hits != 7 {
+		t.Fatalf("cache hits = %d, want 7", st.Hits)
+	}
+}
+
+func TestListAndRemove(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Shards: 3})
+	defer reg.Close()
+	ids := []string{"a", "b", "c"}
+	for _, id := range ids {
+		cfg := testConfig()
+		cfg.ID = id
+		if _, err := reg.Create(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := reg.List()
+	if len(infos) != 3 {
+		t.Fatalf("list returned %d instances", len(infos))
+	}
+	for i, id := range ids {
+		if infos[i].ID != id {
+			t.Fatalf("list not sorted: %v", infos)
+		}
+	}
+	if err := reg.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Remove("b"); err == nil {
+		t.Fatal("double remove should fail")
+	}
+	if _, ok := reg.Get("b"); ok {
+		t.Fatal("removed instance still resolvable")
+	}
+	if len(reg.List()) != 2 {
+		t.Fatal("list after remove")
+	}
+}
+
+func TestClosedInstanceErrors(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Remove(h.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Step(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("step on closed instance: %v", err)
+	}
+	if _, err := h.Assignment(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("assignment on closed instance: %v", err)
+	}
+	if err := h.PushObservations([]ObservationBatch{{}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push on closed instance: %v", err)
+	}
+}
+
+func TestPushObservationsAsync(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := h.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := make([]float64, len(as.Winners))
+	for i := range rewards {
+		rewards[i] = 0.5
+	}
+	for r := 0; r < 10; r++ {
+		if err := h.PushObservations([]ObservationBatch{{Played: as.Winners, Rewards: rewards}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The mailbox serializes: a subsequent synchronous request observes all
+	// queued batches applied.
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Slot != 10 || info.Observations != 10 {
+		t.Fatalf("async observations not applied: %+v", info)
+	}
+	// A bad async batch surfaces only in the error counter.
+	if err := h.PushObservations([]ObservationBatch{{Played: []int{9999}, Rewards: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Info(); err != nil {
+		t.Fatal(err)
+	}
+	errs := reg.Metrics().Shards[h.Shard()].ObservationErrors.Load()
+	if errs != 1 {
+		t.Fatalf("observation errors = %d, want 1", errs)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Observe(nil); err == nil {
+		t.Fatal("empty observe should fail")
+	}
+	if _, err := h.Observe([]ObservationBatch{{Played: []int{1, 2}, Rewards: []float64{0.5}}}); err == nil {
+		t.Fatal("mismatched batch should fail")
+	}
+	if _, err := h.Observe([]ObservationBatch{{Played: []int{-1}, Rewards: []float64{0.5}}}); err == nil {
+		t.Fatal("out-of-range arm should fail")
+	}
+	if _, err := h.Step(0); err == nil {
+		t.Fatal("zero-slot step should fail")
+	}
+}
+
+// TestConcurrentInstancesAreIndependent runs many replicas concurrently and
+// checks every replica's trajectory matches its serial twin — the actor
+// confinement claim under the race detector.
+func TestConcurrentInstancesAreIndependent(t *testing.T) {
+	const replicas = 16
+	reg := NewRegistry(RegistryConfig{Shards: 4})
+	defer reg.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < replicas; i++ {
+		cfg := testConfig()
+		cfg.NoiseSeed = int64(1000 + i)
+		h, err := reg.Create(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *Instance) {
+			defer wg.Done()
+			total := 0
+			for total < 120 {
+				res, err := h.Step(30)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total += res.Slots
+			}
+		}(h)
+	}
+	wg.Wait()
+	if got := reg.Metrics().TotalSlots(); got != replicas*120 {
+		t.Fatalf("total slots = %d, want %d", got, replicas*120)
+	}
+	if reg.Metrics().TotalDecisions() != replicas*120 {
+		t.Fatalf("total decisions = %d, want %d (update every slot)", reg.Metrics().TotalDecisions(), replicas*120)
+	}
+}
+
+// TestConcurrentRequestsOneInstance hammers a single actor from many
+// goroutines; the mailbox must serialize them without loss.
+func TestConcurrentRequestsOneInstance(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{MailboxDepth: 4})
+	defer reg.Close()
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		clients = 8
+		batches = 25
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				if _, err := h.Step(2); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := h.Assignment(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Slot != clients*batches*2 {
+		t.Fatalf("slot = %d, want %d", info.Slot, clients*batches*2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(50 * time.Millisecond)
+	if h.Count() != 101 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 100*time.Microsecond || p50 > 256*time.Microsecond {
+		t.Fatalf("p50 = %v, want within the 128µs bucket edge", p50)
+	}
+	p99 := h.Quantile(0.995)
+	if p99 < 50*time.Millisecond {
+		t.Fatalf("p99.5 = %v, should cover the slow outlier", p99)
+	}
+	if h.Mean() < 100*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+// TestObserveAtomicValidation sends a request whose second batch is
+// invalid: nothing may be applied (clients retry whole requests, so a
+// half-applied request would silently double-apply batch 0 on retry).
+func TestObserveAtomicValidation(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := h.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards := make([]float64, len(as.Winners))
+	good := ObservationBatch{Played: as.Winners, Rewards: rewards}
+	bad := ObservationBatch{Played: []int{99999}, Rewards: []float64{0.5}}
+	if _, err := h.Observe([]ObservationBatch{good, bad}); err == nil {
+		t.Fatal("mixed request should be rejected")
+	}
+	info, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Slot != 0 || info.Observations != 0 {
+		t.Fatalf("rejected request was partially applied: %+v", info)
+	}
+	if got := reg.Metrics().TotalSlots(); got != 0 {
+		t.Fatalf("rejected request counted %d slots", got)
+	}
+}
+
+// TestAutoIDSkipsTakenNames reserves an explicit "inst-1" and checks
+// auto-generation steps over it instead of failing.
+func TestAutoIDSkipsTakenNames(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	cfg := testConfig()
+	cfg.ID = "inst-1"
+	if _, err := reg.Create(cfg); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatalf("auto-ID create should skip the taken name: %v", err)
+	}
+	if h.ID() == "inst-1" {
+		t.Fatal("auto ID collided with the explicit one")
+	}
+	if len(reg.List()) != 2 {
+		t.Fatalf("want 2 instances, have %v", reg.List())
+	}
+}
+
+// TestListDoesNotBlockOnBusyInstance parks an instance behind a slow step
+// batch and checks List still answers from the published snapshots.
+func TestListDoesNotBlockOnBusyInstance(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	h, err := reg.Create(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepDone := make(chan struct{})
+	go func() {
+		defer close(stepDone)
+		if _, err := h.Step(5000); err != nil {
+			t.Error(err)
+		}
+	}()
+	listDone := make(chan []InstanceInfo, 1)
+	go func() { listDone <- reg.List() }()
+	select {
+	case infos := <-listDone:
+		if len(infos) != 1 {
+			t.Fatalf("list = %v", infos)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("List blocked behind a busy instance")
+	}
+	<-stepDone
+}
