@@ -4,7 +4,13 @@
 GO ?= go
 BANDITD_ADDR ?= 127.0.0.1:8650
 
-.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve serve-smoke figures ci
+# Fixed figgen configuration behind the committed golden digest
+# (testdata/figgen-golden.sha256). Reduced sizes keep the run a few seconds
+# while still exercising every experiment (Fig. 6/7/8, ablations, shift,
+# Fig. 7 replication) through the shared slot kernel.
+GOLDEN_ARGS = -exp all -seed 1 -slots 300 -periods 40 -reps 3
+
+.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim serve-smoke verify-golden update-golden figures ci
 
 all: build
 
@@ -57,8 +63,43 @@ serve-smoke:
 		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; wait $$pid
 
+# Sim-side benchmark: figure-suite wall clock + allocation totals and the
+# kernel slot-loop ns/allocs per slot, recorded machine-readably in
+# BENCH_sim.json (the counterpart of bench-serve's BENCH_serve.json).
+bench-sim:
+	$(GO) run ./cmd/simbench -json BENCH_sim.json
+
+# Byte-identity tripwire for the figure pipeline: regenerate figgen output
+# at the fixed golden configuration and compare its SHA-256 against the
+# committed digest. Any change to the RNG stream structure, the kernel's
+# slot procedure, or the renderers fails this target.
+verify-golden:
+	$(GO) build -o bin/figgen ./cmd/figgen
+	@out=$$(mktemp); trap 'rm -f "$$out"' EXIT; \
+	bin/figgen $(GOLDEN_ARGS) > "$$out" || { echo "figgen failed; not comparing digests"; exit 1; }; \
+	got=$$(sha256sum < "$$out" | awk '{print $$1}'); \
+	want=$$(cut -d' ' -f1 testdata/figgen-golden.sha256); \
+	if [ "$$got" != "$$want" ]; then \
+		echo "figgen golden digest mismatch:"; \
+		echo "  want $$want"; \
+		echo "  got  $$got"; \
+		echo "Output at the fixed seed changed. If intentional (a rendering"; \
+		echo "or experiment change, never a silent numeric drift), refresh"; \
+		echo "the digest with 'make update-golden' and explain why in the PR."; \
+		exit 1; \
+	fi; echo "figgen golden digest OK ($$got)"
+
+# Refresh the committed golden digest after an intentional output change.
+update-golden:
+	$(GO) build -o bin/figgen ./cmd/figgen
+	@out=$$(mktemp); trap 'rm -f "$$out"' EXIT; \
+	bin/figgen $(GOLDEN_ARGS) > "$$out" || { echo "figgen failed; golden digest not updated"; exit 1; }; \
+	got=$$(sha256sum < "$$out" | awk '{print $$1}'); \
+	printf '%s  figgen $(GOLDEN_ARGS)\n' "$$got" > testdata/figgen-golden.sha256; \
+	echo "updated testdata/figgen-golden.sha256 ($$got)"
+
 # Regenerate every table and figure of the paper through the engine.
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke serve-smoke
+ci: build fmt-check vet race bench-smoke serve-smoke verify-golden

@@ -226,6 +226,31 @@ type Scheme = core.Scheme
 // SlotResult reports one time slot of the scheme.
 type SlotResult = core.SlotResult
 
+// SlotView is the slot kernel's streaming per-slot report; its slices alias
+// kernel buffers valid only during the OnSlot call.
+type SlotView = core.SlotView
+
+// SlotObserver streams per-slot output from Scheme.RunObserved without
+// materializing SlotResults (zero allocations on steady-state slots).
+type SlotObserver = core.SlotObserver
+
+// KbpsRecorder is a SlotObserver accumulating the observed throughput
+// series on the paper's kbps scale.
+type KbpsRecorder = core.KbpsRecorder
+
+// DecisionRecorder is a SlotObserver accumulating one entry (slot,
+// estimated weight in kbps) per strategy decision.
+type DecisionRecorder = core.DecisionRecorder
+
+// NewKbpsRecorder pre-allocates a KbpsRecorder for the given slot count.
+func NewKbpsRecorder(slots int) *KbpsRecorder { return core.NewKbpsRecorder(slots) }
+
+// NewDecisionRecorder pre-allocates a DecisionRecorder for the given
+// decision count.
+func NewDecisionRecorder(decisions int) *DecisionRecorder {
+	return core.NewDecisionRecorder(decisions)
+}
+
 // DecisionResult is the outcome of one distributed strategy decision
 // (Algorithm 3), including communication statistics.
 type DecisionResult = protocol.Result

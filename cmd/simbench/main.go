@@ -1,0 +1,159 @@
+// Command simbench measures the figure-generation pipeline and records a
+// machine-readable summary, the sim-side counterpart of cmd/banditload's
+// BENCH_serve.json: `make bench-sim` tracks the experiment suite's wall
+// clock and allocation behavior alongside the serving numbers, so hot-path
+// regressions on either side show up in the same place.
+//
+// Two measurements are taken:
+//
+//   - the full figure suite (Fig. 6/7/8, ablations, shift, Fig. 7
+//     replication) at a reduced fixed configuration, timed end to end with
+//     total allocation deltas from runtime.MemStats, and
+//   - the slot-loop micro measurement: one Scheme driven through the
+//     kernel's streaming recorder path, reporting ns/slot and allocs/slot
+//     (0 on steady-state slots — the property BenchmarkSchemeRun and
+//     TestSlotLoopNoAllocs guard).
+//
+// Usage:
+//
+//	simbench                         # print the summary as JSON to stdout
+//	simbench -json BENCH_sim.json    # also write it to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/sim"
+	"multihopbandit/internal/topology"
+)
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	// Suite configuration, fixed so runs are comparable.
+	Seed    int64 `json:"seed"`
+	Slots   int   `json:"fig7_slots"`
+	Periods int   `json:"fig8_periods"`
+	Reps    int   `json:"fig7_reps"`
+	Workers int   `json:"workers"`
+
+	// Figure-suite totals.
+	SuiteWallSeconds float64 `json:"suite_wall_seconds"`
+	SuiteMallocs     uint64  `json:"suite_mallocs"`
+	SuiteAllocBytes  uint64  `json:"suite_alloc_bytes"`
+
+	// Slot-loop micro measurement (kernel recorder path, steady state).
+	LoopSlots         int     `json:"loop_slots"`
+	LoopNsPerSlot     float64 `json:"loop_ns_per_slot"`
+	LoopAllocsPerSlot float64 `json:"loop_allocs_per_slot"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		jsonPath = flag.String("json", "", "write the summary to this file as well as stdout")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		slots    = flag.Int("slots", 300, "Fig. 7 horizon in time slots")
+		periods  = flag.Int("periods", 40, "Fig. 8 update periods per subplot")
+		reps     = flag.Int("reps", 3, "Fig. 7 replication count")
+		workers  = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Seed: *seed, Slots: *slots, Periods: *periods, Reps: *reps, Workers: *workers,
+	}
+
+	// Figure suite: wall clock + allocation deltas around one full run.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := sim.RunExperiments(sim.SuiteConfig{
+		Seed:      *seed,
+		Workers:   *workers,
+		Fig7:      sim.Fig7Config{Slots: *slots},
+		Fig8:      sim.Fig8Config{Periods: *periods},
+		Fig7Seeds: sim.SeedRange(*seed, *reps),
+	}); err != nil {
+		return err
+	}
+	rep.SuiteWallSeconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	rep.SuiteMallocs = after.Mallocs - before.Mallocs
+	rep.SuiteAllocBytes = after.TotalAlloc - before.TotalAlloc
+
+	// Slot-loop micro measurement: steady-state recorder path.
+	if err := measureLoop(&rep); err != nil {
+		return err
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	os.Stdout.Write(out)
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureLoop times the kernel's streaming slot loop on a 15×3 instance
+// with one warm decision, mirroring BenchmarkSchemeRun/recorder-steady.
+func measureLoop(rep *Report) error {
+	const n, m, loopSlots = 15, 3, 20000
+	nw, err := topology.Random(topology.RandomConfig{N: n, RequireConnected: true}, rng.New(3))
+	if err != nil {
+		return err
+	}
+	ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(4))
+	if err != nil {
+		return err
+	}
+	pol, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		return err
+	}
+	s, err := core.New(core.Config{Net: nw, Channels: ch, M: m, Policy: pol, UpdateEvery: 1 << 30})
+	if err != nil {
+		return err
+	}
+	rec := core.NewKbpsRecorder(loopSlots + 8)
+	if err := s.RunObserved(8, rec); err != nil { // decide once, warm the path
+		return err
+	}
+	loop := s.Loop()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < loopSlots; i++ {
+		if _, err := loop.StepSampled(rec); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	rep.LoopSlots = loopSlots
+	rep.LoopNsPerSlot = float64(elapsed.Nanoseconds()) / float64(loopSlots)
+	rep.LoopAllocsPerSlot = float64(after.Mallocs-before.Mallocs) / float64(loopSlots)
+	return nil
+}

@@ -45,6 +45,24 @@
 // tests, a one-iteration benchmark smoke pass, and the serving smoke test;
 // see CONTRIBUTING.md.
 //
+// # The slot kernel
+//
+// The paper's per-slot procedure — periodic distributed strategy decision,
+// transmit, observe, estimator update — is implemented exactly once, in the
+// core Loop kernel. The offline simulator (Scheme) and the online serving
+// runtime are both thin instantiations of it, so their trajectories are
+// equivalent by construction; the serving golden test remains as a
+// regression tripwire rather than the only thing holding two copies
+// together. The kernel offers two reward-source modes (self-sampling from a
+// channel model, or externally supplied observation batches), lazy
+// once-per-boundary strategy decisions, the policies' zero-allocation
+// WriteIndices path with a copying fallback, and a streaming SlotObserver
+// interface: recorders accumulate exactly the series a consumer needs
+// (observed kbps, decision weights), so a steady-state slot performs zero
+// heap allocations (BenchmarkSchemeRun). Byte-identity of the figure
+// pipeline across refactors is enforced by a committed SHA-256 digest of
+// figgen output at a fixed seed (`make verify-golden`, run in CI).
+//
 // # The decision-serving runtime
 //
 // The serving runtime turns Algorithm 2's loop (observe rates → update

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/topology"
+)
+
+func benchScheme(b *testing.B, n, m, y int) *Scheme {
+	b.Helper()
+	nw, err := topology.Random(topology.RandomConfig{N: n, RequireConnected: true}, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{Net: nw, Channels: ch, M: m, Policy: pol, UpdateEvery: y})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSchemeRun measures the figure-generation slot loop per slot.
+// The sub-benchmarks contrast the two consumption paths:
+//
+//   - materialized: the historical Step/Run path, which deep-copies the
+//     strategy and winner slices into a SlotResult every slot, and
+//   - recorder: the kernel's streaming path through a pre-sized
+//     KbpsRecorder, which the ISSUE's acceptance criteria pin at
+//     0 allocs/op on steady-state slots (see TestSlotLoopNoAllocs).
+//
+// The steady variants isolate the per-slot cost (one decision during
+// warm-up, none measured); the decide-every-slot variants measure the
+// paper's frequent-update case where the distributed MWIS dominates.
+func BenchmarkSchemeRun(b *testing.B) {
+	const n, m = 15, 3
+	b.Run("materialized-steady", func(b *testing.B) {
+		s := benchScheme(b, n, m, 1<<30)
+		if _, err := s.Step(); err != nil { // decide once
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recorder-steady", func(b *testing.B) {
+		s := benchScheme(b, n, m, 1<<30)
+		rec := &KbpsRecorder{Series: make([]float64, 0, b.N+1)}
+		if err := s.RunObserved(1, rec); err != nil { // decide once
+			b.Fatal(err)
+		}
+		loop := s.Loop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := loop.StepSampled(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialized-decide-every-slot", func(b *testing.B) {
+		s := benchScheme(b, n, m, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recorder-decide-every-slot", func(b *testing.B) {
+		s := benchScheme(b, n, m, 1)
+		rec := &KbpsRecorder{Series: make([]float64, 0, b.N)}
+		loop := s.Loop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := loop.StepSampled(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

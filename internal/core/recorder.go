@@ -1,0 +1,126 @@
+package core
+
+import (
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/protocol"
+)
+
+// SlotView is the kernel's per-slot report, passed by pointer to the
+// observer after every completed slot. The view and its slices alias
+// kernel-owned reused buffers (Rewards) or decision output that a later
+// restore may replace (Winners, Strategy): they are valid for the duration
+// of the OnSlot call only. Recorders copy out exactly the scalars or
+// elements they need.
+type SlotView struct {
+	// Slot is the 0-based index of the completed slot.
+	Slot int
+	// Decided reports whether this slot is a decision slot (true once per
+	// update period).
+	Decided bool
+	// Strategy is the channel assignment transmitted in this slot.
+	Strategy extgraph.Strategy
+	// Winners are the played virtual-vertex ids.
+	Winners []int
+	// Rewards are the winners' realized per-arm rewards, aligned with
+	// Winners. Only populated on sampled slots.
+	Rewards []float64
+	// Observed is the realized total throughput Σ ξ (normalized units).
+	Observed float64
+	// EstimatedWeight is the index-weight sum of the strategy at its
+	// decision time (normalized units) — the W_x of §V-C.
+	EstimatedWeight float64
+	// Decision carries the protocol result when Decided is true (nil on a
+	// decision slot that resumed from a restored snapshot).
+	Decision *protocol.Result
+}
+
+// SlotObserver streams the kernel's per-slot output. Implementations must
+// not retain the view or its slices past the call; they accumulate exactly
+// what their consumer needs, which is what keeps the slot loop free of
+// per-slot allocations.
+type SlotObserver interface {
+	OnSlot(v *SlotView)
+}
+
+// KbpsRecorder accumulates the observed throughput series on the paper's
+// kbps scale — the input of the Fig. 7 regret curves and the Fig. 8
+// period averages. Pre-size it with NewKbpsRecorder to keep the slot loop
+// allocation-free.
+type KbpsRecorder struct {
+	// Series holds one observed-kbps value per completed slot.
+	Series []float64
+}
+
+// NewKbpsRecorder pre-allocates capacity for the given slot count.
+func NewKbpsRecorder(slots int) *KbpsRecorder {
+	return &KbpsRecorder{Series: make([]float64, 0, slots)}
+}
+
+// OnSlot implements SlotObserver.
+func (r *KbpsRecorder) OnSlot(v *SlotView) {
+	r.Series = append(r.Series, channel.Kbps(v.Observed))
+}
+
+// Reset empties the series, retaining capacity.
+func (r *KbpsRecorder) Reset() { r.Series = r.Series[:0] }
+
+// DecisionRecorder accumulates one entry per decision slot: the slot index
+// and the strategy's estimated weight in kbps — the inputs of the Fig. 8
+// estimated-throughput curves.
+type DecisionRecorder struct {
+	// Slots holds the decision slots' 0-based indices.
+	Slots []int
+	// EstimatedKbps holds the decided strategies' index-weight sums (kbps),
+	// aligned with Slots.
+	EstimatedKbps []float64
+}
+
+// NewDecisionRecorder pre-allocates capacity for the given decision count.
+func NewDecisionRecorder(decisions int) *DecisionRecorder {
+	return &DecisionRecorder{
+		Slots:         make([]int, 0, decisions),
+		EstimatedKbps: make([]float64, 0, decisions),
+	}
+}
+
+// OnSlot implements SlotObserver.
+func (r *DecisionRecorder) OnSlot(v *SlotView) {
+	if !v.Decided {
+		return
+	}
+	r.Slots = append(r.Slots, v.Slot)
+	r.EstimatedKbps = append(r.EstimatedKbps, channel.Kbps(v.EstimatedWeight))
+}
+
+// Observers fans one slot view out to several recorders in order.
+type Observers []SlotObserver
+
+// OnSlot implements SlotObserver.
+func (m Observers) OnSlot(v *SlotView) {
+	for _, o := range m {
+		o.OnSlot(v)
+	}
+}
+
+// resultsRecorder materializes full SlotResults — the recorder behind the
+// compatibility Scheme.Run path. Each slot deep-copies the strategy and
+// winner slices, preserving Run's historical contract that results are
+// independent of later kernel state.
+type resultsRecorder struct {
+	out []SlotResult
+}
+
+// OnSlot implements SlotObserver.
+func (r *resultsRecorder) OnSlot(v *SlotView) {
+	r.out = append(r.out, SlotResult{
+		Slot:            v.Slot,
+		Decided:         v.Decided,
+		Strategy:        append(extgraph.Strategy(nil), v.Strategy...),
+		Winners:         append([]int(nil), v.Winners...),
+		Observed:        v.Observed,
+		ObservedKbps:    channel.Kbps(v.Observed),
+		EstimatedWeight: v.EstimatedWeight,
+		Decision:        v.Decision,
+	})
+}

@@ -5,6 +5,14 @@
 // Algorithm 3) under the learning policy's index weights, then transmits,
 // observes per-arm rewards, and updates the estimator (equations (3), (5)
 // and (6)).
+//
+// The slot procedure itself lives in one place — the Loop kernel — which
+// both this package's Scheme (offline simulation) and the online serving
+// runtime (internal/serve) instantiate, so serial and served trajectories
+// are equivalent by construction. Scheme is the topology-level assembly and
+// compatibility surface: New builds the extended conflict graph, protocol
+// runtime and policy, Step/Run keep the historical materialized-result API,
+// and RunObserved exposes the kernel's streaming recorder path.
 package core
 
 import (
@@ -83,21 +91,12 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// Scheme is one running instance of the paper's channel access scheme.
+// Scheme is one running instance of the paper's channel access scheme: a
+// Loop kernel assembled from a topology-level configuration, plus the
+// historical materialized-result API.
 type Scheme struct {
-	ext *extgraph.Extended
-	rt  *protocol.Runtime
-	pol policy.Policy
-	ch  channel.Sampler
-	tp  timing.Params
-	y   int
-
-	slot        int
-	curWinners  []int
-	curStrategy extgraph.Strategy
-	curEstimate float64
-	curDecision *protocol.Result
-	lastPlayed  []int
+	loop *Loop
+	tp   timing.Params
 }
 
 // New builds a Scheme, constructing the extended conflict graph and the
@@ -126,30 +125,38 @@ func New(cfg Config) (*Scheme, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scheme{
-		ext: ext,
-		rt:  rt,
-		pol: pol,
-		ch:  cfg.Channels,
-		tp:  cfg.Timing,
-		y:   cfg.UpdateEvery,
-	}, nil
+	loop, err := NewLoop(LoopConfig{
+		Ext:         ext,
+		Runtime:     rt,
+		Policy:      pol,
+		Sampler:     cfg.Channels,
+		UpdateEvery: cfg.UpdateEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{loop: loop, tp: cfg.Timing}, nil
 }
 
+// Loop exposes the underlying slot kernel for streaming consumers that need
+// more than RunObserved (assignment queries, state export, external
+// observations).
+func (s *Scheme) Loop() *Loop { return s.loop }
+
 // Ext exposes the extended conflict graph (read-only use).
-func (s *Scheme) Ext() *extgraph.Extended { return s.ext }
+func (s *Scheme) Ext() *extgraph.Extended { return s.loop.Ext() }
 
 // Policy exposes the learning policy (read-only use).
-func (s *Scheme) Policy() policy.Policy { return s.pol }
+func (s *Scheme) Policy() policy.Policy { return s.loop.Policy() }
 
 // Timing returns the time model in use.
 func (s *Scheme) Timing() timing.Params { return s.tp }
 
 // UpdateEvery returns the update period y.
-func (s *Scheme) UpdateEvery() int { return s.y }
+func (s *Scheme) UpdateEvery() int { return s.loop.UpdateEvery() }
 
 // Slot returns the number of completed time slots.
-func (s *Scheme) Slot() int { return s.slot }
+func (s *Scheme) Slot() int { return s.loop.Slot() }
 
 // SlotResult reports one time slot of Algorithm 2.
 type SlotResult struct {
@@ -174,84 +181,67 @@ type SlotResult struct {
 	Decision *protocol.Result
 }
 
-// Step advances the scheme by one time slot and returns what happened.
+// Step advances the scheme by one time slot and returns what happened. The
+// result's slices are deep copies, independent of later steps; hot loops
+// that do not need them use RunObserved instead.
 func (s *Scheme) Step() (*SlotResult, error) {
-	decided := false
-	if s.slot%s.y == 0 {
-		if err := s.decide(); err != nil {
-			return nil, err
-		}
-		decided = true
+	total, err := s.loop.StepSampled(nil)
+	if err != nil {
+		return nil, err
 	}
-	// Data transmission: every winner observes one draw of its channel.
-	rewards := make([]float64, len(s.curWinners))
-	total := 0.0
-	for i, v := range s.curWinners {
-		rewards[i] = s.ch.Sample(v)
-		total += rewards[i]
-	}
-	if err := s.pol.Update(s.curWinners, rewards); err != nil {
-		return nil, fmt.Errorf("core: policy update at slot %d: %w", s.slot, err)
-	}
-	// Restless channels advance with time, not with plays.
-	if dyn, ok := s.ch.(channel.Dynamic); ok {
-		dyn.Tick()
-	}
+	l := s.loop
+	done := l.Slot() - 1
 	res := &SlotResult{
-		Slot:            s.slot,
-		Decided:         decided,
-		Strategy:        append(extgraph.Strategy(nil), s.curStrategy...),
-		Winners:         append([]int(nil), s.curWinners...),
+		Slot:            done,
+		Decided:         l.DecidedSlot() == done,
+		Strategy:        append(extgraph.Strategy(nil), l.Strategy()...),
+		Winners:         append([]int(nil), l.Winners()...),
 		Observed:        total,
 		ObservedKbps:    channel.Kbps(total),
-		EstimatedWeight: s.curEstimate,
+		EstimatedWeight: l.EstimatedWeight(),
 	}
-	if decided {
-		res.Decision = s.curDecision
+	if res.Decided {
+		res.Decision = l.Decision()
 	}
-	s.slot++
 	return res, nil
 }
 
-// decide runs one distributed strategy decision with the current indices.
-func (s *Scheme) decide() error {
-	indices := s.pol.Indices()
-	dec, err := s.rt.Decide(indices, s.lastPlayed)
-	if err != nil {
-		return fmt.Errorf("core: strategy decision at slot %d: %w", s.slot, err)
+// RunObserved executes the given number of slots, streaming each completed
+// slot to obs (which may be nil to run silently). This is the recorder
+// path: no per-slot results are materialized, and with a pre-sized recorder
+// the steady-state slot loop performs zero heap allocations.
+func (s *Scheme) RunObserved(slots int, obs SlotObserver) error {
+	if slots < 0 {
+		return fmt.Errorf("core: negative slot count %d", slots)
 	}
-	s.curDecision = dec
-	s.curWinners = dec.Winners
-	s.curStrategy = dec.Strategy
-	s.curEstimate = 0
-	for _, v := range dec.Winners {
-		s.curEstimate += indices[v]
+	for i := 0; i < slots; i++ {
+		if _, err := s.loop.StepSampled(obs); err != nil {
+			return err
+		}
 	}
-	s.lastPlayed = append(s.lastPlayed[:0], dec.Winners...)
 	return nil
 }
 
 // Run executes the given number of slots and collects the per-slot results.
+// It is a recorder client of RunObserved kept for compatibility; consumers
+// that only need a per-slot series record it directly instead of paying
+// Run's per-slot deep copies.
 func (s *Scheme) Run(slots int) ([]SlotResult, error) {
 	if slots < 0 {
 		return nil, fmt.Errorf("core: negative slot count %d", slots)
 	}
-	out := make([]SlotResult, 0, slots)
-	for i := 0; i < slots; i++ {
-		r, err := s.Step()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, *r)
+	rec := resultsRecorder{out: make([]SlotResult, 0, slots)}
+	if err := s.RunObserved(slots, &rec); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return rec.out, nil
 }
 
 // OptimalStatic computes the optimal static strategy weight R1 (normalized)
 // using the true channel means and an exact MWIS solve. It is only feasible
 // for small networks; the solver's MaxNodes guard applies.
 func (s *Scheme) OptimalStatic() (extgraph.Strategy, float64, error) {
-	return OptimalStatic(s.ext, s.ch)
+	return OptimalStatic(s.loop.Ext(), s.loop.Sampler())
 }
 
 // OptimalStatic computes the genie-optimal static strategy for an extended

@@ -6,9 +6,9 @@ import (
 	"sync/atomic"
 
 	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/policy"
-	"multihopbandit/internal/protocol"
 )
 
 // ObservationBatch is one round of external observations: the played
@@ -299,33 +299,20 @@ func (i *Instance) InfoSnapshot() InstanceInfo {
 	}
 }
 
-// actor owns all mutable state of one hosted instance. Only the actor
-// goroutine touches these fields; the decision-result slices it publishes
-// in replies (winners, strategies) are never mutated after publication —
-// each decision allocates fresh ones — so replies are race-free without
-// copying on the hot path.
+// actor owns all mutable state of one hosted instance: a core.Loop kernel
+// (the shared Algorithm 2 slot procedure — decide, transmit, observe,
+// update) plus the serving bookkeeping around it. Only the actor goroutine
+// touches the loop; the decision-result slices it publishes in replies
+// (winners, strategies) are never mutated after publication — the kernel
+// installs fresh slices on every decision and restore — so replies are
+// race-free without copying on the hot path.
 type actor struct {
 	id       string
 	counters *ShardCounters
 	stats    *instanceStats
-	ext      *extgraph.Extended
-	rt       *protocol.Runtime
-	pol      policy.Policy
-	wr       policy.IndexWriter // non-nil fast path (no per-decision alloc)
-	sampler  channel.Sampler
-	y        int
+	loop     *core.Loop
 
-	slot         int
-	decidedSlot  int // slot the current strategy was decided at; -1 initially
-	curWinners   []int
-	curStrategy  extgraph.Strategy
-	curEstimate  float64
-	lastPlayed   []int
-	decisions    int64
 	observations int64
-
-	indices []float64 // reused per-decision weight buffer
-	rewards []float64 // reused per-slot reward buffer
 }
 
 func (a *actor) run(mailbox chan request, stop, closed chan struct{}) {
@@ -351,8 +338,8 @@ func (a *actor) run(mailbox chan request, stop, closed chan struct{}) {
 
 // publishStats refreshes the lock-free snapshot read by InfoSnapshot.
 func (a *actor) publishStats() {
-	a.stats.slot.Store(int64(a.slot))
-	a.stats.decisions.Store(a.decisions)
+	a.stats.slot.Store(int64(a.loop.Slot()))
+	a.stats.decisions.Store(a.loop.Decisions())
 	a.stats.observations.Store(a.observations)
 }
 
@@ -382,73 +369,44 @@ func (a *actor) handle(req request) response {
 	}
 }
 
-// ensureDecided runs the distributed strategy decision if the current slot
-// is an update boundary that has not decided yet. This mirrors
-// core.Scheme.Step's "decide at slot ≡ 0 (mod y)" exactly, but lazily, so
-// it serves both the self-simulation and the external-observation loops.
-func (a *actor) ensureDecided() error {
-	if a.slot%a.y != 0 || a.decidedSlot == a.slot {
-		return nil
+// trackDecisions returns a func that publishes the kernel's decision-count
+// delta to the shard counters; defer it around any request that may decide,
+// so the counters stay truthful even on a mid-batch failure.
+func (a *actor) trackDecisions() func() {
+	before := a.loop.Decisions()
+	return func() {
+		if d := a.loop.Decisions() - before; d > 0 {
+			a.counters.Decisions.Add(d)
+		}
 	}
-	if a.wr != nil {
-		a.wr.WriteIndices(a.indices)
-	} else {
-		copy(a.indices, a.pol.Indices())
-	}
-	dec, err := a.rt.Decide(a.indices, a.lastPlayed)
-	if err != nil {
-		return fmt.Errorf("serve: strategy decision at slot %d: %w", a.slot, err)
-	}
-	a.curWinners = dec.Winners
-	a.curStrategy = dec.Strategy
-	a.curEstimate = 0
-	for _, v := range dec.Winners {
-		a.curEstimate += a.indices[v]
-	}
-	a.lastPlayed = append(a.lastPlayed[:0], dec.Winners...)
-	a.decidedSlot = a.slot
-	a.decisions++
-	a.counters.Decisions.Add(1)
-	return nil
 }
 
 func (a *actor) step(n int) (*StepResult, error) {
-	decBefore := a.decisions
+	decBefore := a.loop.Decisions()
 	total := 0.0
 	// Count what was actually applied even if a mid-batch decision fails,
 	// so the shard counters never diverge from the instance's slot count.
 	applied := 0
+	defer a.trackDecisions()()
 	defer func() {
 		if applied > 0 {
 			a.counters.Slots.Add(int64(applied))
 		}
 	}()
 	for i := 0; i < n; i++ {
-		if err := a.ensureDecided(); err != nil {
+		x, err := a.loop.StepSampled(nil)
+		if err != nil {
 			return nil, err
 		}
-		a.rewards = a.rewards[:0]
-		for _, v := range a.curWinners {
-			a.rewards = append(a.rewards, a.sampler.Sample(v))
-		}
-		for _, x := range a.rewards {
-			total += x
-		}
-		if err := a.pol.Update(a.curWinners, a.rewards); err != nil {
-			return nil, fmt.Errorf("serve: policy update at slot %d: %w", a.slot, err)
-		}
-		if dyn, ok := a.sampler.(channel.Dynamic); ok {
-			dyn.Tick()
-		}
-		a.slot++
+		total += x
 		applied++
 	}
 	return &StepResult{
 		Slots:        n,
-		Slot:         a.slot,
+		Slot:         a.loop.Slot(),
 		Observed:     total,
 		ObservedKbps: channel.Kbps(total),
-		Decisions:    int(a.decisions - decBefore),
+		Decisions:    int(a.loop.Decisions() - decBefore),
 		Assignment:   a.currentAssignment(),
 	}, nil
 }
@@ -457,7 +415,7 @@ func (a *actor) observe(batches []ObservationBatch) (*ObserveResult, error) {
 	// Validate every batch before applying any: clients retry whole
 	// requests, so a mid-request validation failure must not leave earlier
 	// batches half-applied (it would silently break serial equivalence).
-	k := a.ext.K()
+	k := a.loop.Ext().K()
 	for bi, b := range batches {
 		if len(b.Played) != len(b.Rewards) {
 			return nil, fmt.Errorf("serve: batch %d has %d played arms but %d rewards", bi, len(b.Played), len(b.Rewards))
@@ -469,6 +427,7 @@ func (a *actor) observe(batches []ObservationBatch) (*ObserveResult, error) {
 		}
 	}
 	applied := 0
+	defer a.trackDecisions()()
 	defer func() {
 		if applied > 0 {
 			a.counters.Slots.Add(int64(applied))
@@ -476,42 +435,39 @@ func (a *actor) observe(batches []ObservationBatch) (*ObserveResult, error) {
 		}
 	}()
 	for bi, b := range batches {
-		if err := a.ensureDecided(); err != nil {
-			return nil, err
-		}
-		if err := a.pol.Update(b.Played, b.Rewards); err != nil {
-			return nil, fmt.Errorf("serve: observation batch %d at slot %d: %w", bi, a.slot, err)
+		if err := a.loop.StepExternal(b.Played, b.Rewards); err != nil {
+			return nil, fmt.Errorf("serve: observation batch %d: %w", bi, err)
 		}
 		a.observations++
-		a.slot++
 		applied++
 	}
-	return &ObserveResult{Applied: applied, Slot: a.slot}, nil
+	return &ObserveResult{Applied: applied, Slot: a.loop.Slot()}, nil
 }
 
 // currentAssignment publishes the current strategy. The winner/strategy
-// slices are shared with the actor but immutable once published (decisions
-// allocate fresh slices), so no copy is needed.
+// slices are shared with the kernel but immutable once published (decisions
+// and restores install fresh slices), so no copy is needed.
 func (a *actor) currentAssignment() Assignment {
-	winners := a.curWinners
+	winners := a.loop.Winners()
 	if winners == nil {
 		winners = []int{}
 	}
-	strategy := a.curStrategy
+	strategy := a.loop.Strategy()
 	if strategy == nil {
 		strategy = extgraph.Strategy{}
 	}
 	return Assignment{
-		Slot:            a.slot,
-		DecidedSlot:     a.decidedSlot,
+		Slot:            a.loop.Slot(),
+		DecidedSlot:     a.loop.DecidedSlot(),
 		Winners:         winners,
 		Strategy:        strategy,
-		EstimatedWeight: a.curEstimate,
+		EstimatedWeight: a.loop.EstimatedWeight(),
 	}
 }
 
 func (a *actor) assignment() (*Assignment, error) {
-	if err := a.ensureDecided(); err != nil {
+	defer a.trackDecisions()()
+	if _, err := a.loop.EnsureDecided(); err != nil {
 		return nil, err
 	}
 	as := a.currentAssignment()
@@ -519,69 +475,58 @@ func (a *actor) assignment() (*Assignment, error) {
 }
 
 func (a *actor) snapshot() (*Snapshot, error) {
-	snap, ok := a.pol.(policy.Snapshotter)
+	snap, ok := a.loop.Policy().(policy.Snapshotter)
 	if !ok {
-		return nil, fmt.Errorf("serve: policy %q does not support snapshots", a.pol.Name())
+		return nil, fmt.Errorf("serve: policy %q does not support snapshots", a.loop.Policy().Name())
 	}
+	st := a.loop.ExportState()
 	return &Snapshot{
 		ID:              a.id,
-		Slot:            a.slot,
-		DecidedSlot:     a.decidedSlot,
-		LastPlayed:      append([]int(nil), a.lastPlayed...),
-		Winners:         append([]int(nil), a.curWinners...),
-		Strategy:        append([]int(nil), a.curStrategy...),
-		EstimatedWeight: a.curEstimate,
+		Slot:            st.Slot,
+		DecidedSlot:     st.DecidedSlot,
+		LastPlayed:      st.LastPlayed,
+		Winners:         st.Winners,
+		Strategy:        st.Strategy,
+		EstimatedWeight: st.EstimatedWeight,
 		Learner:         snap.Snapshot(),
 	}, nil
 }
 
 func (a *actor) restore(s *Snapshot) error {
-	snap, ok := a.pol.(policy.Snapshotter)
+	snap, ok := a.loop.Policy().(policy.Snapshotter)
 	if !ok {
-		return fmt.Errorf("serve: policy %q does not support snapshots", a.pol.Name())
+		return fmt.Errorf("serve: policy %q does not support snapshots", a.loop.Policy().Name())
 	}
-	if s.Slot < 0 {
-		return fmt.Errorf("serve: snapshot slot must be non-negative, got %d", s.Slot)
+	// Validate the loop state before touching the learner, so a rejected
+	// snapshot leaves the instance unchanged.
+	st := core.LoopState{
+		Slot:            s.Slot,
+		DecidedSlot:     s.DecidedSlot,
+		LastPlayed:      s.LastPlayed,
+		Winners:         s.Winners,
+		Strategy:        extgraph.Strategy(s.Strategy),
+		EstimatedWeight: s.EstimatedWeight,
 	}
-	if s.DecidedSlot > s.Slot {
-		return fmt.Errorf("serve: snapshot decided slot %d is after slot %d", s.DecidedSlot, s.Slot)
-	}
-	if len(s.Strategy) != 0 && len(s.Strategy) != a.ext.N {
-		return fmt.Errorf("serve: snapshot strategy has %d nodes, instance has %d", len(s.Strategy), a.ext.N)
-	}
-	k := a.ext.K()
-	for _, v := range s.Winners {
-		if v < 0 || v >= k {
-			return fmt.Errorf("serve: snapshot winner %d out of range [0,%d)", v, k)
-		}
-	}
-	for _, v := range s.LastPlayed {
-		if v < 0 || v >= k {
-			return fmt.Errorf("serve: snapshot played vertex %d out of range [0,%d)", v, k)
-		}
+	if err := a.loop.ValidateState(st); err != nil {
+		return err
 	}
 	if err := snap.Restore(s.Learner); err != nil {
 		return err
 	}
-	a.slot = s.Slot
-	a.decidedSlot = s.DecidedSlot
-	a.lastPlayed = append(a.lastPlayed[:0], s.LastPlayed...)
-	a.curWinners = append([]int(nil), s.Winners...)
-	a.curStrategy = append(extgraph.Strategy(nil), s.Strategy...)
-	a.curEstimate = s.EstimatedWeight
-	return nil
+	return a.loop.RestoreState(st)
 }
 
 func (a *actor) info() *InstanceInfo {
+	ext := a.loop.Ext()
 	return &InstanceInfo{
 		ID:           a.id,
-		N:            a.ext.N,
-		M:            a.ext.M,
-		K:            a.ext.K(),
-		Policy:       a.pol.Name(),
-		UpdateEvery:  a.y,
-		Slot:         a.slot,
-		Decisions:    a.decisions,
+		N:            ext.N,
+		M:            ext.M,
+		K:            ext.K(),
+		Policy:       a.loop.Policy().Name(),
+		UpdateEvery:  a.loop.UpdateEvery(),
+		Slot:         a.loop.Slot(),
+		Decisions:    a.loop.Decisions(),
 		Observations: a.observations,
 	}
 }

@@ -187,6 +187,108 @@ func TestExternalObserveMatchesSerialScheme(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreMidRunBitIdentical is the kernel-level restore
+// equivalence check: drive an uninterrupted instance externally for the
+// whole horizon, and in parallel drive a second instance identically up to
+// a cut point, snapshot it there, restore into a third (fresh) instance
+// and continue only the restored one. Every post-cut assignment (winners,
+// strategy, decided slot, estimated weight) must be bit-identical to the
+// uninterrupted run. The cut is exercised both at a decision boundary and
+// mid-update-period — the latter is what catches a restore that re-decides
+// instead of resuming the period's strategy.
+func TestSnapshotRestoreMidRunBitIdentical(t *testing.T) {
+	const (
+		slots = 120
+		y     = 4
+	)
+	cfg := InstanceConfig{N: 10, M: 2, Seed: 8, RequireConnected: true, UpdateEvery: y}
+	// Deterministic external rewards shared by every drive of the same slot.
+	rewardAt := func(slot, i int) float64 { return float64((slot*7+i*3)%11) / 11 }
+
+	drive := func(t *testing.T, h *Instance, from, to int) []*Assignment {
+		t.Helper()
+		out := make([]*Assignment, 0, to-from)
+		for s := from; s < to; s++ {
+			as, err := h.Assignment()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, as)
+			rewards := make([]float64, len(as.Winners))
+			for i := range rewards {
+				rewards[i] = rewardAt(s, i)
+			}
+			if _, err := h.Observe([]ObservationBatch{{Played: as.Winners, Rewards: rewards}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+
+	for _, tc := range []struct {
+		name string
+		cut  int
+	}{
+		{"decision-boundary", 60}, // 60 % y == 0
+		{"mid-period", 62},        // 62 % y != 0: strategy decided at 60 must survive
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry(RegistryConfig{})
+			defer reg.Close()
+
+			full, err := reg.Create(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drive(t, full, 0, slots)
+
+			cutCfg := cfg
+			cutCfg.ID = "interrupted"
+			interrupted, err := reg.Create(cutCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive(t, interrupted, 0, tc.cut)
+			snap, err := interrupted.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Slot != tc.cut {
+				t.Fatalf("snapshot at slot %d, want %d", snap.Slot, tc.cut)
+			}
+
+			restoredCfg := cfg
+			restoredCfg.ID = "restored"
+			restored, err := reg.Create(restoredCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			got := drive(t, restored, tc.cut, slots)
+
+			for i, as := range got {
+				ref := want[tc.cut+i]
+				if as.Slot != ref.Slot || as.DecidedSlot != ref.DecidedSlot {
+					t.Fatalf("slot %d: position %d/%d (restored) vs %d/%d (uninterrupted)",
+						tc.cut+i, as.Slot, as.DecidedSlot, ref.Slot, ref.DecidedSlot)
+				}
+				if !equalInts(as.Winners, ref.Winners) {
+					t.Fatalf("slot %d: winners %v (restored) vs %v (uninterrupted)", tc.cut+i, as.Winners, ref.Winners)
+				}
+				if !equalInts(as.Strategy, ref.Strategy) {
+					t.Fatalf("slot %d: strategy diverged", tc.cut+i)
+				}
+				if as.EstimatedWeight != ref.EstimatedWeight {
+					t.Fatalf("slot %d: estimated weight %v (restored) vs %v (uninterrupted)",
+						tc.cut+i, as.EstimatedWeight, ref.EstimatedWeight)
+				}
+			}
+		})
+	}
+}
+
 // TestSnapshotRestoreResumesTrajectory snapshots a served instance mid-run,
 // restores it into a fresh instance, and checks the restored instance's
 // external-mode decisions continue the original trajectory.

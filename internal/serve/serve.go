@@ -1,6 +1,8 @@
 // Package serve is the online decision-serving runtime: a sharded registry
 // of hosted network instances, each owned by an actor goroutine that runs
-// the paper's Algorithm 2 loop as a request/response service. Clients can
+// the paper's Algorithm 2 loop — the shared core.Loop kernel, the same
+// code path the offline simulator executes — as a request/response
+// service. Clients can
 // push observation batches and read the current channel assignment (the
 // external-environment mode), or ask the server to run the
 // decide→transmit→observe→update loop itself against the instance's hosted
@@ -32,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
 	"multihopbandit/internal/engine"
 	"multihopbandit/internal/policy"
 	"multihopbandit/internal/rng"
@@ -259,24 +262,26 @@ func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
 	// "inst-<n>" explicitly); explicit names fail loudly. Only the cheap
 	// handle construction sits inside the retry loop — the expensive
 	// artifacts above are reused across retries.
+	loop, err := core.NewLoop(core.LoopConfig{
+		Ext:         inst.Ext,
+		Runtime:     rt,
+		Policy:      pol,
+		Sampler:     sampler,
+		UpdateEvery: cfg.UpdateEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	auto := cfg.ID == ""
 	for {
 		si, sh := r.shardFor(id)
 		stats := &instanceStats{}
 		a := &actor{
-			id:          id,
-			counters:    &r.metrics.Shards[si],
-			stats:       stats,
-			ext:         inst.Ext,
-			rt:          rt,
-			pol:         pol,
-			sampler:     sampler,
-			y:           cfg.UpdateEvery,
-			decidedSlot: -1,
-			indices:     make([]float64, inst.Ext.K()),
-		}
-		if wr, ok := pol.(policy.IndexWriter); ok {
-			a.wr = wr
+			id:       id,
+			counters: &r.metrics.Shards[si],
+			stats:    stats,
+			loop:     loop,
 		}
 		h := &Instance{
 			id:      id,

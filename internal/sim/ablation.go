@@ -275,14 +275,16 @@ func runShiftEntry(cfg ShiftConfig, inst *engine.Instance, name string, mk func(
 	if err != nil {
 		return ShiftSeries{}, err
 	}
-	results, err := scheme.Run(cfg.Slots)
-	if err != nil {
+	// Stream the per-slot kbps series off the kernel; only the running
+	// average survives.
+	rec := core.NewKbpsRecorder(cfg.Slots)
+	if err := scheme.RunObserved(cfg.Slots, rec); err != nil {
 		return ShiftSeries{}, err
 	}
-	series := ShiftSeries{Name: name, AvgKbps: make([]float64, len(results))}
+	series := ShiftSeries{Name: name, AvgKbps: make([]float64, len(rec.Series))}
 	sum := 0.0
-	for i, r := range results {
-		sum += r.ObservedKbps
+	for i, x := range rec.Series {
+		sum += x
 		series.AvgKbps[i] = sum / float64(i+1)
 	}
 	return series, nil

@@ -354,14 +354,13 @@ func runFig7Policy(
 	if err != nil {
 		return Fig7PolicyResult{}, err
 	}
-	results, err := scheme.Run(cfg.Slots)
-	if err != nil {
+	// Stream the observed-kbps series straight off the kernel — the regret
+	// math needs nothing else, so no per-slot results are materialized.
+	rec := core.NewKbpsRecorder(cfg.Slots)
+	if err := scheme.RunObserved(cfg.Slots, rec); err != nil {
 		return Fig7PolicyResult{}, fmt.Errorf("sim: fig7 %s: %w", kind, err)
 	}
-	observed := make([]float64, len(results))
-	for i, r := range results {
-		observed[i] = r.ObservedKbps
-	}
+	observed := rec.Series
 	betaSeries, err := regret.PracticalBetaSeries(optKbps, beta, theta, observed)
 	if err != nil {
 		return Fig7PolicyResult{}, err
@@ -538,28 +537,30 @@ func runFig8Branch(
 	if err != nil {
 		return Fig8Series{}, err
 	}
+	// Stream the whole horizon through the kernel's recorders: the kbps
+	// recorder collects every slot's observed throughput and the decision
+	// recorder collects each period's estimated weight (with UpdateEvery=y
+	// the decision slots are exactly the period starts). The period math
+	// then windows the streamed series — no per-slot result structs.
+	slots := cfg.Periods * y
+	kbps := core.NewKbpsRecorder(slots)
+	est := core.NewDecisionRecorder(cfg.Periods)
+	if err := scheme.RunObserved(slots, core.Observers{kbps, est}); err != nil {
+		return Fig8Series{}, err
+	}
+	if len(est.EstimatedKbps) != cfg.Periods {
+		return Fig8Series{}, fmt.Errorf("sim: fig8 recorded %d decisions over %d periods", len(est.EstimatedKbps), cfg.Periods)
+	}
 	series := Fig8Series{Policy: kind}
-	var actual, estimated []float64
-	slotBuf := make([]float64, 0, y)
+	actual := make([]float64, 0, cfg.Periods)
+	estimated := make([]float64, 0, cfg.Periods)
 	for z := 0; z < cfg.Periods; z++ {
-		slotBuf = slotBuf[:0]
-		var estWeight float64
-		for i := 0; i < y; i++ {
-			r, err := scheme.Step()
-			if err != nil {
-				return Fig8Series{}, err
-			}
-			slotBuf = append(slotBuf, r.ObservedKbps)
-			if i == 0 {
-				estWeight = channel.Kbps(r.EstimatedWeight)
-			}
-		}
-		rp, err := tp.PeriodThroughput(slotBuf)
+		rp, err := tp.PeriodThroughput(kbps.Series[z*y : (z+1)*y])
 		if err != nil {
 			return Fig8Series{}, err
 		}
 		actual = append(actual, rp)
-		estimated = append(estimated, tp.PeriodEstimate(estWeight, y))
+		estimated = append(estimated, tp.PeriodEstimate(est.EstimatedKbps[z], y))
 	}
 	series.ActualAvg = regret.RunningAverage(actual)
 	series.EstimatedAvg = regret.RunningAverage(estimated)
