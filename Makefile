@@ -10,7 +10,11 @@ BANDITD_ADDR ?= 127.0.0.1:8650
 # Fig. 7 replication) through the shared slot kernel.
 GOLDEN_ARGS = -exp all -seed 1 -slots 300 -periods 40 -reps 3
 
-.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim serve-smoke verify-golden update-golden figures ci
+.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim serve-smoke spec-smoke verify-golden update-golden figures ci
+
+# Committed ScenarioSpec files driven by spec-smoke: one per channel kind
+# (gaussian, gilbert-elliott, shifting) plus the primary-user wrapper.
+SPEC_FILES = testdata/specs/gaussian-random.json,testdata/specs/gilbert-elliott-grid.json,testdata/specs/shifting-linear.json,testdata/specs/primary-user.json
 
 all: build
 
@@ -63,6 +67,20 @@ serve-smoke:
 		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; wait $$pid
 
+# Spec smoke: start banditd under the race detector and create one
+# instance per channel kind from the committed ScenarioSpec files, then
+# drive them and assert nonzero throughput AND nonzero MWIS strategy
+# decisions plus a clean SIGTERM shutdown.
+spec-smoke:
+	$(GO) build -race -o bin/banditd.race ./cmd/banditd
+	$(GO) build -race -o bin/banditload.race ./cmd/banditload
+	@set -e; bin/banditd.race -addr $(BANDITD_ADDR) & pid=$$!; \
+	bin/banditload.race -addr http://$(BANDITD_ADDR) \
+		-specs "$(SPEC_FILES)" -clients 2 -batch 16 -duration 2s \
+		-min-throughput 1 -min-mwis 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
 # Sim-side benchmark: figure-suite wall clock + allocation totals and the
 # kernel slot-loop ns/allocs per slot, recorded machine-readably in
 # BENCH_sim.json (the counterpart of bench-serve's BENCH_serve.json).
@@ -102,4 +120,4 @@ update-golden:
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke serve-smoke verify-golden
+ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke verify-golden

@@ -14,9 +14,66 @@ import (
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/serve"
 	"multihopbandit/internal/sim"
+	"multihopbandit/internal/spec"
 	"multihopbandit/internal/timing"
 	"multihopbandit/internal/topology"
 )
+
+// ---------------------------------------------------------------------------
+// Scenario specs — the recommended construction surface
+//
+// A ScenarioSpec is the versioned (v1), JSON-serializable description of a
+// complete scenario: topology (random/grid/linear), channel process
+// (gaussian/gilbert-elliott/shifting, optionally under primary-user
+// occupancy), learning policy, and decision parameters. One spec drives
+// every consumer identically — the serving runtime (ServeInstanceConfig
+// embeds one), the experiment engine's artifact cache, and RunScenario —
+// and equal canonical specs always produce bit-identical trajectories.
+
+// ScenarioSpec is the versioned declarative scenario description.
+type ScenarioSpec = spec.ScenarioSpec
+
+// ScenarioTopology describes the network layout part of a spec.
+type ScenarioTopology = spec.TopologySpec
+
+// ScenarioChannel describes the reward-process part of a spec.
+type ScenarioChannel = spec.ChannelSpec
+
+// ScenarioPolicy selects the learning rule of a spec.
+type ScenarioPolicy = spec.PolicySpec
+
+// ScenarioDecision configures the distributed decision of a spec.
+type ScenarioDecision = spec.DecisionSpec
+
+// ScenarioPrimary wraps a spec's channel process with primary-user
+// occupancy.
+type ScenarioPrimary = spec.PrimarySpec
+
+// BuiltScenario bundles the artifacts, sampler and policy Build constructs
+// from one spec.
+type BuiltScenario = spec.Built
+
+// ParseScenarioSpec strictly decodes a JSON scenario spec (unknown fields
+// and kinds are rejected with typed errors) and returns its canonical form.
+func ParseScenarioSpec(data []byte) (ScenarioSpec, error) { return spec.Parse(data) }
+
+// LoadScenarioSpec reads and parses a spec file.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) { return spec.ParseFile(path) }
+
+// BuildScenario canonicalizes a spec and constructs its network, extended
+// graph, channel sampler and policy through the single shared build path.
+func BuildScenario(s ScenarioSpec) (*BuiltScenario, error) { return spec.Build(s) }
+
+// ScenarioRunConfig parameterizes RunScenario.
+type ScenarioRunConfig = sim.ScenarioConfig
+
+// ScenarioRunResult is the outcome of one scenario run.
+type ScenarioRunResult = sim.ScenarioResult
+
+// RunScenario executes one spec-described scenario on the experiment
+// engine's artifact cache; the trajectory is bit-identical to a
+// banditd-hosted instance created from the same spec.
+func RunScenario(cfg ScenarioRunConfig) (*ScenarioRunResult, error) { return sim.RunScenario(cfg) }
 
 // ---------------------------------------------------------------------------
 // Randomness

@@ -14,6 +14,12 @@
 // separately (they occur every -update-every slots). The exit code is
 // nonzero if any request fails or the throughput floor (-min-throughput)
 // is missed, which is what the CI smoke job asserts.
+//
+// With -specs (a comma-separated list of ScenarioSpec files) the load
+// generator creates one instance per spec file instead of -instances
+// replicas — the CI spec-smoke job drives one instance per channel kind
+// from the committed files under testdata/specs/ this way, asserting
+// nonzero MWIS decisions with -min-mwis.
 package main
 
 import (
@@ -23,10 +29,12 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"multihopbandit/internal/serve"
+	"multihopbandit/internal/spec"
 )
 
 // summary is the machine-readable load-test report.
@@ -86,6 +94,8 @@ func main() {
 		distinct    = flag.Int("distinct-topologies", 1, "spread instances over this many artifact seeds")
 		jsonOut     = flag.String("json", "", "write a JSON summary to this file")
 		minTput     = flag.Float64("min-throughput", 0, "exit nonzero below this many decisions/sec")
+		minMWIS     = flag.Int64("min-mwis", 0, "exit nonzero below this many total MWIS strategy decisions")
+		specFiles   = flag.String("specs", "", "comma-separated ScenarioSpec files: create one instance per file instead of -instances replicas")
 		keep        = flag.Bool("keep", false, "leave the instances on the server afterwards")
 		verbose     = flag.Bool("v", false, "print the server /metrics after the run")
 	)
@@ -101,24 +111,51 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ids := make([]string, *instances)
-	for i := range ids {
-		created, err := c.Create(serve.InstanceConfig{
-			N:                *n,
-			M:                *m,
-			Seed:             *seed + int64(i%*distinct),
-			NoiseSeed:        *seed + 7919*int64(i+1), // distinct trajectories per replica
-			RequireConnected: true,
-			Policy:           *policyName,
-			UpdateEvery:      *updateEvery,
-		})
-		if err != nil {
-			log.Fatalf("create instance %d: %v", i, err)
+	var ids []string
+	if *specFiles != "" {
+		for _, path := range strings.Split(*specFiles, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			s, err := spec.ParseFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			created, err := c.Create(serve.InstanceConfig{Spec: s})
+			if err != nil {
+				log.Fatalf("create from %s: %v", path, err)
+			}
+			ids = append(ids, created.ID)
+			log.Printf("created %s from %s (N=%d M=%d channel=%s policy=%s y=%d)",
+				created.ID, path, created.N, created.M, created.Channel, created.Policy, created.UpdateEvery)
 		}
-		ids[i] = created.ID
+		if len(ids) == 0 {
+			log.Fatal("-specs named no spec files")
+		}
+		*instances = len(ids)
+	} else {
+		ids = make([]string, *instances)
+		for i := range ids {
+			created, err := c.Create(serve.InstanceConfig{Spec: spec.ScenarioSpec{
+				Seed:      *seed + int64(i%*distinct),
+				NoiseSeed: *seed + 7919*int64(i+1), // distinct trajectories per replica
+				Topology: spec.TopologySpec{
+					N:                *n,
+					RequireConnected: true,
+				},
+				Channel:  spec.ChannelSpec{M: *m},
+				Policy:   spec.PolicySpec{Kind: *policyName},
+				Decision: spec.DecisionSpec{UpdateEvery: *updateEvery},
+			}})
+			if err != nil {
+				log.Fatalf("create instance %d: %v", i, err)
+			}
+			ids[i] = created.ID
+		}
+		log.Printf("created %d instances (N=%d M=%d policy=%s y=%d, %d distinct topologies)",
+			*instances, *n, *m, *policyName, *updateEvery, *distinct)
 	}
-	log.Printf("created %d instances (N=%d M=%d policy=%s y=%d, %d distinct topologies)",
-		*instances, *n, *m, *policyName, *updateEvery, *distinct)
 
 	stats := make([]clientStats, *clients)
 	var wg sync.WaitGroup
@@ -237,6 +274,9 @@ func main() {
 	}
 	if rep.DecisionsPerSec < *minTput {
 		log.Fatalf("throughput %.0f decisions/sec is below the %.0f floor", rep.DecisionsPerSec, *minTput)
+	}
+	if rep.MWISDecisions < *minMWIS {
+		log.Fatalf("%d MWIS strategy decisions is below the %d floor", rep.MWISDecisions, *minMWIS)
 	}
 }
 

@@ -10,6 +10,12 @@
 //	chansim -n 15 -m 3 -policy llr -update-every 5
 //	chansim -n 40 -m 4 -topology linear    # the §IV-D worst case
 //	chansim -n 20 -m 4 -reps 16 -workers 8 # 16 seeds, summarized
+//	chansim -spec testdata/specs/ge-grid.json -slots 2000
+//
+// With -spec the simulation is described by a declarative ScenarioSpec file
+// (see internal/spec and testdata/specs/) and runs through the same
+// construction path as the serving runtime: the resulting trajectory is
+// bit-identical to a banditd instance created from the same spec.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"multihopbandit/internal/policy"
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/sim"
+	"multihopbandit/internal/spec"
 	"multihopbandit/internal/topology"
 )
 
@@ -40,6 +47,7 @@ type options struct {
 	polName, topoName, chName         string
 	degree                            float64
 	reps, workers                     int
+	specFile                          string
 }
 
 func run() error {
@@ -58,12 +66,30 @@ func run() error {
 	flag.IntVar(&opt.report, "report", 10, "number of progress lines to print")
 	flag.IntVar(&opt.reps, "reps", 1, "replications over consecutive seeds")
 	flag.IntVar(&opt.workers, "workers", 0, "worker pool size for -reps (0 = GOMAXPROCS)")
+	flag.StringVar(&opt.specFile, "spec", "", "run a declarative ScenarioSpec file instead of the flag-built scenario")
 	flag.Parse()
 
+	if opt.specFile != "" {
+		return runSpec(opt)
+	}
 	if opt.reps <= 1 {
 		return runSingle(opt, opt.seed, true)
 	}
 	return runReplicated(opt)
+}
+
+// runSpec runs one ScenarioSpec file through the spec construction path.
+func runSpec(opt options) error {
+	s, err := spec.ParseFile(opt.specFile)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunScenario(sim.ScenarioConfig{Spec: s, Slots: opt.slots})
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.RenderScenario(res, opt.report))
+	return nil
 }
 
 // runSingle simulates one seed; verbose prints the per-interval progress and

@@ -17,9 +17,12 @@
 //	figgen -exp ablations          # r / D / solver sweeps (DESIGN.md §5)
 //	figgen -exp shift              # non-stationary extension experiment
 //	figgen -exp fig7rep -reps 20   # Fig. 7 endpoints over many seeds (mean ± CI)
+//	figgen -spec path/to/spec.json # one declarative ScenarioSpec run
 //
 // All experiments are deterministic for a fixed -seed, regardless of
-// -workers.
+// -workers. With -spec the run is described by a ScenarioSpec file (see
+// internal/spec) and is bit-identical to a banditd-hosted instance created
+// from the same spec.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"os"
 
 	"multihopbandit/internal/sim"
+	"multihopbandit/internal/spec"
 	"multihopbandit/internal/timing"
 )
 
@@ -40,16 +44,29 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|table2|fig6|fig7|fig7a|fig7b|fig8|ablations|shift|fig7rep")
-		reps    = flag.Int("reps", 20, "fig7rep replication count")
-		seed    = flag.Int64("seed", 1, "root random seed")
-		slots   = flag.Int("slots", 1000, "Fig. 7 horizon in time slots")
-		periods = flag.Int("periods", 1000, "Fig. 8 update periods per subplot")
-		samples = flag.Int("samples", 10, "table rows per series")
-		workers = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", false, "print engine progress to stderr")
+		exp      = flag.String("exp", "all", "experiment: all|table2|fig6|fig7|fig7a|fig7b|fig8|ablations|shift|fig7rep")
+		reps     = flag.Int("reps", 20, "fig7rep replication count")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		slots    = flag.Int("slots", 1000, "Fig. 7 horizon in time slots")
+		periods  = flag.Int("periods", 1000, "Fig. 8 update periods per subplot")
+		samples  = flag.Int("samples", 10, "table rows per series")
+		workers  = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "print engine progress to stderr")
+		specFile = flag.String("spec", "", "run a declarative ScenarioSpec file instead of -exp")
 	)
 	flag.Parse()
+	if *specFile != "" {
+		s, err := spec.ParseFile(*specFile)
+		if err != nil {
+			return err
+		}
+		res, err := sim.RunScenario(sim.ScenarioConfig{Spec: s, Slots: *slots})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sim.RenderScenario(res, *samples))
+		return nil
+	}
 	if *reps < 1 && (*exp == "all" || *exp == "fig7rep") {
 		return fmt.Errorf("-reps must be >= 1, got %d", *reps)
 	}

@@ -22,7 +22,31 @@
 //     figure × policy × seed cells on a bounded worker pool and shares
 //     expensive per-instance artifacts through a cache, and
 //   - an online decision-serving runtime (internal/serve) hosting many
-//     independent instances behind an HTTP/JSON daemon.
+//     independent instances behind an HTTP/JSON daemon, and
+//   - a versioned declarative scenario description (ScenarioSpec) that is
+//     the single construction surface for all of the above.
+//
+// # Scenario specs
+//
+// ScenarioSpec is the recommended way to describe a scenario: a versioned
+// ("v":1), JSON-serializable value composing a topology (random/grid/
+// linear), a channel process (gaussian/gilbert-elliott/shifting, optionally
+// wrapped with primary-user occupancy), a learning policy, and the
+// distributed-decision parameters. Fill canonicalizes it (defaults applied)
+// and validates strictly — unknown kinds, unknown JSON fields and fields
+// inapplicable to the selected kind are rejected with typed errors. One
+// spec drives every consumer identically: BuildScenario constructs the
+// pieces serially, RunScenario executes it on the experiment engine,
+// ServeInstanceConfig embeds one so banditd hosts it online, and
+// cmd/chansim / cmd/figgen accept spec files with -spec. Equal canonical
+// specs always produce bit-identical trajectories — canonicalization is
+// part of the repository's bit-identity contract (CONTRIBUTING.md), and
+// committed examples live under testdata/specs/.
+//
+//	s, err := multihopbandit.LoadScenarioSpec("testdata/specs/gilbert-elliott-grid.json")
+//	// handle err
+//	res, err := multihopbandit.RunScenario(multihopbandit.ScenarioRunConfig{Spec: s, Slots: 1000})
+//	// res.SeriesKbps is bit-identical to a banditd instance hosting the same spec
 //
 // # The experiment engine
 //
@@ -68,23 +92,33 @@
 // The serving runtime turns Algorithm 2's loop (observe rates → update
 // indices → solve MWIS → assign channels) into a request/response service.
 // A ServeRegistry shards hosted instances across lock-free counters; each
-// instance is an actor goroutine owning its policy state and mailbox, and
-// instances with identical artifact configs share the topology, extended
+// instance is an actor goroutine owning its policy state and mailbox.
+// Instances are described by ScenarioSpec, so every spec-expressible
+// scenario is hostable online, and instances whose specs share an artifact
+// projection (topology, channel count, seed) share the topology, extended
 // conflict graph and protocol runtime through the ArtifactCache. For a
-// fixed seed a served instance's assignment sequence is bit-identical to
+// fixed spec a served instance's assignment sequence is bit-identical to
 // the equivalent serial Scheme run.
 //
 //	reg := multihopbandit.NewServeRegistry(multihopbandit.ServeRegistryConfig{})
-//	inst, err := reg.Create(multihopbandit.ServeInstanceConfig{N: 10, M: 2, Seed: 1})
+//	inst, err := reg.Create(multihopbandit.ServeInstanceConfig{
+//		Spec: multihopbandit.ScenarioSpec{
+//			Seed:     1,
+//			Topology: multihopbandit.ScenarioTopology{N: 10},
+//			Channel:  multihopbandit.ScenarioChannel{M: 2},
+//		},
+//	})
 //	// handle err
 //	res, err := inst.Step(100)      // self-simulation: decide, transmit, learn
 //	as, err := inst.Assignment()    // or drive it externally:
 //	_, err = inst.Observe([]multihopbandit.ObservationBatch{{Played: as.Winners, Rewards: rewards}})
 //
 // cmd/banditd serves a registry over HTTP/JSON (create/step/observe/
-// assignment/snapshot/restore plus /metrics), and cmd/banditload is the
-// closed-loop load generator behind `make bench-serve` (results tracked in
-// BENCH_serve.json). See EXPERIMENTS.md for the serving workflow.
+// assignment/snapshot/restore plus /metrics; errors carry structured
+// {"code","message"} payloads), and cmd/banditload is the closed-loop load
+// generator behind `make bench-serve` (results tracked in
+// BENCH_serve.json). The pre-spec flat create payload is still accepted
+// and maps 1:1 onto a spec. See EXPERIMENTS.md for the serving workflow.
 //
 // # Quick start
 //

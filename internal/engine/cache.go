@@ -10,6 +10,7 @@ import (
 	"multihopbandit/internal/mwis"
 	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/rng"
+	"multihopbandit/internal/spec"
 	"multihopbandit/internal/topology"
 )
 
@@ -166,8 +167,12 @@ type CacheStats struct {
 type ArtifactCache struct {
 	mu      sync.Mutex
 	entries map[InstanceConfig]*cacheEntry
-	hits    int
-	misses  int
+	// scenarios memoizes spec-built instances by their canonical artifact
+	// projection, so same-artifact scenarios share one build across all
+	// channel kinds and policies (see Scenario).
+	scenarios map[spec.ArtifactKey]*cacheEntry
+	hits      int
+	misses    int
 }
 
 type cacheEntry struct {
@@ -178,7 +183,10 @@ type cacheEntry struct {
 
 // NewArtifactCache returns an empty cache.
 func NewArtifactCache() *ArtifactCache {
-	return &ArtifactCache{entries: make(map[InstanceConfig]*cacheEntry)}
+	return &ArtifactCache{
+		entries:   make(map[InstanceConfig]*cacheEntry),
+		scenarios: make(map[spec.ArtifactKey]*cacheEntry),
+	}
 }
 
 // Instance returns the cached instance for cfg, building it on first use.
@@ -201,11 +209,67 @@ func (c *ArtifactCache) Instance(cfg InstanceConfig) (*Instance, error) {
 	return e.inst, e.err
 }
 
+// Scenario returns the cached instance for a ScenarioSpec, building it on
+// first use. The cache key is the canonical spec's artifact projection
+// (topology + channel count + seed), so scenarios that differ only in
+// channel dynamics, policy, decision parameters or noise seed share one
+// build — hosting a Gilbert–Elliott replica next to a gaussian one over the
+// same network pays the topology and extended-graph cost once. The build
+// consumes exactly the streams the serving runtime has always used, so
+// spec-built instances are bit-identical to the historical
+// InstanceConfig{Stream: "serve"} path.
+func (c *ArtifactCache) Scenario(sp spec.ScenarioSpec) (*Instance, error) {
+	canon, err := sp.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	key := canon.ArtifactKey()
+	c.mu.Lock()
+	if e, ok := c.scenarios[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.inst, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.scenarios[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.inst, e.err = buildScenarioInstance(canon)
+	close(e.ready)
+	return e.inst, e.err
+}
+
+// buildScenarioInstance constructs the artifacts of one canonical spec and
+// wraps them in an Instance so scenario consumers get the same memoized
+// Optimal/Runtime surface as config-built instances.
+func buildScenarioInstance(canon spec.ScenarioSpec) (*Instance, error) {
+	arts, err := spec.BuildArtifacts(canon)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Net:   arts.Net,
+		Ext:   arts.Ext,
+		Means: arts.Means,
+		cfg: InstanceConfig{
+			N:                canon.Topology.N,
+			M:                canon.Channel.M,
+			Seed:             canon.Seed,
+			TargetDegree:     canon.Topology.TargetDegree,
+			RequireConnected: canon.Topology.RequireConnected,
+			Stream:           "serve",
+			MeansStream:      "means",
+		},
+	}, nil
+}
+
 // Stats returns a snapshot of the accounting counters.
 func (c *ArtifactCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries) + len(c.scenarios)}
 }
 
 // buildInstance constructs the artifacts from scratch. The stream

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"testing"
+
+	"multihopbandit/internal/spec"
+)
+
+func gaussScenario(n, m int, seed int64) spec.ScenarioSpec {
+	return spec.ScenarioSpec{
+		Seed:     seed,
+		Topology: spec.TopologySpec{N: n, RequireConnected: true},
+		Channel:  spec.ChannelSpec{M: m},
+	}
+}
+
+// TestScenarioMatchesLegacyServeInstance is the bit-identity guard for the
+// spec redesign: a spec-built random-topology scenario must reproduce the
+// historical InstanceConfig{Stream: "serve"} construction exactly — same
+// node positions, same conflict graph, same channel means. The serving
+// runtime's trajectories (and its goldens) rest on this equality.
+func TestScenarioMatchesLegacyServeInstance(t *testing.T) {
+	c := NewArtifactCache()
+	legacy, err := c.Instance(InstanceConfig{
+		N: 10, M: 2, Seed: 3, RequireConnected: true, Stream: "serve",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := c.Scenario(gaussScenario(10, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.Net.N() != legacy.Net.N() {
+		t.Fatalf("node counts differ: %d vs %d", scen.Net.N(), legacy.Net.N())
+	}
+	for i := range legacy.Net.Positions {
+		if scen.Net.Positions[i] != legacy.Net.Positions[i] {
+			t.Fatalf("position %d differs: %+v vs %+v", i, scen.Net.Positions[i], legacy.Net.Positions[i])
+		}
+	}
+	if len(scen.Means) != len(legacy.Means) {
+		t.Fatalf("means length differ: %d vs %d", len(scen.Means), len(legacy.Means))
+	}
+	for i := range legacy.Means {
+		if scen.Means[i] != legacy.Means[i] {
+			t.Fatalf("mean %d differs: %v vs %v", i, scen.Means[i], legacy.Means[i])
+		}
+	}
+	if scen.Ext.K() != legacy.Ext.K() {
+		t.Fatalf("extended graphs differ: K %d vs %d", scen.Ext.K(), legacy.Ext.K())
+	}
+}
+
+// TestScenarioCacheSharesAcrossKinds: specs differing only in channel
+// dynamics, policy, decision parameters or noise seed hit one cached build.
+func TestScenarioCacheSharesAcrossKinds(t *testing.T) {
+	c := NewArtifactCache()
+	base := gaussScenario(8, 2, 1)
+	if _, err := c.Scenario(base); err != nil {
+		t.Fatal(err)
+	}
+	ge := base
+	ge.Channel.Kind = spec.ChannelGilbertElliott
+	ge.NoiseSeed = 42
+	shift := base
+	shift.Channel.Kind = spec.ChannelShifting
+	shift.Channel.Period = 50
+	shift.Policy = spec.PolicySpec{Kind: spec.PolicyEpsGreedy}
+	shift.Decision = spec.DecisionSpec{UpdateEvery: 8}
+	a, err := c.Scenario(ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Scenario(shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same-artifact scenarios returned distinct instances")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want one shared build", st)
+	}
+	// A different artifact seed builds separately.
+	moved := base
+	moved.Seed = 2
+	if _, err := c.Scenario(moved); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats after new seed = %+v, want second entry", st)
+	}
+}
+
+// TestScenarioGridAndLinear builds the deterministic topology kinds through
+// the cache and checks the memoized Runtime/Optimal surface works on them.
+func TestScenarioGridAndLinear(t *testing.T) {
+	c := NewArtifactCache()
+	grid := spec.ScenarioSpec{
+		Seed:     1,
+		Topology: spec.TopologySpec{Kind: spec.TopologyGrid, Rows: 2, Cols: 3},
+		Channel:  spec.ChannelSpec{M: 2},
+	}
+	inst, err := c.Scenario(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Net.N() != 6 || inst.Ext.K() != 12 {
+		t.Fatalf("grid instance: N=%d K=%d", inst.Net.N(), inst.Ext.K())
+	}
+	if _, err := inst.Runtime(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Optimal(); err != nil {
+		t.Fatal(err)
+	}
+	linear := spec.ScenarioSpec{
+		Seed:     1,
+		Topology: spec.TopologySpec{Kind: spec.TopologyLinear, N: 5},
+		Channel:  spec.ChannelSpec{M: 2},
+	}
+	inst, err = c.Scenario(linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Net.N() != 5 {
+		t.Fatalf("linear instance: N=%d", inst.Net.N())
+	}
+	// An invalid spec surfaces its typed error through the cache.
+	bad := grid
+	bad.Channel.M = 0
+	if _, err := c.Scenario(bad); err == nil {
+		t.Fatal("invalid scenario should fail")
+	}
+}

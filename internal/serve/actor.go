@@ -9,6 +9,7 @@ import (
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/policy"
+	"multihopbandit/internal/spec"
 )
 
 // ObservationBatch is one round of external observations: the played
@@ -81,6 +82,7 @@ type InstanceInfo struct {
 	M            int    `json:"m"`
 	K            int    `json:"k"`
 	Policy       string `json:"policy"`
+	Channel      string `json:"channel,omitempty"`
 	UpdateEvery  int    `json:"update_every"`
 	Slot         int    `json:"slot"`
 	Decisions    int64  `json:"decisions"`
@@ -135,7 +137,7 @@ type instanceStats struct {
 type Instance struct {
 	id      string
 	shard   int
-	cfg     InstanceConfig
+	spec    spec.ScenarioSpec // canonical
 	k       int
 	stats   *instanceStats
 	mailbox chan request
@@ -150,8 +152,12 @@ func (i *Instance) ID() string { return i.id }
 // Shard returns the registry shard hosting the instance.
 func (i *Instance) Shard() int { return i.shard }
 
-// Config returns the filled configuration the instance was created from.
-func (i *Instance) Config() InstanceConfig { return i.cfg }
+// Spec returns the canonical scenario spec the instance was created from.
+func (i *Instance) Spec() spec.ScenarioSpec { return i.spec }
+
+// Config returns the canonicalized configuration the instance was created
+// from.
+func (i *Instance) Config() InstanceConfig { return InstanceConfig{ID: i.id, Spec: i.spec} }
 
 // K returns the instance's arm count N·M.
 func (i *Instance) K() int { return i.k }
@@ -277,6 +283,7 @@ func (i *Instance) Info() (*InstanceInfo, error) {
 		return nil, err
 	}
 	resp.info.Shard = i.shard
+	resp.info.Channel = i.spec.Channel.Kind
 	return resp.info, nil
 }
 
@@ -288,11 +295,12 @@ func (i *Instance) InfoSnapshot() InstanceInfo {
 	return InstanceInfo{
 		ID:           i.id,
 		Shard:        i.shard,
-		N:            i.cfg.N,
-		M:            i.cfg.M,
+		N:            i.spec.Topology.N,
+		M:            i.spec.Channel.M,
 		K:            i.k,
-		Policy:       i.cfg.Policy,
-		UpdateEvery:  i.cfg.UpdateEvery,
+		Policy:       i.spec.Policy.Kind,
+		Channel:      i.spec.Channel.Kind,
+		UpdateEvery:  i.spec.Decision.UpdateEvery,
 		Slot:         int(i.stats.slot.Load()),
 		Decisions:    i.stats.decisions.Load(),
 		Observations: i.stats.observations.Load(),
@@ -477,7 +485,7 @@ func (a *actor) assignment() (*Assignment, error) {
 func (a *actor) snapshot() (*Snapshot, error) {
 	snap, ok := a.loop.Policy().(policy.Snapshotter)
 	if !ok {
-		return nil, fmt.Errorf("serve: policy %q does not support snapshots", a.loop.Policy().Name())
+		return nil, fmt.Errorf("policy %q: %w", a.loop.Policy().Name(), ErrSnapshotUnsupported)
 	}
 	st := a.loop.ExportState()
 	return &Snapshot{
@@ -495,7 +503,7 @@ func (a *actor) snapshot() (*Snapshot, error) {
 func (a *actor) restore(s *Snapshot) error {
 	snap, ok := a.loop.Policy().(policy.Snapshotter)
 	if !ok {
-		return fmt.Errorf("serve: policy %q does not support snapshots", a.loop.Policy().Name())
+		return fmt.Errorf("policy %q: %w", a.loop.Policy().Name(), ErrSnapshotUnsupported)
 	}
 	// Validate the loop state before touching the learner, so a rejected
 	// snapshot leaves the instance unchanged.

@@ -58,10 +58,12 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var e errorResponse
+		var e APIError
 		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
-			return fmt.Errorf("serve client: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		if json.Unmarshal(blob, &e) == nil && e.Code != "" {
+			e.Status = resp.StatusCode
+			// Wrap so errors.As finds the *APIError and ErrorCode works.
+			return fmt.Errorf("serve client: %s %s (HTTP %d): %w", method, path, resp.StatusCode, &e)
 		}
 		return fmt.Errorf("serve client: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}

@@ -3,50 +3,28 @@ package serve
 import (
 	"testing"
 
-	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
-	"multihopbandit/internal/engine"
+	"multihopbandit/internal/sim"
+	"multihopbandit/internal/spec"
 )
 
 // serialScheme builds the serial core.Scheme equivalent of a served
-// instance: same cached artifacts, same noise stream derivation, same
-// policy construction.
-func serialScheme(t *testing.T, cfg InstanceConfig) *core.Scheme {
+// instance through the one spec.Build path: same artifacts, same noise
+// stream derivation, same policy construction.
+func serialScheme(t *testing.T, s spec.ScenarioSpec) *core.Scheme {
 	t.Helper()
-	filled := cfg
-	if err := filled.fill(); err != nil {
-		t.Fatal(err)
-	}
-	cache := engine.NewArtifactCache()
-	inst, err := cache.Instance(engine.InstanceConfig{
-		N:                filled.N,
-		M:                filled.M,
-		Seed:             filled.Seed,
-		TargetDegree:     filled.TargetDegree,
-		RequireConnected: filled.RequireConnected,
-		Stream:           "serve",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ch, err := channel.NewModelWithMeans(
-		channel.Config{N: filled.N, M: filled.M, Sigma: filled.Sigma},
-		inst.Means, NoiseStream(filled.NoiseSeed))
-	if err != nil {
-		t.Fatal(err)
-	}
-	pol, err := buildPolicy(filled, inst.Ext.K(), inst.Means)
+	b, err := spec.Build(s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	scheme, err := core.New(core.Config{
-		Net:         inst.Net,
-		Channels:    ch,
-		M:           filled.M,
-		R:           filled.R,
-		D:           filled.D,
-		Policy:      pol,
-		UpdateEvery: filled.UpdateEvery,
+		Net:         b.Artifacts.Net,
+		Channels:    b.Sampler,
+		M:           b.Spec.Channel.M,
+		R:           b.Spec.Decision.R,
+		D:           b.Spec.Decision.D,
+		Policy:      b.Policy,
+		UpdateEvery: b.Spec.Decision.UpdateEvery,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,32 +45,121 @@ func equalInts(a, b []int) bool {
 }
 
 // TestServedMatchesSerialScheme is the golden test of the serving runtime:
-// for a fixed seed, a served instance's per-slot assignment sequence and
+// for a fixed spec, a served instance's per-slot assignment sequence and
 // observed throughput are bit-identical to the equivalent serial
-// core.Scheme run, across policies and update periods.
+// core.Scheme run — across policies, update periods, topology kinds, and
+// every channel kind the spec expresses (gaussian, Gilbert–Elliott,
+// shifting, primary-user-wrapped).
 func TestServedMatchesSerialScheme(t *testing.T) {
 	const slots = 300
-	cases := []InstanceConfig{
-		{N: 10, M: 2, Seed: 1, RequireConnected: true},
-		{N: 10, M: 2, Seed: 1, RequireConnected: true, UpdateEvery: 4},
-		{N: 8, M: 3, Seed: 7, RequireConnected: true, Policy: "llr"},
-		{N: 8, M: 2, Seed: 3, RequireConnected: true, Policy: "cucb", UpdateEvery: 8},
-		{N: 8, M: 2, Seed: 5, RequireConnected: true, Policy: "discounted-zhou-li", Gamma: 0.97},
+	cases := []struct {
+		name string
+		spec spec.ScenarioSpec
+	}{
+		{
+			name: "zhou-li",
+			spec: spec.ScenarioSpec{
+				Seed:     1,
+				Topology: spec.TopologySpec{N: 10, RequireConnected: true},
+				Channel:  spec.ChannelSpec{M: 2},
+			},
+		},
+		{
+			name: "zhou-li-y4",
+			spec: spec.ScenarioSpec{
+				Seed:     1,
+				Topology: spec.TopologySpec{N: 10, RequireConnected: true},
+				Channel:  spec.ChannelSpec{M: 2},
+				Decision: spec.DecisionSpec{UpdateEvery: 4},
+			},
+		},
+		{
+			name: "llr",
+			spec: spec.ScenarioSpec{
+				Seed:     7,
+				Topology: spec.TopologySpec{N: 8, RequireConnected: true},
+				Channel:  spec.ChannelSpec{M: 3},
+				Policy:   spec.PolicySpec{Kind: spec.PolicyLLR},
+			},
+		},
+		{
+			name: "cucb-y8",
+			spec: spec.ScenarioSpec{
+				Seed:     3,
+				Topology: spec.TopologySpec{N: 8, RequireConnected: true},
+				Channel:  spec.ChannelSpec{M: 2},
+				Policy:   spec.PolicySpec{Kind: spec.PolicyCUCB},
+				Decision: spec.DecisionSpec{UpdateEvery: 8},
+			},
+		},
+		{
+			name: "discounted",
+			spec: spec.ScenarioSpec{
+				Seed:     5,
+				Topology: spec.TopologySpec{N: 8, RequireConnected: true},
+				Channel:  spec.ChannelSpec{M: 2},
+				Policy:   spec.PolicySpec{Kind: spec.PolicyDiscountedZhouLi, Gamma: 0.97},
+			},
+		},
+		{
+			name: "gilbert-elliott",
+			spec: spec.ScenarioSpec{
+				Seed:      11,
+				NoiseSeed: 111,
+				Topology:  spec.TopologySpec{N: 8, RequireConnected: true},
+				Channel:   spec.ChannelSpec{Kind: spec.ChannelGilbertElliott, M: 2},
+			},
+		},
+		{
+			name: "shifting-discounted",
+			spec: spec.ScenarioSpec{
+				Seed:     12,
+				Topology: spec.TopologySpec{N: 8, RequireConnected: true},
+				Channel:  spec.ChannelSpec{Kind: spec.ChannelShifting, M: 2, Period: 50},
+				Policy:   spec.PolicySpec{Kind: spec.PolicyDiscountedZhouLi},
+				Decision: spec.DecisionSpec{UpdateEvery: 2},
+			},
+		},
+		{
+			name: "primary-user",
+			spec: spec.ScenarioSpec{
+				Seed:     13,
+				Topology: spec.TopologySpec{N: 8, RequireConnected: true},
+				Channel: spec.ChannelSpec{
+					M:       2,
+					Primary: spec.PrimarySpec{Enabled: true},
+				},
+			},
+		},
+		{
+			name: "eps-greedy-grid",
+			spec: spec.ScenarioSpec{
+				Seed:     14,
+				Topology: spec.TopologySpec{Kind: spec.TopologyGrid, Rows: 3, Cols: 3},
+				Channel:  spec.ChannelSpec{M: 2},
+				Policy:   spec.PolicySpec{Kind: spec.PolicyEpsGreedy},
+			},
+		},
+		{
+			name: "ge-linear",
+			spec: spec.ScenarioSpec{
+				Seed:     15,
+				Topology: spec.TopologySpec{Kind: spec.TopologyLinear, N: 9},
+				Channel:  spec.ChannelSpec{Kind: spec.ChannelGilbertElliott, M: 2},
+				Decision: spec.DecisionSpec{UpdateEvery: 4},
+			},
+		},
 	}
-	for _, cfg := range cases {
-		cfg := cfg
-		name := cfg.Policy
-		if name == "" {
-			name = "zhou-li"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
 			reg := NewRegistry(RegistryConfig{Shards: 2})
 			defer reg.Close()
-			h, err := reg.Create(cfg)
+			h, err := reg.Create(InstanceConfig{Spec: tc.spec})
 			if err != nil {
 				t.Fatal(err)
 			}
-			scheme := serialScheme(t, cfg)
+			scheme := serialScheme(t, tc.spec)
 			for s := 0; s < slots; s++ {
 				got, err := h.Step(1)
 				if err != nil {
@@ -120,39 +187,69 @@ func TestServedMatchesSerialScheme(t *testing.T) {
 	}
 }
 
+// TestScenarioRunMatchesServed checks the simulator's spec runner and the
+// serving runtime are two drivers of one construction API: for equal specs,
+// sim.RunScenario's observed series is bit-identical to a hosted instance
+// stepping through the same slots.
+func TestScenarioRunMatchesServed(t *testing.T) {
+	const slots = 200
+	s := spec.ScenarioSpec{
+		Seed:     21,
+		Topology: spec.TopologySpec{N: 9, RequireConnected: true},
+		Channel:  spec.ChannelSpec{Kind: spec.ChannelGilbertElliott, M: 2},
+		Decision: spec.DecisionSpec{UpdateEvery: 2},
+	}
+	res, err := sim.RunScenario(sim.ScenarioConfig{Spec: s, Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	h, err := reg.Create(InstanceConfig{Spec: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < slots; i++ {
+		step, err := h.Step(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step.ObservedKbps != res.SeriesKbps[i] {
+			t.Fatalf("slot %d: served %v kbps vs scenario run %v kbps", i, step.ObservedKbps, res.SeriesKbps[i])
+		}
+	}
+	if res.Decisions != slots/2 {
+		t.Fatalf("scenario run decisions = %d, want %d", res.Decisions, slots/2)
+	}
+}
+
 // TestExternalObserveMatchesSerialScheme drives an instance in the
 // external-environment mode: the client reads assignments, samples its own
-// channel model (seeded like the server's), and pushes the rewards back.
+// channel model (built from the same spec), and pushes the rewards back.
 // The resulting assignment sequence must match the serial run too.
 func TestExternalObserveMatchesSerialScheme(t *testing.T) {
 	const slots = 200
-	cfg := InstanceConfig{N: 10, M: 2, Seed: 2, RequireConnected: true, UpdateEvery: 2}
+	sp := spec.ScenarioSpec{
+		Seed:     2,
+		Topology: spec.TopologySpec{N: 10, RequireConnected: true},
+		Channel:  spec.ChannelSpec{M: 2},
+		Decision: spec.DecisionSpec{UpdateEvery: 2},
+	}
 	reg := NewRegistry(RegistryConfig{})
 	defer reg.Close()
-	h, err := reg.Create(cfg)
+	h, err := reg.Create(InstanceConfig{Spec: sp})
 	if err != nil {
 		t.Fatal(err)
 	}
-	scheme := serialScheme(t, cfg)
+	scheme := serialScheme(t, sp)
 
-	// The client's own environment, seeded exactly like the hosted one.
-	filled := cfg
-	if err := filled.fill(); err != nil {
-		t.Fatal(err)
-	}
-	inst, err := reg.Cache().Instance(engine.InstanceConfig{
-		N: filled.N, M: filled.M, Seed: filled.Seed,
-		RequireConnected: filled.RequireConnected, Stream: "serve",
-	})
+	// The client's own environment, built from the same spec: the sampler
+	// draws the exact reward sequence the hosted model would.
+	b, err := spec.Build(sp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, err := channel.NewModelWithMeans(
-		channel.Config{N: filled.N, M: filled.M, Sigma: filled.Sigma},
-		inst.Means, NoiseStream(filled.NoiseSeed))
-	if err != nil {
-		t.Fatal(err)
-	}
+	env := b.Sampler
 
 	for s := 0; s < slots; s++ {
 		as, err := h.Assignment()
@@ -201,7 +298,12 @@ func TestSnapshotRestoreMidRunBitIdentical(t *testing.T) {
 		slots = 120
 		y     = 4
 	)
-	cfg := InstanceConfig{N: 10, M: 2, Seed: 8, RequireConnected: true, UpdateEvery: y}
+	sp := spec.ScenarioSpec{
+		Seed:     8,
+		Topology: spec.TopologySpec{N: 10, RequireConnected: true},
+		Channel:  spec.ChannelSpec{M: 2},
+		Decision: spec.DecisionSpec{UpdateEvery: y},
+	}
 	// Deterministic external rewards shared by every drive of the same slot.
 	rewardAt := func(slot, i int) float64 { return float64((slot*7+i*3)%11) / 11 }
 
@@ -236,15 +338,13 @@ func TestSnapshotRestoreMidRunBitIdentical(t *testing.T) {
 			reg := NewRegistry(RegistryConfig{})
 			defer reg.Close()
 
-			full, err := reg.Create(cfg)
+			full, err := reg.Create(InstanceConfig{Spec: sp})
 			if err != nil {
 				t.Fatal(err)
 			}
 			want := drive(t, full, 0, slots)
 
-			cutCfg := cfg
-			cutCfg.ID = "interrupted"
-			interrupted, err := reg.Create(cutCfg)
+			interrupted, err := reg.Create(InstanceConfig{ID: "interrupted", Spec: sp})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -257,9 +357,7 @@ func TestSnapshotRestoreMidRunBitIdentical(t *testing.T) {
 				t.Fatalf("snapshot at slot %d, want %d", snap.Slot, tc.cut)
 			}
 
-			restoredCfg := cfg
-			restoredCfg.ID = "restored"
-			restored, err := reg.Create(restoredCfg)
+			restored, err := reg.Create(InstanceConfig{ID: "restored", Spec: sp})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -293,10 +391,15 @@ func TestSnapshotRestoreMidRunBitIdentical(t *testing.T) {
 // restores it into a fresh instance, and checks the restored instance's
 // external-mode decisions continue the original trajectory.
 func TestSnapshotRestoreResumesTrajectory(t *testing.T) {
-	cfg := InstanceConfig{N: 10, M: 2, Seed: 4, RequireConnected: true, UpdateEvery: 2}
+	sp := spec.ScenarioSpec{
+		Seed:     4,
+		Topology: spec.TopologySpec{N: 10, RequireConnected: true},
+		Channel:  spec.ChannelSpec{M: 2},
+		Decision: spec.DecisionSpec{UpdateEvery: 2},
+	}
 	reg := NewRegistry(RegistryConfig{})
 	defer reg.Close()
-	orig, err := reg.Create(cfg)
+	orig, err := reg.Create(InstanceConfig{Spec: sp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,9 +411,7 @@ func TestSnapshotRestoreResumesTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cloneCfg := cfg
-	cloneCfg.ID = "clone"
-	clone, err := reg.Create(cloneCfg)
+	clone, err := reg.Create(InstanceConfig{ID: "clone", Spec: sp})
 	if err != nil {
 		t.Fatal(err)
 	}

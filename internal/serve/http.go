@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"multihopbandit/internal/spec"
 )
 
 // Server exposes a Registry over HTTP/JSON. Routes:
@@ -52,11 +54,55 @@ type CreateResponse struct {
 	M           int    `json:"m"`
 	K           int    `json:"k"`
 	Policy      string `json:"policy"`
+	Channel     string `json:"channel"`
 	UpdateEvery int    `json:"update_every"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// Error codes carried by every non-2xx response, so clients can distinguish
+// failure classes without parsing message text.
+const (
+	// CodeInvalidRequest is a malformed body or invalid parameter.
+	CodeInvalidRequest = "invalid_request"
+	// CodeInvalidSpec is a scenario spec rejected by canonicalization
+	// (unknown kind, bad field, unsupported version).
+	CodeInvalidSpec = "invalid_spec"
+	// CodeNotFound is an unknown instance, route or operation.
+	CodeNotFound = "not_found"
+	// CodeAlreadyExists is a create with a taken explicit ID.
+	CodeAlreadyExists = "already_exists"
+	// CodeInstanceClosed is a request to a closed (removed) instance.
+	CodeInstanceClosed = "instance_closed"
+	// CodeSnapshotUnsupported is snapshot/restore on a policy without
+	// learner-state export (ε-greedy).
+	CodeSnapshotUnsupported = "snapshot_unsupported"
+	// CodeMethodNotAllowed is a known route with the wrong HTTP method.
+	CodeMethodNotAllowed = "method_not_allowed"
+)
+
+// APIError is the structured error every endpoint returns:
+// {"code": ..., "message": ...}. The typed client decodes it back, so
+// callers can switch on Code (a failed create and a missing instance are
+// distinguishable without string matching).
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Status is the HTTP status the error traveled with (client side only;
+	// not serialized).
+	Status int `json:"-"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorCode extracts the structured code from an error returned by Client,
+// or "" if the error does not carry one (e.g. a transport failure).
+func ErrorCode(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -65,8 +111,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, APIError{Code: code, Message: err.Error()})
+}
+
+// isSpecError reports whether err is one of the spec package's typed
+// validation errors.
+func isSpecError(err error) bool {
+	var ke *spec.KindError
+	var fe *spec.FieldError
+	var ve *spec.VersionError
+	return errors.As(err, &ke) || errors.As(err, &fe) || errors.As(err, &ve)
+}
+
+// instanceErrorStatus maps an instance-operation error to its HTTP status
+// and structured code.
+func instanceErrorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrClosed):
+		return http.StatusGone, CodeInstanceClosed
+	case errors.Is(err, ErrSnapshotUnsupported):
+		return http.StatusConflict, CodeSnapshotUnsupported
+	case isSpecError(err):
+		return http.StatusBadRequest, CodeInvalidSpec
+	default:
+		return http.StatusBadRequest, CodeInvalidRequest
+	}
 }
 
 // decodeBody decodes a JSON request body into v, rejecting unknown fields
@@ -95,18 +165,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case http.MethodGet:
 			writeJSON(w, http.StatusOK, map[string]any{"instances": s.reg.List()})
 		default:
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed on %s", r.Method, path))
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("serve: %s not allowed on %s", r.Method, path))
 		}
 	case strings.HasPrefix(path, "/v1/instances/"):
 		rest := strings.TrimPrefix(path, "/v1/instances/")
 		id, op, _ := strings.Cut(rest, "/")
 		if id == "" {
-			writeError(w, http.StatusNotFound, errors.New("serve: missing instance id"))
+			writeError(w, http.StatusNotFound, CodeNotFound, errors.New("serve: missing instance id"))
 			return
 		}
 		s.handleInstance(w, r, id, op)
 	default:
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no route %s", path))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("serve: no route %s", path))
 	}
 }
 
@@ -114,30 +184,38 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	defer s.observeSince(&s.latCreate, time.Now())
 	var cfg InstanceConfig
 	if err := decodeBody(r, &cfg); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	h, err := s.reg.Create(cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, ErrExists):
+			writeError(w, http.StatusConflict, CodeAlreadyExists, err)
+		case isSpecError(err):
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		}
 		return
 	}
-	filled := h.Config()
+	canon := h.Spec()
 	writeJSON(w, http.StatusCreated, CreateResponse{
 		ID:          h.ID(),
 		Shard:       h.Shard(),
-		N:           filled.N,
-		M:           filled.M,
+		N:           canon.Topology.N,
+		M:           canon.Channel.M,
 		K:           h.K(),
-		Policy:      filled.Policy,
-		UpdateEvery: filled.UpdateEvery,
+		Policy:      canon.Policy.Kind,
+		Channel:     canon.Channel.Kind,
+		UpdateEvery: canon.Decision.UpdateEvery,
 	})
 }
 
 func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op string) {
 	h, ok := s.reg.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("serve: no instance %q", id))
 		return
 	}
 	switch op {
@@ -153,16 +231,16 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 			writeJSON(w, http.StatusOK, info)
 		case http.MethodDelete:
 			if err := s.reg.Remove(id); err != nil {
-				writeError(w, http.StatusNotFound, err)
+				writeError(w, http.StatusNotFound, CodeNotFound, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 		default:
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
 		}
 	case "assignment":
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
 			return
 		}
 		defer s.observeSince(&s.latAssign, time.Now())
@@ -174,7 +252,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		writeJSON(w, http.StatusOK, as)
 	case "step":
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
 			return
 		}
 		defer s.observeSince(&s.latStep, time.Now())
@@ -182,7 +260,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 			Slots int `json:"slots"`
 		}
 		if err := decodeBody(r, &body); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		if body.Slots == 0 {
@@ -196,7 +274,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		writeJSON(w, http.StatusOK, res)
 	case "observations":
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
 			return
 		}
 		defer s.observeSince(&s.latObserve, time.Now())
@@ -204,7 +282,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 			Batches []ObservationBatch `json:"batches"`
 		}
 		if err := decodeBody(r, &body); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		if r.URL.Query().Get("async") == "1" {
@@ -223,7 +301,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		writeJSON(w, http.StatusOK, res)
 	case "snapshot":
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
 			return
 		}
 		defer s.observeSince(&s.latSnapshot, time.Now())
@@ -235,13 +313,13 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		writeJSON(w, http.StatusOK, snap)
 	case "restore":
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("serve: %s not allowed", r.Method))
 			return
 		}
 		defer s.observeSince(&s.latRestore, time.Now())
 		var snap Snapshot
 		if err := decodeBody(r, &snap); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		if err := h.Restore(&snap); err != nil {
@@ -250,16 +328,13 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"restored": id})
 	default:
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no operation %q", op))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("serve: no operation %q", op))
 	}
 }
 
 func (s *Server) writeInstanceError(w http.ResponseWriter, err error) {
-	code := http.StatusBadRequest
-	if errors.Is(err, ErrClosed) {
-		code = http.StatusGone
-	}
-	writeError(w, code, err)
+	status, code := instanceErrorStatus(err)
+	writeError(w, status, code, err)
 }
 
 func (s *Server) observeSince(h *Histogram, start time.Time) {

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"multihopbandit/internal/spec"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Client, *Registry) {
@@ -28,11 +31,14 @@ func TestHTTPWorkflow(t *testing.T) {
 	if err := c.WaitHealthy(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	created, err := c.Create(InstanceConfig{ID: "w", N: 8, M: 2, Seed: 1, RequireConnected: true, UpdateEvery: 2})
+	cfg := InstanceConfig{ID: "w", Spec: gaussSpec(8, 2, 1)}
+	cfg.Spec.Decision.UpdateEvery = 2
+	created, err := c.Create(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if created.ID != "w" || created.K != 16 || created.Policy != "zhou-li" || created.UpdateEvery != 2 {
+	if created.ID != "w" || created.K != 16 || created.Policy != "zhou-li" ||
+		created.Channel != "gaussian" || created.UpdateEvery != 2 {
 		t.Fatalf("create response = %+v", created)
 	}
 
@@ -75,7 +81,8 @@ func TestHTTPWorkflow(t *testing.T) {
 		t.Fatalf("snapshot = slot %d policy %q", snap.Slot, snap.Learner.Policy)
 	}
 
-	if _, err := c.Create(InstanceConfig{ID: "w2", N: 8, M: 2, Seed: 1, RequireConnected: true, UpdateEvery: 2}); err != nil {
+	w2 := InstanceConfig{ID: "w2", Spec: cfg.Spec}
+	if _, err := c.Create(w2); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Restore("w2", snap); err != nil {
@@ -121,9 +128,72 @@ func TestHTTPWorkflow(t *testing.T) {
 	}
 }
 
+// TestHTTPLegacyFlatCreate posts the pre-spec flat JSON shape and checks it
+// still creates a working instance mapped onto the spec surface.
+func TestHTTPLegacyFlatCreate(t *testing.T) {
+	ts, c, reg := newTestServer(t)
+	body := `{"id":"flat","n":8,"m":2,"seed":1,"require_connected":true,"policy":"llr","update_every":2}`
+	resp, err := http.Post(ts.URL+"/v1/instances", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("legacy create status = %d", resp.StatusCode)
+	}
+	h, ok := reg.Get("flat")
+	if !ok {
+		t.Fatal("legacy-created instance not registered")
+	}
+	s := h.Spec()
+	if s.Topology.Kind != spec.TopologyRandom || s.Channel.Kind != spec.ChannelGaussian ||
+		s.Policy.Kind != spec.PolicyLLR || s.Decision.UpdateEvery != 2 {
+		t.Fatalf("legacy spec mapping = %+v", s)
+	}
+	if _, err := c.Step("flat", 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPSpecCreateRichModels creates Gilbert–Elliott and shifting
+// instances over HTTP from spec-form payloads — the serving surface the
+// spec redesign unlocks.
+func TestHTTPSpecCreateRichModels(t *testing.T) {
+	_, c, _ := newTestServer(t)
+	ge := InstanceConfig{ID: "ge", Spec: spec.ScenarioSpec{
+		Seed:     11,
+		Topology: spec.TopologySpec{Kind: spec.TopologyGrid, Rows: 3, Cols: 3},
+		Channel:  spec.ChannelSpec{Kind: spec.ChannelGilbertElliott, M: 2},
+	}}
+	created, err := c.Create(ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Channel != "gilbert-elliott" || created.N != 9 {
+		t.Fatalf("create = %+v", created)
+	}
+	shift := InstanceConfig{ID: "shift", Spec: spec.ScenarioSpec{
+		Seed:     12,
+		Topology: spec.TopologySpec{N: 8, RequireConnected: true},
+		Channel:  spec.ChannelSpec{Kind: spec.ChannelShifting, M: 2, Period: 25},
+	}}
+	if _, err := c.Create(shift); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"ge", "shift"} {
+		step, err := c.Step(id, 32)
+		if err != nil {
+			t.Fatalf("step %s: %v", id, err)
+		}
+		if step.Decisions == 0 || step.Observed <= 0 {
+			t.Fatalf("step %s = %+v, want decisions and throughput", id, step)
+		}
+	}
+}
+
 func TestHTTPAsyncObservations(t *testing.T) {
 	ts, c, _ := newTestServer(t)
-	if _, err := c.Create(InstanceConfig{ID: "a", N: 8, M: 2, Seed: 1, RequireConnected: true}); err != nil {
+	if _, err := c.Create(InstanceConfig{ID: "a", Spec: gaussSpec(8, 2, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	as, err := c.Assignment("a")
@@ -165,10 +235,82 @@ func zerosCSV(n int) string {
 	return strings.Join(parts, ",")
 }
 
+// TestHTTPErrorCodes checks every failure class carries its structured
+// {"code","message"} payload and the typed client surfaces the code — a
+// failed create and a missing instance are distinguishable without string
+// matching.
+func TestHTTPErrorCodes(t *testing.T) {
+	ts, c, _ := newTestServer(t)
+
+	// Missing instance → not_found.
+	_, err := c.Step("nope", 1)
+	if ErrorCode(err) != CodeNotFound {
+		t.Fatalf("step on unknown instance: code %q (err %v), want %q", ErrorCode(err), err, CodeNotFound)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("step on unknown instance: %v, want APIError with 404", err)
+	}
+
+	// Invalid spec → invalid_spec.
+	bad := InstanceConfig{Spec: gaussSpec(8, 2, 1)}
+	bad.Spec.Policy.Kind = "no-such-policy"
+	_, err = c.Create(bad)
+	if ErrorCode(err) != CodeInvalidSpec {
+		t.Fatalf("invalid spec create: code %q (err %v), want %q", ErrorCode(err), err, CodeInvalidSpec)
+	}
+
+	// Duplicate explicit ID → already_exists.
+	dup := InstanceConfig{ID: "dup", Spec: gaussSpec(8, 2, 1)}
+	if _, err := c.Create(dup); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Create(dup)
+	if ErrorCode(err) != CodeAlreadyExists {
+		t.Fatalf("duplicate create: code %q (err %v), want %q", ErrorCode(err), err, CodeAlreadyExists)
+	}
+
+	// Snapshot on a policy without learner-state export → snapshot_unsupported.
+	eps := InstanceConfig{ID: "eps", Spec: gaussSpec(8, 2, 1)}
+	eps.Spec.Policy.Kind = spec.PolicyEpsGreedy
+	if _, err := c.Create(eps); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Snapshot("eps")
+	if ErrorCode(err) != CodeSnapshotUnsupported {
+		t.Fatalf("snapshot on eps-greedy: code %q (err %v), want %q", ErrorCode(err), err, CodeSnapshotUnsupported)
+	}
+	if !errors.As(err, &ae) || ae.Status != http.StatusConflict {
+		t.Fatalf("snapshot on eps-greedy: %v, want APIError with 409", err)
+	}
+
+	// Closed instance → instance_closed.
+	if err := c.Delete("dup"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Step("dup", 1)
+	if ErrorCode(err) != CodeNotFound {
+		t.Fatalf("step on deleted instance: code %q, want %q", ErrorCode(err), CodeNotFound)
+	}
+
+	// Malformed body → invalid_request, as structured JSON (not plain text).
+	resp, err := http.Post(ts.URL+"/v1/instances", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("error content-type = %q, want JSON", ct)
+	}
+}
+
 func TestHTTPErrors(t *testing.T) {
 	ts, c, _ := newTestServer(t)
 	// Unknown instance.
-	if _, err := c.Step("nope", 1); err == nil || !strings.Contains(err.Error(), "404") && !strings.Contains(err.Error(), "no instance") {
+	if _, err := c.Step("nope", 1); err == nil || !strings.Contains(err.Error(), "no instance") {
 		t.Fatalf("step on unknown instance: %v", err)
 	}
 	// Bad JSON body.
@@ -180,7 +322,7 @@ func TestHTTPErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad JSON status = %d", resp.StatusCode)
 	}
-	// Unknown field rejected.
+	// Unknown field rejected (flat shape).
 	resp, err = http.Post(ts.URL+"/v1/instances", "application/json", strings.NewReader(`{"n":8,"m":2,"frobnicate":true}`))
 	if err != nil {
 		t.Fatal(err)
@@ -188,6 +330,16 @@ func TestHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown field status = %d", resp.StatusCode)
+	}
+	// Unknown field rejected (spec shape).
+	resp, err = http.Post(ts.URL+"/v1/instances", "application/json",
+		strings.NewReader(`{"spec":{"seed":1,"topology":{"n":8},"channel":{"m":2},"bogus":true}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown spec field status = %d", resp.StatusCode)
 	}
 	// Wrong method.
 	resp, err = http.Get(ts.URL + "/v1/instances/x/step")
@@ -208,7 +360,9 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatalf("unknown route status = %d", resp.StatusCode)
 	}
 	// Invalid config via HTTP.
-	if _, err := c.Create(InstanceConfig{N: -1, M: 2}); err == nil {
+	badSpec := gaussSpec(8, 2, 1)
+	badSpec.Topology.N = -1
+	if _, err := c.Create(InstanceConfig{Spec: badSpec}); err == nil {
 		t.Fatal("invalid config should fail")
 	}
 }

@@ -9,22 +9,29 @@
 // channel model (the self-simulation mode used by the load generator and
 // the golden tests).
 //
-// Instances with identical artifact configurations (N, M, seed, degree)
-// share their expensive immutable artifacts — the unit-disk topology, the
-// extended conflict graph H, the true channel means, and the protocol
-// runtime's hop-neighborhood precomputation — through an
-// engine.ArtifactCache, so hosting 64 replicas of one network pays the
-// construction cost once. All mutable state (policy statistics, channel
-// noise streams, the current strategy) is confined to the actor goroutine:
-// requests are serialized through the instance mailbox, so per-instance
-// state needs no locks and a served instance's trajectory is bit-identical
-// to the equivalent serial core.Scheme run.
+// Instances are described by spec.ScenarioSpec — the versioned, declarative
+// scenario description shared with the simulator — so the runtime hosts
+// every combination the spec expresses: random, grid and linear topologies;
+// gaussian, Gilbert–Elliott and shifting channels (optionally under
+// primary-user occupancy); and every learning policy. Instances whose specs
+// share an artifact projection (topology, channel count, seed) share their
+// expensive immutable artifacts — the topology, the extended conflict graph
+// H, the catalog channel means, and the protocol runtime's hop-neighborhood
+// precomputation — through an engine.ArtifactCache, so hosting 64 replicas
+// of one network pays the construction cost once. All mutable state (policy
+// statistics, channel processes, the current strategy) is confined to the
+// actor goroutine: requests are serialized through the instance mailbox, so
+// per-instance state needs no locks and a served instance's trajectory is
+// bit-identical to the equivalent serial core.Scheme run over the same
+// spec.
 //
 // Server exposes the registry over HTTP/JSON (cmd/banditd), and Client is
 // the matching typed client (cmd/banditload, the smoke tests).
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -33,15 +40,23 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/engine"
-	"multihopbandit/internal/policy"
 	"multihopbandit/internal/rng"
+	"multihopbandit/internal/spec"
 )
 
 // ErrClosed is returned by handle operations on a closed instance.
 var ErrClosed = errors.New("serve: instance closed")
+
+// ErrExists is returned (wrapped) by Create when an explicit instance ID is
+// already taken.
+var ErrExists = errors.New("serve: instance already exists")
+
+// ErrSnapshotUnsupported is returned (wrapped) by snapshot and restore on
+// instances whose policy cannot export learner state (ε-greedy: its random
+// stream cannot be captured).
+var ErrSnapshotUnsupported = errors.New("serve: policy does not support snapshots")
 
 // RegistryConfig parameterizes a Registry.
 type RegistryConfig struct {
@@ -118,143 +133,139 @@ func (r *Registry) shardFor(id string) (int, *shard) {
 	return i, r.shards[i]
 }
 
-// InstanceConfig parameterizes one hosted instance. The artifact fields
-// (N, M, Seed, TargetDegree, RequireConnected) key the shared cache: two
-// instances with equal artifact fields share topology, extended graph,
-// means, and protocol runtime.
+// InstanceConfig parameterizes one hosted instance: an optional ID plus the
+// declarative scenario description. The spec is canonicalized on Create;
+// instances whose canonical specs share an artifact projection (topology,
+// channel count, seed) share topology, extended graph, catalog means and
+// protocol runtime through the registry's cache.
+//
+// The JSON form is {"id": ..., "spec": {...}}. The pre-spec flat form
+// ({"n":10,"m":2,"seed":1,...}) is still accepted and maps 1:1 onto a
+// random-topology gaussian spec — the construction streams are unchanged,
+// so legacy payloads create bit-identical instances.
 type InstanceConfig struct {
 	// ID names the instance; empty generates "inst-<n>".
 	ID string `json:"id,omitempty"`
-	// N and M are the node and channel counts. Required.
-	N int `json:"n"`
-	M int `json:"m"`
-	// Seed draws the instance artifacts (topology, true channel means).
-	Seed int64 `json:"seed"`
-	// NoiseSeed drives the per-instance channel noise stream; 0 means "use
-	// Seed". Give replicas sharing one artifact Seed distinct NoiseSeeds to
-	// get distinct reward trajectories.
-	NoiseSeed int64 `json:"noise_seed,omitempty"`
-	// TargetDegree sizes the deployment square (0 = topology default).
-	TargetDegree float64 `json:"target_degree,omitempty"`
-	// RequireConnected retries placement until the conflict graph connects.
-	RequireConnected bool `json:"require_connected,omitempty"`
-	// Policy selects the learning rule: "zhou-li" (default), "llr", "cucb",
-	// "oracle", or "discounted-zhou-li".
-	Policy string `json:"policy,omitempty"`
-	// Gamma is the discount factor of "discounted-zhou-li" (default 0.99).
-	Gamma float64 `json:"gamma,omitempty"`
-	// R and D configure the distributed decision (defaults 2, 4).
-	R int `json:"r,omitempty"`
-	D int `json:"d,omitempty"`
-	// UpdateEvery is the update period y in slots (default 1).
-	UpdateEvery int `json:"update_every,omitempty"`
-	// Sigma is the hosted channel model's noise stddev (default 0.05).
-	Sigma float64 `json:"sigma,omitempty"`
+	// Spec is the scenario description (see internal/spec).
+	Spec spec.ScenarioSpec `json:"spec"`
 }
 
-func (c *InstanceConfig) fill() error {
-	if c.N <= 0 || c.M <= 0 {
-		return fmt.Errorf("serve: N and M must be positive, got N=%d M=%d", c.N, c.M)
+// flatInstanceConfig is the legacy flat JSON shape of InstanceConfig, kept
+// so pre-spec clients keep working. It maps 1:1 onto a ScenarioSpec.
+type flatInstanceConfig struct {
+	ID               string  `json:"id,omitempty"`
+	N                int     `json:"n"`
+	M                int     `json:"m"`
+	Seed             int64   `json:"seed"`
+	NoiseSeed        int64   `json:"noise_seed,omitempty"`
+	TargetDegree     float64 `json:"target_degree,omitempty"`
+	RequireConnected bool    `json:"require_connected,omitempty"`
+	Policy           string  `json:"policy,omitempty"`
+	Gamma            float64 `json:"gamma,omitempty"`
+	R                int     `json:"r,omitempty"`
+	D                int     `json:"d,omitempty"`
+	UpdateEvery      int     `json:"update_every,omitempty"`
+	Sigma            float64 `json:"sigma,omitempty"`
+}
+
+// spec maps the flat fields onto the equivalent scenario spec. Gamma only
+// travels for the discounted policy: the legacy fill validated (and used)
+// it solely there and ignored it otherwise, and the strict spec would
+// reject a stray gamma — preserving exactly the set of payloads that
+// worked before.
+func (f flatInstanceConfig) spec() spec.ScenarioSpec {
+	gamma := 0.0
+	if f.Policy == spec.PolicyDiscountedZhouLi {
+		gamma = f.Gamma
 	}
-	if c.R == 0 {
-		c.R = 2
+	return spec.ScenarioSpec{
+		Seed:      f.Seed,
+		NoiseSeed: f.NoiseSeed,
+		Topology: spec.TopologySpec{
+			Kind:             spec.TopologyRandom,
+			N:                f.N,
+			TargetDegree:     f.TargetDegree,
+			RequireConnected: f.RequireConnected,
+		},
+		Channel: spec.ChannelSpec{
+			Kind:  spec.ChannelGaussian,
+			M:     f.M,
+			Sigma: f.Sigma,
+		},
+		Policy: spec.PolicySpec{
+			Kind:  f.Policy,
+			Gamma: gamma,
+		},
+		Decision: spec.DecisionSpec{
+			R:           f.R,
+			D:           f.D,
+			UpdateEvery: f.UpdateEvery,
+		},
 	}
-	if c.R < 1 {
-		return fmt.Errorf("serve: R must be >= 1, got %d", c.R)
+}
+
+// UnmarshalJSON accepts both config shapes, strictly (unknown fields are
+// rejected in either): the spec form {"id","spec"} and the legacy flat
+// form, detected by the absence of a "spec" key.
+func (c *InstanceConfig) UnmarshalJSON(data []byte) error {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return err
 	}
-	if c.D == 0 {
-		c.D = 4
-	}
-	if c.D < 0 {
-		return fmt.Errorf("serve: D must be >= 0, got %d", c.D)
-	}
-	if c.UpdateEvery == 0 {
-		c.UpdateEvery = 1
-	}
-	if c.UpdateEvery < 1 {
-		return fmt.Errorf("serve: UpdateEvery must be >= 1, got %d", c.UpdateEvery)
-	}
-	if c.Sigma == 0 {
-		c.Sigma = 0.05
-	}
-	if c.Sigma < 0 {
-		return fmt.Errorf("serve: Sigma must be non-negative, got %v", c.Sigma)
-	}
-	if c.NoiseSeed == 0 {
-		c.NoiseSeed = c.Seed
-	}
-	if c.Policy == "" {
-		c.Policy = "zhou-li"
-	}
-	if c.Policy == "discounted-zhou-li" {
-		if c.Gamma == 0 {
-			c.Gamma = 0.99
+	if _, ok := probe["spec"]; ok {
+		type plain InstanceConfig
+		var p plain
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			return err
 		}
-		if c.Gamma <= 0 || c.Gamma > 1 {
-			return fmt.Errorf("serve: gamma must be in (0,1], got %v", c.Gamma)
-		}
+		*c = InstanceConfig(p)
+		return nil
 	}
+	var f flatInstanceConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return err
+	}
+	*c = InstanceConfig{ID: f.ID, Spec: f.spec()}
 	return nil
 }
 
-// buildPolicy constructs the configured learning policy over k arms.
-func buildPolicy(cfg InstanceConfig, k int, means []float64) (policy.Policy, error) {
-	switch cfg.Policy {
-	case "zhou-li":
-		return policy.NewZhouLi(k)
-	case "llr":
-		return policy.NewLLR(k, cfg.N)
-	case "cucb":
-		return policy.NewCUCB(k)
-	case "oracle":
-		return policy.NewOracle(means)
-	case "discounted-zhou-li":
-		return policy.NewDiscountedZhouLi(k, cfg.Gamma)
-	default:
-		return nil, fmt.Errorf("serve: unknown policy %q (want zhou-li, llr, cucb, oracle or discounted-zhou-li)", cfg.Policy)
-	}
-}
-
-// NoiseStream derives the channel-noise stream of an instance with the
-// given noise seed. Exported so the golden tests (and any external
-// verifier) can reconstruct a served instance's exact reward sequence.
+// NoiseStream derives the channel-process stream of an instance with the
+// given noise seed. It forwards to spec.NoiseStream, the canonical
+// definition; kept here so serving-side verifiers need only this package.
 func NoiseStream(noiseSeed int64) *rng.Source {
-	return rng.New(noiseSeed).SplitPath("serve", "noise")
+	return spec.NoiseStream(noiseSeed)
 }
 
 // Create builds, registers and starts a hosted instance.
 func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
+	canon, err := cfg.Spec.Canonical()
+	if err != nil {
+		return nil, fmt.Errorf("serve: scenario spec: %w", err)
 	}
 	id := cfg.ID
 	if id == "" {
 		id = fmt.Sprintf("inst-%d", r.nextID.Add(1))
 	}
-	inst, err := r.cache.Instance(engine.InstanceConfig{
-		N:                cfg.N,
-		M:                cfg.M,
-		Seed:             cfg.Seed,
-		TargetDegree:     cfg.TargetDegree,
-		RequireConnected: cfg.RequireConnected,
-		Stream:           "serve",
-	})
+	inst, err := r.cache.Scenario(canon)
 	if err != nil {
 		return nil, fmt.Errorf("serve: instance artifacts: %w", err)
 	}
-	rt, err := inst.Runtime(cfg.R, cfg.D)
+	rt, err := inst.Runtime(canon.Decision.R, canon.Decision.D)
 	if err != nil {
 		return nil, err
 	}
-	sampler, err := channel.NewModelWithMeans(
-		channel.Config{N: cfg.N, M: cfg.M, Sigma: cfg.Sigma},
-		inst.Means, NoiseStream(cfg.NoiseSeed))
+	sampler, err := spec.BuildSampler(canon, inst.Means)
 	if err != nil {
 		return nil, fmt.Errorf("serve: instance channels: %w", err)
 	}
-	pol, err := buildPolicy(cfg, inst.Ext.K(), inst.Means)
+	pol, err := spec.BuildPolicy(canon.Policy, inst.Ext.K(), inst.Ext.N,
+		sampler.Means(), spec.PolicyStream(canon.NoiseSeed))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: instance policy: %w", err)
 	}
 
 	// Register under the (possibly generated) ID. Auto-generated names
@@ -267,7 +278,7 @@ func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
 		Runtime:     rt,
 		Policy:      pol,
 		Sampler:     sampler,
-		UpdateEvery: cfg.UpdateEvery,
+		UpdateEvery: canon.Decision.UpdateEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -286,7 +297,7 @@ func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
 		h := &Instance{
 			id:      id,
 			shard:   si,
-			cfg:     cfg,
+			spec:    canon,
 			k:       inst.Ext.K(),
 			stats:   stats,
 			mailbox: make(chan request, r.mailbox),
@@ -297,7 +308,7 @@ func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
 		if _, exists := sh.instances[id]; exists {
 			sh.mu.Unlock()
 			if !auto {
-				return nil, fmt.Errorf("serve: instance %q already exists", id)
+				return nil, fmt.Errorf("%w: %q", ErrExists, id)
 			}
 			id = fmt.Sprintf("inst-%d", r.nextID.Add(1))
 			continue

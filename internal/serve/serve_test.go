@@ -1,15 +1,27 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
-	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"multihopbandit/internal/spec"
 )
 
+// gaussSpec is the baseline test scenario: a connected random network with
+// the paper's gaussian channels.
+func gaussSpec(n, m int, seed int64) spec.ScenarioSpec {
+	return spec.ScenarioSpec{
+		Seed:     seed,
+		Topology: spec.TopologySpec{N: n, RequireConnected: true},
+		Channel:  spec.ChannelSpec{M: m},
+	}
+}
+
 func testConfig() InstanceConfig {
-	return InstanceConfig{N: 8, M: 2, Seed: 1, RequireConnected: true}
+	return InstanceConfig{Spec: gaussSpec(8, 2, 1)}
 }
 
 func TestCreateDefaultsAndInfo(t *testing.T) {
@@ -19,18 +31,30 @@ func TestCreateDefaultsAndInfo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := h.Config()
-	if cfg.R != 2 || cfg.D != 4 || cfg.UpdateEvery != 1 || cfg.Policy != "zhou-li" || cfg.Sigma != 0.05 {
-		t.Fatalf("defaults not filled: %+v", cfg)
+	s := h.Spec()
+	if s.V != spec.Version {
+		t.Fatalf("spec version not pinned: %+v", s)
 	}
-	if cfg.NoiseSeed != cfg.Seed {
-		t.Fatalf("noise seed defaulted to %d, want %d", cfg.NoiseSeed, cfg.Seed)
+	if s.Decision.R != 2 || s.Decision.D != 4 || s.Decision.UpdateEvery != 1 {
+		t.Fatalf("decision defaults not filled: %+v", s.Decision)
+	}
+	if s.Policy.Kind != spec.PolicyZhouLi || s.Channel.Kind != spec.ChannelGaussian || s.Channel.Sigma != 0.05 {
+		t.Fatalf("kind defaults not filled: %+v", s)
+	}
+	if s.Topology.Kind != spec.TopologyRandom || s.Topology.TargetDegree != 6 {
+		t.Fatalf("topology defaults not filled: %+v", s.Topology)
+	}
+	if s.NoiseSeed != s.Seed {
+		t.Fatalf("noise seed defaulted to %d, want %d", s.NoiseSeed, s.Seed)
+	}
+	if got := h.Config(); got.ID != h.ID() || got.Spec != s {
+		t.Fatalf("config = %+v", got)
 	}
 	info, err := h.Info()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.K != 16 || info.Policy != "zhou-li" || info.Slot != 0 {
+	if info.K != 16 || info.Policy != "zhou-li" || info.Channel != "gaussian" || info.Slot != 0 {
 		t.Fatalf("info = %+v", info)
 	}
 	if info.Shard != h.Shard() {
@@ -41,19 +65,128 @@ func TestCreateDefaultsAndInfo(t *testing.T) {
 func TestCreateValidation(t *testing.T) {
 	reg := NewRegistry(RegistryConfig{})
 	defer reg.Close()
+	mod := func(f func(*spec.ScenarioSpec)) InstanceConfig {
+		s := gaussSpec(8, 2, 1)
+		f(&s)
+		return InstanceConfig{Spec: s}
+	}
 	bad := []InstanceConfig{
-		{N: 0, M: 2},
-		{N: 8, M: 0},
-		{N: 8, M: 2, UpdateEvery: -1},
-		{N: 8, M: 2, Sigma: -0.1},
-		{N: 8, M: 2, R: -1},
-		{N: 8, M: 2, Policy: "no-such-policy"},
-		{N: 8, M: 2, Policy: "discounted-zhou-li", Gamma: 1.5},
+		mod(func(s *spec.ScenarioSpec) { s.Topology.N = 0 }),
+		mod(func(s *spec.ScenarioSpec) { s.Channel.M = 0 }),
+		mod(func(s *spec.ScenarioSpec) { s.Decision.UpdateEvery = -1 }),
+		mod(func(s *spec.ScenarioSpec) { s.Channel.Sigma = -0.1 }),
+		mod(func(s *spec.ScenarioSpec) { s.Decision.R = -1 }),
+		mod(func(s *spec.ScenarioSpec) { s.Policy.Kind = "no-such-policy" }),
+		mod(func(s *spec.ScenarioSpec) { s.Policy = spec.PolicySpec{Kind: spec.PolicyDiscountedZhouLi, Gamma: 1.5} }),
+		mod(func(s *spec.ScenarioSpec) { s.Channel.Kind = "no-such-channel" }),
+		mod(func(s *spec.ScenarioSpec) { s.Channel.Period = 10 }), // gaussian has no period
+		mod(func(s *spec.ScenarioSpec) { s.V = 99 }),
 	}
 	for i, cfg := range bad {
 		if _, err := reg.Create(cfg); err == nil {
-			t.Errorf("config %d (%+v) should be rejected", i, cfg)
+			t.Errorf("config %d (%+v) should be rejected", i, cfg.Spec)
 		}
+	}
+
+	// The rejections carry the spec package's typed errors.
+	_, err := reg.Create(mod(func(s *spec.ScenarioSpec) { s.Policy.Kind = "no-such-policy" }))
+	var ke *spec.KindError
+	if !errors.As(err, &ke) || ke.Field != "policy.kind" {
+		t.Fatalf("unknown policy error = %v, want KindError on policy.kind", err)
+	}
+	_, err = reg.Create(mod(func(s *spec.ScenarioSpec) { s.V = 99 }))
+	var ve *spec.VersionError
+	if !errors.As(err, &ve) || ve.Got != 99 {
+		t.Fatalf("version error = %v, want VersionError", err)
+	}
+}
+
+// TestLegacyFlatJSONMapsToCanonicalSpec pins the compatibility contract:
+// the pre-spec flat InstanceConfig JSON decodes to exactly the canonical
+// spec its field-by-field translation produces.
+func TestLegacyFlatJSONMapsToCanonicalSpec(t *testing.T) {
+	legacy := `{
+		"id": "legacy-1",
+		"n": 10, "m": 2, "seed": 7, "noise_seed": 42,
+		"target_degree": 5.5, "require_connected": true,
+		"policy": "discounted-zhou-li", "gamma": 0.97,
+		"r": 3, "d": 6, "update_every": 4, "sigma": 0.1
+	}`
+	var cfg InstanceConfig
+	if err := json.Unmarshal([]byte(legacy), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cfg.Spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spec.ScenarioSpec{
+		Seed:      7,
+		NoiseSeed: 42,
+		Topology: spec.TopologySpec{
+			Kind: spec.TopologyRandom, N: 10,
+			TargetDegree: 5.5, RequireConnected: true,
+		},
+		Channel: spec.ChannelSpec{Kind: spec.ChannelGaussian, M: 2, Sigma: 0.1},
+		Policy:  spec.PolicySpec{Kind: spec.PolicyDiscountedZhouLi, Gamma: 0.97},
+		Decision: spec.DecisionSpec{
+			R: 3, D: 6, UpdateEvery: 4,
+		},
+	}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ID != "legacy-1" || got != want {
+		t.Fatalf("legacy mapping:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A stray gamma on a non-discounted policy was silently ignored by the
+	// legacy fill; the flat mapping must keep accepting (and ignoring) it.
+	if err := json.Unmarshal([]byte(`{"n":8,"m":2,"seed":1,"policy":"zhou-li","gamma":0.99}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Spec.Canonical(); err != nil {
+		t.Fatalf("legacy stray gamma should stay accepted: %v", err)
+	}
+
+	// Unknown fields are rejected in the flat shape too.
+	if err := json.Unmarshal([]byte(`{"n":8,"m":2,"frobnicate":true}`), &cfg); err == nil {
+		t.Fatal("unknown flat field should be rejected")
+	}
+	// And in the spec shape.
+	if err := json.Unmarshal([]byte(`{"spec":{"seed":1,"topology":{"n":8},"channel":{"m":2},"bogus":1}}`), &cfg); err == nil {
+		t.Fatal("unknown spec field should be rejected")
+	}
+}
+
+// TestSnapshotUnsupportedTyped checks ε-greedy instances (creatable via
+// spec) fail snapshot and restore with the typed sentinel rather than a
+// panic or a zero snapshot.
+func TestSnapshotUnsupportedTyped(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	s := gaussSpec(8, 2, 1)
+	s.Policy = spec.PolicySpec{Kind: spec.PolicyEpsGreedy}
+	h, err := reg.Create(InstanceConfig{Spec: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := h.Snapshot()
+	if !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("snapshot on eps-greedy: err = %v, want ErrSnapshotUnsupported", err)
+	}
+	if snap != nil {
+		t.Fatalf("snapshot on eps-greedy returned %+v, want nil", snap)
+	}
+	if err := h.Restore(&Snapshot{}); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("restore on eps-greedy: err = %v, want ErrSnapshotUnsupported", err)
+	}
+	// The instance still serves after the rejected operations.
+	if _, err := h.Step(1); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -65,8 +198,8 @@ func TestDuplicateID(t *testing.T) {
 	if _, err := reg.Create(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Create(cfg); err == nil || !strings.Contains(err.Error(), "already exists") {
-		t.Fatalf("duplicate create: err = %v", err)
+	if _, err := reg.Create(cfg); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: err = %v, want ErrExists", err)
 	}
 }
 
@@ -75,17 +208,25 @@ func TestArtifactSharingAcrossInstances(t *testing.T) {
 	defer reg.Close()
 	for i := 0; i < 8; i++ {
 		cfg := testConfig()
-		cfg.NoiseSeed = int64(100 + i)
+		cfg.Spec.NoiseSeed = int64(100 + i)
 		if _, err := reg.Create(cfg); err != nil {
 			t.Fatal(err)
 		}
 	}
+	// Same artifact key across channel kinds and policies: a Gilbert–Elliott
+	// ε-greedy replica still shares the build.
+	cfg := testConfig()
+	cfg.Spec.Channel.Kind = spec.ChannelGilbertElliott
+	cfg.Spec.Policy = spec.PolicySpec{Kind: spec.PolicyEpsGreedy}
+	if _, err := reg.Create(cfg); err != nil {
+		t.Fatal(err)
+	}
 	st := reg.Cache().Stats()
 	if st.Misses != 1 || st.Entries != 1 {
-		t.Fatalf("cache stats = %+v, want one build shared by 8 instances", st)
+		t.Fatalf("cache stats = %+v, want one build shared by 9 instances", st)
 	}
-	if st.Hits != 7 {
-		t.Fatalf("cache hits = %d, want 7", st.Hits)
+	if st.Hits != 8 {
+		t.Fatalf("cache hits = %d, want 8", st.Hits)
 	}
 }
 
@@ -216,7 +357,7 @@ func TestConcurrentInstancesAreIndependent(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < replicas; i++ {
 		cfg := testConfig()
-		cfg.NoiseSeed = int64(1000 + i)
+		cfg.Spec.NoiseSeed = int64(1000 + i)
 		h, err := reg.Create(cfg)
 		if err != nil {
 			t.Fatal(err)

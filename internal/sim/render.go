@@ -118,6 +118,36 @@ func clampSamples(samples, n int) int {
 	return samples
 }
 
+// RenderScenario prints one spec-driven scenario run: the canonical
+// scenario shape, the observed-throughput trajectory sampled at regular
+// intervals, and a summary line.
+func RenderScenario(res *ScenarioResult, samples int) string {
+	var b strings.Builder
+	s := res.Spec
+	fmt.Fprintf(&b, "Scenario (spec v%d) — %s topology N=%d, %s channels M=%d, policy %s, y=%d, seed %d/%d\n",
+		s.V, s.Topology.Kind, s.Topology.N, s.Channel.Kind, s.Channel.M,
+		s.Policy.Kind, s.Decision.UpdateEvery, s.Seed, s.NoiseSeed)
+	n := len(res.SeriesKbps)
+	rows := clampSamples(samples, n)
+	b.WriteString("  time-slot interval avg kbps  overall avg kbps\n")
+	prev := 0
+	running := 0.0
+	for i := 0; i < rows; i++ {
+		idx := (i + 1) * n / rows
+		interval := 0.0
+		for _, x := range res.SeriesKbps[prev:idx] {
+			interval += x
+			running += x
+		}
+		fmt.Fprintf(&b, "  %9d %17.1f %17.1f\n",
+			idx, interval/float64(idx-prev), running/float64(idx))
+		prev = idx
+	}
+	fmt.Fprintf(&b, "summary: %d slots, %d MWIS decisions, avg observed %.1f kbps\n",
+		n, res.Decisions, res.AvgKbps)
+	return b.String()
+}
+
 // RenderFig8 prints each subplot of Fig. 8 with estimated vs actual running
 // averages sampled at regular intervals.
 func RenderFig8(subs []Fig8Subplot, samples int) string {

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/engine"
+	"multihopbandit/internal/spec"
+)
+
+// ScenarioConfig parameterizes RunScenario: one declarative scenario run
+// over the experiment engine's artifact cache.
+type ScenarioConfig struct {
+	// Spec is the scenario description; it is canonicalized before the run.
+	Spec spec.ScenarioSpec
+	// Slots is the horizon in time slots. Required.
+	Slots int
+	// Cache optionally shares artifacts with other experiments and
+	// scenarios; nil builds a private one.
+	Cache *engine.ArtifactCache
+}
+
+// ScenarioResult is the outcome of one scenario run.
+type ScenarioResult struct {
+	// Spec is the canonical spec the run executed.
+	Spec spec.ScenarioSpec
+	// SeriesKbps is the observed throughput of every slot (kbps).
+	SeriesKbps []float64
+	// AvgKbps is the mean of SeriesKbps.
+	AvgKbps float64
+	// Decisions is the number of MWIS strategy decisions run.
+	Decisions int64
+}
+
+// RunScenario executes one spec-described scenario for the given horizon,
+// streaming the observed-kbps series off the slot kernel. The construction
+// path is exactly the serving runtime's (engine cache + spec builders), so
+// for equal specs the trajectory is bit-identical to a banditd-hosted
+// instance stepping through the same slots — the simulator and the server
+// are two drivers of one construction API.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("sim: scenario slots must be positive, got %d", cfg.Slots)
+	}
+	canon, err := cfg.Spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = engine.NewArtifactCache()
+	}
+	inst, err := cache.Scenario(canon)
+	if err != nil {
+		return nil, fmt.Errorf("sim: scenario artifacts: %w", err)
+	}
+	rt, err := inst.Runtime(canon.Decision.R, canon.Decision.D)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := spec.BuildSampler(canon, inst.Means)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := spec.BuildPolicy(canon.Policy, inst.Ext.K(), inst.Ext.N,
+		sampler.Means(), spec.PolicyStream(canon.NoiseSeed))
+	if err != nil {
+		return nil, err
+	}
+	loop, err := core.NewLoop(core.LoopConfig{
+		Ext:         inst.Ext,
+		Runtime:     rt,
+		Policy:      pol,
+		Sampler:     sampler,
+		UpdateEvery: canon.Decision.UpdateEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := core.NewKbpsRecorder(cfg.Slots)
+	for i := 0; i < cfg.Slots; i++ {
+		if _, err := loop.StepSampled(rec); err != nil {
+			return nil, fmt.Errorf("sim: scenario slot %d: %w", i, err)
+		}
+	}
+	avg := 0.0
+	for _, x := range rec.Series {
+		avg += x
+	}
+	avg /= float64(cfg.Slots)
+	return &ScenarioResult{
+		Spec:       canon,
+		SeriesKbps: rec.Series,
+		AvgKbps:    avg,
+		Decisions:  loop.Decisions(),
+	}, nil
+}

@@ -26,6 +26,7 @@ import (
 	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/regret"
 	"multihopbandit/internal/rng"
+	"multihopbandit/internal/spec"
 	"multihopbandit/internal/timing"
 )
 
@@ -183,21 +184,34 @@ func (p PolicyKind) String() string {
 	}
 }
 
-func buildPolicy(kind PolicyKind, ext *extgraph.Extended, ch *channel.Model, src *rng.Source) (policy.Policy, error) {
+// specPolicy maps the figure harness's PolicyKind onto the declarative
+// PolicySpec, so construction flows through the one spec.BuildPolicy path.
+func specPolicy(kind PolicyKind) (spec.PolicySpec, error) {
 	switch kind {
 	case PolicyZhouLi:
-		return policy.NewZhouLi(ext.K())
+		return spec.PolicySpec{Kind: spec.PolicyZhouLi}, nil
 	case PolicyLLR:
-		return policy.NewLLR(ext.K(), ext.N)
+		return spec.PolicySpec{Kind: spec.PolicyLLR}, nil
 	case PolicyEpsGreedy:
-		return policy.NewEpsilonGreedy(ext.K(), 0.1, src.Split("eps-greedy"))
+		return spec.PolicySpec{Kind: spec.PolicyEpsGreedy, Epsilon: 0.1}, nil
 	case PolicyOracle:
-		return policy.NewOracle(ch.Means())
+		return spec.PolicySpec{Kind: spec.PolicyOracle}, nil
 	case PolicyCUCB:
-		return policy.NewCUCB(ext.K())
+		return spec.PolicySpec{Kind: spec.PolicyCUCB}, nil
 	default:
-		return nil, fmt.Errorf("sim: unknown policy kind %d", int(kind))
+		return spec.PolicySpec{}, fmt.Errorf("sim: unknown policy kind %d", int(kind))
 	}
+}
+
+// buildPolicy constructs a figure policy through spec.BuildPolicy. The
+// ε-greedy stream keeps its historical "eps-greedy" sub-stream name — part
+// of the bit-identity contract behind the figgen golden digest.
+func buildPolicy(kind PolicyKind, ext *extgraph.Extended, ch *channel.Model, src *rng.Source) (policy.Policy, error) {
+	ps, err := specPolicy(kind)
+	if err != nil {
+		return nil, err
+	}
+	return spec.BuildPolicy(ps, ext.K(), ext.N, ch.Means(), src.Split("eps-greedy"))
 }
 
 // Fig7Config parameterizes the regret comparison of Fig. 7.

@@ -1,0 +1,237 @@
+package spec
+
+import (
+	"fmt"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/timing"
+	"multihopbandit/internal/topology"
+)
+
+// The build functions turn a canonical ScenarioSpec into runnable pieces.
+// Every random stream they consume derives from the spec alone:
+//
+//	rng.New(Seed).Split("serve")                  artifact root
+//	    .Split("topology")                        random placement
+//	    .Split("means")                           true channel means
+//	rng.New(NoiseSeed).SplitPath("serve","noise") channel process
+//	rng.New(NoiseSeed).SplitPath("serve","policy") randomized policies
+//
+// The artifact derivations are byte-for-byte the ones the serving runtime
+// has always used (engine.InstanceConfig{Stream: "serve"}), so a spec-built
+// scenario is bit-identical to its pre-spec flat-config equivalent; the
+// noise derivation is the serving runtime's historical NoiseStream. Do not
+// rename these streams — they are part of the bit-identity contract
+// (CONTRIBUTING.md).
+
+// ArtifactStream is the root stream scenario artifacts are drawn from.
+func ArtifactStream(seed int64) *rng.Source {
+	return rng.New(seed).Split("serve")
+}
+
+// NoiseStream derives the channel-process stream of an instance with the
+// given noise seed. Exported so external verifiers can reconstruct a served
+// instance's exact reward sequence.
+func NoiseStream(noiseSeed int64) *rng.Source {
+	return rng.New(noiseSeed).SplitPath("serve", "noise")
+}
+
+// PolicyStream derives the stream randomized policies (ε-greedy) draw from.
+func PolicyStream(noiseSeed int64) *rng.Source {
+	return rng.New(noiseSeed).SplitPath("serve", "policy")
+}
+
+// BuildNetwork constructs the network of a canonical TopologySpec. Only the
+// random kind consumes src; grid and linear layouts are deterministic.
+func BuildNetwork(t TopologySpec, src *rng.Source) (*topology.Network, error) {
+	switch t.Kind {
+	case TopologyRandom:
+		return topology.Random(topology.RandomConfig{
+			N:                t.N,
+			TargetDegree:     t.TargetDegree,
+			RequireConnected: t.RequireConnected,
+		}, src)
+	case TopologyGrid:
+		return topology.Grid(t.Rows, t.Cols, t.Spacing, t.Radius)
+	case TopologyLinear:
+		return topology.Linear(t.N, t.Spacing, t.Radius)
+	default:
+		return nil, &KindError{Field: "topology.kind", Kind: t.Kind, Allowed: topologyKinds}
+	}
+}
+
+// Artifacts bundles the immutable shareable artifacts of one scenario:
+// everything determined by the spec's ArtifactKey.
+type Artifacts struct {
+	// Net is the network topology.
+	Net *topology.Network
+	// Ext is the extended conflict graph H.
+	Ext *extgraph.Extended
+	// Means are the true per-arm catalog means (normalized). For dynamic
+	// channel kinds they parameterize the gaussian base case only; the
+	// dynamic samplers draw their own rates from the noise-seed stream.
+	Means []float64
+}
+
+// BuildArtifacts canonicalizes the spec and constructs its artifacts. The
+// engine's ArtifactCache memoizes this per ArtifactKey; direct callers (the
+// golden tests, serial verifiers) get bit-identical results.
+func BuildArtifacts(s ScenarioSpec) (*Artifacts, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	root := ArtifactStream(canon.Seed)
+	nw, err := BuildNetwork(canon.Topology, root.Split("topology"))
+	if err != nil {
+		return nil, fmt.Errorf("spec: scenario topology: %w", err)
+	}
+	ext, err := extgraph.Build(nw.G, canon.Channel.M)
+	if err != nil {
+		return nil, fmt.Errorf("spec: scenario extended graph: %w", err)
+	}
+	ch, err := channel.NewModel(channel.Config{N: canon.Topology.N, M: canon.Channel.M}, root.Split("means"))
+	if err != nil {
+		return nil, fmt.Errorf("spec: scenario channel means: %w", err)
+	}
+	return &Artifacts{Net: nw, Ext: ext, Means: ch.Means()}, nil
+}
+
+// BuildSampler constructs the reward process of a canonical spec. The
+// gaussian kind samples around the shared artifact means; the dynamic kinds
+// (gilbert-elliott, shifting) draw their rates, state and noise entirely
+// from the noise-seed stream, so replicas with distinct noise seeds are
+// fully independent processes over shared topology artifacts.
+func BuildSampler(s ScenarioSpec, artifactMeans []float64) (channel.Sampler, error) {
+	n, m := s.Topology.N, s.Channel.M
+	src := NoiseStream(s.NoiseSeed)
+	var (
+		inner channel.Sampler
+		err   error
+	)
+	switch s.Channel.Kind {
+	case ChannelGaussian:
+		inner, err = channel.NewModelWithMeans(
+			channel.Config{N: n, M: m, Sigma: s.Channel.Sigma}, artifactMeans, src)
+	case ChannelGilbertElliott:
+		inner, err = channel.NewGilbertElliott(channel.GEConfig{
+			N: n, M: m,
+			PGB: s.Channel.PGB, PBG: s.Channel.PBG,
+			BadFraction: s.Channel.BadFraction,
+			Sigma:       s.Channel.Sigma,
+		}, src)
+	case ChannelShifting:
+		inner, err = channel.NewShifting(channel.ShiftConfig{
+			N: n, M: m, Period: s.Channel.Period, Sigma: s.Channel.Sigma,
+		}, src)
+	default:
+		return nil, &KindError{Field: "channel.kind", Kind: s.Channel.Kind, Allowed: channelKinds}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spec: scenario channels: %w", err)
+	}
+	if !s.Channel.Primary.Enabled {
+		return inner, nil
+	}
+	wrapped, err := channel.NewWithPrimary(inner, channel.PrimaryConfig{
+		PBusy: s.Channel.Primary.PBusy,
+		PIdle: s.Channel.Primary.PIdle,
+	}, src)
+	if err != nil {
+		return nil, fmt.Errorf("spec: primary-user wrapper: %w", err)
+	}
+	return wrapped, nil
+}
+
+// BuildPolicy constructs the learning rule of a canonical PolicySpec over k
+// arms. l is the strategy-size bound of LLR (the node count N), means are
+// the true means the oracle plays (the sampler's current means), and src is
+// the stream randomized policies draw from — callers pick it so existing
+// stream derivations are preserved (PolicyStream for the serving runtime,
+// the historical figure sub-streams for the simulator).
+func BuildPolicy(p PolicySpec, k, l int, means []float64, src *rng.Source) (policy.Policy, error) {
+	kind := p.Kind
+	if kind == "" {
+		kind = PolicyZhouLi
+	}
+	switch kind {
+	case PolicyZhouLi:
+		return policy.NewZhouLi(k)
+	case PolicyLLR:
+		return policy.NewLLR(k, l)
+	case PolicyCUCB:
+		return policy.NewCUCB(k)
+	case PolicyOracle:
+		return policy.NewOracle(means)
+	case PolicyDiscountedZhouLi:
+		gamma := p.Gamma
+		if gamma == 0 {
+			gamma = 0.99
+		}
+		return policy.NewDiscountedZhouLi(k, gamma)
+	case PolicyEpsGreedy:
+		eps := p.Epsilon
+		if eps == 0 {
+			eps = 0.1
+		}
+		return policy.NewEpsilonGreedy(k, eps, src)
+	default:
+		return nil, &KindError{Field: "policy.kind", Kind: kind, Allowed: policyKinds}
+	}
+}
+
+// BuildTiming returns the time model of a canonical DecisionSpec.
+func BuildTiming(d DecisionSpec) (timing.Params, error) {
+	switch d.Timing {
+	case "", TimingPaper:
+		return timing.Paper(), nil
+	default:
+		return timing.Params{}, &KindError{Field: "decision.timing", Kind: d.Timing, Allowed: timingKinds}
+	}
+}
+
+// Built bundles everything Build constructs from one spec.
+type Built struct {
+	// Spec is the canonical form everything was built from.
+	Spec ScenarioSpec
+	// Artifacts are the immutable shareables (network, extended graph,
+	// catalog means).
+	Artifacts *Artifacts
+	// Sampler is the scenario's reward process.
+	Sampler channel.Sampler
+	// Policy is the scenario's learning rule.
+	Policy policy.Policy
+	// Timing is the round time model.
+	Timing timing.Params
+}
+
+// Build is the one-stop serial construction path: canonicalize, build
+// artifacts, sampler and policy. The serving runtime composes the same
+// pieces through the engine's artifact cache instead; both paths are
+// bit-identical by construction (they consume the same streams).
+func Build(s ScenarioSpec) (*Built, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	arts, err := BuildArtifacts(canon)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := BuildSampler(canon, arts.Means)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := BuildPolicy(canon.Policy, arts.Ext.K(), arts.Ext.N, sampler.Means(), PolicyStream(canon.NoiseSeed))
+	if err != nil {
+		return nil, err
+	}
+	tp, err := BuildTiming(canon.Decision)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Spec: canon, Artifacts: arts, Sampler: sampler, Policy: pol, Timing: tp}, nil
+}

@@ -1,0 +1,143 @@
+package spec
+
+import (
+	"testing"
+
+	"multihopbandit/internal/channel"
+)
+
+// TestBuildDeterministic: two Builds of the same spec produce identical
+// artifacts and identical reward sequences — the construction is a pure
+// function of the canonical spec.
+func TestBuildDeterministic(t *testing.T) {
+	for i, s := range testSpecs() {
+		a, err := Build(s)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		b, err := Build(s)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if a.Spec != b.Spec {
+			t.Fatalf("spec %d: canonical specs differ", i)
+		}
+		if len(a.Artifacts.Means) != len(b.Artifacts.Means) {
+			t.Fatalf("spec %d: means length differ", i)
+		}
+		for k := range a.Artifacts.Means {
+			if a.Artifacts.Means[k] != b.Artifacts.Means[k] {
+				t.Fatalf("spec %d: means[%d] differ", i, k)
+			}
+		}
+		for slot := 0; slot < 50; slot++ {
+			arm := slot % a.Sampler.K()
+			x, y := a.Sampler.Sample(arm), b.Sampler.Sample(arm)
+			if x != y {
+				t.Fatalf("spec %d: sample %d diverged: %v vs %v", i, slot, x, y)
+			}
+			if dyn, ok := a.Sampler.(channel.Dynamic); ok {
+				dyn.Tick()
+				b.Sampler.(channel.Dynamic).Tick()
+			}
+		}
+		if a.Policy.Name() != b.Policy.Name() {
+			t.Fatalf("spec %d: policies differ", i)
+		}
+	}
+}
+
+func TestBuildNetworkKinds(t *testing.T) {
+	grid := TopologySpec{Kind: TopologyGrid, Rows: 3, Cols: 4, Spacing: 1.5, Radius: 2}
+	nw, err := BuildNetwork(grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 12 {
+		t.Fatalf("grid N = %d, want 12", nw.N())
+	}
+	line := TopologySpec{Kind: TopologyLinear, N: 7, Spacing: 1, Radius: 1.5}
+	nw, err = BuildNetwork(line, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 7 {
+		t.Fatalf("linear N = %d, want 7", nw.N())
+	}
+	// A linear network with spacing < radius conflicts only with neighbors.
+	if nw.G.Degree(0) != 1 || nw.G.Degree(3) != 2 {
+		t.Fatalf("linear degrees = %d endpoint, %d interior", nw.G.Degree(0), nw.G.Degree(3))
+	}
+}
+
+// TestBuildSamplerKinds checks each channel kind (and the primary wrapper)
+// materializes the right process type.
+func TestBuildSamplerKinds(t *testing.T) {
+	base := ScenarioSpec{Seed: 1, Topology: TopologySpec{N: 4}, Channel: ChannelSpec{M: 2}}
+
+	mk := func(mod func(*ScenarioSpec)) channel.Sampler {
+		t.Helper()
+		s := base
+		mod(&s)
+		canon, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts, err := BuildArtifacts(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, err := BuildSampler(canon, arts.Means)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sampler
+	}
+
+	if _, ok := mk(func(*ScenarioSpec) {}).(*channel.Model); !ok {
+		t.Fatal("gaussian spec should build a channel.Model")
+	}
+	if _, ok := mk(func(s *ScenarioSpec) {
+		s.Channel.Kind = ChannelGilbertElliott
+	}).(*channel.GilbertElliott); !ok {
+		t.Fatal("gilbert-elliott spec should build a channel.GilbertElliott")
+	}
+	if _, ok := mk(func(s *ScenarioSpec) {
+		s.Channel.Kind = ChannelShifting
+	}).(*channel.Shifting); !ok {
+		t.Fatal("shifting spec should build a channel.Shifting")
+	}
+	wrapped := mk(func(s *ScenarioSpec) {
+		s.Channel.Primary = PrimarySpec{Enabled: true}
+	})
+	if _, ok := wrapped.(*channel.WithPrimary); !ok {
+		t.Fatal("primary-enabled spec should build a channel.WithPrimary")
+	}
+	// The wrapper must still be a Dynamic so the kernel ticks occupancy.
+	if _, ok := wrapped.(channel.Dynamic); !ok {
+		t.Fatal("primary wrapper should be Dynamic")
+	}
+}
+
+// TestGaussianSamplerMatchesArtifactMeans: the gaussian process samples
+// around the shared artifact means — the invariant the serving runtime's
+// artifact sharing depends on.
+func TestGaussianSamplerMatchesArtifactMeans(t *testing.T) {
+	s, err := ScenarioSpec{Seed: 3, Topology: TopologySpec{N: 4}, Channel: ChannelSpec{M: 2}}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := BuildArtifacts(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := BuildSampler(s, arts.Means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, mu := range arts.Means {
+		if sampler.Mean(k) != mu {
+			t.Fatalf("arm %d: sampler mean %v, artifact mean %v", k, sampler.Mean(k), mu)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// testSpecs covers every topology, channel and policy kind plus the primary
+// wrapper — the matrix round-trip and canonicalization tests sweep.
+func testSpecs() []ScenarioSpec {
+	return []ScenarioSpec{
+		{
+			Seed:     1,
+			Topology: TopologySpec{N: 10, RequireConnected: true},
+			Channel:  ChannelSpec{M: 2},
+		},
+		{
+			Seed:      2,
+			NoiseSeed: 22,
+			Topology:  TopologySpec{Kind: TopologyGrid, Rows: 3, Cols: 4},
+			Channel:   ChannelSpec{Kind: ChannelGilbertElliott, M: 3, PGB: 0.2},
+			Policy:    PolicySpec{Kind: PolicyEpsGreedy, Epsilon: 0.2},
+			Decision:  DecisionSpec{UpdateEvery: 4},
+		},
+		{
+			Seed:     3,
+			Topology: TopologySpec{Kind: TopologyLinear, N: 8, Spacing: 2, Radius: 2.5},
+			Channel:  ChannelSpec{Kind: ChannelShifting, M: 2, Period: 50},
+			Policy:   PolicySpec{Kind: PolicyDiscountedZhouLi, Gamma: 0.95},
+			Decision: DecisionSpec{R: 3, D: 6},
+		},
+		{
+			Seed:     4,
+			Topology: TopologySpec{N: 6},
+			Channel: ChannelSpec{
+				M:       2,
+				Primary: PrimarySpec{Enabled: true, PBusy: 0.1},
+			},
+			Policy: PolicySpec{Kind: PolicyOracle},
+		},
+		{
+			Seed:     5,
+			Topology: TopologySpec{N: 6},
+			Channel:  ChannelSpec{M: 2},
+			Policy:   PolicySpec{Kind: PolicyLLR},
+		},
+		{
+			Seed:     6,
+			Topology: TopologySpec{N: 6},
+			Channel:  ChannelSpec{M: 2},
+			Policy:   PolicySpec{Kind: PolicyCUCB},
+		},
+	}
+}
+
+// TestRoundTripIdempotent is the spec round-trip contract: JSON
+// marshal → unmarshal → Fill reproduces the canonical spec exactly, and
+// filling a canonical spec is a no-op.
+func TestRoundTripIdempotent(t *testing.T) {
+	for i, s := range testSpecs() {
+		canon, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		blob, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatalf("spec %d: marshal: %v", i, err)
+		}
+		var back ScenarioSpec
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("spec %d: unmarshal: %v", i, err)
+		}
+		if err := back.Fill(); err != nil {
+			t.Fatalf("spec %d: refill: %v", i, err)
+		}
+		if back != canon {
+			t.Fatalf("spec %d: round trip diverged:\n got %+v\nwant %+v", i, back, canon)
+		}
+		// Fill is idempotent.
+		again := canon
+		if err := again.Fill(); err != nil {
+			t.Fatalf("spec %d: second fill: %v", i, err)
+		}
+		if again != canon {
+			t.Fatalf("spec %d: fill not idempotent:\n got %+v\nwant %+v", i, again, canon)
+		}
+		// Parse agrees with unmarshal+Fill.
+		parsed, err := Parse(blob)
+		if err != nil {
+			t.Fatalf("spec %d: parse: %v", i, err)
+		}
+		if parsed != canon {
+			t.Fatalf("spec %d: parse diverged", i)
+		}
+	}
+}
+
+func TestFillDefaults(t *testing.T) {
+	s := ScenarioSpec{
+		Seed:     9,
+		Topology: TopologySpec{N: 5},
+		Channel:  ChannelSpec{M: 2},
+	}
+	if err := s.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if s.V != Version || s.NoiseSeed != 9 {
+		t.Fatalf("root defaults: %+v", s)
+	}
+	if s.Topology.Kind != TopologyRandom || s.Topology.TargetDegree != 6 {
+		t.Fatalf("topology defaults: %+v", s.Topology)
+	}
+	if s.Channel.Kind != ChannelGaussian || s.Channel.Sigma != 0.05 {
+		t.Fatalf("channel defaults: %+v", s.Channel)
+	}
+	if s.Policy.Kind != PolicyZhouLi {
+		t.Fatalf("policy defaults: %+v", s.Policy)
+	}
+	if s.Decision != (DecisionSpec{R: 2, D: 4, UpdateEvery: 1, Timing: TimingPaper}) {
+		t.Fatalf("decision defaults: %+v", s.Decision)
+	}
+
+	ge := ScenarioSpec{
+		Topology: TopologySpec{Kind: TopologyGrid, Rows: 2, Cols: 3},
+		Channel:  ChannelSpec{Kind: ChannelGilbertElliott, M: 2},
+	}
+	if err := ge.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if ge.Topology.N != 6 || ge.Topology.Spacing != 1.5 || ge.Topology.Radius != 2 {
+		t.Fatalf("grid defaults: %+v", ge.Topology)
+	}
+	if ge.Channel.Sigma != 0.02 || ge.Channel.PGB != 0.1 || ge.Channel.PBG != 0.3 || ge.Channel.BadFraction != 0.2 {
+		t.Fatalf("gilbert-elliott defaults: %+v", ge.Channel)
+	}
+
+	shift := ScenarioSpec{
+		Topology: TopologySpec{Kind: TopologyLinear, N: 4},
+		Channel:  ChannelSpec{Kind: ChannelShifting, M: 2},
+	}
+	if err := shift.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if shift.Topology.Spacing != 1 || shift.Topology.Radius != 1.5 {
+		t.Fatalf("linear defaults: %+v", shift.Topology)
+	}
+	if shift.Channel.Period != 200 || shift.Channel.Sigma != 0.05 {
+		t.Fatalf("shifting defaults: %+v", shift.Channel)
+	}
+}
+
+func TestUnknownKindsTyped(t *testing.T) {
+	cases := []struct {
+		name  string
+		mod   func(*ScenarioSpec)
+		field string
+	}{
+		{"topology", func(s *ScenarioSpec) { s.Topology.Kind = "torus" }, "topology.kind"},
+		{"channel", func(s *ScenarioSpec) { s.Channel.Kind = "rayleigh" }, "channel.kind"},
+		{"policy", func(s *ScenarioSpec) { s.Policy.Kind = "thompson" }, "policy.kind"},
+		{"timing", func(s *ScenarioSpec) { s.Decision.Timing = "fast" }, "decision.timing"},
+	}
+	for _, tc := range cases {
+		s := ScenarioSpec{Topology: TopologySpec{N: 5}, Channel: ChannelSpec{M: 2}}
+		tc.mod(&s)
+		err := s.Fill()
+		var ke *KindError
+		if !errors.As(err, &ke) {
+			t.Fatalf("%s: err = %v, want KindError", tc.name, err)
+		}
+		if ke.Field != tc.field || len(ke.Allowed) == 0 {
+			t.Fatalf("%s: KindError = %+v", tc.name, ke)
+		}
+	}
+}
+
+func TestVersionRejected(t *testing.T) {
+	s := ScenarioSpec{V: 2, Topology: TopologySpec{N: 5}, Channel: ChannelSpec{M: 2}}
+	err := s.Fill()
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != 2 {
+		t.Fatalf("err = %v, want VersionError{2}", err)
+	}
+}
+
+// TestInapplicableFieldsRejected: canonical specs carry no dead
+// configuration — fields of a non-selected kind are errors, not silently
+// ignored.
+func TestInapplicableFieldsRejected(t *testing.T) {
+	cases := []func(*ScenarioSpec){
+		func(s *ScenarioSpec) { s.Topology.Rows = 2 },                         // rows on random
+		func(s *ScenarioSpec) { s.Topology.Spacing = 1 },                      // spacing on random
+		func(s *ScenarioSpec) { s.Channel.Period = 7 },                        // period on gaussian
+		func(s *ScenarioSpec) { s.Channel.PGB = 0.5 },                         // GE prob on gaussian
+		func(s *ScenarioSpec) { s.Policy.Gamma = 0.9 },                        // gamma on zhou-li
+		func(s *ScenarioSpec) { s.Policy.Epsilon = 0.2 },                      // epsilon on zhou-li
+		func(s *ScenarioSpec) { s.Channel.Primary = PrimarySpec{PIdle: 0.5} }, // primary params without enabled
+		func(s *ScenarioSpec) {
+			s.Topology = TopologySpec{Kind: TopologyGrid, Rows: 2, Cols: 2, RequireConnected: true}
+		},
+		func(s *ScenarioSpec) {
+			s.Topology = TopologySpec{Kind: TopologyGrid, Rows: 2, Cols: 2, N: 5}
+		},
+	}
+	for i, mod := range cases {
+		s := ScenarioSpec{Topology: TopologySpec{N: 5}, Channel: ChannelSpec{M: 2}}
+		mod(&s)
+		err := s.Fill()
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Fatalf("case %d: err = %v, want FieldError", i, err)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"v":1,"seed":1,"topology":{"n":5},"channel":{"m":2},"frobnicate":true}`))
+	var fe *FieldError
+	if !errors.As(err, &fe) || fe.Field != "frobnicate" {
+		t.Fatalf("err = %v, want FieldError on frobnicate", err)
+	}
+	// Nested unknown fields too.
+	_, err = Parse([]byte(`{"v":1,"seed":1,"topology":{"n":5,"shape":"round"},"channel":{"m":2}}`))
+	if !errors.As(err, &fe) || fe.Field != "shape" {
+		t.Fatalf("err = %v, want FieldError on shape", err)
+	}
+}
+
+// TestArtifactKeySharedAcrossKinds: the artifact projection ignores channel
+// dynamics, policy, decision parameters and noise seed, so those variations
+// share cached artifacts.
+func TestArtifactKeySharedAcrossKinds(t *testing.T) {
+	base := ScenarioSpec{Seed: 1, Topology: TopologySpec{N: 8}, Channel: ChannelSpec{M: 2}}
+	a, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := base
+	varied.NoiseSeed = 99
+	varied.Channel.Kind = ChannelGilbertElliott
+	varied.Policy = PolicySpec{Kind: PolicyEpsGreedy}
+	varied.Decision = DecisionSpec{UpdateEvery: 16}
+	b, err := varied.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ArtifactKey() != b.ArtifactKey() {
+		t.Fatalf("artifact keys differ:\n %+v\n %+v", a.ArtifactKey(), b.ArtifactKey())
+	}
+	moved := base
+	moved.Seed = 2
+	c, err := moved.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ArtifactKey() == c.ArtifactKey() {
+		t.Fatal("different seeds must not share an artifact key")
+	}
+}
