@@ -10,7 +10,7 @@ BANDITD_ADDR ?= 127.0.0.1:8650
 # Fig. 7 replication) through the shared slot kernel.
 GOLDEN_ARGS = -exp all -seed 1 -slots 300 -periods 40 -reps 3
 
-.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim serve-smoke spec-smoke verify-golden update-golden figures ci
+.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim bench-decide serve-smoke spec-smoke decide-smoke verify-golden update-golden figures ci
 
 # Committed ScenarioSpec files driven by spec-smoke: one per channel kind
 # (gaussian, gilbert-elliott, shifting) plus the primary-user wrapper.
@@ -87,6 +87,36 @@ spec-smoke:
 bench-sim:
 	$(GO) run ./cmd/simbench -json BENCH_sim.json
 
+# Decision-plane benchmark: the exact bench-serve workload (64 instances,
+# update period 1) recorded into BENCH_decide.json with the decision-plane
+# counters (full decides, epoch skips, memo hit rate) scraped from the
+# server. Compare decisions_per_sec against BENCH_serve.json to see what
+# the incremental decider buys on the serving hot path.
+bench-decide:
+	$(GO) build -o bin/banditd ./cmd/banditd
+	$(GO) build -o bin/banditload ./cmd/banditload
+	@set -e; bin/banditd -addr $(BANDITD_ADDR) & pid=$$!; \
+	bin/banditload -addr http://$(BANDITD_ADDR) -duration 5s \
+		-json BENCH_decide.json -min-throughput 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
+# CI smoke for the decision plane: a race-built banditd serves oracle-policy
+# instances at update period 4 — the oracle's weight vector never moves, so
+# boundaries settle into weight-epoch skips; the run fails unless the
+# server actually recorded skips (and, as everywhere, unless throughput is
+# nonzero and shutdown is clean). Pair with verify-golden in the same CI
+# run: the short-circuit must never move the figure pipeline's bytes.
+decide-smoke:
+	$(GO) build -race -o bin/banditd.race ./cmd/banditd
+	$(GO) build -race -o bin/banditload.race ./cmd/banditload
+	@set -e; bin/banditd.race -addr $(BANDITD_ADDR) & pid=$$!; \
+	bin/banditload.race -addr http://$(BANDITD_ADDR) -instances 32 -clients 4 \
+		-batch 32 -duration 2s -update-every 4 -policy oracle \
+		-min-throughput 1 -min-epoch-skips 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
 # Byte-identity tripwire for the figure pipeline: regenerate figgen output
 # at the fixed golden configuration and compare its SHA-256 against the
 # committed digest. Any change to the RNG stream structure, the kernel's
@@ -120,4 +150,4 @@ update-golden:
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke verify-golden
+ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke verify-golden

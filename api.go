@@ -315,6 +315,14 @@ type DecisionResult = protocol.Result
 // DecisionStats aggregates the per-decision communication accounting.
 type DecisionStats = protocol.Stats
 
+// DecisionPlaneStats is the incremental decision plane's cumulative
+// accounting: how update boundaries were served (full protocol runs vs
+// weight-epoch skips), local-MWIS memo hits (exact-instance and
+// structure-level) and misses, and the communication totals of the full
+// runs. Scheme.DecideStats exposes a running scheme's counters; the serving
+// runtime publishes the same quantities per shard on banditd's /metrics.
+type DecisionPlaneStats = protocol.DecideStats
+
 // New builds a Scheme.
 func New(cfg Config) (*Scheme, error) { return core.New(cfg) }
 

@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -58,7 +59,22 @@ type summary struct {
 	DecisionsPerSec float64 `json:"decisions_per_sec"`
 	MWISPerSec      float64 `json:"mwis_decisions_per_sec"`
 
+	// Decision-plane counters scraped from the server's /metrics after the
+	// run (cumulative over the server's lifetime; on the fresh server the
+	// bench targets start, they cover exactly this run).
+	Decide decideCounters `json:"decide"`
+
 	LatencyMS latencyMS `json:"latency_ms"`
+}
+
+// decideCounters is the decision plane's server-side accounting.
+type decideCounters struct {
+	FullDecides    int64   `json:"full_decides"`
+	EpochSkips     int64   `json:"epoch_skips"`
+	MemoHits       int64   `json:"memo_hits"`
+	MemoStructHits int64   `json:"memo_struct_hits"`
+	MemoMisses     int64   `json:"memo_misses"`
+	MemoHitRate    float64 `json:"memo_hit_rate"`
 }
 
 type latencyMS struct {
@@ -95,6 +111,7 @@ func main() {
 		jsonOut     = flag.String("json", "", "write a JSON summary to this file")
 		minTput     = flag.Float64("min-throughput", 0, "exit nonzero below this many decisions/sec")
 		minMWIS     = flag.Int64("min-mwis", 0, "exit nonzero below this many total MWIS strategy decisions")
+		minSkips    = flag.Int64("min-epoch-skips", 0, "exit nonzero below this many weight-epoch skips (server /metrics)")
 		specFiles   = flag.String("specs", "", "comma-separated ScenarioSpec files: create one instance per file instead of -instances replicas")
 		keep        = flag.Bool("keep", false, "leave the instances on the server afterwards")
 		verbose     = flag.Bool("v", false, "print the server /metrics after the run")
@@ -219,6 +236,15 @@ func main() {
 		lat.P99 = quantile(all, 0.99)
 		lat.Max = all[len(all)-1]
 	}
+	// Scrape the decision-plane counters before deleting the instances, so
+	// the summary reflects this run even against a long-lived server.
+	var decide decideCounters
+	if text, err := c.Metrics(); err != nil {
+		log.Printf("scrape /metrics: %v", err)
+	} else {
+		decide = scrapeDecide(text)
+	}
+
 	rep := summary{
 		Timestamp:       start.UTC().Format(time.RFC3339),
 		Addr:            *addr,
@@ -237,11 +263,14 @@ func main() {
 		MWISDecisions:   total.decisions,
 		DecisionsPerSec: float64(total.slots) / elapsed.Seconds(),
 		MWISPerSec:      float64(total.decisions) / elapsed.Seconds(),
+		Decide:          decide,
 		LatencyMS:       lat,
 	}
 
 	log.Printf("%d requests (%d errors), %d decisions in %.2fs", rep.Requests, rep.Errors, rep.Slots, rep.DurationSec)
 	log.Printf("throughput: %.0f decisions/sec (%.0f MWIS strategy decisions/sec)", rep.DecisionsPerSec, rep.MWISPerSec)
+	log.Printf("decision plane: %d full decides, %d epoch skips, memo %d/%d/%d hit/struct/miss (hit rate %.3f)",
+		decide.FullDecides, decide.EpochSkips, decide.MemoHits, decide.MemoStructHits, decide.MemoMisses, decide.MemoHitRate)
 	log.Printf("request latency ms: mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
 		lat.Mean, lat.P50, lat.P90, lat.P99, lat.Max)
 
@@ -278,6 +307,45 @@ func main() {
 	if rep.MWISDecisions < *minMWIS {
 		log.Fatalf("%d MWIS strategy decisions is below the %d floor", rep.MWISDecisions, *minMWIS)
 	}
+	if decide.EpochSkips < *minSkips {
+		log.Fatalf("%d weight-epoch skips is below the %d floor", decide.EpochSkips, *minSkips)
+	}
+}
+
+// scrapeDecide sums the per-shard decision-plane counters out of the
+// server's Prometheus-format /metrics text.
+func scrapeDecide(text string) decideCounters {
+	var d decideCounters
+	for _, line := range strings.Split(text, "\n") {
+		name, rest, ok := strings.Cut(line, "{")
+		if !ok {
+			continue
+		}
+		_, val, ok := strings.Cut(rest, "} ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "banditd_decide_full_total":
+			d.FullDecides += n
+		case "banditd_decide_epoch_skips_total":
+			d.EpochSkips += n
+		case "banditd_decide_memo_hits_total":
+			d.MemoHits += n
+		case "banditd_decide_memo_struct_hits_total":
+			d.MemoStructHits += n
+		case "banditd_decide_memo_misses_total":
+			d.MemoMisses += n
+		}
+	}
+	if lookups := d.MemoHits + d.MemoStructHits + d.MemoMisses; lookups > 0 {
+		d.MemoHitRate = float64(d.MemoHits+d.MemoStructHits) / float64(lookups)
+	}
+	return d
 }
 
 // quantile returns the q-quantile of a sorted sample.

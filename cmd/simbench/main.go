@@ -4,20 +4,31 @@
 // clock and allocation behavior alongside the serving numbers, so hot-path
 // regressions on either side show up in the same place.
 //
-// Two measurements are taken:
+// Three measurements are taken:
 //
 //   - the full figure suite (Fig. 6/7/8, ablations, shift, Fig. 7
 //     replication) at a reduced fixed configuration, timed end to end with
-//     total allocation deltas from runtime.MemStats, and
-//   - the slot-loop micro measurement: one Scheme driven through the
+//     total allocation deltas from runtime.MemStats,
+//   - the slot-loop micro measurement: one scheme driven through the
 //     kernel's streaming recorder path, reporting ns/slot and allocs/slot
 //     (0 on steady-state slots — the property BenchmarkSchemeRun and
-//     TestSlotLoopNoAllocs guard).
+//     TestSlotLoopNoAllocs guard), and
+//   - the decide micro measurement: the same shape at update period 1, so
+//     every slot runs a strategy decision through the kernel's persistent
+//     protocol decider — reporting decide ns/op, allocs/op, and the
+//     decision plane's cache accounting (weight-epoch skips, local-MWIS
+//     memo hit rate).
+//
+// With -spec the micro measurements run the scenario described by a
+// ScenarioSpec file (parity with chansim/figgen) instead of the built-in
+// instance, and the figure suite is skipped — the output then profiles that
+// scenario's hot path.
 //
 // Usage:
 //
 //	simbench                         # print the summary as JSON to stdout
 //	simbench -json BENCH_sim.json    # also write it to a file
+//	simbench -spec scenario.json     # profile one declarative scenario
 package main
 
 import (
@@ -31,21 +42,24 @@ import (
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/sim"
+	"multihopbandit/internal/spec"
 	"multihopbandit/internal/topology"
 )
 
 // Report is the BENCH_sim.json schema.
 type Report struct {
 	// Suite configuration, fixed so runs are comparable.
-	Seed    int64 `json:"seed"`
-	Slots   int   `json:"fig7_slots"`
-	Periods int   `json:"fig8_periods"`
-	Reps    int   `json:"fig7_reps"`
-	Workers int   `json:"workers"`
+	Seed    int64  `json:"seed"`
+	Slots   int    `json:"fig7_slots"`
+	Periods int    `json:"fig8_periods"`
+	Reps    int    `json:"fig7_reps"`
+	Workers int    `json:"workers"`
+	Spec    string `json:"spec,omitempty"`
 
-	// Figure-suite totals.
+	// Figure-suite totals (zero when -spec skips the suite).
 	SuiteWallSeconds float64 `json:"suite_wall_seconds"`
 	SuiteMallocs     uint64  `json:"suite_mallocs"`
 	SuiteAllocBytes  uint64  `json:"suite_alloc_bytes"`
@@ -54,6 +68,18 @@ type Report struct {
 	LoopSlots         int     `json:"loop_slots"`
 	LoopNsPerSlot     float64 `json:"loop_ns_per_slot"`
 	LoopAllocsPerSlot float64 `json:"loop_allocs_per_slot"`
+
+	// Decide micro measurement (update period 1: one strategy decision per
+	// slot through the persistent decider).
+	DecideOps            int     `json:"decide_ops"`
+	DecideNsPerOp        float64 `json:"decide_ns_per_op"`
+	DecideAllocsPerOp    float64 `json:"decide_allocs_per_op"`
+	DecideFull           int64   `json:"decide_full_decides"`
+	DecideEpochSkips     int64   `json:"decide_epoch_skips"`
+	DecideMemoHits       int64   `json:"decide_memo_hits"`
+	DecideMemoStructHits int64   `json:"decide_memo_struct_hits"`
+	DecideMemoMisses     int64   `json:"decide_memo_misses"`
+	DecideMemoHitRate    float64 `json:"decide_memo_hit_rate"`
 }
 
 func main() {
@@ -71,34 +97,51 @@ func run() error {
 		periods  = flag.Int("periods", 40, "Fig. 8 update periods per subplot")
 		reps     = flag.Int("reps", 3, "Fig. 7 replication count")
 		workers  = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+		specPath = flag.String("spec", "", "profile this ScenarioSpec file's hot path instead of the built-in instance (skips the figure suite)")
 	)
 	flag.Parse()
 
 	rep := Report{
 		Seed: *seed, Slots: *slots, Periods: *periods, Reps: *reps, Workers: *workers,
+		Spec: *specPath,
 	}
 
-	// Figure suite: wall clock + allocation deltas around one full run.
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	if _, err := sim.RunExperiments(sim.SuiteConfig{
-		Seed:      *seed,
-		Workers:   *workers,
-		Fig7:      sim.Fig7Config{Slots: *slots},
-		Fig8:      sim.Fig8Config{Periods: *periods},
-		Fig7Seeds: sim.SeedRange(*seed, *reps),
-	}); err != nil {
-		return err
+	if *specPath == "" {
+		// Figure suite: wall clock + allocation deltas around one full run.
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := sim.RunExperiments(sim.SuiteConfig{
+			Seed:      *seed,
+			Workers:   *workers,
+			Fig7:      sim.Fig7Config{Slots: *slots},
+			Fig8:      sim.Fig8Config{Periods: *periods},
+			Fig7Seeds: sim.SeedRange(*seed, *reps),
+		}); err != nil {
+			return err
+		}
+		rep.SuiteWallSeconds = time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		rep.SuiteMallocs = after.Mallocs - before.Mallocs
+		rep.SuiteAllocBytes = after.TotalAlloc - before.TotalAlloc
 	}
-	rep.SuiteWallSeconds = time.Since(start).Seconds()
-	runtime.ReadMemStats(&after)
-	rep.SuiteMallocs = after.Mallocs - before.Mallocs
-	rep.SuiteAllocBytes = after.TotalAlloc - before.TotalAlloc
 
 	// Slot-loop micro measurement: steady-state recorder path.
-	if err := measureLoop(&rep); err != nil {
+	steady, err := buildLoop(*specPath, 1<<30)
+	if err != nil {
+		return err
+	}
+	if err := measureLoop(&rep, steady); err != nil {
+		return err
+	}
+
+	// Decide micro measurement: every slot decides.
+	deciding, err := buildLoop(*specPath, 1)
+	if err != nil {
+		return err
+	}
+	if err := measureDecide(&rep, deciding); err != nil {
 		return err
 	}
 
@@ -116,31 +159,66 @@ func run() error {
 	return nil
 }
 
-// measureLoop times the kernel's streaming slot loop on a 15×3 instance
-// with one warm decision, mirroring BenchmarkSchemeRun/recorder-steady.
-func measureLoop(rep *Report) error {
-	const n, m, loopSlots = 15, 3, 20000
+// buildLoop constructs the measured slot kernel: the built-in 15×3 instance
+// (mirroring BenchmarkSchemeRun/recorder-steady) or, when specPath is set,
+// the declarative scenario with its update period overridden.
+func buildLoop(specPath string, updateEvery int) (*core.Loop, error) {
+	if specPath != "" {
+		sp, err := spec.ParseFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		sp.Decision.UpdateEvery = updateEvery
+		b, err := spec.Build(sp)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := protocol.New(protocol.Config{
+			Ext: b.Artifacts.Ext,
+			R:   b.Spec.Decision.R,
+			D:   b.Spec.Decision.D,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewLoop(core.LoopConfig{
+			Ext:         b.Artifacts.Ext,
+			Runtime:     rt,
+			Policy:      b.Policy,
+			Sampler:     b.Sampler,
+			UpdateEvery: updateEvery,
+		})
+	}
+	const n, m = 15, 3
 	nw, err := topology.Random(topology.RandomConfig{N: n, RequireConnected: true}, rng.New(3))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(4))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pol, err := policy.NewZhouLi(n * m)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s, err := core.New(core.Config{Net: nw, Channels: ch, M: m, Policy: pol, UpdateEvery: 1 << 30})
+	s, err := core.New(core.Config{Net: nw, Channels: ch, M: m, Policy: pol, UpdateEvery: updateEvery})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	return s.Loop(), nil
+}
+
+// measureLoop times the kernel's streaming slot loop with one warm
+// decision, mirroring BenchmarkSchemeRun/recorder-steady.
+func measureLoop(rep *Report, loop *core.Loop) error {
+	const loopSlots = 20000
 	rec := core.NewKbpsRecorder(loopSlots + 8)
-	if err := s.RunObserved(8, rec); err != nil { // decide once, warm the path
-		return err
+	for i := 0; i < 8; i++ { // decide once, warm the path
+		if _, err := loop.StepSampled(rec); err != nil {
+			return err
+		}
 	}
-	loop := s.Loop()
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -155,5 +233,42 @@ func measureLoop(rep *Report) error {
 	rep.LoopSlots = loopSlots
 	rep.LoopNsPerSlot = float64(elapsed.Nanoseconds()) / float64(loopSlots)
 	rep.LoopAllocsPerSlot = float64(after.Mallocs-before.Mallocs) / float64(loopSlots)
+	return nil
+}
+
+// measureDecide times the deciding slot loop (update period 1) and records
+// the decision plane's accounting: with a learning policy the weights move
+// every round, so this is the full-decide hot path; the memo hit rate
+// reflects how many LocalLeader balls repeated exactly.
+func measureDecide(rep *Report, loop *core.Loop) error {
+	const decideOps = 20000
+	rec := core.NewKbpsRecorder(decideOps + 8)
+	for i := 0; i < 8; i++ { // warm the decider's buffers
+		if _, err := loop.StepSampled(rec); err != nil {
+			return err
+		}
+	}
+	statsBefore := loop.DecideStats()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < decideOps; i++ {
+		if _, err := loop.StepSampled(rec); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	delta := loop.DecideStats().Sub(statsBefore)
+	rep.DecideOps = decideOps
+	rep.DecideNsPerOp = float64(elapsed.Nanoseconds()) / float64(decideOps)
+	rep.DecideAllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(decideOps)
+	rep.DecideFull = delta.FullDecides
+	rep.DecideEpochSkips = delta.EpochSkips
+	rep.DecideMemoHits = delta.MemoHits
+	rep.DecideMemoStructHits = delta.MemoStructHits
+	rep.DecideMemoMisses = delta.MemoMisses
+	rep.DecideMemoHitRate = delta.MemoHitRate()
 	return nil
 }

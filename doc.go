@@ -87,6 +87,38 @@
 // pipeline across refactors is enforced by a committed SHA-256 digest of
 // figgen output at a fixed seed (`make verify-golden`, run in CI).
 //
+// # Decision plane
+//
+// Strategy decisions run on a stateful, incremental pipeline that exploits
+// what is static between update boundaries. The protocol Runtime holds the
+// immutable topology precomputation — r-hop, (2r+1)-hop and (3r+2)-hop ball
+// vertex lists plus per-vertex adjacency bitsets — built once per extended
+// graph and shared by every consumer. Each slot kernel owns a persistent
+// protocol Decider layered on top:
+//
+//   - scratch and induced-subgraph arenas reused across boundaries, so a
+//     full decision allocates only its published Result;
+//   - a weight-epoch short-circuit: policies report through WriteIndices
+//     whether any index actually moved since the last boundary, and an
+//     unchanged weight vector (with an unchanged previous-strategy set)
+//     returns the cached previous Result without running the protocol;
+//   - a two-level exact memo for each LocalLeader's local MWIS: a full hit
+//     (identical candidate set and weights) replays the previous
+//     winner/loser split, and a structure hit (identical candidate set,
+//     drifted weights) reuses the cached candidate subgraph, adjacency
+//     bitsets and clique partition while re-running only the weighted
+//     search.
+//
+// Every layer is exact — equal inputs are served equal outputs, so
+// trajectories are bit-identical to deciding from scratch at every
+// boundary; the randomized equivalence suite in internal/protocol and the
+// figgen golden digest both enforce it. DecisionPlaneStats (per Scheme via
+// DecideStats, per shard on banditd's /metrics) reports full decides,
+// epoch skips, memo hits and the communication totals; `make bench-decide`
+// records the serving-workload effect in BENCH_decide.json and the CI
+// decide-smoke job asserts the short-circuit fires under a constant-weight
+// policy while verify-golden holds in the same run.
+//
 // # The decision-serving runtime
 //
 // The serving runtime turns Algorithm 2's loop (observe rates → update

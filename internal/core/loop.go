@@ -31,6 +31,18 @@ import (
 // otherwise, so policies without policy.IndexWriter behave identically in
 // every consumer.
 //
+// Decisions run on a persistent protocol.Decider owned by the loop: the
+// incremental decision plane that reuses scratch across boundaries,
+// memoizes local MWIS per leader, and short-circuits whole boundaries when
+// the weight vector did not move. The kernel threads the weight epoch
+// through: WriteIndices reports whether any index changed since the last
+// boundary (the indices buffer is reused, so the comparison is free), and
+// an unchanged epoch lets the decider return the cached previous Result
+// without running the protocol. All of it is exact — trajectories are
+// bit-identical to deciding from scratch every boundary — and the decider's
+// cumulative accounting (full decides, epoch skips, memo hits/misses,
+// communication totals) is exposed through DecideStats.
+//
 // Per-slot output streams through SlotObserver instead of materialized
 // result slices: the kernel reuses its internal buffers and one SlotView,
 // so a steady-state (non-decision) slot performs zero heap allocations.
@@ -40,6 +52,7 @@ import (
 type Loop struct {
 	ext *extgraph.Extended
 	rt  *protocol.Runtime
+	dec *protocol.Decider // persistent incremental decide state
 	pol policy.Policy
 	wr  policy.IndexWriter // non-nil fast path (no per-decision alloc)
 	ch  channel.Sampler    // nil in external-observations-only loops
@@ -97,6 +110,7 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	l := &Loop{
 		ext:         cfg.Ext,
 		rt:          cfg.Runtime,
+		dec:         cfg.Runtime.NewDecider(),
 		pol:         cfg.Policy,
 		ch:          cfg.Sampler,
 		y:           cfg.UpdateEvery,
@@ -134,8 +148,29 @@ func (l *Loop) Slot() int { return l.slot }
 // before the first decision.
 func (l *Loop) DecidedSlot() int { return l.decidedSlot }
 
-// Decisions returns the number of strategy decisions run so far.
+// Decisions returns the number of strategy decisions run so far (update
+// boundaries served, whether by a full protocol run or an epoch skip).
 func (l *Loop) Decisions() int64 { return l.decisions }
+
+// DecideStats returns the decision plane's cumulative accounting: how the
+// boundaries counted by Decisions were served (full decides vs weight-epoch
+// skips), local-MWIS memo hits and misses, and the protocol communication
+// totals of the full decides.
+func (l *Loop) DecideStats() protocol.DecideStats { return l.dec.Stats() }
+
+// equalFloats reports element-wise equality (the non-IndexWriter fallback's
+// change detection).
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Winners returns the current strategy's virtual-vertex ids. The slice is
 // shared with the kernel but never mutated after a decision publishes it
@@ -159,16 +194,25 @@ func (l *Loop) Decision() *protocol.Result { return l.curDecision }
 // is an update boundary that has not decided yet, reporting whether a
 // decision ran. Calling it again in the same slot is a no-op, which lets an
 // assignment query and a step share one decision.
+//
+// The decision goes through the loop's persistent protocol.Decider with the
+// weight epoch threaded in: when WriteIndices reports no index moved since
+// the last boundary, the decider serves the cached previous Result instead
+// of rerunning the protocol. Boundaries served either way count as
+// decisions; DecideStats splits them into full decides and epoch skips.
 func (l *Loop) EnsureDecided() (bool, error) {
 	if l.slot%l.y != 0 || l.decidedSlot == l.slot {
 		return false, nil
 	}
+	changed := true
 	if l.wr != nil {
-		l.wr.WriteIndices(l.indices)
+		changed = l.wr.WriteIndices(l.indices)
 	} else {
-		copy(l.indices, l.pol.Indices())
+		fresh := l.pol.Indices()
+		changed = !equalFloats(fresh, l.indices)
+		copy(l.indices, fresh)
 	}
-	dec, err := l.rt.Decide(l.indices, l.lastPlayed)
+	dec, err := l.dec.DecideEpoch(l.indices, l.lastPlayed, !changed)
 	if err != nil {
 		return false, fmt.Errorf("core: strategy decision at slot %d: %w", l.slot, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"multihopbandit/internal/channel"
+	"multihopbandit/internal/policy"
 	"multihopbandit/internal/rng"
 )
 
@@ -274,4 +275,107 @@ func TestSlotLoopNoAllocsDynamic(t *testing.T) {
 	}); got != 0 {
 		t.Errorf("dynamic steady-state slot allocates %.1f times, want 0", got)
 	}
+}
+
+// TestSlotLoopNoAllocsDecidePath extends the allocation guard to the
+// decide path. An oracle policy's weight vector never moves, so with
+// UpdateEvery=1 every boundary after the first two is a weight-epoch skip
+// — and a skipped boundary must cost zero heap allocations, making an
+// every-slot-deciding steady-state loop fully allocation-free.
+func TestSlotLoopNoAllocsDecidePath(t *testing.T) {
+	s := testScheme(t, 12, 3, 89, func(c *Config) {
+		means := testChannelMeans(t, 12, 3, 90)
+		pol, err := policy.NewOracle(means)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Policy = pol
+	})
+	rec := NewKbpsRecorder(256 + 8)
+	if err := s.RunObserved(8, rec); err != nil {
+		t.Fatal(err)
+	}
+	loop := s.Loop()
+	if got := testing.AllocsPerRun(256, func() {
+		if _, err := loop.StepSampled(rec); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("epoch-skip deciding slot allocates %.1f times, want 0", got)
+	}
+	st := loop.DecideStats()
+	// Two full decides: the first boundary (prevPlayed nil) and the second
+	// (prevPlayed becomes the winners, changing the WB accounting); every
+	// later boundary repeats both inputs exactly and skips.
+	if st.FullDecides != 2 {
+		t.Errorf("oracle loop ran %d full decides, want 2", st.FullDecides)
+	}
+	if st.EpochSkips < 256 {
+		t.Errorf("oracle loop skipped %d epochs, want >= 256", st.EpochSkips)
+	}
+	if st.Decisions() != loop.Decisions() {
+		t.Errorf("decide stats count %d decisions, loop counts %d", st.Decisions(), loop.Decisions())
+	}
+}
+
+// TestSlotLoopFullDecideAllocsBounded caps the full-decide slot cost: with
+// a learning policy whose indices move every round (ZhouLi), every slot at
+// UpdateEvery=1 runs a full decision, and the only remaining allocations
+// are the published Result and its fresh winner/strategy/series slices.
+// The bound is deliberately tight — the pre-decider path cost ~78
+// allocations per decision.
+func TestSlotLoopFullDecideAllocsBounded(t *testing.T) {
+	s := testScheme(t, 12, 3, 89, nil) // default ZhouLi, UpdateEvery=1
+	rec := NewKbpsRecorder(512 + 64)
+	if err := s.RunObserved(64, rec); err != nil {
+		t.Fatal(err)
+	}
+	loop := s.Loop()
+	if got := testing.AllocsPerRun(512, func() {
+		if _, err := loop.StepSampled(rec); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 16 {
+		t.Errorf("full-decide slot allocates %.1f times, want <= 16", got)
+	}
+	st := loop.DecideStats()
+	if st.FullDecides == 0 || st.MemoMisses == 0 {
+		t.Errorf("implausible decide stats after full-decide run: %+v", st)
+	}
+}
+
+// TestLoopDecideStatsThreading checks the kernel's epoch accounting across
+// update periods and the non-IndexWriter fallback's change detection.
+func TestLoopDecideStatsThreading(t *testing.T) {
+	means := testChannelMeans(t, 10, 2, 33)
+	pol, err := policy.NewOracle(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testScheme(t, 10, 2, 33, func(c *Config) {
+		c.Policy = pol
+		c.UpdateEvery = 4
+	})
+	if err := s.RunObserved(33, nil); err != nil {
+		t.Fatal(err)
+	}
+	loop := s.Loop()
+	st := loop.DecideStats()
+	wantDecisions := int64(9) // boundaries 0,4,...,32
+	if loop.Decisions() != wantDecisions || st.Decisions() != wantDecisions {
+		t.Fatalf("served %d/%d decisions, want %d", loop.Decisions(), st.Decisions(), wantDecisions)
+	}
+	if st.FullDecides != 2 || st.EpochSkips != wantDecisions-2 {
+		t.Fatalf("stats %+v, want 2 full decides and %d skips", st, wantDecisions-2)
+	}
+}
+
+// testChannelMeans draws the catalog means a test channel model would use.
+func testChannelMeans(t *testing.T, n, m int, seed int64) []float64 {
+	t.Helper()
+	ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch.Means()
 }

@@ -155,6 +155,11 @@ func (s *Scheme) Timing() timing.Params { return s.tp }
 // UpdateEvery returns the update period y.
 func (s *Scheme) UpdateEvery() int { return s.loop.UpdateEvery() }
 
+// DecideStats returns the decision plane's cumulative accounting (full
+// decides vs epoch skips, local-MWIS memo hits/misses, communication
+// totals).
+func (s *Scheme) DecideStats() protocol.DecideStats { return s.loop.DecideStats() }
+
 // Slot returns the number of completed time slots.
 func (s *Scheme) Slot() int { return s.loop.Slot() }
 

@@ -162,7 +162,7 @@ func (e Exact) Solve(in Instance) ([]int, error) {
 	if n == 0 {
 		return []int{}, nil
 	}
-	st := newSearch(in, e.Budget)
+	st := newSearch(in, e.Budget, nil)
 	full := newBitset(n)
 	for i := 0; i < n; i++ {
 		full.set(i)
@@ -192,12 +192,18 @@ type search struct {
 	depthBufs [][2]bitset
 }
 
-func newSearch(in Instance, budget int) *search {
+// newSearch prepares the branch-and-bound state. With a nil workspace every
+// buffer is freshly allocated; with a workspace, buffers (including the
+// search struct itself) are reused across solves — the resulting search is
+// bit-for-bit equivalent either way.
+func newSearch(in Instance, budget int, ws *Workspace) *search {
 	n := in.G.N()
-	st := &search{
-		n:   n,
-		adj: make([]bitset, n),
-		w:   in.W,
+	var st *search
+	if ws != nil {
+		st = &ws.st
+		*st = search{n: n, w: in.W}
+	} else {
+		st = &search{n: n, w: in.W}
 	}
 	if budget <= 0 {
 		st.budget = -1
@@ -207,9 +213,26 @@ func newSearch(in Instance, budget int) *search {
 	// All of the search's 3n+3 bitsets (adjacency, best, two per depth)
 	// come out of one arena allocation: the solver runs per LocalLeader per
 	// mini-round in the protocol simulator, where 3n tiny allocations per
-	// solve dominated the allocation profile.
+	// solve dominated the allocation profile. A workspace keeps the arena
+	// (zeroed before reuse — set-only bitsets rely on a clean start).
 	words := (n + 63) / 64
-	arena := make(bitset, words*(3*n+3))
+	need := words * (3*n + 3)
+	var arena bitset
+	if ws != nil {
+		if cap(ws.arena) < need {
+			ws.arena = make(bitset, need)
+		}
+		arena = ws.arena[:need]
+		for i := range arena {
+			arena[i] = 0
+		}
+		st.adj = growInts2(&ws.adj, n)
+		st.depthBufs = growDepth(&ws.depthBufs, n+1)
+	} else {
+		arena = make(bitset, need)
+		st.adj = make([]bitset, n)
+		st.depthBufs = make([][2]bitset, n+1)
+	}
 	take := func() bitset {
 		b := arena[:words:words]
 		arena = arena[words:]
@@ -223,14 +246,17 @@ func newSearch(in Instance, budget int) *search {
 		}
 		st.adj[v] = b
 	}
-	st.clique = greedyCliquePartition(in.G)
+	st.clique = greedyCliquePartition(in.G, ws)
 	for _, c := range st.clique {
 		if c+1 > st.ncliques {
 			st.ncliques = c + 1
 		}
 	}
-	st.cliqueMax = make([]float64, st.ncliques)
-	st.depthBufs = make([][2]bitset, n+1)
+	if ws != nil {
+		st.cliqueMax = growFloats(&ws.cliqueMax, st.ncliques)
+	} else {
+		st.cliqueMax = make([]float64, st.ncliques)
+	}
 	for i := range st.depthBufs {
 		st.depthBufs[i] = [2]bitset{take(), take()}
 	}
@@ -239,31 +265,46 @@ func newSearch(in Instance, budget int) *search {
 
 // greedyCliquePartition assigns each vertex to a clique: scan vertices in
 // decreasing-degree order; each unassigned vertex starts a clique and pulls
-// in unassigned neighbors adjacent to every current member.
-func greedyCliquePartition(g *graph.Graph) []int {
+// in unassigned neighbors adjacent to every current member. A non-nil
+// workspace supplies the order/partition/member buffers; the partition is
+// identical either way (the comparator is a total order, so the sort result
+// does not depend on the sorting algorithm's stability).
+func greedyCliquePartition(g *graph.Graph, ws *Workspace) []int {
 	n := g.N()
-	clique := make([]int, n)
+	var clique, order, members []int
+	if ws != nil {
+		clique = growInts(&ws.clique, n)
+		order = growInts(&ws.order, n)
+		members = ws.members[:0]
+	} else {
+		clique = make([]int, n)
+		order = make([]int, n)
+	}
 	for i := range clique {
 		clique[i] = -1
 	}
-	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		da, db := g.Degree(order[a]), g.Degree(order[b])
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
+	if ws != nil {
+		ws.degSort = degSorter{g: g, order: order}
+		sort.Sort(&ws.degSort)
+	} else {
+		sort.Slice(order, func(a, b int) bool {
+			da, db := g.Degree(order[a]), g.Degree(order[b])
+			if da != db {
+				return da > db
+			}
+			return order[a] < order[b]
+		})
+	}
 	next := 0
 	for _, v := range order {
 		if clique[v] >= 0 {
 			continue
 		}
 		clique[v] = next
-		members := []int{v}
+		members = append(members[:0], v)
 		for _, u := range g.Neighbors(v) {
 			if clique[u] >= 0 {
 				continue
@@ -281,6 +322,9 @@ func greedyCliquePartition(g *graph.Graph) []int {
 			}
 		}
 		next++
+	}
+	if ws != nil {
+		ws.members = members[:0]
 	}
 	return clique
 }
@@ -319,7 +363,7 @@ func (st *search) branch(remaining bitset, curW float64, cur bitset, depth int) 
 	}
 	if curW > st.bestW {
 		st.bestW = curW
-		st.best = cur.clone()
+		copy(st.best, cur)
 	}
 	if remaining.empty() {
 		return true

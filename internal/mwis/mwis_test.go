@@ -429,7 +429,7 @@ func TestSolverNames(t *testing.T) {
 func TestCliquePartitionValid(t *testing.T) {
 	f := func(seed int64) bool {
 		in := randomInstance(20, 0.3, rng.New(seed))
-		clique := greedyCliquePartition(in.G)
+		clique := greedyCliquePartition(in.G, nil)
 		// Group members and check pairwise adjacency within each clique.
 		groups := map[int][]int{}
 		for v, c := range clique {
@@ -458,7 +458,7 @@ func TestUpperBoundSound(t *testing.T) {
 	// The clique-partition bound must never be below the true optimum.
 	for seed := int64(0); seed < 20; seed++ {
 		in := randomInstance(12, 0.3, rng.New(seed))
-		st := newSearch(in, 0)
+		st := newSearch(in, 0, nil)
 		full := newBitset(in.G.N())
 		for i := 0; i < in.G.N(); i++ {
 			full.set(i)

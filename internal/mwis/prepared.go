@@ -1,0 +1,198 @@
+package mwis
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"multihopbandit/internal/graph"
+)
+
+// Prepared is the weight-independent preprocessing of one MWIS graph: its
+// adjacency as bitsets and the greedy clique partition the exact solver's
+// upper bound uses. Both depend only on the graph structure, so a caller
+// that repeatedly solves the same graph under drifting weights (the
+// protocol decider: a LocalLeader's candidate ball usually keeps its shape
+// between decisions while the index weights move) prepares once and pays
+// only the branch-and-bound per solve.
+//
+// A Prepared owns its storage — it stays valid even when the graph it was
+// prepared from lives in reused arena memory. Prepare reuses the previous
+// storage where capacities allow.
+type Prepared struct {
+	n        int
+	words    int
+	adj      []bitset
+	arena    bitset
+	clique   []int
+	ncliques int
+}
+
+// N returns the prepared graph's vertex count.
+func (p *Prepared) N() int { return p.n }
+
+// Prepare fills p from g, replacing any previous preparation. A non-nil
+// workspace supplies the clique-partition scratch.
+func (p *Prepared) Prepare(g *graph.Graph, ws *Workspace) {
+	n := g.N()
+	p.n = n
+	p.words = (n + 63) / 64
+	need := n * p.words
+	if cap(p.arena) < need {
+		p.arena = make(bitset, need)
+	}
+	p.arena = p.arena[:need]
+	for i := range p.arena {
+		p.arena[i] = 0
+	}
+	p.adj = growInts2(&p.adj, n)
+	for v := 0; v < n; v++ {
+		row := p.arena[v*p.words : (v+1)*p.words : (v+1)*p.words]
+		for _, u := range g.Neighbors(v) {
+			row.set(u)
+		}
+		p.adj[v] = row
+	}
+	p.clique = append(p.clique[:0], greedyCliquePartition(g, ws)...)
+	p.ncliques = 0
+	for _, c := range p.clique {
+		if c+1 > p.ncliques {
+			p.ncliques = c + 1
+		}
+	}
+}
+
+// SolvePrepared is Hybrid's workspace path over a prepared graph: a
+// budgeted exact search first (its clique-partition bound and adjacency
+// come straight from p), falling back to the greedy heuristic only when the
+// budget runs out — exactly Solve's output on the same graph and weights
+// (see TestSolvePreparedMatchesSolve). The returned slice aliases ws.
+func (h Hybrid) SolvePrepared(p *Prepared, w []float64, ws *Workspace) ([]int, error) {
+	if len(w) != p.n {
+		return nil, fmt.Errorf("mwis: %d weights for %d vertices", len(w), p.n)
+	}
+	for v, x := range w {
+		if x < 0 {
+			return nil, fmt.Errorf("mwis: negative weight %v at vertex %d", x, v)
+		}
+	}
+	budget := h.Budget
+	if budget == 0 {
+		budget = 50000
+	}
+	maxExact := h.MaxExactNodes
+	if maxExact == 0 {
+		maxExact = 512
+	}
+	if p.n > maxExact {
+		return greedyPrepared(p, w, ws), nil
+	}
+	if p.n == 0 {
+		return ws.eout[:0], nil
+	}
+	exactSet, err := exactPrepared(p, w, budget, ws)
+	if err == nil {
+		return exactSet, nil
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		return nil, err
+	}
+	greedySet := greedyPrepared(p, w, ws)
+	exactW, greedyW := 0.0, 0.0
+	for _, v := range exactSet {
+		exactW += w[v]
+	}
+	for _, v := range greedySet {
+		greedyW += w[v]
+	}
+	if exactW >= greedyW {
+		return exactSet, nil
+	}
+	return greedySet, nil
+}
+
+// exactPrepared runs the budgeted branch and bound with the prepared
+// adjacency and clique partition, mirroring Exact.SolveWorkspace minus the
+// structure construction.
+func exactPrepared(p *Prepared, w []float64, budget int, ws *Workspace) ([]int, error) {
+	n := p.n
+	st := &ws.st
+	*st = search{
+		n:        n,
+		adj:      p.adj,
+		w:        w,
+		clique:   p.clique,
+		ncliques: p.ncliques,
+		budget:   budget,
+	}
+	if budget <= 0 {
+		st.budget = -1
+	}
+	// Only the mutable bitsets (incumbent + two per depth) come from the
+	// workspace arena; the adjacency is the prepared instance's.
+	words := p.words
+	need := words * (2*n + 3)
+	if cap(ws.arena) < need {
+		ws.arena = make(bitset, need)
+	}
+	arena := ws.arena[:need]
+	for i := range arena {
+		arena[i] = 0
+	}
+	take := func() bitset {
+		b := arena[:words:words]
+		arena = arena[words:]
+		return b
+	}
+	st.best = take()
+	st.cliqueMax = growFloats(&ws.cliqueMax, st.ncliques)
+	st.depthBufs = growDepth(&ws.depthBufs, n+1)
+	for i := range st.depthBufs {
+		st.depthBufs[i] = [2]bitset{take(), take()}
+	}
+	full := growBitset(&ws.full, words)
+	cur := growBitset(&ws.cur, words)
+	for i := 0; i < n; i++ {
+		full.set(i)
+	}
+	exhausted := st.branch(full, 0, cur, 0)
+	out := ws.eout[:0]
+	st.best.forEach(func(i int) { out = append(out, i) })
+	ws.eout = out
+	if !exhausted {
+		return out, ErrBudgetExceeded
+	}
+	return out, nil
+}
+
+// greedyPrepared is Greedy.Solve over the prepared adjacency: identical
+// selection (max weight first, ties toward the lower id), with closed
+// neighborhoods removed via the adjacency bitsets.
+func greedyPrepared(p *Prepared, w []float64, ws *Workspace) []int {
+	n := p.n
+	order := growInts(&ws.order, n)
+	for i := range order {
+		order[i] = i
+	}
+	ws.wsort = weightSorter{order: order, w: w}
+	sort.Sort(&ws.wsort)
+	removed := growBools(&ws.removed, n)
+	out := ws.gout[:0]
+	for _, v := range order {
+		if removed[v] {
+			continue
+		}
+		out = append(out, v)
+		removed[v] = true
+		for wi, word := range p.adj[v] {
+			for word != 0 {
+				removed[wi*64+bits.TrailingZeros64(word)] = true
+				word &= word - 1
+			}
+		}
+	}
+	sort.Ints(out)
+	ws.gout = out
+	return out
+}

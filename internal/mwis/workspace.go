@@ -1,0 +1,258 @@
+package mwis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multihopbandit/internal/graph"
+)
+
+// Workspace carries every buffer the solvers need, so hot loops that solve
+// many small instances (the protocol decider: one local MWIS per LocalLeader
+// per mini-round) can run allocation-free once the buffers are warm. A
+// Workspace is not safe for concurrent use; the slices returned by
+// SolveWorkspace alias it and are valid only until its next use.
+//
+// The workspace path is part of the repository's bit-identity contract: for
+// every solver, SolveWorkspace(in, ws) returns exactly the set Solve(in)
+// returns (see TestSolveWorkspaceMatchesSolve).
+type Workspace struct {
+	// greedy state
+	order   []int
+	removed []bool
+	wsort   weightSorter
+	gout    []int
+	// exact branch-and-bound state
+	st        search
+	arena     bitset
+	adj       []bitset
+	depthBufs [][2]bitset
+	cliqueMax []float64
+	full, cur bitset
+	eout      []int
+	// clique-partition state (shared by greedy bound construction)
+	clique  []int
+	members []int
+	degSort degSorter
+}
+
+// WorkspaceSolver is the optional allocation-free fast path of a Solver.
+// Greedy, Exact and Hybrid implement it.
+type WorkspaceSolver interface {
+	Solver
+	// SolveWorkspace returns exactly what Solve returns, drawing every
+	// buffer (including the result) from ws.
+	SolveWorkspace(in Instance, ws *Workspace) ([]int, error)
+}
+
+var (
+	_ WorkspaceSolver = Greedy{}
+	_ WorkspaceSolver = Exact{}
+	_ WorkspaceSolver = Hybrid{}
+)
+
+// growInts resizes *s to length n, reusing capacity.
+func growInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growInts2 resizes *s to length n, reusing capacity.
+func growInts2(s *[]bitset, n int) []bitset {
+	if cap(*s) < n {
+		*s = make([]bitset, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growDepth resizes *s to length n, reusing capacity.
+func growDepth(s *[][2]bitset, n int) [][2]bitset {
+	if cap(*s) < n {
+		*s = make([][2]bitset, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growFloats resizes *s to length n, reusing capacity.
+func growFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growBools resizes *s to length n, reusing capacity. Contents are zeroed.
+func growBools(s *[]bool, n int) []bool {
+	if cap(*s) < n {
+		*s = make([]bool, n)
+		return (*s)[:n]
+	}
+	*s = (*s)[:n]
+	for i := range *s {
+		(*s)[i] = false
+	}
+	return *s
+}
+
+// weightSorter orders vertex ids by decreasing weight, ties toward the lower
+// id — Greedy.Solve's comparator as a sort.Interface, so the workspace path
+// sorts without the sort.Slice closure allocations. The comparator is a
+// total order, so sort.Sort and sort.Slice produce the same permutation.
+type weightSorter struct {
+	order []int
+	w     []float64
+}
+
+func (s *weightSorter) Len() int      { return len(s.order) }
+func (s *weightSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *weightSorter) Less(i, j int) bool {
+	wa, wb := s.w[s.order[i]], s.w[s.order[j]]
+	if wa != wb {
+		return wa > wb
+	}
+	return s.order[i] < s.order[j]
+}
+
+// degSorter orders vertex ids by decreasing degree, ties toward the lower
+// id — greedyCliquePartition's comparator as a sort.Interface.
+type degSorter struct {
+	g     *graph.Graph
+	order []int
+}
+
+func (s *degSorter) Len() int      { return len(s.order) }
+func (s *degSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *degSorter) Less(i, j int) bool {
+	da, db := s.g.Degree(s.order[i]), s.g.Degree(s.order[j])
+	if da != db {
+		return da > db
+	}
+	return s.order[i] < s.order[j]
+}
+
+// SolveWorkspace implements WorkspaceSolver: Greedy.Solve with every buffer
+// drawn from ws. The selection loop is identical, so the result is too.
+func (g Greedy) SolveWorkspace(in Instance, ws *Workspace) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	order := growInts(&ws.order, n)
+	for i := range order {
+		order[i] = i
+	}
+	ws.wsort = weightSorter{order: order, w: in.W}
+	sort.Sort(&ws.wsort)
+	removed := growBools(&ws.removed, n)
+	out := ws.gout[:0]
+	for _, v := range order {
+		if removed[v] {
+			continue
+		}
+		out = append(out, v)
+		removed[v] = true
+		for _, u := range in.G.Neighbors(v) {
+			removed[u] = true
+		}
+	}
+	sort.Ints(out)
+	ws.gout = out
+	return out, nil
+}
+
+// SolveWorkspace implements WorkspaceSolver: Exact.Solve reusing the
+// workspace's arena and buffers. Search order, pruning and budget accounting
+// are shared with Solve, so the incumbent and the budget outcome match it
+// exactly.
+func (e Exact) SolveWorkspace(in Instance, ws *Workspace) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := e.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 4096
+	}
+	n := in.G.N()
+	if n > maxNodes {
+		return nil, fmt.Errorf("mwis: instance with %d vertices exceeds MaxNodes=%d", n, maxNodes)
+	}
+	if n == 0 {
+		return ws.eout[:0], nil
+	}
+	st := newSearch(in, e.Budget, ws)
+	words := (n + 63) / 64
+	full := growBitset(&ws.full, words)
+	cur := growBitset(&ws.cur, words)
+	for i := 0; i < n; i++ {
+		full.set(i)
+	}
+	exhausted := st.branch(full, 0, cur, 0)
+	out := ws.eout[:0]
+	st.best.forEach(func(i int) { out = append(out, i) })
+	ws.eout = out
+	if !exhausted {
+		return out, ErrBudgetExceeded
+	}
+	return out, nil
+}
+
+// SolveWorkspace implements WorkspaceSolver. It returns exactly what
+// Hybrid.Solve returns but runs Exact first and Greedy only on budget
+// exhaustion: when the budgeted exact search completes, its set is a true
+// optimum, so Solve's weight comparison always picks it over the greedy set
+// — skipping the greedy solve entirely cannot change the output.
+func (h Hybrid) SolveWorkspace(in Instance, ws *Workspace) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	budget := h.Budget
+	if budget == 0 {
+		budget = 50000
+	}
+	maxExact := h.MaxExactNodes
+	if maxExact == 0 {
+		maxExact = 512
+	}
+	if in.G.N() > maxExact {
+		return Greedy{}.SolveWorkspace(in, ws)
+	}
+	exactSet, err := Exact{MaxNodes: maxExact, Budget: budget}.SolveWorkspace(in, ws)
+	if err == nil {
+		return exactSet, nil
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		return nil, err
+	}
+	// Budget exhausted: the incumbent may be beaten by the greedy set, the
+	// same comparison Solve makes. Greedy draws from disjoint buffers
+	// (ws.gout vs ws.eout), so exactSet stays valid across the call.
+	greedySet, gerr := Greedy{}.SolveWorkspace(in, ws)
+	if gerr != nil {
+		return nil, gerr
+	}
+	if in.Weight(exactSet) >= in.Weight(greedySet) {
+		return exactSet, nil
+	}
+	return greedySet, nil
+}
+
+// growBitset resizes *b to the given word count, reusing capacity. Contents
+// are zeroed.
+func growBitset(b *bitset, words int) bitset {
+	if cap(*b) < words {
+		*b = make(bitset, words)
+		return (*b)[:words]
+	}
+	*b = (*b)[:words]
+	for i := range *b {
+		(*b)[i] = 0
+	}
+	return *b
+}

@@ -1,0 +1,210 @@
+package policy
+
+import (
+	"testing"
+
+	"multihopbandit/internal/rng"
+)
+
+// writerOrSkip returns the policy's IndexWriter (every built-in implements
+// it; fail loudly if one stops).
+func writerOrSkip(t *testing.T, p Policy) IndexWriter {
+	t.Helper()
+	w, ok := p.(IndexWriter)
+	if !ok {
+		t.Fatalf("%s does not implement IndexWriter", p.Name())
+	}
+	return w
+}
+
+// checkWrite calls WriteIndices into buf, asserts the changed report
+// matches wantChanged, and verifies buf equals Indices-reported weights
+// would-be (the change report must never lie in either direction).
+func checkWrite(t *testing.T, name string, w IndexWriter, buf, prev []float64, wantChanged bool) {
+	t.Helper()
+	copy(prev, buf)
+	changed := w.WriteIndices(buf)
+	if changed != wantChanged {
+		t.Fatalf("%s: WriteIndices reported changed=%v, want %v", name, changed, wantChanged)
+	}
+	really := false
+	for i := range buf {
+		if buf[i] != prev[i] {
+			really = true
+			break
+		}
+	}
+	if really != changed {
+		t.Fatalf("%s: WriteIndices reported changed=%v but the buffer %s",
+			name, changed, map[bool]string{true: "moved", false: "did not move"}[really])
+	}
+}
+
+// TestWriteIndicesChangeTrackingEstimatorPolicies drives every
+// estimator-backed policy through the update-period boundary pattern the
+// slot kernel produces: repeated WriteIndices into one reused buffer, with
+// and without interleaved updates.
+func TestWriteIndicesChangeTrackingEstimatorPolicies(t *testing.T) {
+	const k = 24
+	for name, pol := range hotPathPolicies(t, k) {
+		w := writerOrSkip(t, pol)
+		buf := make([]float64, k)
+		prev := make([]float64, k)
+
+		// First fill of a zero buffer always changes (every arm is unseen
+		// or a true mean, never 0 exactly... UnseenIndex=2 guarantees it
+		// for estimator policies; oracle means are positive).
+		checkWrite(t, name, w, buf, prev, true)
+		// No update in between: the exact same vector, no change.
+		checkWrite(t, name, w, buf, prev, false)
+		checkWrite(t, name, w, buf, prev, false)
+
+		// A played round changes the played arms' indices (for the oracle
+		// it changes nothing: indices are the fixed true means).
+		played, rewards := hotPathRound(k, 1)
+		if err := pol.Update(played, rewards); err != nil {
+			t.Fatal(err)
+		}
+		wantChanged := name != "oracle"
+		checkWrite(t, name, w, buf, prev, wantChanged)
+		checkWrite(t, name, w, buf, prev, false)
+
+		// An update-period boundary after several buffered rounds: the
+		// round counter moved, so every bonus-bearing policy changes.
+		for r := 2; r < 6; r++ {
+			played, rewards := hotPathRound(k, r)
+			if err := pol.Update(played, rewards); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkWrite(t, name, w, buf, prev, wantChanged)
+	}
+}
+
+// TestWriteIndicesChangeTrackingAllUnseen pins the boundary case where the
+// round counter advances but no index moves: a policy whose arms are all
+// unplayed keeps every index at UnseenIndex, and empty updates must report
+// unchanged even though t advanced.
+func TestWriteIndicesChangeTrackingAllUnseen(t *testing.T) {
+	for name, pol := range hotPathPolicies(t, 8) {
+		if name == "oracle" {
+			continue // the oracle has no unseen state
+		}
+		w := writerOrSkip(t, pol)
+		buf := make([]float64, 8)
+		prev := make([]float64, 8)
+		checkWrite(t, name, w, buf, prev, true)
+		for i := 0; i < 3; i++ {
+			if err := pol.Update(nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			checkWrite(t, name, w, buf, prev, false)
+		}
+	}
+}
+
+// TestWriteIndicesChangeTrackingEpsilonGreedy covers the randomized policy:
+// exploit slots (ε=0) report unchanged across calls, exploration slots
+// (ε=1) redraw every seen arm and report changed, and the change tracking
+// consumes exactly the same random stream as before (two identically
+// seeded policies stay in lockstep whether or not the caller reads the
+// report).
+func TestWriteIndicesChangeTrackingEpsilonGreedy(t *testing.T) {
+	const k = 12
+	exploit, err := NewEpsilonGreedy(k, 0, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, k)
+	prev := make([]float64, k)
+	played, rewards := hotPathRound(k, 0)
+	if err := exploit.Update(played, rewards); err != nil {
+		t.Fatal(err)
+	}
+	checkWrite(t, "eps-exploit", exploit, buf, prev, true)
+	checkWrite(t, "eps-exploit", exploit, buf, prev, false)
+	checkWrite(t, "eps-exploit", exploit, buf, prev, false)
+
+	explore, err := NewEpsilonGreedy(k, 1, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := explore.Update(played, rewards); err != nil {
+		t.Fatal(err)
+	}
+	checkWrite(t, "eps-explore", explore, buf, prev, true)
+	// Every exploration slot redraws the seen arms: changed (with
+	// probability 1 on a continuous stream).
+	checkWrite(t, "eps-explore", explore, buf, prev, true)
+	checkWrite(t, "eps-explore", explore, buf, prev, true)
+
+	// Stream lockstep: a twin consuming the same draws produces the same
+	// indices even though this caller ignored every changed report.
+	twin, err := NewEpsilonGreedy(k, 1, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Update(played, rewards); err != nil {
+		t.Fatal(err)
+	}
+	twinBuf := make([]float64, k)
+	for i := 0; i < 3; i++ {
+		twin.WriteIndices(twinBuf)
+	}
+	want := explore.Indices()
+	got := twin.Indices()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("arm %d: twin diverged (%v vs %v) — change tracking shifted the stream", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteIndicesChangeTrackingDiscountedDynamics covers the discounted
+// policy's dynamic behavior: under γ < 1 every update decays all
+// statistics, so played arms' indices keep moving without fresh plays, and
+// after enough decay an arm resets to the unseen state (its effective count
+// underflows the 1e-12 floor) — at which point its index pins back to
+// UnseenIndex and stops changing.
+func TestWriteIndicesChangeTrackingDiscountedDynamics(t *testing.T) {
+	const k = 4
+	p, err := NewDiscountedZhouLi(k, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := writerOrSkip(t, p)
+	buf := make([]float64, k)
+	prev := make([]float64, k)
+	checkWrite(t, "discounted", w, buf, prev, true)
+
+	if err := p.Update([]int{1}, []float64{0.8}); err != nil {
+		t.Fatal(err)
+	}
+	checkWrite(t, "discounted", w, buf, prev, true)
+
+	// Decay without plays: arm 1's statistics shrink every round, so its
+	// index moves on every boundary until it underflows to unseen.
+	sawChange := false
+	for i := 0; i < 40; i++ {
+		if err := p.Update(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		copy(prev, buf)
+		if w.WriteIndices(buf) {
+			sawChange = true
+		}
+	}
+	if !sawChange {
+		t.Fatal("discounted decay never changed an index")
+	}
+	if buf[1] != UnseenIndex {
+		t.Fatalf("arm 1 index %v after full decay, want the UnseenIndex reset (%v)", buf[1], UnseenIndex)
+	}
+	// Fully reset: further empty updates change nothing.
+	for i := 0; i < 3; i++ {
+		if err := p.Update(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		checkWrite(t, "discounted-reset", w, buf, prev, false)
+	}
+}

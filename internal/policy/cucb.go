@@ -40,7 +40,7 @@ func (p *CUCB) Indices() []float64 {
 
 // WriteIndices implements IndexWriter, hoisting the 3·ln t numerator out of
 // the per-arm loop.
-func (p *CUCB) WriteIndices(dst []float64) {
+func (p *CUCB) WriteIndices(dst []float64) (changed bool) {
 	k := p.est.K()
 	t := float64(p.est.Round())
 	num := 0.0
@@ -50,15 +50,16 @@ func (p *CUCB) WriteIndices(dst []float64) {
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			dst[i] = UnseenIndex
+			writeIndex(dst, i, UnseenIndex, &changed)
 			continue
 		}
 		bonus := 0.0
 		if t > 1 {
 			bonus = math.Sqrt(num / (2 * float64(m)))
 		}
-		dst[i] = p.est.Mean(i) + bonus
+		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed)
 	}
+	return changed
 }
 
 // Update implements Policy.

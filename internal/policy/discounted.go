@@ -63,8 +63,10 @@ func (p *DiscountedZhouLi) Indices() []float64 {
 }
 
 // WriteIndices implements IndexWriter, hoisting the t^{2/3} of the bonus out
-// of the per-arm loop.
-func (p *DiscountedZhouLi) WriteIndices(dst []float64) {
+// of the per-arm loop. Under γ < 1 every Update decays all statistics, so a
+// decayed arm's index moves even when the arm was not played — unchanged
+// reports effectively require γ = 1 or no Update since the last call.
+func (p *DiscountedZhouLi) WriteIndices(dst []float64) (changed bool) {
 	k := len(p.sum)
 	kf := float64(k)
 	t := p.effectiveRound()
@@ -74,7 +76,7 @@ func (p *DiscountedZhouLi) WriteIndices(dst []float64) {
 	}
 	for i := 0; i < k; i++ {
 		if p.eff[i] <= 1e-12 {
-			dst[i] = UnseenIndex
+			writeIndex(dst, i, UnseenIndex, &changed)
 			continue
 		}
 		mean := p.sum[i] / p.eff[i]
@@ -82,8 +84,9 @@ func (p *DiscountedZhouLi) WriteIndices(dst []float64) {
 		if t >= 1 {
 			bonus = zhouLiBonusPow(t23, kf, p.eff[i])
 		}
-		dst[i] = mean + bonus
+		writeIndex(dst, i, mean+bonus, &changed)
 	}
+	return changed
 }
 
 // Update implements Policy: all statistics decay by γ, then the played arms

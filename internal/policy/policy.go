@@ -21,8 +21,23 @@ const UnseenIndex = 2.0
 // serving runtime's per-decision path) reuse one buffer across rounds
 // instead of allocating a fresh slice per decision. The written values are
 // bit-identical to what Indices returns.
+//
+// WriteIndices reports whether any element of dst changed, i.e. whether the
+// weight vector differs from dst's previous contents. A caller that reuses
+// one buffer across decision boundaries therefore learns, for free, whether
+// the weight epoch advanced — the signal the slot kernel threads to the
+// protocol decider's short-circuit. The report is exact: false guarantees
+// dst is element-for-element what it already was.
 type IndexWriter interface {
-	WriteIndices(dst []float64)
+	WriteIndices(dst []float64) (changed bool)
+}
+
+// writeIndex writes v into dst[i], tracking whether it differed.
+func writeIndex(dst []float64, i int, v float64, changed *bool) {
+	if dst[i] != v {
+		dst[i] = v
+		*changed = true
+	}
 }
 
 // Policy produces per-arm index weights for the strategy decision and learns
@@ -82,7 +97,7 @@ func (p *ZhouLi) Indices() []float64 {
 // WriteIndices implements IndexWriter. The t^{2/3} of equation (3) is
 // identical for every arm, so it is computed once per call rather than once
 // per arm (it dominated the index-update hot path).
-func (p *ZhouLi) WriteIndices(dst []float64) {
+func (p *ZhouLi) WriteIndices(dst []float64) (changed bool) {
 	k := p.est.K()
 	kf := float64(k)
 	t := float64(p.est.Round())
@@ -93,15 +108,16 @@ func (p *ZhouLi) WriteIndices(dst []float64) {
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			dst[i] = UnseenIndex
+			writeIndex(dst, i, UnseenIndex, &changed)
 			continue
 		}
 		bonus := 0.0
 		if t >= 1 {
 			bonus = zhouLiBonusPow(t23, kf, float64(m))
 		}
-		dst[i] = p.est.Mean(i) + bonus
+		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed)
 	}
+	return changed
 }
 
 // zhouLiBonus computes the exploration term of equation (3).
@@ -180,7 +196,7 @@ func (p *LLR) Indices() []float64 {
 
 // WriteIndices implements IndexWriter, hoisting the (L+1)·ln t numerator out
 // of the per-arm loop.
-func (p *LLR) WriteIndices(dst []float64) {
+func (p *LLR) WriteIndices(dst []float64) (changed bool) {
 	k := p.est.K()
 	t := float64(p.est.Round())
 	num := 0.0
@@ -190,15 +206,16 @@ func (p *LLR) WriteIndices(dst []float64) {
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			dst[i] = UnseenIndex
+			writeIndex(dst, i, UnseenIndex, &changed)
 			continue
 		}
 		bonus := 0.0
 		if t > 1 {
 			bonus = math.Sqrt(num / float64(m))
 		}
-		dst[i] = p.est.Mean(i) + bonus
+		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed)
 	}
+	return changed
 }
 
 // Update implements Policy.
@@ -256,21 +273,23 @@ func (p *EpsilonGreedy) Indices() []float64 {
 }
 
 // WriteIndices implements IndexWriter. Like Indices, it consumes random
-// draws from the policy's source.
-func (p *EpsilonGreedy) WriteIndices(dst []float64) {
+// draws from the policy's source — including on calls that turn out
+// unchanged, so change tracking never shifts the random stream.
+func (p *EpsilonGreedy) WriteIndices(dst []float64) (changed bool) {
 	k := p.est.K()
 	explore := p.src.Bernoulli(p.epsilon)
 	for i := 0; i < k; i++ {
 		if p.est.Count(i) == 0 {
-			dst[i] = UnseenIndex
+			writeIndex(dst, i, UnseenIndex, &changed)
 			continue
 		}
 		if explore {
-			dst[i] = p.src.Float64()
+			writeIndex(dst, i, p.src.Float64(), &changed)
 		} else {
-			dst[i] = p.est.Mean(i)
+			writeIndex(dst, i, p.est.Mean(i), &changed)
 		}
 	}
+	return changed
 }
 
 // Update implements Policy.
@@ -315,8 +334,15 @@ func (*Oracle) Name() string { return "oracle" }
 // Indices implements Policy.
 func (p *Oracle) Indices() []float64 { return append([]float64(nil), p.means...) }
 
-// WriteIndices implements IndexWriter.
-func (p *Oracle) WriteIndices(dst []float64) { copy(dst, p.means) }
+// WriteIndices implements IndexWriter. The true means never change, so a
+// reused buffer reports changed only on its first fill — the oracle is the
+// policy whose every decision after the first is one weight epoch.
+func (p *Oracle) WriteIndices(dst []float64) (changed bool) {
+	for i, v := range p.means {
+		writeIndex(dst, i, v, &changed)
+	}
+	return changed
+}
 
 // Update implements Policy.
 func (p *Oracle) Update(played []int, rewards []float64) error {

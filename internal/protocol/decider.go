@@ -1,0 +1,481 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multihopbandit/internal/graph"
+	"multihopbandit/internal/mwis"
+)
+
+// DecideStats is a Decider's cumulative accounting: how boundaries were
+// served (full decisions vs weight-epoch skips), how its local-MWIS memo
+// performed, and the protocol communication totals of the full decisions
+// actually run. Epoch-skipped boundaries add nothing to the communication
+// totals — an unchanged weight vector means no fresh weights exist to
+// broadcast, so the distributed protocol performs no work.
+type DecideStats struct {
+	// FullDecides counts decisions that ran the WB step and mini-round loop.
+	FullDecides int64
+	// EpochSkips counts decisions served from the cached previous Result
+	// because the weight vector (and previous-strategy set) was unchanged.
+	EpochSkips int64
+	// MemoHits, MemoStructHits and MemoMisses count the local-MWIS memo
+	// lookups of full decisions (one per LocalLeader per mini-round). A
+	// full hit matched the leader's previous instance exactly (candidates
+	// and weights) and skipped the solve; a structure hit matched the
+	// candidate set but not the weights, reusing the cached induced
+	// subgraph, adjacency bitsets and clique partition while re-running
+	// the weighted search; a miss rebuilt everything.
+	MemoHits       int64
+	MemoStructHits int64
+	MemoMisses     int64
+	// Communication totals summed over full decisions (the same quantities
+	// Result.Stats reports per decision).
+	MiniRounds         int64
+	WeightBroadcasts   int64
+	LeaderDeclarations int64
+	LocalBroadcasts    int64
+	MiniTimeslots      int64
+}
+
+// Decisions returns the total boundaries served (full + skipped).
+func (s DecideStats) Decisions() int64 { return s.FullDecides + s.EpochSkips }
+
+// MemoHitRate returns the fraction of memo lookups that hit at either
+// level (full or structure), or 0 before any lookup.
+func (s DecideStats) MemoHitRate() float64 {
+	total := s.MemoHits + s.MemoStructHits + s.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemoHits+s.MemoStructHits) / float64(total)
+}
+
+// Sub returns the counter deltas s − prev (for periodic publication).
+func (s DecideStats) Sub(prev DecideStats) DecideStats {
+	return DecideStats{
+		FullDecides:        s.FullDecides - prev.FullDecides,
+		EpochSkips:         s.EpochSkips - prev.EpochSkips,
+		MemoHits:           s.MemoHits - prev.MemoHits,
+		MemoStructHits:     s.MemoStructHits - prev.MemoStructHits,
+		MemoMisses:         s.MemoMisses - prev.MemoMisses,
+		MiniRounds:         s.MiniRounds - prev.MiniRounds,
+		WeightBroadcasts:   s.WeightBroadcasts - prev.WeightBroadcasts,
+		LeaderDeclarations: s.LeaderDeclarations - prev.LeaderDeclarations,
+		LocalBroadcasts:    s.LocalBroadcasts - prev.LocalBroadcasts,
+		MiniTimeslots:      s.MiniTimeslots - prev.MiniTimeslots,
+	}
+}
+
+// memoEntry is one leader's cached local MWIS in two exact layers. The
+// result layer stores the instance the last solve ran on (candidate ids and
+// their weights) plus its winner/loser split: a lookup hits only when the
+// instance matches element-for-element, so a hit replays a solve whose
+// inputs are provably identical. The structure layer (hybrid solver only)
+// keeps the weight-independent preparation of the candidate subgraph —
+// adjacency bitsets and clique partition — which stays valid as long as the
+// candidate set matches, weights regardless; a structure hit re-runs only
+// the weighted search. Neither layer can change an output, only skip
+// recomputing it.
+type memoEntry struct {
+	valid    bool
+	preValid bool
+	cand     []int
+	w        []float64
+	winners  []int
+	losers   []int
+	pre      mwis.Prepared
+}
+
+// Decider executes strategy decisions over one Runtime with persistent
+// per-consumer state. Where Runtime.Decide rebuilds scratch, induced
+// subgraphs and solver state on every call, a Decider keeps them alive
+// across decisions:
+//
+//   - scratch buffers (statuses, leader lists, candidate sets) and a
+//     graph.SubgraphArena + mwis.Workspace, so a steady-state full decision
+//     allocates only its published Result;
+//   - a weight-epoch cache: when the weight vector and previous-strategy
+//     set equal the previous call's, the cached Result is returned without
+//     running the protocol (the distributed system would broadcast no
+//     fresh weights and re-derive the identical strategy);
+//   - an exact per-leader local-MWIS memo (one entry per vertex, bounded):
+//     before solving MWIS(A_r(v)) the decider compares the candidate set
+//     and its weights against the leader's previous instance and replays
+//     the split on a match.
+//
+// All three layers are exact — same inputs produce bit-identical Results,
+// Stats included (see TestDeciderMatchesReferenceRandomized) — so a Decider
+// is a drop-in for Runtime.Decide on any trajectory. A Decider is confined
+// to one goroutine; create one per consumer (the slot kernel embeds one per
+// Loop). Results it returns follow Runtime.Decide's contract: they are
+// never mutated afterwards, and an epoch-skipped boundary returns the same
+// *Result as the decision it replays.
+type Decider struct {
+	rt     *Runtime
+	wss    mwis.WorkspaceSolver // nil when the runtime's solver has no workspace path
+	hyb    mwis.Hybrid          // the prepared-path solver when hasHyb
+	hasHyb bool
+	ws     mwis.Workspace
+	arena  graph.SubgraphArena
+	status []Status
+	leaders,
+	ar []int
+	w          []float64
+	inIS       []bool // indexed by original vertex id; cleared after each use
+	winnerBits []uint64
+	memo       []memoEntry
+
+	lastW    []float64
+	lastPrev []int
+	lastRes  *Result
+
+	stats DecideStats
+}
+
+// NewDecider returns a fresh Decider over the runtime. The heavy topology
+// precomputation lives in the Runtime and is shared; the Decider only adds
+// the per-consumer mutable state.
+func NewDecider(rt *Runtime) *Decider {
+	n := rt.ext.H.N()
+	d := &Decider{
+		rt:         rt,
+		status:     make([]Status, n),
+		inIS:       make([]bool, n),
+		winnerBits: make([]uint64, rt.adjWords),
+		memo:       make([]memoEntry, n),
+	}
+	if wss, ok := rt.solver.(mwis.WorkspaceSolver); ok {
+		d.wss = wss
+	}
+	if hyb, ok := rt.solver.(mwis.Hybrid); ok {
+		d.hyb = hyb
+		d.hasHyb = true
+	}
+	return d
+}
+
+// NewDecider returns a fresh Decider over this runtime.
+func (rt *Runtime) NewDecider() *Decider { return NewDecider(rt) }
+
+// Runtime returns the shared runtime the decider decides over.
+func (d *Decider) Runtime() *Runtime { return d.rt }
+
+// Stats returns the decider's cumulative accounting.
+func (d *Decider) Stats() DecideStats { return d.stats }
+
+// Decide runs one strategy decision with the incremental state, comparing
+// the inputs against the previous call's to detect an unchanged weight
+// epoch itself. Output is bit-identical to Runtime.Decide on the same
+// inputs.
+func (d *Decider) Decide(weights []float64, prevPlayed []int) (*Result, error) {
+	return d.decide(weights, prevPlayed, false)
+}
+
+// DecideEpoch is Decide with caller-side change tracking threaded through:
+// weightsUnchanged asserts that weights is element-for-element identical to
+// the previous call's weight vector (the slot kernel derives this from
+// policy.IndexWriter change reporting), letting the decider skip its own
+// comparison. The previous-strategy set is always compared. Passing
+// weightsUnchanged=false never forfeits the short-circuit — the decider
+// falls back to comparing the vectors itself.
+func (d *Decider) DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool) (*Result, error) {
+	return d.decide(weights, prevPlayed, weightsUnchanged)
+}
+
+func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged bool) (*Result, error) {
+	h := d.rt.ext.H
+	n := h.N()
+	if len(weights) != n {
+		return nil, fmt.Errorf("protocol: %d weights for %d vertices", len(weights), n)
+	}
+	if d.lastRes != nil && equalInts(prevPlayed, d.lastPrev) &&
+		(weightsUnchanged || equalFloats(weights, d.lastW)) {
+		d.stats.EpochSkips++
+		return d.lastRes, nil
+	}
+	res, err := d.decideFull(weights, prevPlayed)
+	if err != nil {
+		d.lastRes = nil
+		return nil, err
+	}
+	d.lastW = append(d.lastW[:0], weights...)
+	d.lastPrev = append(d.lastPrev[:0], prevPlayed...)
+	d.lastRes = res
+	return res, nil
+}
+
+// decideFull mirrors Runtime.Decide step for step over the persistent
+// buffers; any observable divergence is a bug the randomized equivalence
+// suite exists to catch.
+func (d *Decider) decideFull(weights []float64, prevPlayed []int) (*Result, error) {
+	rt := d.rt
+	h := rt.ext.H
+	n := h.N()
+	res := &Result{
+		Stats: Stats{MessagesPerVertex: make([]int, n)},
+	}
+
+	// Weight broadcast (WB).
+	for _, v := range prevPlayed {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("protocol: played vertex %d out of range [0,%d)", v, n)
+		}
+		res.Stats.WeightBroadcasts++
+		for _, u := range rt.ball2R1[v] {
+			res.Stats.MessagesPerVertex[u]++
+		}
+	}
+	width := 2*rt.r + 1
+	res.Stats.MiniTimeslots += width * width
+
+	// Mini-round loop (Algorithm 3).
+	status := d.status[:n]
+	for i := range status {
+		status[i] = Candidate
+	}
+	candidates := n
+	totalWinnerWeight := 0.0
+	maxRounds := rt.d
+	if maxRounds == 0 {
+		maxRounds = n
+	}
+	for tau := 0; tau < maxRounds && candidates > 0; tau++ {
+		leaders := d.selectLeaders(weights, status)
+		if len(leaders) == 0 {
+			break
+		}
+		for _, v := range leaders {
+			status[v] = LocalLeader
+			res.Stats.LeaderDeclarations++
+			for _, u := range rt.ball2R1[v] {
+				res.Stats.MessagesPerVertex[u]++
+			}
+		}
+		for _, v := range leaders {
+			winners, losers, err := d.localDecision(v, weights, status)
+			if err != nil {
+				return nil, err
+			}
+			for _, u := range winners {
+				status[u] = Winner
+				totalWinnerWeight += weights[u]
+				candidates--
+			}
+			for _, u := range losers {
+				status[u] = Loser
+				candidates--
+			}
+			for _, u := range winners {
+				for _, x := range h.Neighbors(u) {
+					if status[x] == Candidate {
+						status[x] = Loser
+						candidates--
+					}
+				}
+			}
+			res.Stats.LocalBroadcasts++
+			for _, u := range rt.ballLB[v] {
+				res.Stats.MessagesPerVertex[u]++
+			}
+		}
+		res.MiniRounds++
+		res.Stats.MiniTimeslots += (2*rt.r + 1) + (3*rt.r + 2)
+		res.WeightByMiniRound = append(res.WeightByMiniRound, totalWinnerWeight)
+		res.LeadersByMiniRound = append(res.LeadersByMiniRound, len(leaders))
+	}
+	res.Converged = candidates == 0
+
+	for v, st := range status {
+		if st == Winner {
+			res.Winners = append(res.Winners, v)
+		}
+	}
+	sort.Ints(res.Winners)
+	if !d.winnersIndependent(res.Winners) {
+		return nil, errors.New("protocol: internal error: winners are not independent")
+	}
+	strategy, err := rt.ext.StrategyFromVertices(res.Winners)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: winners to strategy: %w", err)
+	}
+	res.Strategy = strategy
+
+	d.stats.FullDecides++
+	d.stats.MiniRounds += int64(res.MiniRounds)
+	d.stats.WeightBroadcasts += int64(res.Stats.WeightBroadcasts)
+	d.stats.LeaderDeclarations += int64(res.Stats.LeaderDeclarations)
+	d.stats.LocalBroadcasts += int64(res.Stats.LocalBroadcasts)
+	d.stats.MiniTimeslots += int64(res.Stats.MiniTimeslots)
+	return res, nil
+}
+
+// selectLeaders is Runtime.selectLeaders over the decider's leader buffer.
+func (d *Decider) selectLeaders(weights []float64, status []Status) []int {
+	leaders := d.leaders[:0]
+	for v, st := range status {
+		if st != Candidate {
+			continue
+		}
+		isLeader := true
+		for _, u := range d.rt.ball2R1[v] {
+			if u == v || status[u] != Candidate {
+				continue
+			}
+			if weights[u] > weights[v] || (weights[u] == weights[v] && u < v) {
+				isLeader = false
+				break
+			}
+		}
+		if isLeader {
+			leaders = append(leaders, v)
+		}
+	}
+	d.leaders = leaders
+	return leaders
+}
+
+// localDecision computes the winner/loser split of MWIS(A_r(v)) for
+// LocalLeader v, consulting the per-leader memo first. On a miss it solves
+// over the subgraph arena (workspace solver path when available) and
+// refreshes the leader's entry.
+func (d *Decider) localDecision(v int, weights []float64, status []Status) (winners, losers []int, err error) {
+	ar := d.ar[:0]
+	for _, u := range d.rt.ballR[v] {
+		if status[u] == Candidate || u == v {
+			ar = append(ar, u)
+		}
+	}
+	d.ar = ar
+
+	e := &d.memo[v]
+	candMatch := equalInts(e.cand, ar)
+	if e.valid && candMatch && weightsEqualAt(weights, ar, e.w) {
+		d.stats.MemoHits++
+		return e.winners, e.losers, nil
+	}
+	structMatch := e.preValid && candMatch
+
+	// Gather the candidate weights (vertex i of the local instance is
+	// ar[i]: ar is ascending — ballR is sorted — which is exactly the
+	// vertex order Induced produces).
+	w := d.w[:0]
+	for _, u := range ar {
+		w = append(w, weights[u])
+	}
+	d.w = w
+
+	var localIS []int
+	if d.hasHyb {
+		// Hybrid solver: solve over the leader's prepared structure,
+		// rebuilding it only when the candidate set changed.
+		if !structMatch {
+			d.stats.MemoMisses++
+			sub, _ := d.arena.Induced(d.rt.ext.H, ar)
+			e.pre.Prepare(sub, &d.ws)
+			e.cand = append(e.cand[:0], ar...)
+			e.preValid = true
+			e.valid = false
+		} else {
+			d.stats.MemoStructHits++
+		}
+		localIS, err = d.hyb.SolvePrepared(&e.pre, w, &d.ws)
+	} else {
+		d.stats.MemoMisses++
+		e.cand = append(e.cand[:0], ar...)
+		e.preValid = false
+		e.valid = false
+		sub, _ := d.arena.Induced(d.rt.ext.H, ar)
+		in := mwis.Instance{G: sub, W: w}
+		if d.wss != nil {
+			localIS, err = d.wss.SolveWorkspace(in, &d.ws)
+		} else {
+			localIS, err = d.rt.solver.Solve(in)
+		}
+	}
+	if err != nil && !errors.Is(err, mwis.ErrBudgetExceeded) {
+		return nil, nil, fmt.Errorf("protocol: local MWIS at leader %d: %w", v, err)
+	}
+	for _, li := range localIS {
+		d.inIS[ar[li]] = true
+	}
+	e.w = append(e.w[:0], w...)
+	e.winners = e.winners[:0]
+	e.losers = e.losers[:0]
+	for _, u := range ar {
+		if d.inIS[u] {
+			e.winners = append(e.winners, u)
+		} else {
+			e.losers = append(e.losers, u)
+		}
+	}
+	for _, li := range localIS {
+		d.inIS[ar[li]] = false
+	}
+	e.valid = true
+	return e.winners, e.losers, nil
+}
+
+// winnersIndependent verifies the output set against the runtime's
+// adjacency bitsets: a vertex joins only if none of its neighbors is
+// already in, which over all pairs is exactly graph.IsIndependent.
+func (d *Decider) winnersIndependent(winners []int) bool {
+	bits := d.winnerBits
+	for i := range bits {
+		bits[i] = 0
+	}
+	ok := true
+	for _, v := range winners {
+		row := d.rt.adjBits[v]
+		for wi, word := range row {
+			if bits[wi]&word != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		bits[v/64] |= 1 << (uint(v) % 64)
+	}
+	return ok
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// weightsEqualAt reports whether weights[ids[i]] == w[i] for all i.
+func weightsEqualAt(weights []float64, ids []int, w []float64) bool {
+	if len(ids) != len(w) {
+		return false
+	}
+	for i, u := range ids {
+		if weights[u] != w[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -79,6 +79,12 @@ type Runtime struct {
 	ballR   [][]int // J_{H,r}(v) per vertex
 	ball2R1 [][]int // J_{H,2r+1}(v) per vertex
 	ballLB  [][]int // J_{H,3r+2}(v) per vertex, the LB broadcast radius
+
+	// adjBits is the per-vertex adjacency of H as bitsets (one shared
+	// arena, words = ⌈n/64⌉ per vertex). Deciders use it for O(n/64)
+	// winner-independence verification instead of pairwise edge queries.
+	adjBits  [][]uint64
+	adjWords int
 }
 
 // New builds a Runtime and precomputes all hop-neighborhoods.
@@ -153,6 +159,16 @@ func New(cfg Config) (*Runtime, error) {
 		for _, u := range visited {
 			dist[u] = -1
 		}
+	}
+	rt.adjWords = (n + 63) / 64
+	arena := make([]uint64, n*rt.adjWords)
+	rt.adjBits = make([][]uint64, n)
+	for v := 0; v < n; v++ {
+		row := arena[v*rt.adjWords : (v+1)*rt.adjWords : (v+1)*rt.adjWords]
+		for _, u := range h.Neighbors(v) {
+			row[u/64] |= 1 << (uint(u) % 64)
+		}
+		rt.adjBits[v] = row
 	}
 	return rt, nil
 }
@@ -253,6 +269,13 @@ type Result struct {
 // prevPlayed lists the vertex ids included in the previous round's strategy
 // (they are the only vertices with fresh weights to broadcast); pass nil on
 // the first round.
+//
+// Decide rebuilds its working state from scratch on every call and is safe
+// for concurrent use. It is the reference implementation of the decision:
+// hot consumers hold a Decider (NewDecider), the stateful incremental path
+// that is bit-identical to this one (TestDeciderMatchesReferenceRandomized)
+// but reuses per-consumer state, short-circuits unchanged weight epochs and
+// memoizes local MWIS results.
 func (rt *Runtime) Decide(weights []float64, prevPlayed []int) (*Result, error) {
 	h := rt.ext.H
 	n := h.N()

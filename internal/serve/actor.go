@@ -9,6 +9,7 @@ import (
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/spec"
 )
 
@@ -378,14 +379,30 @@ func (a *actor) handle(req request) response {
 }
 
 // trackDecisions returns a func that publishes the kernel's decision-count
-// delta to the shard counters; defer it around any request that may decide,
-// so the counters stay truthful even on a mid-batch failure.
+// and decide-stat deltas to the shard counters; defer it around any request
+// that may decide, so the counters stay truthful even on a mid-batch
+// failure.
 func (a *actor) trackDecisions() func() {
 	before := a.loop.Decisions()
+	statsBefore := a.loop.DecideStats()
 	return func() {
 		if d := a.loop.Decisions() - before; d > 0 {
 			a.counters.Decisions.Add(d)
 		}
+		delta := a.loop.DecideStats().Sub(statsBefore)
+		if delta == (protocol.DecideStats{}) {
+			return
+		}
+		a.counters.FullDecides.Add(delta.FullDecides)
+		a.counters.EpochSkips.Add(delta.EpochSkips)
+		a.counters.MemoHits.Add(delta.MemoHits)
+		a.counters.MemoStructHits.Add(delta.MemoStructHits)
+		a.counters.MemoMisses.Add(delta.MemoMisses)
+		a.counters.MiniRounds.Add(delta.MiniRounds)
+		a.counters.WeightBroadcasts.Add(delta.WeightBroadcasts)
+		a.counters.LeaderDeclarations.Add(delta.LeaderDeclarations)
+		a.counters.LocalBroadcasts.Add(delta.LocalBroadcasts)
+		a.counters.MiniTimeslots.Add(delta.MiniTimeslots)
 	}
 }
 

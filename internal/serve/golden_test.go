@@ -327,63 +327,89 @@ func TestSnapshotRestoreMidRunBitIdentical(t *testing.T) {
 		return out
 	}
 
-	for _, tc := range []struct {
-		name string
-		cut  int
+	policies := []struct {
+		name   string
+		policy string
 	}{
-		{"decision-boundary", 60}, // 60 % y == 0
-		{"mid-period", 62},        // 62 % y != 0: strategy decided at 60 must survive
-	} {
-		t.Run(tc.name, func(t *testing.T) {
-			reg := NewRegistry(RegistryConfig{})
-			defer reg.Close()
+		// The default learning policy's weights move every round, so every
+		// boundary runs a full decide; the oracle's never move, so
+		// boundaries settle into weight-epoch skips and the mid-period cut
+		// snapshots mid-epoch — a restore (whose fresh decider re-decides
+		// the next boundary from scratch) must not disturb the trajectory.
+		{"zhou-li", ""},
+		{"oracle-mid-epoch", spec.PolicyOracle},
+	}
+	for _, pv := range policies {
+		for _, tc := range []struct {
+			name string
+			cut  int
+		}{
+			{"decision-boundary", 60}, // 60 % y == 0
+			{"mid-period", 62},        // 62 % y != 0: strategy decided at 60 must survive
+		} {
+			t.Run(pv.name+"/"+tc.name, func(t *testing.T) {
+				sp := sp
+				sp.Policy.Kind = pv.policy
+				reg := NewRegistry(RegistryConfig{})
+				defer reg.Close()
 
-			full, err := reg.Create(InstanceConfig{Spec: sp})
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := drive(t, full, 0, slots)
+				full, err := reg.Create(InstanceConfig{Spec: sp})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := drive(t, full, 0, slots)
+				if pv.policy == spec.PolicyOracle {
+					if skips := reg.Metrics().TotalEpochSkips(); skips == 0 {
+						t.Fatal("oracle run recorded no weight-epoch skips; the mid-epoch cut would not test one")
+					}
+					// The second boundary re-solves the first's instances
+					// under identical weights: full memo hits.
+					if hits := reg.Metrics().TotalMemoHits(); hits == 0 {
+						t.Fatal("oracle run recorded no local-MWIS memo hits")
+					}
+				}
 
-			interrupted, err := reg.Create(InstanceConfig{ID: "interrupted", Spec: sp})
-			if err != nil {
-				t.Fatal(err)
-			}
-			drive(t, interrupted, 0, tc.cut)
-			snap, err := interrupted.Snapshot()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if snap.Slot != tc.cut {
-				t.Fatalf("snapshot at slot %d, want %d", snap.Slot, tc.cut)
-			}
+				interrupted, err := reg.Create(InstanceConfig{ID: "interrupted", Spec: sp})
+				if err != nil {
+					t.Fatal(err)
+				}
+				drive(t, interrupted, 0, tc.cut)
+				snap, err := interrupted.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if snap.Slot != tc.cut {
+					t.Fatalf("snapshot at slot %d, want %d", snap.Slot, tc.cut)
+				}
 
-			restored, err := reg.Create(InstanceConfig{ID: "restored", Spec: sp})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := restored.Restore(snap); err != nil {
-				t.Fatal(err)
-			}
-			got := drive(t, restored, tc.cut, slots)
+				restored, err := reg.Create(InstanceConfig{ID: "restored", Spec: sp})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := restored.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				got := drive(t, restored, tc.cut, slots)
 
-			for i, as := range got {
-				ref := want[tc.cut+i]
-				if as.Slot != ref.Slot || as.DecidedSlot != ref.DecidedSlot {
-					t.Fatalf("slot %d: position %d/%d (restored) vs %d/%d (uninterrupted)",
-						tc.cut+i, as.Slot, as.DecidedSlot, ref.Slot, ref.DecidedSlot)
+				for i, as := range got {
+					ref := want[tc.cut+i]
+					if as.Slot != ref.Slot || as.DecidedSlot != ref.DecidedSlot {
+						t.Fatalf("slot %d: position %d/%d (restored) vs %d/%d (uninterrupted)",
+							tc.cut+i, as.Slot, as.DecidedSlot, ref.Slot, ref.DecidedSlot)
+					}
+					if !equalInts(as.Winners, ref.Winners) {
+						t.Fatalf("slot %d: winners %v (restored) vs %v (uninterrupted)", tc.cut+i, as.Winners, ref.Winners)
+					}
+					if !equalInts(as.Strategy, ref.Strategy) {
+						t.Fatalf("slot %d: strategy diverged", tc.cut+i)
+					}
+					if as.EstimatedWeight != ref.EstimatedWeight {
+						t.Fatalf("slot %d: estimated weight %v (restored) vs %v (uninterrupted)",
+							tc.cut+i, as.EstimatedWeight, ref.EstimatedWeight)
+					}
 				}
-				if !equalInts(as.Winners, ref.Winners) {
-					t.Fatalf("slot %d: winners %v (restored) vs %v (uninterrupted)", tc.cut+i, as.Winners, ref.Winners)
-				}
-				if !equalInts(as.Strategy, ref.Strategy) {
-					t.Fatalf("slot %d: strategy diverged", tc.cut+i)
-				}
-				if as.EstimatedWeight != ref.EstimatedWeight {
-					t.Fatalf("slot %d: estimated weight %v (restored) vs %v (uninterrupted)",
-						tc.cut+i, as.EstimatedWeight, ref.EstimatedWeight)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -355,6 +355,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(&b, "banditd_instances_closed_total{shard=\"%d\"} %d\n", i, sc.Closed.Load())
 		fmt.Fprintf(&b, "banditd_slots_served_total{shard=\"%d\"} %d\n", i, sc.Slots.Load())
 		fmt.Fprintf(&b, "banditd_decisions_total{shard=\"%d\"} %d\n", i, sc.Decisions.Load())
+		fmt.Fprintf(&b, "banditd_decide_full_total{shard=\"%d\"} %d\n", i, sc.FullDecides.Load())
+		fmt.Fprintf(&b, "banditd_decide_epoch_skips_total{shard=\"%d\"} %d\n", i, sc.EpochSkips.Load())
+		fmt.Fprintf(&b, "banditd_decide_memo_hits_total{shard=\"%d\"} %d\n", i, sc.MemoHits.Load())
+		fmt.Fprintf(&b, "banditd_decide_memo_struct_hits_total{shard=\"%d\"} %d\n", i, sc.MemoStructHits.Load())
+		fmt.Fprintf(&b, "banditd_decide_memo_misses_total{shard=\"%d\"} %d\n", i, sc.MemoMisses.Load())
+		fmt.Fprintf(&b, "banditd_decide_mini_rounds_total{shard=\"%d\"} %d\n", i, sc.MiniRounds.Load())
+		fmt.Fprintf(&b, "banditd_decide_weight_broadcasts_total{shard=\"%d\"} %d\n", i, sc.WeightBroadcasts.Load())
+		fmt.Fprintf(&b, "banditd_decide_leader_declarations_total{shard=\"%d\"} %d\n", i, sc.LeaderDeclarations.Load())
+		fmt.Fprintf(&b, "banditd_decide_local_broadcasts_total{shard=\"%d\"} %d\n", i, sc.LocalBroadcasts.Load())
+		fmt.Fprintf(&b, "banditd_decide_mini_timeslots_total{shard=\"%d\"} %d\n", i, sc.MiniTimeslots.Load())
 		fmt.Fprintf(&b, "banditd_observations_total{shard=\"%d\"} %d\n", i, sc.Observations.Load())
 		fmt.Fprintf(&b, "banditd_observation_errors_total{shard=\"%d\"} %d\n", i, sc.ObservationErrors.Load())
 	}

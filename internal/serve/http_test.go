@@ -112,6 +112,13 @@ func TestHTTPWorkflow(t *testing.T) {
 		"banditd_shards 2",
 		"banditd_slots_served_total",
 		"banditd_decisions_total",
+		"banditd_decide_full_total",
+		"banditd_decide_epoch_skips_total",
+		"banditd_decide_memo_hits_total",
+		"banditd_decide_memo_struct_hits_total",
+		"banditd_decide_memo_misses_total",
+		"banditd_decide_mini_rounds_total",
+		"banditd_decide_mini_timeslots_total",
 		"banditd_artifact_cache_hits_total 1",
 		`banditd_request_duration_seconds{op="step",quantile="0.50"}`,
 	} {

@@ -17,8 +17,28 @@ type ShardCounters struct {
 	// Slots counts served slots (self-simulation steps plus applied
 	// observation rounds) — one served decision per slot.
 	Slots atomic.Int64
-	// Decisions counts MWIS strategy decisions actually run.
+	// Decisions counts strategy decisions served (update boundaries),
+	// whether by a full protocol run or a weight-epoch skip.
 	Decisions atomic.Int64
+	// FullDecides and EpochSkips split Decisions by how the decision plane
+	// served them: a full WB + mini-round protocol run vs the cached
+	// previous result under an unchanged weight vector.
+	FullDecides atomic.Int64
+	EpochSkips  atomic.Int64
+	// MemoHits, MemoStructHits and MemoMisses count the local-MWIS memo
+	// lookups of full decides (one per LocalLeader per mini-round): exact
+	// instance replays, structure-only reuses (subgraph + clique partition
+	// cached, weighted search re-run), and full rebuilds.
+	MemoHits       atomic.Int64
+	MemoStructHits atomic.Int64
+	MemoMisses     atomic.Int64
+	// Protocol communication totals of the full decides hosted on the
+	// shard (the per-decision protocol.Stats quantities, summed).
+	MiniRounds         atomic.Int64
+	WeightBroadcasts   atomic.Int64
+	LeaderDeclarations atomic.Int64
+	LocalBroadcasts    atomic.Int64
+	MiniTimeslots      atomic.Int64
 	// Observations counts applied external observation batches.
 	Observations atomic.Int64
 	// ObservationErrors counts failed fire-and-forget observation batches
@@ -45,11 +65,29 @@ func (m *Metrics) TotalSlots() int64 {
 	return t
 }
 
-// TotalDecisions sums the MWIS decision counters across shards.
+// TotalDecisions sums the decision counters across shards.
 func (m *Metrics) TotalDecisions() int64 {
 	var t int64
 	for i := range m.Shards {
 		t += m.Shards[i].Decisions.Load()
+	}
+	return t
+}
+
+// TotalEpochSkips sums the weight-epoch skip counters across shards.
+func (m *Metrics) TotalEpochSkips() int64 {
+	var t int64
+	for i := range m.Shards {
+		t += m.Shards[i].EpochSkips.Load()
+	}
+	return t
+}
+
+// TotalMemoHits sums the local-MWIS memo hit counters across shards.
+func (m *Metrics) TotalMemoHits() int64 {
+	var t int64
+	for i := range m.Shards {
+		t += m.Shards[i].MemoHits.Load()
 	}
 	return t
 }

@@ -5,6 +5,7 @@ import (
 
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/engine"
+	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/spec"
 )
 
@@ -28,8 +29,12 @@ type ScenarioResult struct {
 	SeriesKbps []float64
 	// AvgKbps is the mean of SeriesKbps.
 	AvgKbps float64
-	// Decisions is the number of MWIS strategy decisions run.
+	// Decisions is the number of strategy decisions served.
 	Decisions int64
+	// DecideStats is the decision plane's accounting for the run (full
+	// decides vs weight-epoch skips, local-MWIS memo hits/misses,
+	// communication totals).
+	DecideStats protocol.DecideStats
 }
 
 // RunScenario executes one spec-described scenario for the given horizon,
@@ -89,9 +94,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	avg /= float64(cfg.Slots)
 	return &ScenarioResult{
-		Spec:       canon,
-		SeriesKbps: rec.Series,
-		AvgKbps:    avg,
-		Decisions:  loop.Decisions(),
+		Spec:        canon,
+		SeriesKbps:  rec.Series,
+		AvgKbps:     avg,
+		Decisions:   loop.Decisions(),
+		DecideStats: loop.DecideStats(),
 	}, nil
 }
