@@ -10,7 +10,7 @@ BANDITD_ADDR ?= 127.0.0.1:8650
 # Fig. 7 replication) through the shared slot kernel.
 GOLDEN_ARGS = -exp all -seed 1 -slots 300 -periods 40 -reps 3
 
-.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim bench-decide serve-smoke spec-smoke decide-smoke verify-golden update-golden figures ci
+.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim bench-decide bench-wal serve-smoke spec-smoke decide-smoke recover-smoke verify-golden update-golden figures ci
 
 # Committed ScenarioSpec files driven by spec-smoke: one per channel kind
 # (gaussian, gilbert-elliott, shifting) plus the primary-user wrapper.
@@ -117,6 +117,33 @@ decide-smoke:
 		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; wait $$pid
 
+# Crash-recovery smoke: a race-built banditd runs durably (-data-dir), 64
+# persisted instances take load, the daemon is killed with SIGKILL (no
+# drain, no final snapshot — the crash the WAL exists for), and a restarted
+# banditd -recover must come back with all 64 instances serving decisions
+# (banditload -attach -expect-instances asserts both). The second drive
+# also proves recovered instances accept new load, not just reads.
+recover-smoke:
+	$(GO) build -race -o bin/banditd.race ./cmd/banditd
+	$(GO) build -race -o bin/banditload.race ./cmd/banditload
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	bin/banditd.race -addr $(BANDITD_ADDR) -data-dir "$$dir" & pid=$$!; \
+	bin/banditload.race -addr http://$(BANDITD_ADDR) -instances 64 -clients 4 \
+		-batch 32 -duration 2s -persist -keep -min-throughput 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -KILL $$pid; wait $$pid || true; \
+	bin/banditd.race -addr $(BANDITD_ADDR) -data-dir "$$dir" & pid=$$!; \
+	bin/banditload.race -addr http://$(BANDITD_ADDR) -attach -expect-instances 64 \
+		-clients 4 -batch 32 -duration 2s -min-throughput 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
+# Durability benchmark: WAL append cost per fsync policy and the cold-start
+# recovery time of a 64-instance fleet, recorded machine-readably in
+# BENCH_wal.json (the durability counterpart of BENCH_serve.json).
+bench-wal:
+	$(GO) run ./cmd/walbench -json BENCH_wal.json
+
 # Byte-identity tripwire for the figure pipeline: regenerate figgen output
 # at the fixed golden configuration and compare its SHA-256 against the
 # committed digest. Any change to the RNG stream structure, the kernel's
@@ -150,4 +177,4 @@ update-golden:
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke verify-golden
+ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke recover-smoke verify-golden

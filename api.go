@@ -17,6 +17,7 @@ import (
 	"multihopbandit/internal/spec"
 	"multihopbandit/internal/timing"
 	"multihopbandit/internal/topology"
+	"multihopbandit/internal/wal"
 )
 
 // ---------------------------------------------------------------------------
@@ -48,6 +49,12 @@ type ScenarioDecision = spec.DecisionSpec
 // ScenarioPrimary wraps a spec's channel process with primary-user
 // occupancy.
 type ScenarioPrimary = spec.PrimarySpec
+
+// ScenarioPersist opts a spec's hosted instances into durable persistence
+// (write-ahead observation log + periodic snapshots) when the serving
+// registry has a data directory. Operational only: it never affects the
+// trajectory or the artifact cache key.
+type ScenarioPersist = spec.PersistSpec
 
 // BuiltScenario bundles the artifacts, sampler and policy Build constructs
 // from one spec.
@@ -476,6 +483,46 @@ type ServeClient = serve.Client
 // NewServeClient returns a client for the banditd server at base, e.g.
 // "http://127.0.0.1:8650".
 func NewServeClient(base string) *ServeClient { return serve.NewClient(base) }
+
+// ---------------------------------------------------------------------------
+// Durability (write-ahead observation log, snapshots, record/replay)
+
+// ServePersistOptions configures a registry's durable storage: the data
+// directory, whether every instance persists (banditd -persist-all) or only
+// specs with a persist block, and the default snapshot/fsync knobs. See
+// OPERATIONS.md for the on-disk layout and recovery semantics.
+type ServePersistOptions = serve.PersistOptions
+
+// ServeInstanceMeta is a persisted instance's identity file (meta.json):
+// the canonical spec and effective persistence knobs needed to rebuild it.
+type ServeInstanceMeta = serve.InstanceMeta
+
+// ObservationRecord is one write-ahead-logged slot: the arms whose rewards
+// were observed and the exact reward bits.
+type ObservationRecord = wal.Record
+
+// ReadRecordedInstance loads a persisted instance's meta and complete
+// observation stream from its directory
+// (<data-dir>/instances/id-<id>) — the input of ReplayRecorded. Record
+// with persist.keep_log so the stream is contiguous from slot 0.
+func ReadRecordedInstance(dir string) (ServeInstanceMeta, []ObservationRecord, error) {
+	return serve.ReadRecorded(dir)
+}
+
+// ReplayRecordedConfig parameterizes ReplayRecorded.
+type ReplayRecordedConfig = sim.ReplayConfig
+
+// ReplayRecordedResult is the outcome of one offline replay.
+type ReplayRecordedResult = sim.ReplayResult
+
+// ReplayRecorded feeds a recorded observation stream back through the slot
+// kernel, optionally under a different policy, scoring the replayed
+// decisions exactly against the scenario's true means and brute-force
+// optimum — offline policy A/B without touching production
+// (cmd/banditreplay is the CLI).
+func ReplayRecorded(cfg ReplayRecordedConfig) (*ReplayRecordedResult, error) {
+	return sim.ReplayScenario(cfg)
+}
 
 // ---------------------------------------------------------------------------
 // Scheduling substrate (queueing)

@@ -3,6 +3,7 @@
 // over an HTTP/JSON API.
 //
 //	banditd -addr 127.0.0.1:8650 -shards 4
+//	banditd -data-dir /var/lib/banditd -recover
 //
 // Endpoints (see internal/serve.Server for the full route table):
 //
@@ -16,8 +17,15 @@
 //	GET    /metrics                        per-shard counters + latency histograms
 //	GET    /healthz                        liveness probe
 //
+// With -data-dir every instance is durable: observations append to a
+// per-instance write-ahead log before the request is acknowledged, and
+// learner snapshots publish periodically. A restart with -recover rebuilds
+// every instance bit-identically from snapshot + log tail (see OPERATIONS.md
+// for the directory layout and recovery semantics).
+//
 // The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight requests
-// drain (up to -drain), instances close, and the exit code is 0.
+// drain (up to -drain), instances take a final snapshot and close, and the
+// exit code is 0. SIGKILL is the crash path recovery is built for.
 package main
 
 import (
@@ -41,19 +49,48 @@ func main() {
 		shards  = flag.Int("shards", 0, "registry shards (0 = GOMAXPROCS)")
 		mailbox = flag.Int("mailbox", 0, "per-instance mailbox depth (0 = default)")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+
+		dataDir       = flag.String("data-dir", "", "root directory for durable instance state (empty = in-memory only)")
+		recoverOnBoot = flag.Bool("recover", true, "with -data-dir, rebuild persisted instances on startup")
+		persist       = flag.Bool("persist-all", true, "with -data-dir, persist every instance (not only specs with a persist block)")
+		snapshot      = flag.Int("snapshot-every", 0, "default observed slots between snapshots for -persist-all instances (0 = spec default)")
+		fsync         = flag.String("fsync", "", "default fsync policy for -persist-all instances: always|batch|none (empty = spec default)")
+		regret        = flag.Bool("regret", false, "emit per-instance banditd_regret_* metrics (computes each scenario's exact optimum)")
 	)
 	flag.Parse()
 	log.SetPrefix("banditd: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	reg := serve.NewRegistry(serve.RegistryConfig{Shards: *shards, MailboxDepth: *mailbox})
-	srv := &http.Server{Handler: serve.NewServer(reg)}
+	reg := serve.NewRegistry(serve.RegistryConfig{
+		Shards:       *shards,
+		MailboxDepth: *mailbox,
+		Persist: serve.PersistOptions{
+			DataDir:       *dataDir,
+			All:           *persist,
+			SnapshotEvery: *snapshot,
+			Fsync:         *fsync,
+		},
+	})
+	if *dataDir != "" && *recoverOnBoot {
+		n, err := reg.Recover()
+		if err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+		log.Printf("recovered %d instance(s) from %s", n, *dataDir)
+	}
+	h := serve.NewServer(reg)
+	h.RegretMetrics = *regret
+	srv := &http.Server{Handler: h}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("serving on http://%s (%d shards)", ln.Addr(), reg.Shards())
+	if *dataDir != "" {
+		log.Printf("serving on http://%s (%d shards, durable in %s)", ln.Addr(), reg.Shards(), *dataDir)
+	} else {
+		log.Printf("serving on http://%s (%d shards)", ln.Addr(), reg.Shards())
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -20,6 +20,14 @@
 // replicas — the CI spec-smoke job drives one instance per channel kind
 // from the committed files under testdata/specs/ this way, asserting
 // nonzero MWIS decisions with -min-mwis.
+//
+// With -attach nothing is created: the generator lists the server's
+// existing instances and drives those, leaving them in place afterwards.
+// Combined with -expect-instances N (exit nonzero unless exactly N are
+// listed) this is the post-recovery assertion of the CI recover-smoke job:
+// kill a durable banditd under -persist load, restart it with -recover,
+// then banditload -attach -expect-instances N proves every instance came
+// back and still serves decisions.
 package main
 
 import (
@@ -113,6 +121,9 @@ func main() {
 		minMWIS     = flag.Int64("min-mwis", 0, "exit nonzero below this many total MWIS strategy decisions")
 		minSkips    = flag.Int64("min-epoch-skips", 0, "exit nonzero below this many weight-epoch skips (server /metrics)")
 		specFiles   = flag.String("specs", "", "comma-separated ScenarioSpec files: create one instance per file instead of -instances replicas")
+		attach      = flag.Bool("attach", false, "drive the server's existing instances instead of creating any (implies -keep)")
+		expectInst  = flag.Int("expect-instances", 0, "with -attach, exit nonzero unless exactly this many instances are listed (0 = any)")
+		persistSpec = flag.Bool("persist", false, "create instances with a persist block (durable when the server runs with -data-dir)")
 		keep        = flag.Bool("keep", false, "leave the instances on the server afterwards")
 		verbose     = flag.Bool("v", false, "print the server /metrics after the run")
 	)
@@ -129,7 +140,24 @@ func main() {
 	}
 
 	var ids []string
-	if *specFiles != "" {
+	if *attach {
+		*keep = true
+		infos, err := c.List()
+		if err != nil {
+			log.Fatalf("list instances: %v", err)
+		}
+		if *expectInst > 0 && len(infos) != *expectInst {
+			log.Fatalf("server hosts %d instance(s), expected %d", len(infos), *expectInst)
+		}
+		if len(infos) == 0 {
+			log.Fatal("-attach found no instances to drive")
+		}
+		for _, info := range infos {
+			ids = append(ids, info.ID)
+		}
+		*instances = len(ids)
+		log.Printf("attached to %d existing instance(s)", len(ids))
+	} else if *specFiles != "" {
 		for _, path := range strings.Split(*specFiles, ",") {
 			path = strings.TrimSpace(path)
 			if path == "" {
@@ -154,7 +182,7 @@ func main() {
 	} else {
 		ids = make([]string, *instances)
 		for i := range ids {
-			created, err := c.Create(serve.InstanceConfig{Spec: spec.ScenarioSpec{
+			s := spec.ScenarioSpec{
 				Seed:      *seed + int64(i%*distinct),
 				NoiseSeed: *seed + 7919*int64(i+1), // distinct trajectories per replica
 				Topology: spec.TopologySpec{
@@ -164,7 +192,11 @@ func main() {
 				Channel:  spec.ChannelSpec{M: *m},
 				Policy:   spec.PolicySpec{Kind: *policyName},
 				Decision: spec.DecisionSpec{UpdateEvery: *updateEvery},
-			}})
+			}
+			if *persistSpec {
+				s.Persist = spec.PersistSpec{Enabled: true}
+			}
+			created, err := c.Create(serve.InstanceConfig{Spec: s})
 			if err != nil {
 				log.Fatalf("create instance %d: %v", i, err)
 			}

@@ -1,0 +1,82 @@
+// Command banditreplay feeds a persisted instance's recorded observation
+// stream back through the slot kernel for offline policy A/B: the logged
+// (played, rewards) batches update the candidate policy's estimator
+// off-policy, and the candidate's own strategy decisions are scored exactly
+// against the scenario's true catalog means and brute-force optimum. Run
+// without -policy it reproduces the recorded learner's trajectory; run with
+// -policy it answers "what would policy B have decided, fed A's data?"
+// without touching production.
+//
+// The input directory is one instance's data directory,
+// <data-dir>/instances/id-<id>, recorded by a banditd started with
+// -data-dir. The stream must be contiguous from slot 0, so record with
+// "persist": {"keep_log": true} in the spec (or registry-default
+// persistence never collects before the first snapshot rotation).
+//
+// Usage:
+//
+//	banditreplay -dir /var/lib/banditd/instances/id-cell-7
+//	banditreplay -dir ... -policy llr
+//	banditreplay -dir ... -policy discounted-zhou-li -gamma 0.97 -slots 5000
+//
+// Output is a single JSON summary on stdout (see sim.ReplayResult); add
+// -series to include the cumulative regret curve.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"multihopbandit/internal/serve"
+	"multihopbandit/internal/sim"
+	"multihopbandit/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "banditreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir     = flag.String("dir", "", "recorded instance directory (<data-dir>/instances/id-<id>)")
+		polName = flag.String("policy", "", "candidate policy kind to A/B against the recording (empty = replay the recorded policy)")
+		gamma   = flag.Float64("gamma", 0, "discount factor for -policy discounted-zhou-li (0 = spec default)")
+		epsilon = flag.Float64("epsilon", 0, "exploration probability for -policy eps-greedy (0 = spec default)")
+		slots   = flag.Int("slots", 0, "cap on replayed slots (0 = whole recording)")
+		series  = flag.Bool("series", false, "include the per-slot cumulative regret series in the output")
+	)
+	flag.Parse()
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+
+	meta, recs, err := serve.ReadRecorded(*dir)
+	if err != nil {
+		return err
+	}
+	cfg := sim.ReplayConfig{Spec: meta.Spec, Records: recs, Slots: *slots}
+	if *polName != "" {
+		cfg.Policy = &spec.PolicySpec{Kind: *polName, Gamma: *gamma, Epsilon: *epsilon}
+	}
+	res, err := sim.ReplayScenario(cfg)
+	if err != nil {
+		return err
+	}
+
+	out := struct {
+		Instance string `json:"instance"`
+		Recorded int    `json:"recorded_slots"`
+		*sim.ReplayResult
+	}{Instance: meta.ID, Recorded: len(recs), ReplayResult: res}
+	if !*series {
+		out.RegretSeriesKbps = nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

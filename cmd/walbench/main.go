@@ -1,0 +1,193 @@
+// Command walbench measures the durability layer's two costs: the per-slot
+// write-ahead append on the serving hot path (per fsync policy), and the
+// cold-start recovery of a fleet of persisted instances (snapshot restore +
+// log-tail replay). It writes a machine-readable summary (BENCH_wal.json in
+// `make bench-wal`), the durability counterpart of BENCH_serve.json.
+//
+//	walbench -records 65536 -instances 64 -slots 256 -json BENCH_wal.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"multihopbandit/internal/serve"
+	"multihopbandit/internal/spec"
+	"multihopbandit/internal/wal"
+)
+
+// summary is the machine-readable benchmark report.
+type summary struct {
+	Timestamp string `json:"timestamp"`
+
+	// Append holds one entry per fsync policy: the cost of appending one
+	// observation record (8 played arms) to a segment.
+	Append []appendResult `json:"append"`
+
+	// Recovery is the fleet cold-start measurement.
+	Recovery recoveryResult `json:"recovery"`
+}
+
+type appendResult struct {
+	Fsync          string  `json:"fsync"`
+	Records        int     `json:"records"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerRecord float64 `json:"bytes_per_record"`
+}
+
+type recoveryResult struct {
+	Instances     int     `json:"instances"`
+	SlotsEach     int     `json:"slots_each"`
+	SnapshotEvery int     `json:"snapshot_every"`
+	TotalMS       float64 `json:"total_ms"`
+	PerInstanceMS float64 `json:"per_instance_ms"`
+}
+
+func main() {
+	var (
+		records   = flag.Int("records", 65536, "records per append measurement")
+		syncCount = flag.Int("sync-records", 2048, "records for the fsync=always measurement (each append is one fsync)")
+		instances = flag.Int("instances", 64, "persisted instances in the recovery measurement")
+		slots     = flag.Int("slots", 256, "slots driven per instance before the crash")
+		snapEvery = flag.Int("snapshot-every", 64, "snapshot cadence of the recovery fleet")
+		jsonOut   = flag.String("json", "", "write a JSON summary to this file")
+	)
+	flag.Parse()
+	log.SetPrefix("walbench: ")
+	log.SetFlags(0)
+
+	rep := summary{Timestamp: time.Now().UTC().Format(time.RFC3339)}
+	for _, pol := range []struct {
+		policy wal.SyncPolicy
+		n      int
+	}{
+		{wal.SyncNone, *records},
+		{wal.SyncBatch, *records},
+		{wal.SyncAlways, *syncCount},
+	} {
+		res, err := benchAppend(pol.policy, pol.n)
+		if err != nil {
+			log.Fatalf("append %s: %v", pol.policy, err)
+		}
+		rep.Append = append(rep.Append, res)
+		log.Printf("append fsync=%-6s %8.0f ns/op  %5.1f B/record  (%d records)",
+			res.Fsync, res.NsPerOp, res.BytesPerRecord, res.Records)
+	}
+
+	rec, err := benchRecovery(*instances, *slots, *snapEvery)
+	if err != nil {
+		log.Fatalf("recovery: %v", err)
+	}
+	rep.Recovery = rec
+	log.Printf("recovery: %d instances × %d slots in %.1f ms (%.2f ms/instance)",
+		rec.Instances, rec.SlotsEach, rec.TotalMS, rec.PerInstanceMS)
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+}
+
+// benchAppend measures one policy's append cost on a fresh segment: an
+// 8-arm observation record per op, the shape a served N=10 instance logs.
+func benchAppend(policy wal.SyncPolicy, n int) (appendResult, error) {
+	dir, err := os.MkdirTemp("", "walbench")
+	if err != nil {
+		return appendResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	lg, err := wal.Create(filepath.Join(dir, wal.SegmentName(0)), 0, policy)
+	if err != nil {
+		return appendResult{}, err
+	}
+	defer lg.Close()
+
+	played := make([]int, 8)
+	rewards := make([]float64, 8)
+	for i := range played {
+		played[i] = i * 3
+		rewards[i] = float64(i) / 8
+	}
+	start := time.Now()
+	for s := 0; s < n; s++ {
+		if err := lg.Append(wal.Record{Slot: s, Played: played, Rewards: rewards}); err != nil {
+			return appendResult{}, err
+		}
+	}
+	if err := lg.Sync(); err != nil {
+		return appendResult{}, err
+	}
+	elapsed := time.Since(start)
+	return appendResult{
+		Fsync:   string(policy),
+		Records: n,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(n),
+		// AppendedBytes is the last record's frame size; every record here
+		// has the same shape.
+		BytesPerRecord: float64(lg.AppendedBytes()),
+	}, nil
+}
+
+// benchRecovery builds a fleet of persisted instances, drives each through
+// self-simulation (every slot appends to its WAL), kills the registry
+// abruptly, and times Registry.Recover rebuilding all of them.
+func benchRecovery(instances, slots, snapEvery int) (recoveryResult, error) {
+	dir, err := os.MkdirTemp("", "walbench")
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	reg := serve.NewRegistry(serve.RegistryConfig{
+		Persist: serve.PersistOptions{DataDir: dir, All: true, SnapshotEvery: snapEvery, Fsync: spec.FsyncNone},
+	})
+	for i := 0; i < instances; i++ {
+		h, err := reg.Create(serve.InstanceConfig{Spec: spec.ScenarioSpec{
+			Seed:      1, // one shared artifact set: recovery cost, not graph construction
+			NoiseSeed: int64(i + 1),
+			Topology:  spec.TopologySpec{N: 10, RequireConnected: true},
+			Channel:   spec.ChannelSpec{M: 2},
+			Decision:  spec.DecisionSpec{UpdateEvery: 4},
+		}})
+		if err != nil {
+			return recoveryResult{}, err
+		}
+		if _, err := h.Step(slots); err != nil {
+			return recoveryResult{}, err
+		}
+	}
+	reg.CloseAbrupt()
+
+	reg2 := serve.NewRegistry(serve.RegistryConfig{
+		Persist: serve.PersistOptions{DataDir: dir, All: true, SnapshotEvery: snapEvery, Fsync: spec.FsyncNone},
+	})
+	defer reg2.Close()
+	start := time.Now()
+	n, err := reg2.Recover()
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	elapsed := time.Since(start)
+	if n != instances {
+		return recoveryResult{}, fmt.Errorf("recovered %d of %d instances", n, instances)
+	}
+	return recoveryResult{
+		Instances:     instances,
+		SlotsEach:     slots,
+		SnapshotEvery: snapEvery,
+		TotalMS:       float64(elapsed.Microseconds()) / 1000,
+		PerInstanceMS: float64(elapsed.Microseconds()) / 1000 / float64(instances),
+	}, nil
+}

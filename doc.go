@@ -150,7 +150,35 @@
 // {"code","message"} payloads), and cmd/banditload is the closed-loop load
 // generator behind `make bench-serve` (results tracked in
 // BENCH_serve.json). The pre-spec flat create payload is still accepted
-// and maps 1:1 onto a spec. See EXPERIMENTS.md for the serving workflow.
+// and maps 1:1 onto a spec. See EXPERIMENTS.md for the serving workflow
+// and OPERATIONS.md for the operator's runbook.
+//
+// # Durability
+//
+// With a data directory (banditd -data-dir, or ServePersistOptions on the
+// registry) hosted learners survive crashes. Each persisted instance owns
+// a directory holding its identity (meta.json: canonical spec + effective
+// persistence knobs), a write-ahead observation log (CRC-framed binary
+// segments recording each slot's played arms and exact reward bits before
+// the request is acknowledged), and a periodic learner snapshot published
+// atomically through the same bit-exact Snapshot/Restore path the serving
+// API exposes. Recovery (banditd -recover / ServeRegistry.Recover)
+// rebuilds every instance from snapshot + log-tail replay through the one
+// slot kernel; because the log carries the exact reward bits and the
+// policy streams re-derive from the spec, an externally driven recovered
+// instance continues bit-identically to a run that never crashed —
+// internal/serve's crash-recovery golden tests kill mid-update-period and
+// assert it, and the CI recover-smoke job SIGKILLs a loaded daemon and
+// asserts the restart serves every instance. Torn log tails truncate,
+// mid-file corruption is rejected, and fsync policy (always/batch/none)
+// trades append latency against machine-crash loss; `make bench-wal`
+// tracks the costs in BENCH_wal.json. A recorded stream feeds back
+// through the kernel offline via ReplayRecorded (cmd/banditreplay) for
+// policy A/B against the true catalog means. The WAL framing and snapshot
+// file format are part of the versioned bit-identity contract
+// (CONTRIBUTING.md); the directory layout, recovery semantics and metrics
+// families (banditd_wal_*, banditd_regret_*) are documented in
+// OPERATIONS.md.
 //
 // # Quick start
 //
@@ -167,5 +195,6 @@
 //	// handle err
 //
 // Every run is deterministic given the root seed. See the examples/
-// directory for complete programs and DESIGN.md for the architecture.
+// directory for complete programs, README.md for the package map and
+// repository tour, and OPERATIONS.md for running banditd in production.
 package multihopbandit

@@ -257,7 +257,7 @@ func (l *Loop) StepSampled(obs SlotObserver) (float64, error) {
 		l.dyn.Tick()
 	}
 	if obs != nil {
-		l.emit(obs, total)
+		l.emit(obs, l.curWinners, l.rewards, total)
 	}
 	l.slot++
 	return total, nil
@@ -267,26 +267,37 @@ func (l *Loop) StepSampled(obs SlotObserver) (float64, error) {
 // when due, then feed the caller's observation batch (played virtual-vertex
 // ids and their rewards) to the estimator. The sampler, if any, is neither
 // consulted nor ticked — the external environment owns the channel process.
-func (l *Loop) StepExternal(played []int, rewards []float64) error {
+// When obs is non-nil the slot streams to it like a sampled slot; the
+// view's Played is the caller's batch, which in off-policy replay may
+// differ from the kernel's own Winners.
+func (l *Loop) StepExternal(played []int, rewards []float64, obs SlotObserver) error {
 	if _, err := l.EnsureDecided(); err != nil {
 		return err
 	}
 	if err := l.pol.Update(played, rewards); err != nil {
 		return fmt.Errorf("core: policy update at slot %d: %w", l.slot, err)
 	}
+	if obs != nil {
+		total := 0.0
+		for _, x := range rewards {
+			total += x
+		}
+		l.emit(obs, played, rewards, total)
+	}
 	l.slot++
 	return nil
 }
 
 // emit fills the reused view and hands it to the observer.
-func (l *Loop) emit(obs SlotObserver, total float64) {
+func (l *Loop) emit(obs SlotObserver, played []int, rewards []float64, total float64) {
 	decided := l.decidedSlot == l.slot
 	l.view = SlotView{
 		Slot:            l.slot,
 		Decided:         decided,
 		Strategy:        l.curStrategy,
 		Winners:         l.curWinners,
-		Rewards:         l.rewards,
+		Played:          played,
+		Rewards:         rewards,
 		Observed:        total,
 		EstimatedWeight: l.curEstimate,
 	}

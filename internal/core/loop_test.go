@@ -74,7 +74,7 @@ func TestLoopExternalMatchesSampled(t *testing.T) {
 		if !equalInts(external.Winners(), capture.winners) {
 			t.Fatalf("slot %d: winners %v (external) vs %v (sampled)", s, external.Winners(), capture.winners)
 		}
-		if err := external.StepExternal(capture.winners, capture.rewards); err != nil {
+		if err := external.StepExternal(capture.winners, capture.rewards, nil); err != nil {
 			t.Fatal(err)
 		}
 		if external.Slot() != sampled.Slot() {
@@ -205,7 +205,7 @@ func TestLoopWithoutSampler(t *testing.T) {
 	if _, err := l.EnsureDecided(); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.StepExternal(l.Winners(), make([]float64, len(l.Winners()))); err != nil {
+	if err := l.StepExternal(l.Winners(), make([]float64, len(l.Winners())), nil); err != nil {
 		t.Fatal(err)
 	}
 	if l.Slot() != 1 {

@@ -20,10 +20,14 @@ type SlotView struct {
 	Decided bool
 	// Strategy is the channel assignment transmitted in this slot.
 	Strategy extgraph.Strategy
-	// Winners are the played virtual-vertex ids.
+	// Winners are the current strategy's virtual-vertex ids.
 	Winners []int
-	// Rewards are the winners' realized per-arm rewards, aligned with
-	// Winners. Only populated on sampled slots.
+	// Played are the vertex ids whose rewards were observed this slot: on
+	// sampled slots it aliases Winners; on external slots it is the caller's
+	// observation batch, which may differ from the kernel's own strategy
+	// (off-policy replay feeds one policy's log to another).
+	Played []int
+	// Rewards are the realized per-arm rewards, aligned with Played.
 	Rewards []float64
 	// Observed is the realized total throughput Σ ξ (normalized units).
 	Observed float64

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -129,6 +130,12 @@ type instanceStats struct {
 	slot         atomic.Int64
 	decisions    atomic.Int64
 	observations atomic.Int64
+	// observedSlots and observedBits (float64 bits) are the regret window:
+	// the slots whose realized rewards this process has seen, and their
+	// summed reward (normalized). The window restarts with the process or a
+	// restore — see the regret-telemetry notes in OPERATIONS.md.
+	observedSlots atomic.Int64
+	observedBits  atomic.Uint64
 }
 
 // Instance is a handle to one hosted instance. All methods are safe for
@@ -140,7 +147,9 @@ type Instance struct {
 	shard   int
 	spec    spec.ScenarioSpec // canonical
 	k       int
+	dir     string // persisted instance directory ("" = not persisted)
 	stats   *instanceStats
+	abrupt  *atomic.Bool // set before close to skip the final snapshot
 	mailbox chan request
 	stop    chan struct{}
 	closed  chan struct{}
@@ -288,6 +297,18 @@ func (i *Instance) Info() (*InstanceInfo, error) {
 	return resp.info, nil
 }
 
+// Persisted reports whether the instance participates in the durability
+// layer, and its on-disk directory when it does.
+func (i *Instance) Persisted() (string, bool) { return i.dir, i.dir != "" }
+
+// ObservedWindow returns the regret window the actor has published: the
+// number of slots whose realized rewards this process observed, and their
+// summed reward (normalized units). Like InfoSnapshot it reads the
+// lock-free published stats, trailing in-flight work by at most a request.
+func (i *Instance) ObservedWindow() (slots int64, total float64) {
+	return i.stats.observedSlots.Load(), math.Float64frombits(i.stats.observedBits.Load())
+}
+
 // InfoSnapshot returns a summary without entering the mailbox, from the
 // counters the actor publishes after each handled request. It can trail
 // in-flight work by one request but never blocks — the registry listing
@@ -320,12 +341,17 @@ type actor struct {
 	counters *ShardCounters
 	stats    *instanceStats
 	loop     *core.Loop
+	persist  *persister   // nil when the instance is not persisted
+	abrupt   *atomic.Bool // skip the final snapshot when set at close
 
-	observations int64
+	observations  int64
+	observedSlots int64
+	observedTotal float64
 }
 
 func (a *actor) run(mailbox chan request, stop, closed chan struct{}) {
 	defer close(closed)
+	defer a.persistFinal()
 	for {
 		select {
 		case <-stop:
@@ -337,6 +363,9 @@ func (a *actor) run(mailbox chan request, stop, closed chan struct{}) {
 			return
 		case req := <-mailbox:
 			resp := a.handle(req)
+			// Durability before the reply: a synchronous caller that got an
+			// OK has its batch on disk under the instance's fsync policy.
+			a.persistAfterRequest()
 			a.publishStats()
 			if req.reply != nil {
 				req.reply <- resp
@@ -350,6 +379,8 @@ func (a *actor) publishStats() {
 	a.stats.slot.Store(int64(a.loop.Slot()))
 	a.stats.decisions.Store(a.loop.Decisions())
 	a.stats.observations.Store(a.observations)
+	a.stats.observedSlots.Store(a.observedSlots)
+	a.stats.observedBits.Store(math.Float64bits(a.observedTotal))
 }
 
 func (a *actor) handle(req request) response {
@@ -418,13 +449,16 @@ func (a *actor) step(n int) (*StepResult, error) {
 			a.counters.Slots.Add(int64(applied))
 		}
 	}()
+	obs := a.observer()
 	for i := 0; i < n; i++ {
-		x, err := a.loop.StepSampled(nil)
+		x, err := a.loop.StepSampled(obs)
 		if err != nil {
 			return nil, err
 		}
 		total += x
 		applied++
+		a.observedSlots++
+		a.observedTotal += x
 	}
 	return &StepResult{
 		Slots:        n,
@@ -459,12 +493,17 @@ func (a *actor) observe(batches []ObservationBatch) (*ObserveResult, error) {
 			a.counters.Observations.Add(int64(applied))
 		}
 	}()
+	obs := a.observer()
 	for bi, b := range batches {
-		if err := a.loop.StepExternal(b.Played, b.Rewards); err != nil {
+		if err := a.loop.StepExternal(b.Played, b.Rewards, obs); err != nil {
 			return nil, fmt.Errorf("serve: observation batch %d: %w", bi, err)
 		}
 		a.observations++
 		applied++
+		a.observedSlots++
+		for _, x := range b.Rewards {
+			a.observedTotal += x
+		}
 	}
 	return &ObserveResult{Applied: applied, Slot: a.loop.Slot()}, nil
 }
@@ -538,7 +577,13 @@ func (a *actor) restore(s *Snapshot) error {
 	if err := snap.Restore(s.Learner); err != nil {
 		return err
 	}
-	return a.loop.RestoreState(st)
+	if err := a.loop.RestoreState(st); err != nil {
+		return err
+	}
+	// The regret window measures what THIS trajectory observed; a restore
+	// starts a new one.
+	a.observedSlots, a.observedTotal = 0, 0
+	return nil
 }
 
 func (a *actor) info() *InstanceInfo {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"multihopbandit/internal/channel"
 	"multihopbandit/internal/spec"
 )
 
@@ -31,6 +32,12 @@ import (
 type Server struct {
 	reg   *Registry
 	start time.Time
+
+	// RegretMetrics switches the per-instance banditd_regret_* families on.
+	// Off by default: the genie optimum behind them (engine's exact MWIS) is
+	// exponential in the worst case on first computation per artifact set.
+	// Set before serving; banditd wires it to -regret.
+	RegretMetrics bool
 
 	latCreate   Histogram
 	latStep     Histogram
@@ -367,6 +374,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(&b, "banditd_decide_mini_timeslots_total{shard=\"%d\"} %d\n", i, sc.MiniTimeslots.Load())
 		fmt.Fprintf(&b, "banditd_observations_total{shard=\"%d\"} %d\n", i, sc.Observations.Load())
 		fmt.Fprintf(&b, "banditd_observation_errors_total{shard=\"%d\"} %d\n", i, sc.ObservationErrors.Load())
+		fmt.Fprintf(&b, "banditd_wal_appends_total{shard=\"%d\"} %d\n", i, sc.WALAppends.Load())
+		fmt.Fprintf(&b, "banditd_wal_append_bytes_total{shard=\"%d\"} %d\n", i, sc.WALAppendBytes.Load())
+		fmt.Fprintf(&b, "banditd_wal_fsyncs_total{shard=\"%d\"} %d\n", i, sc.WALFsyncs.Load())
+		fmt.Fprintf(&b, "banditd_wal_snapshots_total{shard=\"%d\"} %d\n", i, sc.WALSnapshots.Load())
+		fmt.Fprintf(&b, "banditd_wal_errors_total{shard=\"%d\"} %d\n", i, sc.WALErrors.Load())
+		fmt.Fprintf(&b, "banditd_recovered_instances_total{shard=\"%d\"} %d\n", i, sc.Recovered.Load())
+	}
+	if s.RegretMetrics {
+		s.writeRegretMetrics(&b)
 	}
 	cs := s.reg.Cache().Stats()
 	fmt.Fprintf(&b, "banditd_artifact_cache_hits_total %d\n", cs.Hits)
@@ -397,4 +413,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// writeRegretMetrics emits the per-instance regret families: the genie
+// optimum W* of the instance's artifacts (engine's cached exact MWIS over
+// the catalog means), the observation window, and the cumulative regret
+// window·W* − Σ observed over it — the quantity whose O(√t log t) growth is
+// the paper's Theorem 2. All on the paper's kbps scale. For dynamic channel
+// kinds W* is the static catalog optimum, so the value is regret against
+// the best static strategy, not the clairvoyant dynamic one.
+func (s *Server) writeRegretMetrics(b *strings.Builder) {
+	for _, h := range s.reg.handles() {
+		inst, err := s.reg.cache.Scenario(h.spec)
+		if err != nil {
+			continue
+		}
+		opt, err := inst.Optimal()
+		if err != nil {
+			continue
+		}
+		slots, total := h.ObservedWindow()
+		fmt.Fprintf(b, "banditd_optimal_kbps{instance=%q} %.6f\n", h.id, channel.Kbps(opt))
+		fmt.Fprintf(b, "banditd_regret_window_slots{instance=%q} %d\n", h.id, slots)
+		fmt.Fprintf(b, "banditd_regret_kbps_total{instance=%q} %.6f\n", h.id, channel.Kbps(float64(slots)*opt-total))
+	}
 }

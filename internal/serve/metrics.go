@@ -44,6 +44,20 @@ type ShardCounters struct {
 	// ObservationErrors counts failed fire-and-forget observation batches
 	// (the only place their errors surface).
 	ObservationErrors atomic.Int64
+	// WALAppends and WALAppendBytes count write-ahead log records appended
+	// by the shard's persisted instances, and their framed bytes.
+	WALAppends     atomic.Int64
+	WALAppendBytes atomic.Int64
+	// WALFsyncs counts real fsyncs (no-op syncs on a clean log not included).
+	WALFsyncs atomic.Int64
+	// WALSnapshots counts published snapshot files.
+	WALSnapshots atomic.Int64
+	// WALErrors counts durability failures. Persistence is fail-open: a
+	// failed instance keeps serving with appends stopped, and this counter
+	// is where the damage shows (alert on it — see OPERATIONS.md).
+	WALErrors atomic.Int64
+	// Recovered counts instances rebuilt by Registry.Recover.
+	Recovered atomic.Int64
 }
 
 // Metrics aggregates the registry's per-shard counters.

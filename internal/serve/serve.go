@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -42,6 +43,7 @@ import (
 
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/engine"
+	"multihopbandit/internal/policy"
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/spec"
 )
@@ -69,6 +71,9 @@ type RegistryConfig struct {
 	// MailboxDepth is the per-instance mailbox buffer (default 128). A full
 	// mailbox applies backpressure: senders block until the actor drains.
 	MailboxDepth int
+	// Persist configures the durability layer (see persist.go); the zero
+	// value disables it.
+	Persist PersistOptions
 }
 
 // Registry hosts decision-serving instances, sharded by instance ID. It is
@@ -78,6 +83,7 @@ type Registry struct {
 	cache   *engine.ArtifactCache
 	mailbox int
 	metrics *Metrics
+	persist PersistOptions
 	nextID  atomic.Uint64
 }
 
@@ -105,6 +111,7 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		cache:   c,
 		mailbox: depth,
 		metrics: newMetrics(n),
+		persist: cfg.Persist,
 	}
 	for i := range r.shards {
 		r.shards[i] = &shard{instances: make(map[string]*Instance)}
@@ -240,6 +247,91 @@ func NoiseStream(noiseSeed int64) *rng.Source {
 	return spec.NoiseStream(noiseSeed)
 }
 
+// buildLoop constructs a scenario's slot kernel through the registry's
+// artifact cache — the single construction path Create and Recover share.
+func (r *Registry) buildLoop(canon spec.ScenarioSpec) (*core.Loop, int, error) {
+	inst, err := r.cache.Scenario(canon)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: instance artifacts: %w", err)
+	}
+	rt, err := inst.Runtime(canon.Decision.R, canon.Decision.D)
+	if err != nil {
+		return nil, 0, err
+	}
+	sampler, err := spec.BuildSampler(canon, inst.Means)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: instance channels: %w", err)
+	}
+	pol, err := spec.BuildPolicy(canon.Policy, inst.Ext.K(), inst.Ext.N,
+		sampler.Means(), spec.PolicyStream(canon.NoiseSeed))
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: instance policy: %w", err)
+	}
+	loop, err := core.NewLoop(core.LoopConfig{
+		Ext:         inst.Ext,
+		Runtime:     rt,
+		Policy:      pol,
+		Sampler:     sampler,
+		UpdateEvery: canon.Decision.UpdateEvery,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return loop, inst.Ext.K(), nil
+}
+
+// register builds the handle and actor around a constructed loop, claims
+// the ID on its shard, sets up persistence via mkPersist (nil = none; an
+// error there unregisters and fails the call), and starts the actor.
+func (r *Registry) register(id string, canon spec.ScenarioSpec, k int, loop *core.Loop,
+	mkPersist func(counters *ShardCounters) (*persister, error)) (*Instance, error) {
+	si, sh := r.shardFor(id)
+	stats := &instanceStats{}
+	abrupt := &atomic.Bool{}
+	a := &actor{
+		id:       id,
+		counters: &r.metrics.Shards[si],
+		stats:    stats,
+		loop:     loop,
+		abrupt:   abrupt,
+	}
+	h := &Instance{
+		id:      id,
+		shard:   si,
+		spec:    canon,
+		k:       k,
+		stats:   stats,
+		abrupt:  abrupt,
+		mailbox: make(chan request, r.mailbox),
+		stop:    make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	sh.mu.Lock()
+	if _, exists := sh.instances[id]; exists {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	sh.instances[id] = h
+	sh.mu.Unlock()
+
+	if mkPersist != nil {
+		p, err := mkPersist(&r.metrics.Shards[si])
+		if err != nil {
+			sh.mu.Lock()
+			delete(sh.instances, id)
+			sh.mu.Unlock()
+			return nil, err
+		}
+		a.persist = p
+		h.dir = p.dir
+	}
+	a.publishStats() // recovered instances report their position immediately
+	go a.run(h.mailbox, h.stop, h.closed)
+	r.metrics.Shards[si].Created.Add(1)
+	r.metrics.Shards[si].Instances.Add(1)
+	return h, nil
+}
+
 // Create builds, registers and starts a hosted instance.
 func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
 	canon, err := cfg.Spec.Canonical()
@@ -250,22 +342,18 @@ func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
 	if id == "" {
 		id = fmt.Sprintf("inst-%d", r.nextID.Add(1))
 	}
-	inst, err := r.cache.Scenario(canon)
-	if err != nil {
-		return nil, fmt.Errorf("serve: instance artifacts: %w", err)
-	}
-	rt, err := inst.Runtime(canon.Decision.R, canon.Decision.D)
+	loop, k, err := r.buildLoop(canon)
 	if err != nil {
 		return nil, err
 	}
-	sampler, err := spec.BuildSampler(canon, inst.Means)
-	if err != nil {
-		return nil, fmt.Errorf("serve: instance channels: %w", err)
-	}
-	pol, err := spec.BuildPolicy(canon.Policy, inst.Ext.K(), inst.Ext.N,
-		sampler.Means(), spec.PolicyStream(canon.NoiseSeed))
-	if err != nil {
-		return nil, fmt.Errorf("serve: instance policy: %w", err)
+	var mkPersist func(counters *ShardCounters) (*persister, error)
+	if opts, on := r.effectivePersist(canon); on {
+		_, canSnapshot := loop.Policy().(policy.Snapshotter)
+		// id is captured by reference: the retry loop below may regenerate
+		// it before registration reaches the callback.
+		mkPersist = func(counters *ShardCounters) (*persister, error) {
+			return r.setupPersist(id, canon, opts, canSnapshot, counters)
+		}
 	}
 
 	// Register under the (possibly generated) ID. Auto-generated names
@@ -273,52 +361,16 @@ func (r *Registry) Create(cfg InstanceConfig) (*Instance, error) {
 	// "inst-<n>" explicitly); explicit names fail loudly. Only the cheap
 	// handle construction sits inside the retry loop — the expensive
 	// artifacts above are reused across retries.
-	loop, err := core.NewLoop(core.LoopConfig{
-		Ext:         inst.Ext,
-		Runtime:     rt,
-		Policy:      pol,
-		Sampler:     sampler,
-		UpdateEvery: canon.Decision.UpdateEvery,
-	})
-	if err != nil {
-		return nil, err
-	}
-
 	auto := cfg.ID == ""
 	for {
-		si, sh := r.shardFor(id)
-		stats := &instanceStats{}
-		a := &actor{
-			id:       id,
-			counters: &r.metrics.Shards[si],
-			stats:    stats,
-			loop:     loop,
-		}
-		h := &Instance{
-			id:      id,
-			shard:   si,
-			spec:    canon,
-			k:       inst.Ext.K(),
-			stats:   stats,
-			mailbox: make(chan request, r.mailbox),
-			stop:    make(chan struct{}),
-			closed:  make(chan struct{}),
-		}
-		sh.mu.Lock()
-		if _, exists := sh.instances[id]; exists {
-			sh.mu.Unlock()
-			if !auto {
-				return nil, fmt.Errorf("%w: %q", ErrExists, id)
+		h, err := r.register(id, canon, k, loop, mkPersist)
+		if err != nil {
+			if auto && errors.Is(err, ErrExists) {
+				id = fmt.Sprintf("inst-%d", r.nextID.Add(1))
+				continue
 			}
-			id = fmt.Sprintf("inst-%d", r.nextID.Add(1))
-			continue
+			return nil, err
 		}
-		sh.instances[id] = h
-		sh.mu.Unlock()
-
-		go a.run(h.mailbox, h.stop, h.closed)
-		r.metrics.Shards[si].Created.Add(1)
-		r.metrics.Shards[si].Instances.Add(1)
 		return h, nil
 	}
 }
@@ -349,8 +401,25 @@ func (r *Registry) List() []InstanceInfo {
 	return infos
 }
 
+// handles returns every hosted instance handle, sorted by ID (the regret
+// metrics walk it).
+func (r *Registry) handles() []*Instance {
+	var hs []*Instance
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, h := range sh.instances {
+			hs = append(hs, h)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].id < hs[j].id })
+	return hs
+}
+
 // Remove closes and unregisters an instance. Requests in flight (including
 // queued fire-and-forget observations) fail with ErrClosed or are dropped.
+// A persisted instance's on-disk state is deleted after its actor exits —
+// removal is the end of the trajectory, not a restart point.
 func (r *Registry) Remove(id string) error {
 	si, sh := r.shardFor(id)
 	sh.mu.Lock()
@@ -365,19 +434,47 @@ func (r *Registry) Remove(id string) error {
 	h.close()
 	r.metrics.Shards[si].Closed.Add(1)
 	r.metrics.Shards[si].Instances.Add(-1)
+	if h.dir != "" {
+		// Wait for the actor so nothing re-creates files mid-delete.
+		<-h.closed
+		return os.RemoveAll(h.dir)
+	}
 	return nil
 }
 
-// Close closes every hosted instance.
+// Close closes every hosted instance and waits for the actors to exit, so
+// persisted instances land their final snapshots before Close returns —
+// this is the graceful half of a rolling deploy (the data directories
+// survive for the next process's Recover).
 func (r *Registry) Close() {
+	r.closeAll(false)
+}
+
+// CloseAbrupt closes every instance without final snapshots or syncs —
+// an in-process stand-in for SIGKILL. What recovery then sees is exactly
+// the crash surface: the durable snapshot plus the appended log tail. The
+// crash-recovery golden tests and the WAL benchmark are its consumers.
+func (r *Registry) CloseAbrupt() {
+	r.closeAll(true)
+}
+
+func (r *Registry) closeAll(abrupt bool) {
+	var handles []*Instance
 	for si, sh := range r.shards {
 		sh.mu.Lock()
 		for id, h := range sh.instances {
+			if abrupt {
+				h.abrupt.Store(true)
+			}
 			h.close()
 			delete(sh.instances, id)
 			r.metrics.Shards[si].Closed.Add(1)
 			r.metrics.Shards[si].Instances.Add(-1)
+			handles = append(handles, h)
 		}
 		sh.mu.Unlock()
+	}
+	for _, h := range handles {
+		<-h.closed
 	}
 }

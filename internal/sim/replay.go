@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/engine"
+	"multihopbandit/internal/protocol"
+	"multihopbandit/internal/spec"
+	"multihopbandit/internal/wal"
+)
+
+// ReplayConfig parameterizes ReplayScenario: a recorded observation stream
+// (a persisted instance's WAL, loaded with serve.ReadRecorded) fed back
+// through the slot kernel, optionally under a different policy — the
+// offline-A/B mode of EXPERIMENTS.md.
+type ReplayConfig struct {
+	// Spec is the scenario the stream was recorded under (the recorded
+	// instance's meta spec). Canonicalized before the run.
+	Spec spec.ScenarioSpec
+	// Records is the observation stream, ascending by slot and starting at
+	// slot 0 (record with persist.keep_log so no segment is collected).
+	Records []wal.Record
+	// Policy optionally replaces the spec's learning rule: the candidate of
+	// an offline A/B. Nil replays under the recorded policy.
+	Policy *spec.PolicySpec
+	// Slots optionally caps how many records are replayed (0 = all).
+	Slots int
+	// Cache optionally shares artifacts; nil builds a private one.
+	Cache *engine.ArtifactCache
+}
+
+// ReplayResult is the outcome of one replay.
+type ReplayResult struct {
+	// Spec is the canonical spec the replay executed (policy override
+	// applied).
+	Spec spec.ScenarioSpec `json:"spec"`
+	// Slots is the number of replayed records.
+	Slots int `json:"slots"`
+	// OptimalKbps is the genie-optimal static strategy weight W* of the
+	// scenario's artifacts (kbps) — the regret baseline. For dynamic channel
+	// kinds it is the static catalog optimum.
+	OptimalKbps float64 `json:"optimal_kbps"`
+	// AvgObservedKbps is the logged stream's mean realized throughput: a
+	// property of the recording, identical across candidate policies.
+	AvgObservedKbps float64 `json:"avg_observed_kbps"`
+	// AvgDecisionKbps is the mean true value Σ μ(winners) of the replayed
+	// policy's own decisions (kbps): what THIS policy would earn in
+	// expectation playing its choices — the offline-A/B comparison metric.
+	AvgDecisionKbps float64 `json:"avg_decision_kbps"`
+	// RegretKbps is the cumulative decision regret Σ (W* − Σ μ(winners))
+	// over the replay (kbps); RegretSeriesKbps is its per-slot prefix sum.
+	RegretKbps       float64   `json:"regret_kbps"`
+	RegretSeriesKbps []float64 `json:"regret_series_kbps,omitempty"`
+	// Decisions and DecideStats are the decision plane's accounting.
+	Decisions   int64                `json:"decisions"`
+	DecideStats protocol.DecideStats `json:"decide_stats"`
+}
+
+// replayScorer scores each replayed slot against the true catalog means:
+// exact expected values, no estimation noise — valid offline because the
+// environment is fully determined by the spec.
+type replayScorer struct {
+	means       []float64
+	opt         float64 // W*, normalized
+	cumRegret   float64
+	cumObserved float64
+	cumDecision float64
+	series      []float64
+}
+
+func (r *replayScorer) OnSlot(v *core.SlotView) {
+	val := 0.0
+	for _, w := range v.Winners {
+		val += r.means[w]
+	}
+	r.cumDecision += val
+	r.cumRegret += r.opt - val
+	r.cumObserved += v.Observed
+	r.series = append(r.series, channel.Kbps(r.cumRegret))
+}
+
+// ReplayScenario feeds a recorded observation stream through the slot
+// kernel: each record's (played, rewards) batch updates the estimator
+// off-policy, while the kernel's own strategy decisions — the recorded
+// policy's, or the override's — are scored exactly against the true catalog
+// means and the cached brute-force optimum. Replaying a recording under its
+// own spec reproduces the recorded learner trajectory bit-identically (the
+// same StepExternal path recovery uses); replaying under a policy override
+// answers "what would policy B have decided, fed A's data?" without
+// touching production.
+func ReplayScenario(cfg ReplayConfig) (*ReplayResult, error) {
+	if len(cfg.Records) == 0 {
+		return nil, fmt.Errorf("sim: replay needs a recorded stream")
+	}
+	canon, err := cfg.Spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Policy != nil {
+		canon.Policy = *cfg.Policy
+		if canon, err = canon.Canonical(); err != nil {
+			return nil, fmt.Errorf("sim: replay policy override: %w", err)
+		}
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = engine.NewArtifactCache()
+	}
+	inst, err := cache.Scenario(canon)
+	if err != nil {
+		return nil, fmt.Errorf("sim: replay artifacts: %w", err)
+	}
+	rt, err := inst.Runtime(canon.Decision.R, canon.Decision.D)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := spec.BuildPolicy(canon.Policy, inst.Ext.K(), inst.Ext.N,
+		inst.Means, spec.PolicyStream(canon.NoiseSeed))
+	if err != nil {
+		return nil, err
+	}
+	// No sampler: the recorded stream is the environment.
+	loop, err := core.NewLoop(core.LoopConfig{
+		Ext:         inst.Ext,
+		Runtime:     rt,
+		Policy:      pol,
+		UpdateEvery: canon.Decision.UpdateEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt, err := inst.Optimal()
+	if err != nil {
+		return nil, fmt.Errorf("sim: replay optimum: %w", err)
+	}
+
+	n := len(cfg.Records)
+	if cfg.Slots > 0 && cfg.Slots < n {
+		n = cfg.Slots
+	}
+	scorer := &replayScorer{means: inst.Means, opt: opt, series: make([]float64, 0, n)}
+	for i := 0; i < n; i++ {
+		rec := cfg.Records[i]
+		if rec.Slot != loop.Slot() {
+			return nil, fmt.Errorf("sim: replay record %d is slot %d, expected %d (stream must be contiguous from 0 — record with persist.keep_log)", i, rec.Slot, loop.Slot())
+		}
+		if err := loop.StepExternal(rec.Played, rec.Rewards, scorer); err != nil {
+			return nil, fmt.Errorf("sim: replay slot %d: %w", rec.Slot, err)
+		}
+	}
+	return &ReplayResult{
+		Spec:             canon,
+		Slots:            n,
+		OptimalKbps:      channel.Kbps(opt),
+		AvgObservedKbps:  channel.Kbps(scorer.cumObserved / float64(n)),
+		AvgDecisionKbps:  channel.Kbps(scorer.cumDecision / float64(n)),
+		RegretKbps:       channel.Kbps(scorer.cumRegret),
+		RegretSeriesKbps: scorer.series,
+		Decisions:        loop.Decisions(),
+		DecideStats:      loop.DecideStats(),
+	}, nil
+}

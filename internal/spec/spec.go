@@ -78,6 +78,14 @@ const (
 	TimingPaper = "paper"
 )
 
+// Fsync policies of PersistSpec. They mirror internal/wal's SyncPolicy
+// values; spec stays dependency-free and the serving runtime converts.
+const (
+	FsyncAlways = "always"
+	FsyncBatch  = "batch"
+	FsyncNone   = "none"
+)
+
 // topologyKinds, channelKinds, policyKinds and timingKinds list the known
 // values for KindError reporting.
 var (
@@ -88,6 +96,7 @@ var (
 		PolicyDiscountedZhouLi, PolicyEpsGreedy,
 	}
 	timingKinds = []string{TimingPaper}
+	fsyncKinds  = []string{FsyncAlways, FsyncBatch, FsyncNone}
 )
 
 // VersionError reports a spec whose version field names a schema this
@@ -429,6 +438,55 @@ func (d *DecisionSpec) fill() error {
 	return nil
 }
 
+// PersistSpec opts one instance into the serving runtime's durability layer
+// (internal/wal): observations are appended to a per-instance write-ahead
+// log and learner snapshots are taken periodically, so a banditd restart
+// recovers the instance bit-identically via snapshot + log-tail replay.
+//
+// Persist is operational configuration, not scenario identity: it changes
+// no random stream and no trajectory, it does not contribute to the
+// ArtifactKey, and it is silently inert when the server runs without a data
+// directory. Policies without snapshot support (eps-greedy) persist the log
+// only; the runtime keeps every segment for them and recovery replays from
+// slot 0, regardless of SnapshotEvery/KeepLog.
+type PersistSpec struct {
+	// Enabled switches persistence on for this instance. A banditd started
+	// with -persist-all persists every instance regardless.
+	Enabled bool `json:"enabled,omitempty"`
+	// SnapshotEvery is the snapshot cadence in applied slots (default 512).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// Fsync names the WAL sync policy: "always", "batch" (default; sync once
+	// per applied request batch) or "none".
+	Fsync string `json:"fsync,omitempty"`
+	// KeepLog retains superseded WAL segments after a snapshot makes them
+	// redundant (for record/replay); by default they are garbage-collected.
+	KeepLog bool `json:"keep_log,omitempty"`
+}
+
+func (p *PersistSpec) fill() error {
+	if !p.Enabled {
+		if p.SnapshotEvery != 0 || p.Fsync != "" || p.KeepLog {
+			return &FieldError{Field: "persist", Reason: "snapshot_every/fsync/keep_log set but enabled is false"}
+		}
+		return nil
+	}
+	if p.SnapshotEvery < 0 {
+		return &FieldError{Field: "persist.snapshot_every", Reason: fmt.Sprintf("must be positive, got %d", p.SnapshotEvery)}
+	}
+	if p.SnapshotEvery == 0 {
+		p.SnapshotEvery = 512
+	}
+	if p.Fsync == "" {
+		p.Fsync = FsyncBatch
+	}
+	switch p.Fsync {
+	case FsyncAlways, FsyncBatch, FsyncNone:
+	default:
+		return &KindError{Field: "persist.fsync", Kind: p.Fsync, Allowed: fsyncKinds}
+	}
+	return nil
+}
+
 // ScenarioSpec is the versioned description of one scenario. It is a plain
 // comparable value: two canonical specs are equal with == exactly when they
 // describe the same scenario.
@@ -449,6 +507,9 @@ type ScenarioSpec struct {
 	Channel  ChannelSpec  `json:"channel"`
 	Policy   PolicySpec   `json:"policy"`
 	Decision DecisionSpec `json:"decision"`
+	// Persist opts the instance into the serving runtime's durability layer.
+	// Operational only: it affects no stream, trajectory, or artifact key.
+	Persist PersistSpec `json:"persist,omitempty"`
 }
 
 // Fill canonicalizes the spec in place — version pinned, defaults applied —
@@ -474,7 +535,10 @@ func (s *ScenarioSpec) Fill() error {
 	if err := s.Policy.fill(); err != nil {
 		return err
 	}
-	return s.Decision.fill()
+	if err := s.Decision.fill(); err != nil {
+		return err
+	}
+	return s.Persist.fill()
 }
 
 // Canonical returns the canonical form of the spec without mutating the

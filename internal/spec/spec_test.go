@@ -51,6 +51,12 @@ func testSpecs() []ScenarioSpec {
 			Channel:  ChannelSpec{M: 2},
 			Policy:   PolicySpec{Kind: PolicyCUCB},
 		},
+		{
+			Seed:     7,
+			Topology: TopologySpec{N: 6},
+			Channel:  ChannelSpec{M: 2},
+			Persist:  PersistSpec{Enabled: true, SnapshotEvery: 64, KeepLog: true},
+		},
 	}
 }
 
@@ -150,6 +156,38 @@ func TestFillDefaults(t *testing.T) {
 	}
 }
 
+// TestPersistDefaults: persistence canonicalizes like every other part —
+// defaults applied when enabled, all-zero when disabled — and never leaks
+// into the artifact projection.
+func TestPersistDefaults(t *testing.T) {
+	s := ScenarioSpec{
+		Topology: TopologySpec{N: 5},
+		Channel:  ChannelSpec{M: 2},
+		Persist:  PersistSpec{Enabled: true},
+	}
+	if err := s.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Persist != (PersistSpec{Enabled: true, SnapshotEvery: 512, Fsync: FsyncBatch}) {
+		t.Fatalf("persist defaults: %+v", s.Persist)
+	}
+
+	plain := ScenarioSpec{Seed: 1, Topology: TopologySpec{N: 5}, Channel: ChannelSpec{M: 2}}
+	durable := plain
+	durable.Persist = PersistSpec{Enabled: true, Fsync: FsyncAlways, KeepLog: true}
+	a, err := plain.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := durable.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ArtifactKey() != b.ArtifactKey() {
+		t.Fatalf("persist leaked into artifact key:\n %+v\n %+v", a.ArtifactKey(), b.ArtifactKey())
+	}
+}
+
 func TestUnknownKindsTyped(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -160,6 +198,7 @@ func TestUnknownKindsTyped(t *testing.T) {
 		{"channel", func(s *ScenarioSpec) { s.Channel.Kind = "rayleigh" }, "channel.kind"},
 		{"policy", func(s *ScenarioSpec) { s.Policy.Kind = "thompson" }, "policy.kind"},
 		{"timing", func(s *ScenarioSpec) { s.Decision.Timing = "fast" }, "decision.timing"},
+		{"fsync", func(s *ScenarioSpec) { s.Persist = PersistSpec{Enabled: true, Fsync: "sometimes"} }, "persist.fsync"},
 	}
 	for _, tc := range cases {
 		s := ScenarioSpec{Topology: TopologySpec{N: 5}, Channel: ChannelSpec{M: 2}}
@@ -196,6 +235,8 @@ func TestInapplicableFieldsRejected(t *testing.T) {
 		func(s *ScenarioSpec) { s.Policy.Gamma = 0.9 },                        // gamma on zhou-li
 		func(s *ScenarioSpec) { s.Policy.Epsilon = 0.2 },                      // epsilon on zhou-li
 		func(s *ScenarioSpec) { s.Channel.Primary = PrimarySpec{PIdle: 0.5} }, // primary params without enabled
+		func(s *ScenarioSpec) { s.Persist = PersistSpec{SnapshotEvery: 64} },  // persist params without enabled
+		func(s *ScenarioSpec) { s.Persist = PersistSpec{KeepLog: true} },      // keep_log without enabled
 		func(s *ScenarioSpec) {
 			s.Topology = TopologySpec{Kind: TopologyGrid, Rows: 2, Cols: 2, RequireConnected: true}
 		},

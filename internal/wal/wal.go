@@ -1,0 +1,447 @@
+// Package wal is the durability substrate of the serving runtime: a
+// per-instance write-ahead observation log plus atomic snapshot files,
+// together forming the on-disk state a banditd restart recovers learners
+// from (snapshot + log-tail replay, bit-identical to the uninterrupted
+// trajectory — see internal/serve and OPERATIONS.md).
+//
+// A log is a sequence of segment files. Each segment starts with a fixed
+// header (magic, format version, the slot index of the first record the
+// segment may hold) followed by CRC-framed binary records. One record is
+// one applied time slot of Algorithm 2: the played virtual-vertex ids and
+// the realized rewards, exactly the observation batch core.Loop.StepExternal
+// consumes — so replaying a log through the slot kernel reconstructs the
+// learner state bit-identically (rewards travel as raw IEEE-754 bits, never
+// through a decimal round trip).
+//
+// Crash semantics follow the usual WAL contract:
+//
+//   - a torn tail — a record frame the crash cut short, including a frame
+//     whose checksum fails at the very end of the file — is truncated on
+//     open (Repair), and recovery resumes from the last durable record;
+//   - a checksum mismatch anywhere before the tail means the file was
+//     corrupted after the fact and is rejected with ErrCorrupt: recovery
+//     must fail loudly rather than silently replay damaged history.
+//
+// Appends are unbuffered in user space (one write(2) per record), so a
+// killed process loses at most the records the kernel had not yet accepted;
+// the fsync policy (SyncAlways, SyncBatch, SyncNone) controls what a whole
+// machine crash can lose. The record framing and the segment header are
+// part of the repository's bit-identity contract (CONTRIBUTING.md): format
+// changes bump the header version, never silently reinterpret bytes.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Magic opens every segment file; Version is the format version it carries.
+// Bump Version on any framing change.
+const (
+	Magic   = "MHBWAL\n"
+	Version = 1
+)
+
+// headerSize is the fixed segment header: magic (7) + version (1) +
+// start slot (8, little-endian uint64).
+const headerSize = len(Magic) + 1 + 8
+
+// frameOverhead is the per-record framing: payload length (4) + CRC-32C of
+// the payload (4), both little-endian.
+const frameOverhead = 8
+
+// maxRecordSize bounds a single record's payload; reads reject larger
+// length fields as corruption rather than allocating unbounded buffers.
+const maxRecordSize = 1 << 24
+
+// ErrCorrupt reports a segment whose body fails its checksums before the
+// tail — damaged history that must not be replayed.
+var ErrCorrupt = errors.New("wal: corrupt segment")
+
+// castagnoli is the CRC-32C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy says when appended records are fsynced to stable storage.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every appended record: a machine crash loses
+	// at most the record being written. Slowest (one fsync per slot).
+	SyncAlways SyncPolicy = "always"
+	// SyncBatch leaves fsync to the caller's Sync calls — the serving
+	// runtime syncs once per applied request batch. The default.
+	SyncBatch SyncPolicy = "batch"
+	// SyncNone never fsyncs; the OS flushes on its own schedule. A process
+	// kill still loses nothing (writes are unbuffered in user space); only
+	// a machine crash can lose recent records.
+	SyncNone SyncPolicy = "none"
+)
+
+// ValidSyncPolicy reports whether p names a known policy.
+func ValidSyncPolicy(p SyncPolicy) bool {
+	switch p {
+	case SyncAlways, SyncBatch, SyncNone:
+		return true
+	}
+	return false
+}
+
+// Record is one applied time slot: the played virtual-vertex ids and their
+// realized rewards (normalized units), exactly one observation batch of the
+// slot kernel.
+type Record struct {
+	// Slot is the 0-based index of the slot the observation belongs to;
+	// applying it advances the loop from Slot to Slot+1.
+	Slot int
+	// Played are the virtual-vertex ids observed this slot.
+	Played []int
+	// Rewards are the realized rewards of Played, index-aligned.
+	Rewards []float64
+}
+
+// recObservation is the only record type of format version 1.
+const recObservation = 1
+
+// appendPayload encodes r into buf (reused across appends).
+func appendPayload(buf []byte, r Record) []byte {
+	buf = append(buf, recObservation)
+	buf = binary.AppendUvarint(buf, uint64(r.Slot))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Played)))
+	for _, v := range r.Played {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, x := range r.Rewards {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// decodePayload is the inverse of appendPayload.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 || p[0] != recObservation {
+		return Record{}, fmt.Errorf("%w: unknown record type", ErrCorrupt)
+	}
+	p = p[1:]
+	slot, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("%w: truncated slot", ErrCorrupt)
+	}
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("%w: truncated count", ErrCorrupt)
+	}
+	p = p[n:]
+	r := Record{Slot: int(slot), Played: make([]int, count), Rewards: make([]float64, count)}
+	for i := range r.Played {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("%w: truncated played ids", ErrCorrupt)
+		}
+		r.Played[i] = int(v)
+		p = p[n:]
+	}
+	if len(p) != 8*int(count) {
+		return Record{}, fmt.Errorf("%w: reward block is %d bytes, want %d", ErrCorrupt, len(p), 8*count)
+	}
+	for i := range r.Rewards {
+		r.Rewards[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return r, nil
+}
+
+// Log is an append handle on one open segment. It is not safe for
+// concurrent use; the serving runtime confines each log to its instance's
+// actor goroutine.
+type Log struct {
+	f      *os.File
+	path   string
+	policy SyncPolicy
+	buf    []byte // reused frame buffer
+	dirty  bool   // appended since the last Sync
+}
+
+// Create starts a new segment at path holding records from startSlot on,
+// replacing any existing file. The header is written and synced before
+// Create returns, so a crash right after leaves a valid empty segment.
+func Create(path string, startSlot int, policy SyncPolicy) (*Log, error) {
+	if !ValidSyncPolicy(policy) {
+		return nil, fmt.Errorf("wal: unknown sync policy %q", policy)
+	}
+	if startSlot < 0 {
+		return nil, fmt.Errorf("wal: start slot must be non-negative, got %d", startSlot)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, Magic...)
+	hdr = append(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(startSlot))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync segment header: %w", err)
+	}
+	return &Log{f: f, path: path, policy: policy}, nil
+}
+
+// OpenAppend reopens an existing segment for appending after repairing a
+// torn tail. It returns the repaired segment's records (for replay) and the
+// log positioned at the end. A checksum failure before the tail returns
+// ErrCorrupt.
+func OpenAppend(path string, policy SyncPolicy) (*Log, []Record, int, error) {
+	if !ValidSyncPolicy(policy) {
+		return nil, nil, 0, fmt.Errorf("wal: unknown sync policy %q", policy)
+	}
+	recs, startSlot, validLen, err := scanSegment(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("wal: stat segment: %w", err)
+	}
+	if fi.Size() > validLen {
+		// Torn tail: drop the partial frame so the next append starts on a
+		// clean record boundary.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("wal: sync truncated segment: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("wal: seek segment end: %w", err)
+	}
+	return &Log{f: f, path: path, policy: policy}, recs, startSlot, nil
+}
+
+// Append writes one record. Under SyncAlways the record is fsynced before
+// Append returns; otherwise durability is governed by Sync / the OS.
+func (l *Log) Append(r Record) error {
+	l.buf = l.buf[:0]
+	// Reserve the frame, then fill it around the encoded payload.
+	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	l.buf = appendPayload(l.buf, r)
+	payload := l.buf[frameOverhead:]
+	binary.LittleEndian.PutUint32(l.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.dirty = true
+	if l.policy == SyncAlways {
+		return l.Sync()
+	}
+	return nil
+}
+
+// AppendedBytes returns the frame size the last Append wrote (for
+// accounting; 0 before the first append).
+func (l *Log) AppendedBytes() int { return len(l.buf) }
+
+// Sync fsyncs appended records to stable storage. A no-op when nothing was
+// appended since the last Sync, or under SyncNone.
+func (l *Log) Sync() error {
+	if !l.dirty || l.policy == SyncNone {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// Dirty reports whether records were appended since the last Sync (callers
+// use it to count real fsyncs instead of no-ops).
+func (l *Log) Dirty() bool { return l.dirty }
+
+// Path returns the segment file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs (except under SyncNone) and closes the segment.
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// scanSegment reads a segment, returning its records, its start slot, and
+// the byte offset of the last whole valid record (the repair truncation
+// point). A frame that is incomplete at EOF, or whose checksum fails at
+// EOF, is a torn tail and is excluded; a checksum failure with more data
+// after it is ErrCorrupt.
+func scanSegment(path string) (recs []Record, startSlot int, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: read segment: %w", err)
+	}
+	if len(data) < headerSize || string(data[:len(Magic)]) != Magic {
+		return nil, 0, 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
+	}
+	if v := data[len(Magic)]; v != Version {
+		return nil, 0, 0, fmt.Errorf("wal: %s: unsupported format version %d (want %d)", path, v, Version)
+	}
+	startSlot = int(binary.LittleEndian.Uint64(data[len(Magic)+1:]))
+	off := int64(headerSize)
+	body := data[headerSize:]
+	for len(body) > 0 {
+		if len(body) < frameOverhead {
+			return recs, startSlot, off, nil // torn frame header
+		}
+		size := binary.LittleEndian.Uint32(body[0:4])
+		sum := binary.LittleEndian.Uint32(body[4:8])
+		if size > maxRecordSize {
+			// A garbage length field: at EOF it is a torn tail, before it
+			// corruption (there is no way more valid frames follow).
+			if int(size) > len(body)-frameOverhead {
+				return recs, startSlot, off, nil
+			}
+			return nil, 0, 0, fmt.Errorf("%w: %s: record size %d exceeds limit at offset %d", ErrCorrupt, path, size, off)
+		}
+		if int(size) > len(body)-frameOverhead {
+			return recs, startSlot, off, nil // torn payload
+		}
+		payload := body[frameOverhead : frameOverhead+int(size)]
+		atEOF := len(body) == frameOverhead+int(size)
+		if crc32.Checksum(payload, castagnoli) != sum {
+			if atEOF {
+				return recs, startSlot, off, nil // torn checksum at the tail
+			}
+			return nil, 0, 0, fmt.Errorf("%w: %s: checksum mismatch at offset %d", ErrCorrupt, path, off)
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			if atEOF {
+				return recs, startSlot, off, nil
+			}
+			return nil, 0, 0, fmt.Errorf("%s: offset %d: %w", path, off, derr)
+		}
+		recs = append(recs, rec)
+		off += int64(frameOverhead) + int64(size)
+		body = body[frameOverhead+int(size):]
+	}
+	return recs, startSlot, off, nil
+}
+
+// ReadSegment returns a segment's records and start slot without modifying
+// the file: torn tails are excluded (not truncated), pre-tail corruption is
+// ErrCorrupt.
+func ReadSegment(path string) ([]Record, int, error) {
+	recs, start, _, err := scanSegment(path)
+	return recs, start, err
+}
+
+// segmentPrefix and segmentSuffix frame segment file names:
+// wal-<start slot, 16 decimal digits>.log, so lexical order is slot order.
+const (
+	segmentPrefix = "wal-"
+	segmentSuffix = ".log"
+)
+
+// SegmentName returns the file name of the segment starting at startSlot.
+func SegmentName(startSlot int) string {
+	return fmt.Sprintf("%s%016d%s", segmentPrefix, startSlot, segmentSuffix)
+}
+
+// ListSegments returns the segment file names in dir in ascending start-slot
+// order, with their start slots parsed from the names.
+func ListSegments(dir string) (names []string, startSlots []int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	type seg struct {
+		name  string
+		start int
+	}
+	var segs []seg
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		digits := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+		start, perr := strconv.Atoi(digits)
+		if perr != nil {
+			continue
+		}
+		segs = append(segs, seg{name: name, start: start})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	for _, s := range segs {
+		names = append(names, s.name)
+		startSlots = append(startSlots, s.start)
+	}
+	return names, startSlots, nil
+}
+
+// WriteFileAtomic durably replaces path with data: write to a temp file in
+// the same directory, fsync it, rename over path, fsync the directory. A
+// crash leaves either the old contents or the new, never a mix — this is
+// how snapshot files are published.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("wal: atomic write: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: atomic write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: atomic write sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: atomic write close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: atomic rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

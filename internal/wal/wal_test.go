@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		k := i%3 + 1
+		r := Record{Slot: i, Played: make([]int, k), Rewards: make([]float64, k)}
+		for j := 0; j < k; j++ {
+			r.Played[j] = (i*7 + j*3) % 40
+			r.Rewards[j] = float64((i*13+j*5)%17) / 17
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+func writeSegment(t *testing.T, path string, start int, recs []Record) {
+	t.Helper()
+	l, err := Create(path, start, SyncBatch)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(5))
+	want := testRecords(20)
+	writeSegment(t, path, 5, want)
+
+	got, start, err := ReadSegment(path)
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	if start != 5 {
+		t.Fatalf("start slot = %d, want 5", start)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRewardBitsExact(t *testing.T) {
+	// Rewards must survive as raw IEEE-754 bits, including values a decimal
+	// round trip would perturb.
+	path := filepath.Join(t.TempDir(), SegmentName(0))
+	vals := []float64{0.1, 1.0 / 3.0, math.Nextafter(0.5, 1), 0, 1}
+	rec := Record{Slot: 0, Played: make([]int, len(vals)), Rewards: vals}
+	writeSegment(t, path, 0, []Record{rec})
+
+	got, _, err := ReadSegment(path)
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	for i, v := range vals {
+		if math.Float64bits(got[0].Rewards[i]) != math.Float64bits(v) {
+			t.Fatalf("reward %d: bits %x != %x", i, math.Float64bits(got[0].Rewards[i]), math.Float64bits(v))
+		}
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(7))
+	writeSegment(t, path, 7, nil)
+	recs, start, err := ReadSegment(path)
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	if len(recs) != 0 || start != 7 {
+		t.Fatalf("got %d records, start %d; want 0, 7", len(recs), start)
+	}
+}
+
+// TestTornTailTruncated cuts the file mid-frame at every possible byte
+// boundary of the last record and checks OpenAppend repairs to exactly the
+// records before it, then accepts new appends.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	recs := testRecords(5)
+	writeSegment(t, path, 0, recs)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the byte offset where the last record's frame starts.
+	off := headerSize
+	for i := 0; i < len(recs)-1; i++ {
+		size := binary.LittleEndian.Uint32(full[off:])
+		off += frameOverhead + int(size)
+	}
+	lastStart := off
+
+	for cut := lastStart + 1; cut < len(full); cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, got, start, err := OpenAppend(torn, SyncBatch)
+		if err != nil {
+			t.Fatalf("cut=%d: OpenAppend: %v", cut, err)
+		}
+		if start != 0 {
+			t.Fatalf("cut=%d: start = %d", cut, start)
+		}
+		if !reflect.DeepEqual(got, recs[:len(recs)-1]) {
+			t.Fatalf("cut=%d: repaired to %d records, want %d", cut, len(got), len(recs)-1)
+		}
+		// The torn frame must be gone and appending must resume cleanly.
+		extra := Record{Slot: 4, Played: []int{1}, Rewards: []float64{0.5}}
+		if err := l.Append(extra); err != nil {
+			t.Fatalf("cut=%d: Append after repair: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("cut=%d: Close: %v", cut, err)
+		}
+		again, _, err := ReadSegment(torn)
+		if err != nil {
+			t.Fatalf("cut=%d: re-read: %v", cut, err)
+		}
+		want := append(append([]Record{}, recs[:len(recs)-1]...), extra)
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("cut=%d: after repair+append got %d records, want %d", cut, len(again), len(want))
+		}
+	}
+}
+
+// TestTornChecksumAtTail flips a payload byte of the FINAL record: that is a
+// torn tail (the crash interleaved with the write), not corruption, and is
+// truncated.
+func TestTornChecksumAtTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	recs := testRecords(4)
+	writeSegment(t, path, 0, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, got, _, err := OpenAppend(path, SyncBatch)
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	defer l.Close()
+	if !reflect.DeepEqual(got, recs[:3]) {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+}
+
+// TestCorruptMidFileRejected flips a byte in an interior record: more valid
+// data follows, so this is corruption and must be rejected, not repaired.
+func TestCorruptMidFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(0))
+	writeSegment(t, path, 0, testRecords(6))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte of the second record.
+	off := headerSize
+	size0 := binary.LittleEndian.Uint32(data[off:])
+	off += frameOverhead + int(size0)
+	data[off+frameOverhead] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSegment(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: err = %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := OpenAppend(path, SyncBatch); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenAppend on corrupt segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.WriteFile(path, []byte("not a wal file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSegment(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad header: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnsupportedVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(0))
+	writeSegment(t, path, 0, nil)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(Magic)] = Version + 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSegment(path); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: err = %v, want a version error distinct from ErrCorrupt", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncBatch, SyncNone} {
+		path := filepath.Join(t.TempDir(), SegmentName(0))
+		l, err := Create(path, 0, p)
+		if err != nil {
+			t.Fatalf("%s: Create: %v", p, err)
+		}
+		if err := l.Append(Record{Slot: 0, Played: []int{2}, Rewards: []float64{0.25}}); err != nil {
+			t.Fatalf("%s: Append: %v", p, err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatalf("%s: Sync: %v", p, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", p, err)
+		}
+	}
+	if ValidSyncPolicy("sometimes") {
+		t.Fatal("ValidSyncPolicy accepted junk")
+	}
+	if _, err := Create(filepath.Join(t.TempDir(), "x.log"), 0, "sometimes"); err == nil {
+		t.Fatal("Create accepted junk policy")
+	}
+}
+
+func TestListSegments(t *testing.T) {
+	dir := t.TempDir()
+	for _, start := range []int{120, 0, 60} {
+		writeSegment(t, filepath.Join(dir, SegmentName(start)), start, nil)
+	}
+	// Distractors that must be ignored.
+	os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "wal-junk.log"), []byte("x"), 0o644)
+	os.Mkdir(filepath.Join(dir, "wal-0000000000000001.log"), 0o755)
+
+	names, starts, err := ListSegments(dir)
+	if err != nil {
+		t.Fatalf("ListSegments: %v", err)
+	}
+	if !reflect.DeepEqual(starts, []int{0, 60, 120}) {
+		t.Fatalf("start slots = %v, want [0 60 120]", starts)
+	}
+	want := []string{SegmentName(0), SegmentName(60), SegmentName(120)}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.json")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatalf("WriteFileAtomic overwrite: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("contents = %q, want %q", got, "two")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestOpenAppendContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(0))
+	first := testRecords(3)
+	writeSegment(t, path, 0, first)
+	l, got, _, err := OpenAppend(path, SyncBatch)
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	if !reflect.DeepEqual(got, first) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(first))
+	}
+	more := Record{Slot: 3, Played: []int{9, 11}, Rewards: []float64{0.5, 0.75}}
+	if err := l.Append(more); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	all, _, err := ReadSegment(path)
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	if len(all) != 4 || !reflect.DeepEqual(all[3], more) {
+		t.Fatalf("after reopen+append got %+v", all)
+	}
+}
