@@ -3,6 +3,7 @@
 
 GO ?= go
 BANDITD_ADDR ?= 127.0.0.1:8650
+BANDITD_DEBUG_ADDR ?= 127.0.0.1:8651
 
 # Fixed figgen configuration behind the committed golden digest
 # (testdata/figgen-golden.sha256). Reduced sizes keep the run a few seconds
@@ -10,7 +11,7 @@ BANDITD_ADDR ?= 127.0.0.1:8650
 # Fig. 7 replication) through the shared slot kernel.
 GOLDEN_ARGS = -exp all -seed 1 -slots 300 -periods 40 -reps 3
 
-.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim bench-decide bench-wal serve-smoke spec-smoke decide-smoke recover-smoke verify-golden update-golden figures ci
+.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim bench-decide bench-wal bench-obs serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke verify-golden update-golden figures ci
 
 # Committed ScenarioSpec files driven by spec-smoke: one per channel kind
 # (gaussian, gilbert-elliott, shifting) plus the primary-user wrapper.
@@ -44,13 +45,14 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=NONE -timeout 30m ./...
 
-# Serve load test: start banditd, drive it with banditload over loopback,
-# record the machine-readable summary in BENCH_serve.json, then assert the
-# daemon shuts down cleanly on SIGTERM.
+# Serve load test: start banditd (with the debug plane so the summary
+# picks up the per-phase decide breakdown), drive it with banditload over
+# loopback, record the machine-readable summary in BENCH_serve.json, then
+# assert the daemon shuts down cleanly on SIGTERM.
 bench-serve:
 	$(GO) build -o bin/banditd ./cmd/banditd
 	$(GO) build -o bin/banditload ./cmd/banditload
-	@set -e; bin/banditd -addr $(BANDITD_ADDR) & pid=$$!; \
+	@set -e; bin/banditd -addr $(BANDITD_ADDR) -debug-addr $(BANDITD_DEBUG_ADDR) & pid=$$!; \
 	bin/banditload -addr http://$(BANDITD_ADDR) -duration 5s \
 		-json BENCH_serve.json -min-throughput 1 \
 		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
@@ -95,7 +97,7 @@ bench-sim:
 bench-decide:
 	$(GO) build -o bin/banditd ./cmd/banditd
 	$(GO) build -o bin/banditload ./cmd/banditload
-	@set -e; bin/banditd -addr $(BANDITD_ADDR) & pid=$$!; \
+	@set -e; bin/banditd -addr $(BANDITD_ADDR) -debug-addr $(BANDITD_DEBUG_ADDR) & pid=$$!; \
 	bin/banditload -addr http://$(BANDITD_ADDR) -duration 5s \
 		-json BENCH_decide.json -min-throughput 1 \
 		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
@@ -144,6 +146,32 @@ recover-smoke:
 bench-wal:
 	$(GO) run ./cmd/walbench -json BENCH_wal.json
 
+# Observability overhead benchmark: the decide hot path timed with
+# decision-path tracing detached (the production default the zero-alloc
+# guards hold) and attached (the -debug-addr serving hook: phase
+# histograms + one span per decision), recorded in BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/obsbench -json BENCH_obs.json
+
+# Observability smoke: a race-built banditd runs with its debug plane on,
+# takes load, and banditstat then holds the whole surface to its contract —
+# the /metrics scrape passes the strict exposition validator, the pprof mux
+# answers, /debug/trace returns parseable spans, phase histograms are
+# populated, and the span phase sums cover >= 95% of full-decide wall time.
+# The larger 15x3 instances keep per-decide work well above the fixed
+# residual (Result assembly, stats adds) the phase timers don't cover.
+obs-smoke:
+	$(GO) build -race -o bin/banditd.race ./cmd/banditd
+	$(GO) build -race -o bin/banditload.race ./cmd/banditload
+	$(GO) build -race -o bin/banditstat.race ./cmd/banditstat
+	@set -e; bin/banditd.race -addr $(BANDITD_ADDR) -debug-addr $(BANDITD_DEBUG_ADDR) & pid=$$!; \
+	{ bin/banditload.race -addr http://$(BANDITD_ADDR) -instances 32 -clients 4 \
+		-n 15 -m 3 -batch 32 -duration 2s -keep -min-throughput 1 && \
+	  bin/banditstat.race -addr http://$(BANDITD_ADDR) -debug-addr http://$(BANDITD_DEBUG_ADDR) \
+		-min-phase-coverage 0.95 -min-phase-samples 100 -min-spans 100; } \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
 # Byte-identity tripwire for the figure pipeline: regenerate figgen output
 # at the fixed golden configuration and compare its SHA-256 against the
 # committed digest. Any change to the RNG stream structure, the kernel's
@@ -177,4 +205,4 @@ update-golden:
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke recover-smoke verify-golden
+ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke verify-golden

@@ -4,6 +4,7 @@
 //
 //	banditd -addr 127.0.0.1:8650 -shards 4
 //	banditd -data-dir /var/lib/banditd -recover
+//	banditd -debug-addr 127.0.0.1:8651   # pprof + decision-path tracing
 //
 // Endpoints (see internal/serve.Server for the full route table):
 //
@@ -14,8 +15,15 @@
 //	GET    /v1/instances/{id}/assignment   current channel assignment
 //	GET    /v1/instances/{id}/snapshot     export learner state
 //	POST   /v1/instances/{id}/restore      import learner state
-//	GET    /metrics                        per-shard counters + latency histograms
+//	GET    /metrics                        Prometheus text exposition (?format=legacy)
 //	GET    /healthz                        liveness probe
+//
+// With -debug-addr a second listener serves the debug plane: net/http/pprof
+// under /debug/pprof/, and /debug/trace — the most recent decision-path
+// spans as JSON Lines (?n=512 limits the window). Decision-path tracing is
+// enabled if and only if the debug listener is: without it the decide hot
+// path keeps its zero-overhead nil-check and /metrics exposes empty
+// banditd_decide_phase_ns histograms.
 //
 // With -data-dir every instance is durable: observations append to a
 // per-instance write-ahead log before the request is acknowledged, and
@@ -35,11 +43,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"multihopbandit/internal/obs"
 	"multihopbandit/internal/serve"
 )
 
@@ -50,20 +61,28 @@ func main() {
 		mailbox = flag.Int("mailbox", 0, "per-instance mailbox depth (0 = default)")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 
+		debugAddr = flag.String("debug-addr", "", "debug listen address for pprof and /debug/trace (empty = debug plane and decision-path tracing off)")
+		traceCap  = flag.Int("trace-ring", 8192, "decision-path trace ring capacity in spans (with -debug-addr)")
+
 		dataDir       = flag.String("data-dir", "", "root directory for durable instance state (empty = in-memory only)")
 		recoverOnBoot = flag.Bool("recover", true, "with -data-dir, rebuild persisted instances on startup")
 		persist       = flag.Bool("persist-all", true, "with -data-dir, persist every instance (not only specs with a persist block)")
 		snapshot      = flag.Int("snapshot-every", 0, "default observed slots between snapshots for -persist-all instances (0 = spec default)")
 		fsync         = flag.String("fsync", "", "default fsync policy for -persist-all instances: always|batch|none (empty = spec default)")
-		regret        = flag.Bool("regret", false, "emit per-instance banditd_regret_* metrics (computes each scenario's exact optimum)")
+		regret        = flag.Bool("regret", true, "emit per-instance banditd_regret_* metrics (each scenario's exact optimum, computed once and cached; disable on pathological topologies)")
 	)
 	flag.Parse()
 	log.SetPrefix("banditd: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
+	var ring *obs.TraceRing
+	if *debugAddr != "" {
+		ring = obs.NewTraceRing(*traceCap)
+	}
 	reg := serve.NewRegistry(serve.RegistryConfig{
 		Shards:       *shards,
 		MailboxDepth: *mailbox,
+		Trace:        ring,
 		Persist: serve.PersistOptions{
 			DataDir:       *dataDir,
 			All:           *persist,
@@ -81,6 +100,21 @@ func main() {
 	h := serve.NewServer(reg)
 	h.RegretMetrics = *regret
 	srv := &http.Server{Handler: h}
+
+	var dsrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		dsrv = &http.Server{Handler: debugMux(ring)}
+		go func() {
+			if err := dsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug serve: %v", err)
+			}
+		}()
+		log.Printf("debug plane on http://%s (pprof, /debug/trace, ring %d spans)", dln.Addr(), ring.Cap())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,7 +143,38 @@ func main() {
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("shutdown: %v", err)
 	}
+	if dsrv != nil {
+		_ = dsrv.Shutdown(sctx)
+	}
 	reg.Close()
 	m := reg.Metrics()
 	log.Printf("clean shutdown: %d slots served, %d strategy decisions", m.TotalSlots(), m.TotalDecisions())
+}
+
+// debugMux builds the debug plane: the standard pprof handlers plus the
+// decision-path trace export. Hand-wired (no DefaultServeMux) so nothing
+// else an import might register leaks onto the debug listener.
+func debugMux(ring *obs.TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			max = v
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if _, err := ring.WriteJSONL(w, max); err != nil {
+			log.Printf("trace export: %v", err)
+		}
+	})
+	return mux
 }

@@ -37,11 +37,11 @@ import (
 	"log"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"multihopbandit/internal/obs"
 	"multihopbandit/internal/serve"
 	"multihopbandit/internal/spec"
 )
@@ -72,6 +72,12 @@ type summary struct {
 	// bench targets start, they cover exactly this run).
 	Decide decideCounters `json:"decide"`
 
+	// RegretKbpsTotal sums the server's banditd_regret_kbps_total gauge
+	// across instances at scrape time: observed-window throughput shortfall
+	// versus each scenario's exact optimum, in kbps. Regret is a first-class
+	// serving surface (on by default), so this is populated on every run.
+	RegretKbpsTotal float64 `json:"regret_kbps_total"`
+
 	LatencyMS latencyMS `json:"latency_ms"`
 }
 
@@ -83,6 +89,18 @@ type decideCounters struct {
 	MemoStructHits int64   `json:"memo_struct_hits"`
 	MemoMisses     int64   `json:"memo_misses"`
 	MemoHitRate    float64 `json:"memo_hit_rate"`
+
+	// PhaseNS breaks decision wall time down by protocol phase, scraped
+	// from the banditd_decide_phase_ns histograms. Populated only when the
+	// server runs with -debug-addr (decision-path tracing attached);
+	// otherwise the map is empty and omitted from the JSON summary.
+	PhaseNS map[string]phaseNS `json:"phase_ns,omitempty"`
+}
+
+// phaseNS is one decide phase's scraped histogram summary.
+type phaseNS struct {
+	Count  int64   `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
 }
 
 type latencyMS struct {
@@ -268,13 +286,15 @@ func main() {
 		lat.P99 = quantile(all, 0.99)
 		lat.Max = all[len(all)-1]
 	}
-	// Scrape the decision-plane counters before deleting the instances, so
-	// the summary reflects this run even against a long-lived server.
+	// Scrape the decision plane and the regret surface before deleting the
+	// instances, so the summary reflects this run even against a long-lived
+	// server (and regret still has instances to report on).
 	var decide decideCounters
+	var regret float64
 	if text, err := c.Metrics(); err != nil {
 		log.Printf("scrape /metrics: %v", err)
-	} else {
-		decide = scrapeDecide(text)
+	} else if decide, regret, err = scrapeDecide(text); err != nil {
+		log.Printf("parse /metrics: %v", err)
 	}
 
 	rep := summary{
@@ -296,6 +316,7 @@ func main() {
 		DecisionsPerSec: float64(total.slots) / elapsed.Seconds(),
 		MWISPerSec:      float64(total.decisions) / elapsed.Seconds(),
 		Decide:          decide,
+		RegretKbpsTotal: regret,
 		LatencyMS:       lat,
 	}
 
@@ -303,6 +324,14 @@ func main() {
 	log.Printf("throughput: %.0f decisions/sec (%.0f MWIS strategy decisions/sec)", rep.DecisionsPerSec, rep.MWISPerSec)
 	log.Printf("decision plane: %d full decides, %d epoch skips, memo %d/%d/%d hit/struct/miss (hit rate %.3f)",
 		decide.FullDecides, decide.EpochSkips, decide.MemoHits, decide.MemoStructHits, decide.MemoMisses, decide.MemoHitRate)
+	log.Printf("regret: %.1f kbps total across instances", regret)
+	if len(decide.PhaseNS) > 0 {
+		for _, phase := range []string{"broadcast", "election", "local_mwis", "finalize", "total", "epoch_skip"} {
+			if p, ok := decide.PhaseNS[phase]; ok {
+				log.Printf("decide phase %-10s %8d obs, mean %.0f ns", phase, p.Count, p.MeanNS)
+			}
+		}
+	}
 	log.Printf("request latency ms: mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
 		lat.Mean, lat.P50, lat.P90, lat.P99, lat.Max)
 
@@ -344,40 +373,36 @@ func main() {
 	}
 }
 
-// scrapeDecide sums the per-shard decision-plane counters out of the
-// server's Prometheus-format /metrics text.
-func scrapeDecide(text string) decideCounters {
+// scrapeDecide parses the server's Prometheus-format /metrics text and
+// extracts the decision-plane counters (summed across shards), the
+// per-phase decide-time breakdown (present only when the server traces,
+// i.e. runs with -debug-addr), and the fleet regret total.
+func scrapeDecide(text string) (decideCounters, float64, error) {
 	var d decideCounters
-	for _, line := range strings.Split(text, "\n") {
-		name, rest, ok := strings.Cut(line, "{")
-		if !ok {
-			continue
-		}
-		_, val, ok := strings.Cut(rest, "} ")
-		if !ok {
-			continue
-		}
-		n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
-		if err != nil {
-			continue
-		}
-		switch name {
-		case "banditd_decide_full_total":
-			d.FullDecides += n
-		case "banditd_decide_epoch_skips_total":
-			d.EpochSkips += n
-		case "banditd_decide_memo_hits_total":
-			d.MemoHits += n
-		case "banditd_decide_memo_struct_hits_total":
-			d.MemoStructHits += n
-		case "banditd_decide_memo_misses_total":
-			d.MemoMisses += n
-		}
+	exp, err := obs.Parse(text)
+	if err != nil {
+		return d, 0, err
 	}
+	d.FullDecides = int64(exp.Sum("banditd_decide_full_total"))
+	d.EpochSkips = int64(exp.Sum("banditd_decide_epoch_skips_total"))
+	d.MemoHits = int64(exp.Sum("banditd_decide_memo_hits_total"))
+	d.MemoStructHits = int64(exp.Sum("banditd_decide_memo_struct_hits_total"))
+	d.MemoMisses = int64(exp.Sum("banditd_decide_memo_misses_total"))
 	if lookups := d.MemoHits + d.MemoStructHits + d.MemoMisses; lookups > 0 {
 		d.MemoHitRate = float64(d.MemoHits+d.MemoStructHits) / float64(lookups)
 	}
-	return d
+	for _, phase := range []string{"broadcast", "election", "local_mwis", "finalize", "total", "epoch_skip"} {
+		count, ok := exp.Value("banditd_decide_phase_ns_count", obs.L("phase", phase))
+		if !ok || count == 0 {
+			continue
+		}
+		sum, _ := exp.Value("banditd_decide_phase_ns_sum", obs.L("phase", phase))
+		if d.PhaseNS == nil {
+			d.PhaseNS = make(map[string]phaseNS)
+		}
+		d.PhaseNS[phase] = phaseNS{Count: int64(count), MeanNS: sum / count}
+	}
+	return d, exp.Sum("banditd_regret_kbps_total"), nil
 }
 
 // quantile returns the q-quantile of a sorted sample.

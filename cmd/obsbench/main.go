@@ -1,0 +1,210 @@
+// Command obsbench measures what decision-path tracing costs on the decide
+// hot path and records the answer machine-readably in BENCH_obs.json
+// (`make bench-obs`). Two identically seeded slot kernels run the same
+// deciding workload (the built-in 15×3 instance of simbench's decide micro
+// measurement, update period 1): one with no observer attached — the
+// production default, whose nil-check path TestSlotLoopNoAllocs* holds to
+// zero allocations — and one with the full serving-layer hook shape
+// attached (outcome classification, phase histograms, one span published
+// to a trace ring per decision). The report gives ns/op and allocs/op for
+// both, the absolute and relative overhead, and the span phase-coverage
+// ratio over the traced run.
+//
+// Usage:
+//
+//	obsbench                        # print the summary as JSON to stdout
+//	obsbench -json BENCH_obs.json   # also write it to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"multihopbandit/internal/channel"
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/obs"
+	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
+	"multihopbandit/internal/rng"
+	"multihopbandit/internal/topology"
+)
+
+// Report is the BENCH_obs.json schema.
+type Report struct {
+	Timestamp string `json:"timestamp"`
+	DecideOps int    `json:"decide_ops"`
+	RingCap   int    `json:"trace_ring_capacity"`
+
+	// Tracing detached: the production default.
+	DisabledNsPerOp     float64 `json:"disabled_ns_per_op"`
+	DisabledAllocsPerOp float64 `json:"disabled_allocs_per_op"`
+
+	// Tracing attached: the -debug-addr serving path.
+	EnabledNsPerOp     float64 `json:"enabled_ns_per_op"`
+	EnabledAllocsPerOp float64 `json:"enabled_allocs_per_op"`
+
+	OverheadNsPerOp float64 `json:"overhead_ns_per_op"`
+	OverheadPct     float64 `json:"overhead_pct"`
+
+	// Traced-run accounting: spans published and the fraction of
+	// full-decide wall time the four phase timings cover.
+	SpansPublished int64   `json:"spans_published"`
+	SpanCoverage   float64 `json:"span_coverage"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		jsonPath = flag.String("json", "", "write the summary to this file as well as stdout")
+		ops      = flag.Int("ops", 20000, "deciding slots per measured run")
+		ringCap  = flag.Int("trace-ring", 8192, "trace ring capacity for the traced run")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		DecideOps: *ops,
+		RingCap:   *ringCap,
+	}
+
+	// Tracing detached.
+	plain, err := buildLoop()
+	if err != nil {
+		return err
+	}
+	rep.DisabledNsPerOp, rep.DisabledAllocsPerOp, err = measure(plain, *ops)
+	if err != nil {
+		return err
+	}
+
+	// Tracing attached: the serving layer's hook shape — classify, observe
+	// four phase histograms plus total, publish one span.
+	traced, err := buildLoop()
+	if err != nil {
+		return err
+	}
+	ring := obs.NewTraceRing(*ringCap)
+	var phases struct{ broadcast, election, localMWIS, finalize, total, epochSkip obs.Histogram }
+	traced.SetDecideObserver(func(slot int, tr *protocol.DecideTrace) {
+		var out obs.SpanOutcome
+		switch {
+		case tr.EpochSkip:
+			out = obs.OutcomeEpochSkip
+		case tr.MemoMisses > 0:
+			out = obs.OutcomeFull
+		case tr.MemoStructHits > 0:
+			out = obs.OutcomeMemoStruct
+		case tr.MemoHits > 0:
+			out = obs.OutcomeMemoFull
+		default:
+			out = obs.OutcomeFull
+		}
+		if tr.EpochSkip {
+			phases.epochSkip.Observe(tr.TotalNS)
+		} else {
+			phases.broadcast.Observe(tr.BroadcastNS)
+			phases.election.Observe(tr.ElectionNS)
+			phases.localMWIS.Observe(tr.LocalMWISNS)
+			phases.finalize.Observe(tr.FinalizeNS)
+			phases.total.Observe(tr.TotalNS)
+		}
+		ring.Publish(&obs.Span{
+			Slot:        int64(slot),
+			Start:       tr.StartUnixNS,
+			Outcome:     out,
+			BroadcastNS: tr.BroadcastNS,
+			ElectionNS:  tr.ElectionNS,
+			LocalMWISNS: tr.LocalMWISNS,
+			FinalizeNS:  tr.FinalizeNS,
+			TotalNS:     tr.TotalNS,
+			MiniRounds:  int32(tr.MiniRounds),
+		})
+	})
+	rep.EnabledNsPerOp, rep.EnabledAllocsPerOp, err = measure(traced, *ops)
+	if err != nil {
+		return err
+	}
+
+	rep.OverheadNsPerOp = rep.EnabledNsPerOp - rep.DisabledNsPerOp
+	if rep.DisabledNsPerOp > 0 {
+		rep.OverheadPct = 100 * rep.OverheadNsPerOp / rep.DisabledNsPerOp
+	}
+	rep.SpansPublished = int64(ring.Published())
+	if total := phases.total.Sum(); total > 0 {
+		covered := phases.broadcast.Sum() + phases.election.Sum() +
+			phases.localMWIS.Sum() + phases.finalize.Sum()
+		rep.SpanCoverage = float64(covered) / float64(total)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	os.Stdout.Write(out)
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildLoop constructs the measured slot kernel: the built-in 15×3
+// instance of simbench's decide micro measurement at update period 1, so
+// every slot runs a strategy decision. Both runs build from the same seeds
+// and therefore walk the same decision trajectory.
+func buildLoop() (*core.Loop, error) {
+	const n, m = 15, 3
+	nw, err := topology.Random(topology.RandomConfig{N: n, RequireConnected: true}, rng.New(3))
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.NewModel(channel.Config{N: n, M: m}, rng.New(4))
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policy.NewZhouLi(n * m)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.New(core.Config{Net: nw, Channels: ch, M: m, Policy: pol, UpdateEvery: 1})
+	if err != nil {
+		return nil, err
+	}
+	return s.Loop(), nil
+}
+
+// measure times ops deciding slots after an 8-slot warmup, returning ns/op
+// and allocs/op (mirrors simbench's measureDecide).
+func measure(loop *core.Loop, ops int) (nsPerOp, allocsPerOp float64, err error) {
+	rec := core.NewKbpsRecorder(ops + 8)
+	for i := 0; i < 8; i++ {
+		if _, err := loop.StepSampled(rec); err != nil {
+			return 0, 0, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := loop.StepSampled(rec); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(ops),
+		float64(after.Mallocs-before.Mallocs) / float64(ops), nil
+}

@@ -158,6 +158,20 @@ func (l *Loop) Decisions() int64 { return l.decisions }
 // totals of the full decides.
 func (l *Loop) DecideStats() protocol.DecideStats { return l.dec.Stats() }
 
+// SetDecideObserver attaches (or with nil detaches) a decision-path
+// observer: fn runs synchronously after every decision with the boundary's
+// slot and the decider's scratch *protocol.DecideTrace (copy out anything
+// retained). The serving runtime uses this to publish trace spans and
+// phase histograms; with no observer attached the decide path performs no
+// timing work at all.
+func (l *Loop) SetDecideObserver(fn func(slot int, tr *protocol.DecideTrace)) {
+	if fn == nil {
+		l.dec.SetTracer(nil)
+		return
+	}
+	l.dec.SetTracer(func(tr *protocol.DecideTrace) { fn(l.slot, tr) })
+}
+
 // equalFloats reports element-wise equality (the non-IndexWriter fallback's
 // change detection).
 func equalFloats(a, b []float64) bool {

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"multihopbandit/internal/channel"
+	"multihopbandit/internal/obs"
 	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/rng"
 )
 
@@ -341,6 +343,93 @@ func TestSlotLoopFullDecideAllocsBounded(t *testing.T) {
 	st := loop.DecideStats()
 	if st.FullDecides == 0 || st.MemoMisses == 0 {
 		t.Errorf("implausible decide stats after full-decide run: %+v", st)
+	}
+}
+
+// TestSlotLoopNoAllocsTracingDetached guards the tracing-disabled contract
+// the ISSUE's acceptance criteria name: after an observer is attached and
+// detached again, the deciding steady-state slot must be back to zero heap
+// allocations — disabled tracing compiles down to a nil check, with no
+// residual cost from having been enabled.
+func TestSlotLoopNoAllocsTracingDetached(t *testing.T) {
+	s := testScheme(t, 12, 3, 89, func(c *Config) {
+		means := testChannelMeans(t, 12, 3, 90)
+		pol, err := policy.NewOracle(means)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Policy = pol
+	})
+	loop := s.Loop()
+	seen := 0
+	loop.SetDecideObserver(func(slot int, tr *protocol.DecideTrace) { seen++ })
+	rec := NewKbpsRecorder(256 + 8)
+	if err := s.RunObserved(8, rec); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 8 {
+		t.Fatalf("observer saw %d decisions over 8 deciding slots", seen)
+	}
+	loop.SetDecideObserver(nil)
+	if got := testing.AllocsPerRun(256, func() {
+		if _, err := loop.StepSampled(rec); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("slot with detached tracer allocates %.1f times, want 0", got)
+	}
+}
+
+// TestSlotLoopTracingAllocsBounded caps the tracing-enabled cost at its
+// documented fixed budget: an observer that does what the serving runtime's
+// hook does — copy the scratch trace into a fresh obs.Span and publish it
+// to a ring — adds exactly one small allocation per decision (the span) to
+// an otherwise allocation-free epoch-skip slot, and nothing that grows with
+// instance size or trace volume.
+func TestSlotLoopTracingAllocsBounded(t *testing.T) {
+	s := testScheme(t, 12, 3, 89, func(c *Config) {
+		means := testChannelMeans(t, 12, 3, 90)
+		pol, err := policy.NewOracle(means)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Policy = pol
+	})
+	loop := s.Loop()
+	ring := obs.NewTraceRing(128)
+	loop.SetDecideObserver(func(slot int, tr *protocol.DecideTrace) {
+		ring.Publish(&obs.Span{
+			Slot:        int64(slot),
+			Start:       tr.StartUnixNS,
+			Outcome:     obs.OutcomeEpochSkip,
+			TotalNS:     tr.TotalNS,
+			MiniRounds:  int32(tr.MiniRounds),
+			MemoHits:    int32(tr.MemoHits),
+			MemoMisses:  int32(tr.MemoMisses),
+			BroadcastNS: tr.BroadcastNS,
+			ElectionNS:  tr.ElectionNS,
+			LocalMWISNS: tr.LocalMWISNS,
+			FinalizeNS:  tr.FinalizeNS,
+		})
+	})
+	rec := NewKbpsRecorder(512 + 8)
+	if err := s.RunObserved(8, rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(256, func() {
+		if _, err := loop.StepSampled(rec); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("traced epoch-skip slot allocates %.1f times, want <= 1 (the published span)", got)
+	}
+	if ring.Published() == 0 {
+		t.Fatal("no spans published")
+	}
+	spans := ring.Snapshot(0)
+	last := spans[len(spans)-1]
+	if last.TotalNS <= 0 || last.Start <= 0 {
+		t.Fatalf("span missing timing: %+v", last)
 	}
 }
 

@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"multihopbandit/internal/obs"
 	"multihopbandit/internal/rng"
 )
 
@@ -68,6 +70,10 @@ type Config struct {
 	// fast (a status line, not work) and must not invoke the runner
 	// reentrantly.
 	Progress func(Progress)
+	// JobDurations, if set, receives every job's wall-clock run time in
+	// nanoseconds (recorded outside the pool lock). Wire it into an
+	// obs.Registry to expose engine throughput; nil costs nothing.
+	JobDurations *obs.Histogram
 }
 
 // Runner executes job sets. It is safe for concurrent use; each Run call
@@ -78,6 +84,7 @@ type Runner struct {
 	cache    *ArtifactCache
 	failFast bool
 	progress func(Progress)
+	jobHist  *obs.Histogram
 }
 
 // NewRunner builds a Runner, applying defaults for zero-value config fields.
@@ -96,6 +103,7 @@ func NewRunner(cfg Config) *Runner {
 		cache:    c,
 		failFast: cfg.FailFast,
 		progress: cfg.Progress,
+		jobHist:  cfg.JobDurations,
 	}
 }
 
@@ -158,11 +166,18 @@ func Run[T any](r *Runner, jobs []Job[T]) ([]T, error) {
 				mu.Unlock()
 
 				job := jobs[idx]
+				var jobStart time.Time
+				if r.jobHist != nil {
+					jobStart = time.Now()
+				}
 				out, err := job.Run(&Ctx{
 					ID:    job.ID,
 					RNG:   root.SplitPath("engine-job", job.ID),
 					Cache: r.cache,
 				})
+				if r.jobHist != nil {
+					r.jobHist.ObserveDuration(time.Since(jobStart))
+				}
 				if err != nil {
 					err = fmt.Errorf("engine: job %q: %w", job.ID, err)
 				}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"multihopbandit/internal/obs"
 )
 
 // jobsDrawing builds n jobs that each draw k floats from their private
@@ -169,5 +171,27 @@ func TestRunRejectsBadJobSets(t *testing.T) {
 func TestCellID(t *testing.T) {
 	if got := CellID("fig7", "LLR", 3); got != "fig7/LLR/seed=3" {
 		t.Fatalf("CellID = %q", got)
+	}
+}
+
+// TestRunJobDurations checks the runner's job-timing instrumentation: with
+// a histogram wired in, every job records exactly one observation; without
+// one, nothing is touched.
+func TestRunJobDurations(t *testing.T) {
+	var h obs.Histogram
+	r := NewRunner(Config{Workers: 3, Seed: 1, JobDurations: &h})
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(ctx *Ctx) (int, error) { return i, nil }}
+	}
+	if _, err := Run(r, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != int64(len(jobs)) {
+		t.Fatalf("histogram recorded %d observations for %d jobs", h.Count(), len(jobs))
+	}
+	if h.Sum() < 0 {
+		t.Fatalf("negative duration sum %d", h.Sum())
 	}
 }

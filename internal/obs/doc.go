@@ -1,0 +1,22 @@
+// Package obs is the zero-dependency observability plane shared by the
+// serving daemon (cmd/banditd via internal/serve), the experiment engine
+// (internal/engine) and the simulator: a typed metrics registry with
+// atomic hot paths (Counter, Gauge, Histogram), Prometheus text-exposition
+// rendering with HELP/TYPE metadata, a strict exposition-format parser and
+// validator (shared by the tests, banditload and cmd/banditstat), and a
+// lock-free ring buffer of decision-path spans exported as JSONL on
+// /debug/trace.
+//
+// Design rules:
+//
+//   - stdlib only — the package must be importable from every layer,
+//     including internal/protocol-adjacent hot paths, without dragging in
+//     dependencies;
+//   - hot-path writes are single atomic ops (Counter.Add, Gauge.Set,
+//     Histogram.Observe) and allocation-free;
+//   - scrape-path work (label formatting, sorting, float rendering) happens
+//     only inside WritePrometheus, never on the recording side;
+//   - disabled instrumentation costs one nil check — the trace ring and the
+//     per-phase timers in internal/protocol are only consulted when a
+//     consumer attached them.
+package obs

@@ -1,0 +1,435 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a series name, its sorted labels,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s *Sample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// labelKey is the canonical (sorted, escaped) label-set identity used for
+// duplicate detection.
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// ParsedFamily is one metric family of a parsed exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Exposition is a parsed Prometheus text scrape.
+type Exposition struct {
+	// Families maps base family names to their parsed blocks, in input
+	// order via Order.
+	Families map[string]*ParsedFamily
+	Order    []string
+}
+
+// Value returns the value of the single sample matching name and all given
+// labels, and whether exactly one matched.
+func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
+	var got float64
+	matches := 0
+	for _, s := range e.samplesOf(name) {
+		ok := true
+		for _, want := range labels {
+			if s.Label(want.Key) != want.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			got = s.Value
+			matches++
+		}
+	}
+	return got, matches == 1
+}
+
+// Sum sums every sample of the series name whose labels include all the
+// given pairs (e.g. summing a per-shard counter across shards).
+func (e *Exposition) Sum(name string, labels ...Label) float64 {
+	total := 0.0
+	for _, s := range e.samplesOf(name) {
+		ok := true
+		for _, want := range labels {
+			if s.Label(want.Key) != want.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// samplesOf returns the samples recorded under the series name (which may
+// be a family's base name or a _sum/_count/_bucket sub-series).
+func (e *Exposition) samplesOf(name string) []Sample {
+	base := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := e.Families[strings.TrimSuffix(name, suffix)]; ok && strings.HasSuffix(name, suffix) {
+			base = f.Name
+			break
+		}
+	}
+	f, ok := e.Families[base]
+	if !ok {
+		return nil
+	}
+	var out []Sample
+	for _, s := range f.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// baseName strips a recognized sub-series suffix for histogram/summary
+// grouping, if fam matches a declared family.
+func baseName(name string, declared map[string]*ParsedFamily) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := declared[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.Contains(s, ":") {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// parseLabels parses the {k="v",...} block, unescaping values strictly:
+// only \\, \" and \n escapes are legal.
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	i := 0
+	for i < len(s) {
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return nil, fmt.Errorf("label pair %q has no '='", s[i:])
+		}
+		key := strings.TrimSpace(s[i : i+j])
+		if !validLabelName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %q: trailing backslash", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %q: illegal escape \\%c", key, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q: unterminated value", key)
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s[i:])
+			}
+			i++
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out, nil
+}
+
+// Parse parses a Prometheus text-format exposition, reporting the first
+// syntax error. It does not apply the cross-line strictness rules —
+// Validate layers those on top.
+func Parse(text string) (*Exposition, error) {
+	exp := &Exposition{Families: make(map[string]*ParsedFamily)}
+	family := func(name string) *ParsedFamily {
+		f, ok := exp.Families[name]
+		if !ok {
+			f = &ParsedFamily{Name: name}
+			exp.Families[name] = f
+			exp.Order = append(exp.Order, name)
+		}
+		return f
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, " \t\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in %s", ln+1, name, fields[1])
+			}
+			rest := ""
+			if len(fields) == 4 {
+				rest = fields[3]
+			}
+			f := family(name)
+			if fields[1] == "HELP" {
+				f.Help = rest
+			} else {
+				f.Type = rest
+			}
+			continue
+		}
+		name := line
+		labelPart := ""
+		valuePart := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("line %d: unbalanced label braces", ln+1)
+			}
+			name = line[:i]
+			labelPart = line[i+1 : j]
+			valuePart = strings.TrimSpace(line[j+1:])
+		} else if i := strings.IndexAny(line, " \t"); i >= 0 {
+			name = line[:i]
+			valuePart = strings.TrimSpace(line[i+1:])
+		} else {
+			return nil, fmt.Errorf("line %d: sample %q has no value", ln+1, line)
+		}
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", ln+1, name)
+		}
+		labels, err := parseLabels(labelPart)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		// An optional trailing timestamp is allowed by the format.
+		valueFields := strings.Fields(valuePart)
+		if len(valueFields) == 0 || len(valueFields) > 2 {
+			return nil, fmt.Errorf("line %d: malformed value %q", ln+1, valuePart)
+		}
+		v, err := strconv.ParseFloat(valueFields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: value %q: %v", ln+1, valueFields[0], err)
+		}
+		f := family(baseName(name, exp.Families))
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: v})
+	}
+	return exp, nil
+}
+
+// Validate parses text and enforces the strict exposition rules CI holds
+// a live /metrics scrape to:
+//
+//   - every sample belongs to a family with both # HELP and # TYPE, and
+//     TYPE is one of counter|gauge|histogram|summary|untyped;
+//   - family blocks are contiguous and never redeclared;
+//   - no duplicate series (same name and label set);
+//   - counter families end in _total and never expose negative values;
+//   - histogram families expose cumulative non-decreasing `le` buckets per
+//     label set, with an le="+Inf" bucket equal to _count;
+//   - summary quantile labels parse into [0, 1].
+//
+// It returns nil on a fully conforming scrape.
+func Validate(text string) error {
+	exp, err := Parse(text)
+	if err != nil {
+		return err
+	}
+	// Contiguity and single declaration: re-scan the comment lines.
+	seenBlocks := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validTypes[typ] {
+			return fmt.Errorf("line %d: invalid TYPE %q for %s", ln+1, typ, name)
+		}
+		if seenBlocks[name] {
+			return fmt.Errorf("line %d: family %s redeclared", ln+1, name)
+		}
+		seenBlocks[name] = true
+	}
+	seriesSeen := make(map[string]bool)
+	for _, name := range exp.Order {
+		f := exp.Families[name]
+		if len(f.Samples) == 0 && f.Type == "" && f.Help == "" {
+			continue
+		}
+		if f.Help == "" {
+			return fmt.Errorf("family %s has samples but no # HELP", name)
+		}
+		if f.Type == "" {
+			return fmt.Errorf("family %s has samples but no # TYPE", name)
+		}
+		if !validTypes[f.Type] {
+			return fmt.Errorf("family %s has invalid type %q", name, f.Type)
+		}
+		if f.Type == "counter" && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter family %s does not end in _total", name)
+		}
+		histBuckets := make(map[string][]Sample)
+		counts := make(map[string]float64)
+		sums := make(map[string]bool)
+		for _, s := range f.Samples {
+			key := s.Name + "\x00" + labelKey(s.Labels)
+			if seriesSeen[key] {
+				return fmt.Errorf("duplicate series %s{%s}", s.Name, labelKey(s.Labels))
+			}
+			seriesSeen[key] = true
+			if f.Type == "counter" && (s.Value < 0 || math.IsNaN(s.Value)) {
+				return fmt.Errorf("counter %s exposes non-monotone value %v", s.Name, s.Value)
+			}
+			switch {
+			case f.Type == "histogram" && s.Name == name+"_bucket":
+				histBuckets[labelKeyExcept(s.Labels, "le")] = append(histBuckets[labelKeyExcept(s.Labels, "le")], s)
+			case (f.Type == "histogram" || f.Type == "summary") && s.Name == name+"_count":
+				counts[labelKey(s.Labels)] = s.Value
+			case (f.Type == "histogram" || f.Type == "summary") && s.Name == name+"_sum":
+				sums[labelKey(s.Labels)] = true
+			case f.Type == "summary" && s.Name == name:
+				q := s.Label("quantile")
+				if q == "" {
+					return fmt.Errorf("summary %s sample lacks a quantile label", name)
+				}
+				qv, err := strconv.ParseFloat(q, 64)
+				if err != nil || qv < 0 || qv > 1 {
+					return fmt.Errorf("summary %s has invalid quantile %q", name, q)
+				}
+			case f.Type == "histogram" && s.Name == name:
+				return fmt.Errorf("histogram %s exposes a bare sample %s", name, s.Name)
+			}
+		}
+		for setKey, buckets := range histBuckets {
+			prev := math.Inf(-1)
+			prevBound := math.Inf(-1)
+			sawInf := false
+			var infVal float64
+			for _, s := range buckets {
+				le := s.Label("le")
+				bound := math.Inf(1)
+				if le == "+Inf" {
+					sawInf = true
+					infVal = s.Value
+				} else if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("histogram %s has invalid le %q", name, le)
+				}
+				if bound <= prevBound {
+					return fmt.Errorf("histogram %s buckets are out of le order at le=%q", name, le)
+				}
+				prevBound = bound
+				if s.Value < prev {
+					return fmt.Errorf("histogram %s buckets are not cumulative at le=%q", name, le)
+				}
+				prev = s.Value
+			}
+			if !sawInf {
+				return fmt.Errorf("histogram %s label set {%s} lacks an le=\"+Inf\" bucket", name, setKey)
+			}
+			if c, ok := counts[setKey]; !ok || c != infVal {
+				return fmt.Errorf("histogram %s label set {%s}: +Inf bucket %v != count %v", name, setKey, infVal, counts[setKey])
+			}
+			if !sums[setKey] {
+				return fmt.Errorf("histogram %s label set {%s} lacks a _sum series", name, setKey)
+			}
+		}
+	}
+	return nil
+}
+
+// labelKeyExcept is labelKey with one key removed (grouping histogram
+// buckets by their non-le labels).
+func labelKeyExcept(labels []Label, except string) string {
+	var kept []Label
+	for _, l := range labels {
+		if l.Key != except {
+			kept = append(kept, l)
+		}
+	}
+	return labelKey(kept)
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileInterpolation pins exact quantile values on known
+// distributions — the satellite fix for the old upper-bound estimate,
+// which reported the bucket's top edge (2048 for a p50 entirely inside
+// [1024, 2048)).
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	t.Run("single-bucket mass interpolates inside the bucket", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			h.Observe(1500) // bucket [1024, 2048)
+		}
+		// Rank t = 0.5·999 = 499.5; position (499.5+0.5)/1000 = 0.5 →
+		// exactly mid-bucket: 1024 + 1024·0.5.
+		if got := h.Quantile(0.5); got != 1536 {
+			t.Errorf("p50 = %v, want 1536 (old code returned 2048)", got)
+		}
+		// p99: t = 989.01, position (989.01-0+0.5)/1000 = 0.98951.
+		tq := 0.99 * float64(999)
+		want := 1024 + 1024*((tq-0+0.5)/1000)
+		if got := h.Quantile(0.99); got != want {
+			t.Errorf("p99 = %v, want %v", got, want)
+		}
+	})
+	t.Run("two-bucket split finds the right bucket", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Observe(10) // bucket [8, 16)
+		}
+		for i := 0; i < 100; i++ {
+			h.Observe(100) // bucket [64, 128)
+		}
+		// t = 0.25·199 = 49.75 lands in the first bucket at position
+		// (49.75+0.5)/100 = 0.5025.
+		t25 := 0.25 * float64(199)
+		want := 8 + 8*((t25-0+0.5)/100)
+		if got := h.Quantile(0.25); got != want {
+			t.Errorf("p25 = %v, want %v", got, want)
+		}
+		// t = 0.75·199 = 149.25 lands in the second bucket at position
+		// (149.25-100+0.5)/100 = 0.4975.
+		t75 := 0.75 * float64(199)
+		want = 64 + 64*((t75-100+0.5)/100)
+		if got := h.Quantile(0.75); got != want {
+			t.Errorf("p75 = %v, want %v", got, want)
+		}
+		// Quantiles never exceed the occupied bucket's upper bound.
+		if got := h.Quantile(1); got > 128 {
+			t.Errorf("p100 = %v, want <= 128", got)
+		}
+	})
+	t.Run("zeros and empty", func(t *testing.T) {
+		var h Histogram
+		if got := h.Quantile(0.5); got != 0 {
+			t.Errorf("empty p50 = %v, want 0", got)
+		}
+		h.Observe(0)
+		h.Observe(0)
+		if got := h.Quantile(0.99); got != 0 {
+			t.Errorf("all-zero p99 = %v, want 0", got)
+		}
+	})
+	t.Run("mean and sum", func(t *testing.T) {
+		var h Histogram
+		h.ObserveDuration(2 * time.Microsecond)
+		h.ObserveDuration(4 * time.Microsecond)
+		if h.Count() != 2 || h.Sum() != 6000 || h.Mean() != 3000 {
+			t.Errorf("count/sum/mean = %d/%d/%v", h.Count(), h.Sum(), h.Mean())
+		}
+	})
+}
+
+// TestHistogramConcurrentObserve exercises the atomic hot path under the
+// race detector.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+// TestRegistryExposition renders a registry with every family kind and
+// runs the output through both the parser and the strict validator.
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(41)
+	c.Inc()
+	c.Add(-7) // ignored: counters are monotone
+	var g Gauge
+	g.Set(17)
+	g.Add(-2)
+	var h Histogram
+	h.Observe(3)
+	h.Observe(700)
+	r.RegisterValues("test_ops_total", "Operations served.", KindCounter, func(emit EmitValue) {
+		emit(float64(c.Value()), L("shard", "0"))
+		emit(float64(c.Value())+1, L("shard", "1"))
+	})
+	r.RegisterValues("test_instances", "Hosted \"instances\"\nnow.", KindGauge, func(emit EmitValue) {
+		emit(float64(g.Value()))
+	})
+	r.RegisterHistogram("test_phase_ns", "Phase wall time (ns).", func(emit EmitHist) {
+		emit(&h, L("phase", "election"))
+	})
+	r.RegisterSummary("test_latency_seconds", "Request latency.", []float64{0.5, 0.99}, 1e-9, func(emit EmitHist) {
+		emit(&h, L("op", "step"))
+	})
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+
+	if err := Validate(text); err != nil {
+		t.Fatalf("self-rendered exposition fails validation: %v\n%s", err, text)
+	}
+	exp, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("test_ops_total", L("shard", "0")); !ok || v != 42 {
+		t.Errorf("test_ops_total{shard=0} = %v ok=%v, want 42", v, ok)
+	}
+	if got := exp.Sum("test_ops_total"); got != 85 {
+		t.Errorf("sum over shards = %v, want 85", got)
+	}
+	if v, ok := exp.Value("test_instances"); !ok || v != 15 {
+		t.Errorf("test_instances = %v ok=%v, want 15", v, ok)
+	}
+	if v, ok := exp.Value("test_phase_ns_count", L("phase", "election")); !ok || v != 2 {
+		t.Errorf("histogram count = %v ok=%v, want 2", v, ok)
+	}
+	if v, ok := exp.Value("test_phase_ns_sum", L("phase", "election")); !ok || v != 703 {
+		t.Errorf("histogram sum = %v ok=%v, want 703", v, ok)
+	}
+	if v, ok := exp.Value("test_phase_ns_bucket", L("le", "+Inf")); !ok || v != 2 {
+		t.Errorf("+Inf bucket = %v ok=%v, want 2", v, ok)
+	}
+	if _, ok := exp.Value("test_latency_seconds", L("quantile", "0.50")); !ok {
+		t.Error("summary lacks quantile 0.50 series")
+	}
+	// Label escaping survived round-trip through help text.
+	if f := exp.Families["test_instances"]; !strings.Contains(f.Help, `\"instances\"`) && !strings.Contains(f.Help, `"instances"`) {
+		t.Errorf("help text mangled: %q", f.Help)
+	}
+	// Catalog reflects registration order.
+	cat := r.Catalog()
+	if len(cat) != 4 || cat[0].Name != "test_ops_total" || cat[3].Type != "summary" {
+		t.Errorf("catalog = %+v", cat)
+	}
+}
+
+// TestValidateRejects feeds the strict validator known-bad expositions.
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without HELP": "# TYPE x_total counter\nx_total 1\n",
+		"sample without TYPE": "# HELP x_total ops\nx_total 1\n",
+		"bad type":            "# HELP x_total ops\n# TYPE x_total hologram\nx_total 1\n",
+		"counter not _total":  "# HELP x ops\n# TYPE x counter\nx 1\n",
+		"negative counter":    "# HELP x_total ops\n# TYPE x_total counter\nx_total -1\n",
+		"duplicate series":    "# HELP x_total ops\n# TYPE x_total counter\nx_total 1\nx_total 2\n",
+		"redeclared family":   "# HELP x_total ops\n# TYPE x_total counter\nx_total 1\n# TYPE x_total counter\n",
+		"bad label escape":    "# HELP x_total ops\n# TYPE x_total counter\nx_total{a=\"\\q\"} 1\n",
+		"unquoted label":      "# HELP x_total ops\n# TYPE x_total counter\nx_total{a=b} 1\n",
+		"bad value":           "# HELP x_total ops\n# TYPE x_total counter\nx_total one\n",
+		"bad metric name":     "# HELP 9x ops\n# TYPE 9x gauge\n9x 1\n",
+		"histogram no +Inf": "# HELP h ns\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram non-cumulative": "# HELP h ns\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"histogram count mismatch": "# HELP h ns\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"summary bad quantile": "# HELP s t\n# TYPE s summary\ns{quantile=\"1.5\"} 1\ns_sum 1\ns_count 1\n",
+	}
+	for name, text := range cases {
+		if err := Validate(text); err == nil {
+			t.Errorf("%s: validator accepted\n%s", name, text)
+		}
+	}
+	good := "# HELP ok_total ops\n# TYPE ok_total counter\nok_total{a=\"x\\\"y\\\\z\\n\"} 7\n"
+	if err := Validate(good); err != nil {
+		t.Errorf("escaped labels rejected: %v", err)
+	}
+}
+
+// TestTraceRing covers claim/publish, wraparound, snapshot ordering and
+// the JSONL export.
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(64)
+	if r.Cap() != 64 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		r.Publish(&Span{Instance: "inst-1", Slot: int64(i), Outcome: OutcomeFull, TotalNS: 10})
+	}
+	if r.Published() != 100 {
+		t.Fatalf("published = %d", r.Published())
+	}
+	spans := r.Snapshot(0)
+	if len(spans) != 64 {
+		t.Fatalf("snapshot holds %d spans, want 64 (wrapped)", len(spans))
+	}
+	if spans[0].Slot != 36 || spans[63].Slot != 99 {
+		t.Fatalf("window = [%d, %d], want [36, 99]", spans[0].Slot, spans[63].Slot)
+	}
+	if got := r.Snapshot(5); len(got) != 5 || got[4].Slot != 99 {
+		t.Fatalf("limited snapshot = %d spans ending %d", len(got), got[len(got)-1].Slot)
+	}
+	var b strings.Builder
+	n, err := r.WriteJSONL(&b, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("WriteJSONL = %d, %v", n, err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[2], `"slot":99`) || !strings.Contains(lines[2], `"outcome":"full"`) {
+		t.Fatalf("JSONL tail = %s", lines[2])
+	}
+}
+
+// TestTraceRingConcurrent publishes from several goroutines under the race
+// detector; every snapshotted span must be fully formed.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Publish(&Span{Slot: int64(i), TotalNS: 7, Outcome: OutcomeEpochSkip})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, s := range r.Snapshot(0) {
+				if s.TotalNS != 7 {
+					t.Errorf("torn span: %+v", s)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Published() != 2000 {
+		t.Fatalf("published = %d", r.Published())
+	}
+}
+
+// TestSpanOutcomeNames pins the wire names.
+func TestSpanOutcomeNames(t *testing.T) {
+	want := map[SpanOutcome]string{
+		OutcomeEpochSkip:  "epoch-skip",
+		OutcomeMemoFull:   "memo-full",
+		OutcomeMemoStruct: "memo-structure",
+		OutcomeFull:       "full",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; negative deltas are ignored (counters are
+// monotone by contract — the validator enforces non-negative exposure).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (either sign).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Kind is a metric family's exposition type.
+type Kind uint8
+
+const (
+	// KindCounter is a monotone cumulative count (name should end _total).
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value.
+	KindGauge
+	// KindHistogram is a bucketed distribution (`le` series + _sum/_count).
+	KindHistogram
+	// KindSummary is a quantile sketch (quantile series + _sum/_count).
+	KindSummary
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	case KindSummary:
+		return "summary"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name="value" pair of a series.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// EmitValue publishes one series of a counter or gauge family at collect
+// time.
+type EmitValue func(value float64, labels ...Label)
+
+// EmitHist publishes one series of a histogram or summary family at collect
+// time.
+type EmitHist func(h *Histogram, labels ...Label)
+
+// family is one registered metric family. Exactly one of the collect
+// callbacks is set, matching Kind.
+type family struct {
+	name, help string
+	kind       Kind
+	unit       string // recording unit of histogram values ("ns", "")
+	scale      float64
+	quantiles  []float64
+	collectVal func(EmitValue)
+	collectH   func(EmitHist)
+}
+
+// FamilyInfo is the registry's catalog entry for one family — the source
+// the OPERATIONS.md metrics catalog and cmd/banditstat render from.
+type FamilyInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Help string `json:"help"`
+	// Labels are the label keys the family's series carry (collected from a
+	// live scrape by consumers; the registry itself records only statically
+	// declared keys).
+	Labels []string `json:"labels,omitempty"`
+}
+
+// Registry is an ordered collection of metric families. Registration order
+// is exposition order, so scrapes are stable and diffable. Collect
+// callbacks run at scrape time on the scraping goroutine; they must read
+// atomic state only. A Registry is safe for concurrent registration and
+// scraping, though the expected pattern is register-at-startup.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric family %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// RegisterValues registers a counter or gauge family whose series are
+// produced by collect at scrape time (the collector pattern: hot paths keep
+// their own atomics, the registry only reads them).
+func (r *Registry) RegisterValues(name, help string, kind Kind, collect func(EmitValue)) {
+	if kind != KindCounter && kind != KindGauge {
+		panic(fmt.Sprintf("obs: RegisterValues kind must be counter or gauge, got %v", kind))
+	}
+	r.add(&family{name: name, help: help, kind: kind, collectVal: collect})
+}
+
+// RegisterHistogram registers a histogram family rendered as Prometheus
+// `le` bucket series plus _sum and _count. Values are exposed in the
+// histogram's recording unit (state it in the name or help, e.g. _ns).
+func (r *Registry) RegisterHistogram(name, help string, collect func(EmitHist)) {
+	r.add(&family{name: name, help: help, kind: KindHistogram, collectH: collect})
+}
+
+// RegisterSummary registers a summary family rendered as quantile series
+// plus _sum and _count, with quantiles estimated from the backing log₂
+// Histogram. scale converts the histogram's recording unit into the
+// exposed unit (1e-9 exposes nanosecond recordings as seconds).
+func (r *Registry) RegisterSummary(name, help string, quantiles []float64, scale float64, collect func(EmitHist)) {
+	if scale == 0 {
+		scale = 1
+	}
+	r.add(&family{name: name, help: help, kind: KindSummary, quantiles: quantiles, scale: scale, collectH: collect})
+}
+
+// Catalog returns every registered family in exposition order.
+func (r *Registry) Catalog() []FamilyInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, FamilyInfo{Name: f.name, Type: f.kind.String(), Help: f.help})
+	}
+	return out
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value. Integral values print without
+// exponent or decimal point so existing integer-parsing scrapers keep
+// working; everything else uses shortest-roundtrip formatting.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// writeSeries renders one sample line: name{labels} value.
+func writeSeries(b *strings.Builder, name string, labels []Label, extra []Label, v float64) {
+	b.WriteString(name)
+	if len(labels)+len(extra) > 0 {
+		b.WriteByte('{')
+		first := true
+		for _, set := range [2][]Label{labels, extra} {
+			for _, l := range set {
+				if !first {
+					b.WriteByte(',')
+				}
+				first = false
+				b.WriteString(l.Key)
+				b.WriteString(`="`)
+				b.WriteString(escapeLabel(l.Value))
+				b.WriteByte('"')
+			}
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families in registration order, each preceded by
+// its # HELP and # TYPE lines, label values escaped. The output passes
+// Validate, which CI enforces on a live scrape.
+func (r *Registry) WritePrometheus(b *strings.Builder) {
+	r.mu.RLock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.RUnlock()
+	for _, f := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case KindCounter, KindGauge:
+			f.collectVal(func(v float64, labels ...Label) {
+				writeSeries(b, f.name, labels, nil, v)
+			})
+		case KindHistogram:
+			f.collectH(func(h *Histogram, labels ...Label) {
+				var cum int64
+				top := HistBuckets - 1
+				for top > 0 && h.Bucket(top) == 0 {
+					top--
+				}
+				for i := 0; i <= top; i++ {
+					cum += h.Bucket(i)
+					writeSeries(b, f.name+"_bucket", labels,
+						[]Label{L("le", formatValue(float64(BucketBound(i))))}, float64(cum))
+				}
+				writeSeries(b, f.name+"_bucket", labels, []Label{L("le", "+Inf")}, float64(h.Count()))
+				writeSeries(b, f.name+"_sum", labels, nil, float64(h.Sum()))
+				writeSeries(b, f.name+"_count", labels, nil, float64(h.Count()))
+			})
+		case KindSummary:
+			f.collectH(func(h *Histogram, labels ...Label) {
+				for _, q := range f.quantiles {
+					writeSeries(b, f.name, labels,
+						[]Label{L("quantile", fmt.Sprintf("%.2f", q))}, h.Quantile(q)*f.scale)
+				}
+				writeSeries(b, f.name+"_sum", labels, nil, float64(h.Sum())*f.scale)
+				writeSeries(b, f.name+"_count", labels, nil, float64(h.Count()))
+			})
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// SpanOutcome classifies how the decision plane served one update
+// boundary, from cheapest to most expensive.
+type SpanOutcome uint8
+
+const (
+	// OutcomeEpochSkip replayed the cached previous result: the weight
+	// vector and previous-strategy set were unchanged.
+	OutcomeEpochSkip SpanOutcome = iota
+	// OutcomeMemoFull ran the protocol but every local-MWIS lookup was an
+	// exact memo hit (no solver ran).
+	OutcomeMemoFull
+	// OutcomeMemoStruct ran the protocol reusing cached subgraph structure
+	// for at least one leader, re-running only weighted searches.
+	OutcomeMemoStruct
+	// OutcomeFull rebuilt at least one leader's local instance from
+	// scratch.
+	OutcomeFull
+)
+
+// String returns the outcome's wire name (stable: /debug/trace consumers
+// and banditstat parse it).
+func (o SpanOutcome) String() string {
+	switch o {
+	case OutcomeEpochSkip:
+		return "epoch-skip"
+	case OutcomeMemoFull:
+		return "memo-full"
+	case OutcomeMemoStruct:
+		return "memo-structure"
+	default:
+		return "full"
+	}
+}
+
+// Span is one decision-path trace record: where the wall time of one
+// strategy decision went. Phase nanoseconds partition the decide:
+// Broadcast (weight-broadcast accounting), Election (leader election
+// across mini-rounds), LocalMWIS (per-leader local solves, memo lookups
+// included) and Finalize (winner collection, independence verification,
+// strategy construction). Their sum accounts for ≥95% of TotalNS on a full
+// decide — the residual is loop bookkeeping — which CI asserts via
+// banditstat.
+type Span struct {
+	// Instance is the hosted instance ID ("" outside the serving runtime).
+	Instance string `json:"instance,omitempty"`
+	// Slot is the update boundary's slot index.
+	Slot int64 `json:"slot"`
+	// Start is the decide's start time, unix nanoseconds.
+	Start int64 `json:"start_unix_ns"`
+	// Outcome is the decision path taken.
+	Outcome SpanOutcome `json:"-"`
+	// Phase nanoseconds (all zero on an epoch skip except TotalNS).
+	BroadcastNS int64 `json:"broadcast_ns"`
+	ElectionNS  int64 `json:"election_ns"`
+	LocalMWISNS int64 `json:"local_mwis_ns"`
+	FinalizeNS  int64 `json:"finalize_ns"`
+	TotalNS     int64 `json:"total_ns"`
+	// Decision-plane accounting of this boundary.
+	MiniRounds     int32 `json:"mini_rounds"`
+	MemoHits       int32 `json:"memo_hits"`
+	MemoStructHits int32 `json:"memo_struct_hits"`
+	MemoMisses     int32 `json:"memo_misses"`
+}
+
+// TraceRing is a lock-free multi-producer ring buffer of decision-path
+// spans. Writers claim a slot with one atomic add and publish an immutable
+// *Span into it; a full ring overwrites the oldest entries. Readers
+// snapshot without blocking writers. Publishing costs one pointer store
+// (the span itself is one small allocation per traced decision, which is
+// the documented fixed tracing-enabled cost — see the alloc guards in
+// internal/core).
+type TraceRing struct {
+	mask uint64
+	pos  atomic.Uint64 // next claim index; pos-1 is the newest entry
+	buf  []atomic.Pointer[Span]
+}
+
+// NewTraceRing returns a ring holding the most recent capacity spans
+// (rounded up to a power of two, minimum 64).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 64 {
+		capacity = 64
+	}
+	c := 1 << uint(bits.Len64(uint64(capacity-1)))
+	return &TraceRing{mask: uint64(c - 1), buf: make([]atomic.Pointer[Span], c)}
+}
+
+// Cap returns the ring capacity.
+func (r *TraceRing) Cap() int { return len(r.buf) }
+
+// Published returns the total spans published (including overwritten
+// ones).
+func (r *TraceRing) Published() uint64 { return r.pos.Load() }
+
+// Publish stores the span. The caller must not mutate s afterwards — the
+// ring shares it with readers instead of copying.
+func (r *TraceRing) Publish(s *Span) {
+	idx := r.pos.Add(1) - 1
+	r.buf[idx&r.mask].Store(s)
+}
+
+// Snapshot returns up to max of the most recent spans, oldest first.
+// Passing max <= 0 returns the whole retained window. The result is
+// consistent in the sense that every returned span is complete (spans are
+// immutable after Publish); under concurrent writes the window edges are
+// best-effort.
+func (r *TraceRing) Snapshot(max int) []*Span {
+	end := r.pos.Load()
+	n := len(r.buf)
+	if end < uint64(n) {
+		n = int(end)
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]*Span, 0, n)
+	for i := end - uint64(n); i != end; i++ {
+		if s := r.buf[i&r.mask].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteJSONL renders up to max recent spans as JSON Lines, oldest first —
+// the /debug/trace wire format. Marshaling is hand-rolled (fixed fields,
+// escaped instance ID) so the export path needs no reflection.
+func (r *TraceRing) WriteJSONL(w io.Writer, max int) (int, error) {
+	spans := r.Snapshot(max)
+	var b strings.Builder
+	for _, s := range spans {
+		b.Reset()
+		b.WriteString(`{"instance":"`)
+		b.WriteString(escapeLabel(s.Instance))
+		b.WriteString(`","outcome":"`)
+		b.WriteString(s.Outcome.String())
+		fmt.Fprintf(&b, `","slot":%d,"start_unix_ns":%d,"broadcast_ns":%d,"election_ns":%d,"local_mwis_ns":%d,"finalize_ns":%d,"total_ns":%d,"mini_rounds":%d,"memo_hits":%d,"memo_struct_hits":%d,"memo_misses":%d}`,
+			s.Slot, s.Start, s.BroadcastNS, s.ElectionNS, s.LocalMWISNS, s.FinalizeNS, s.TotalNS,
+			s.MiniRounds, s.MemoHits, s.MemoStructHits, s.MemoMisses)
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return len(spans), err
+		}
+	}
+	return len(spans), nil
+}

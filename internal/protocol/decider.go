@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"multihopbandit/internal/graph"
 	"multihopbandit/internal/mwis"
@@ -67,6 +68,38 @@ func (s DecideStats) Sub(prev DecideStats) DecideStats {
 		LocalBroadcasts:    s.LocalBroadcasts - prev.LocalBroadcasts,
 		MiniTimeslots:      s.MiniTimeslots - prev.MiniTimeslots,
 	}
+}
+
+// DecideTrace is the per-boundary decision-path record a Decider fills for
+// its attached tracer: which path served the boundary and where the wall
+// time went. The phase nanoseconds partition a full decide — BroadcastNS
+// (decide setup: the epoch-cache check, result allocation, and the
+// weight-broadcast accounting), ElectionNS (leader election across
+// mini-rounds), LocalMWISNS (local solves including memo lookups and
+// winner/loser application), FinalizeNS (winner collection, independence
+// verification, strategy construction, and the epoch-cache update) — and
+// are all zero on an epoch skip. The windows are contiguous from the
+// decide's start, so their sum accounts for all of TotalNS except the
+// trace bookkeeping itself. Timing is wall-clock observation only:
+// tracing never touches the decision inputs, so traced and untraced
+// trajectories are bit-identical.
+type DecideTrace struct {
+	// StartUnixNS is the decide's start time (unix nanoseconds).
+	StartUnixNS int64
+	// EpochSkip marks a boundary served from the cached previous Result.
+	EpochSkip bool
+	// Phase wall-clock nanoseconds (see above).
+	BroadcastNS, ElectionNS, LocalMWISNS, FinalizeNS, TotalNS int64
+	// MiniRounds is the number of protocol mini-rounds run (0 on a skip).
+	MiniRounds int
+	// Memo lookup deltas of this decide.
+	MemoHits, MemoStructHits, MemoMisses int64
+}
+
+// PhaseNS returns the sum of the four phase timers — the portion of
+// TotalNS the trace accounts for explicitly.
+func (t *DecideTrace) PhaseNS() int64 {
+	return t.BroadcastNS + t.ElectionNS + t.LocalMWISNS + t.FinalizeNS
 }
 
 // memoEntry is one leader's cached local MWIS in two exact layers. The
@@ -133,6 +166,17 @@ type Decider struct {
 	lastRes  *Result
 
 	stats DecideStats
+
+	// tracer, when non-nil, receives a DecideTrace after every decide. The
+	// disabled path costs one nil check per decide — no clock reads, no
+	// allocations. trace is the reused scratch record; the callback must
+	// copy what it keeps.
+	tracer func(*DecideTrace)
+	trace  DecideTrace
+	// finalizeStart is where decideFull left the finalize window open;
+	// decide closes it after the epoch-cache update so the four phase
+	// windows tile TotalNS.
+	finalizeStart time.Time
 }
 
 // NewDecider returns a fresh Decider over the runtime. The heavy topology
@@ -166,6 +210,13 @@ func (d *Decider) Runtime() *Runtime { return d.rt }
 // Stats returns the decider's cumulative accounting.
 func (d *Decider) Stats() DecideStats { return d.stats }
 
+// SetTracer attaches (or with nil detaches) a decision-path tracer. The
+// callback runs synchronously on the deciding goroutine after every
+// successful decide with a scratch *DecideTrace the decider reuses — copy
+// out anything retained past the call. Tracing observes wall time only;
+// it cannot change any decision output.
+func (d *Decider) SetTracer(fn func(*DecideTrace)) { d.tracer = fn }
+
 // Decide runs one strategy decision with the incremental state, comparing
 // the inputs against the previous call's to detect an unchanged weight
 // epoch itself. Output is bit-identical to Runtime.Decide on the same
@@ -191,12 +242,28 @@ func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged b
 	if len(weights) != n {
 		return nil, fmt.Errorf("protocol: %d weights for %d vertices", len(weights), n)
 	}
+	var t0 time.Time
+	if d.tracer != nil {
+		t0 = time.Now()
+	}
 	if d.lastRes != nil && equalInts(prevPlayed, d.lastPrev) &&
 		(weightsUnchanged || equalFloats(weights, d.lastW)) {
 		d.stats.EpochSkips++
+		if d.tracer != nil {
+			d.trace = DecideTrace{
+				StartUnixNS: t0.UnixNano(),
+				EpochSkip:   true,
+				TotalNS:     time.Since(t0).Nanoseconds(),
+			}
+			d.tracer(&d.trace)
+		}
 		return d.lastRes, nil
 	}
-	res, err := d.decideFull(weights, prevPlayed)
+	var memoBefore DecideStats
+	if d.tracer != nil {
+		memoBefore = d.stats
+	}
+	res, err := d.decideFull(weights, prevPlayed, t0)
 	if err != nil {
 		d.lastRes = nil
 		return nil, err
@@ -204,16 +271,39 @@ func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged b
 	d.lastW = append(d.lastW[:0], weights...)
 	d.lastPrev = append(d.lastPrev[:0], prevPlayed...)
 	d.lastRes = res
+	if d.tracer != nil {
+		// One clock read closes both the finalize window and the total, so
+		// the four phase windows tile TotalNS exactly.
+		now := time.Now()
+		d.trace.FinalizeNS = now.Sub(d.finalizeStart).Nanoseconds()
+		d.trace.StartUnixNS = t0.UnixNano()
+		d.trace.EpochSkip = false
+		d.trace.MiniRounds = res.MiniRounds
+		d.trace.MemoHits = d.stats.MemoHits - memoBefore.MemoHits
+		d.trace.MemoStructHits = d.stats.MemoStructHits - memoBefore.MemoStructHits
+		d.trace.MemoMisses = d.stats.MemoMisses - memoBefore.MemoMisses
+		d.trace.TotalNS = now.Sub(t0).Nanoseconds()
+		d.tracer(&d.trace)
+	}
 	return res, nil
 }
 
 // decideFull mirrors Runtime.Decide step for step over the persistent
 // buffers; any observable divergence is a bug the randomized equivalence
 // suite exists to catch.
-func (d *Decider) decideFull(weights []float64, prevPlayed []int) (*Result, error) {
+func (d *Decider) decideFull(weights []float64, prevPlayed []int, t0 time.Time) (*Result, error) {
 	rt := d.rt
 	h := rt.ext.H
 	n := h.N()
+	traced := d.tracer != nil
+	var phaseStart time.Time
+	if traced {
+		d.trace.BroadcastNS, d.trace.ElectionNS = 0, 0
+		d.trace.LocalMWISNS, d.trace.FinalizeNS = 0, 0
+		// The broadcast window opens at the decide's own start so the
+		// epoch-cache comparison and result allocation are accounted for.
+		phaseStart = t0
+	}
 	res := &Result{
 		Stats: Stats{MessagesPerVertex: make([]int, n)},
 	}
@@ -230,6 +320,11 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int) (*Result, erro
 	}
 	width := 2*rt.r + 1
 	res.Stats.MiniTimeslots += width * width
+	if traced {
+		now := time.Now()
+		d.trace.BroadcastNS = now.Sub(phaseStart).Nanoseconds()
+		phaseStart = now
+	}
 
 	// Mini-round loop (Algorithm 3).
 	status := d.status[:n]
@@ -245,6 +340,11 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int) (*Result, erro
 	for tau := 0; tau < maxRounds && candidates > 0; tau++ {
 		leaders := d.selectLeaders(weights, status)
 		if len(leaders) == 0 {
+			if traced {
+				now := time.Now()
+				d.trace.ElectionNS += now.Sub(phaseStart).Nanoseconds()
+				phaseStart = now
+			}
 			break
 		}
 		for _, v := range leaders {
@@ -253,6 +353,11 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int) (*Result, erro
 			for _, u := range rt.ball2R1[v] {
 				res.Stats.MessagesPerVertex[u]++
 			}
+		}
+		if traced {
+			now := time.Now()
+			d.trace.ElectionNS += now.Sub(phaseStart).Nanoseconds()
+			phaseStart = now
 		}
 		for _, v := range leaders {
 			winners, losers, err := d.localDecision(v, weights, status)
@@ -285,6 +390,11 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int) (*Result, erro
 		res.Stats.MiniTimeslots += (2*rt.r + 1) + (3*rt.r + 2)
 		res.WeightByMiniRound = append(res.WeightByMiniRound, totalWinnerWeight)
 		res.LeadersByMiniRound = append(res.LeadersByMiniRound, len(leaders))
+		if traced {
+			now := time.Now()
+			d.trace.LocalMWISNS += now.Sub(phaseStart).Nanoseconds()
+			phaseStart = now
+		}
 	}
 	res.Converged = candidates == 0
 
@@ -302,6 +412,11 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int) (*Result, erro
 		return nil, fmt.Errorf("protocol: winners to strategy: %w", err)
 	}
 	res.Strategy = strategy
+	if traced {
+		// Leave the finalize window open: decide closes it after the
+		// stats accumulation below and its epoch-cache update.
+		d.finalizeStart = phaseStart
+	}
 
 	d.stats.FullDecides++
 	d.stats.MiniRounds += int64(res.MiniRounds)

@@ -353,3 +353,86 @@ func TestDeciderMemoFullHitNonHybridSolver(t *testing.T) {
 		t.Fatalf("structure hits recorded without a prepared path (stats %+v)", st)
 	}
 }
+
+// TestDeciderTracing pins the decision-path tracer contract: a traced
+// decider produces bit-identical Results to an untraced one on the same
+// sequence, emits exactly one trace per decision, classifies epoch skips,
+// reports memo deltas that sum to the cumulative stats, and fills phase
+// timers whose sum never exceeds the decide's total wall time.
+func TestDeciderTracing(t *testing.T) {
+	ext := buildExt(t, 18, 2, 11)
+	rt, err := New(Config{Ext: ext, R: 2, D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := rt.NewDecider()
+	traced := rt.NewDecider()
+	var traces []DecideTrace
+	traced.SetTracer(func(tr *DecideTrace) { traces = append(traces, *tr) })
+
+	w := randomWeights(ext.K(), 13)
+	var prevP, prevT []int
+	for step := 0; step < 8; step++ {
+		if step%3 == 2 {
+			w = append([]float64(nil), w...)
+			w[step%ext.K()] = 1 - w[step%ext.K()]
+		}
+		want, err := plain.Decide(w, prevP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := traced.Decide(w, prevT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("step %d: tracing changed the result:\n got %+v\nwant %+v", step, got, want)
+		}
+		prevP, prevT = want.Winners, got.Winners
+	}
+
+	st := traced.Stats()
+	if int64(len(traces)) != st.Decisions() {
+		t.Fatalf("%d traces for %d decisions", len(traces), st.Decisions())
+	}
+	var skips int64
+	var hits, structHits, misses int64
+	for i, tr := range traces {
+		if tr.EpochSkip {
+			skips++
+			if tr.PhaseNS() != 0 || tr.MiniRounds != 0 {
+				t.Fatalf("trace %d: epoch skip carries phase work: %+v", i, tr)
+			}
+			continue
+		}
+		if tr.MiniRounds <= 0 {
+			t.Fatalf("trace %d: full decide with %d mini-rounds", i, tr.MiniRounds)
+		}
+		if tr.PhaseNS() <= 0 || tr.PhaseNS() > tr.TotalNS {
+			t.Fatalf("trace %d: phase sum %d outside (0, total=%d]", i, tr.PhaseNS(), tr.TotalNS)
+		}
+		if tr.StartUnixNS <= 0 {
+			t.Fatalf("trace %d: missing start timestamp", i)
+		}
+		hits += tr.MemoHits
+		structHits += tr.MemoStructHits
+		misses += tr.MemoMisses
+	}
+	if skips != st.EpochSkips {
+		t.Fatalf("%d epoch-skip traces, stats say %d", skips, st.EpochSkips)
+	}
+	if hits != st.MemoHits || structHits != st.MemoStructHits || misses != st.MemoMisses {
+		t.Fatalf("trace memo deltas (%d,%d,%d) do not sum to stats (%d,%d,%d)",
+			hits, structHits, misses, st.MemoHits, st.MemoStructHits, st.MemoMisses)
+	}
+
+	// Detaching the tracer stops emission.
+	traced.SetTracer(nil)
+	n := len(traces)
+	if _, err := traced.Decide(w, prevT); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != n {
+		t.Fatal("detached tracer still received a trace")
+	}
+}

@@ -10,13 +10,14 @@ import (
 	"time"
 
 	"multihopbandit/internal/channel"
+	"multihopbandit/internal/obs"
 	"multihopbandit/internal/spec"
 )
 
 // Server exposes a Registry over HTTP/JSON. Routes:
 //
 //	GET    /healthz                        liveness probe
-//	GET    /metrics                        per-shard counters + latency histograms (text)
+//	GET    /metrics                        Prometheus text exposition (?format=legacy for the pre-registry format)
 //	POST   /v1/instances                   create an instance (body: InstanceConfig)
 //	GET    /v1/instances                   list instances
 //	GET    /v1/instances/{id}              instance info
@@ -33,10 +34,12 @@ type Server struct {
 	reg   *Registry
 	start time.Time
 
-	// RegretMetrics switches the per-instance banditd_regret_* families on.
-	// Off by default: the genie optimum behind them (engine's exact MWIS) is
-	// exponential in the worst case on first computation per artifact set.
-	// Set before serving; banditd wires it to -regret.
+	// RegretMetrics switches the per-instance banditd_regret_* families.
+	// On by default (NewServer): regret is a first-class serving surface,
+	// and the genie optimum behind it (engine's exact MWIS, exponential in
+	// the worst case) is computed once per artifact set and cached. Set
+	// false before serving to opt out on pathological topologies; banditd
+	// wires it to -regret.
 	RegretMetrics bool
 
 	latCreate   Histogram
@@ -48,9 +51,86 @@ type Server struct {
 	latInfo     Histogram
 }
 
-// NewServer wraps a registry in an HTTP handler.
+// NewServer wraps a registry in an HTTP handler and registers the HTTP
+// layer's metric families (uptime, request-duration summaries, per-instance
+// regret) on the registry's exposition surface. One Server per Registry:
+// a second NewServer on the same registry panics on the duplicate
+// registrations.
 func NewServer(reg *Registry) *Server {
-	return &Server{reg: reg, start: time.Now()}
+	s := &Server{reg: reg, start: time.Now(), RegretMetrics: true}
+	o := reg.Obs()
+	o.RegisterValues("banditd_uptime_seconds", "Seconds since the server started.", obs.KindGauge,
+		func(emit obs.EmitValue) { emit(time.Since(s.start).Seconds()) })
+	o.RegisterSummary("banditd_request_duration_seconds", "HTTP request latency by operation, seconds.",
+		[]float64{0.5, 0.9, 0.99}, 1e-9, func(emit obs.EmitHist) {
+			for _, op := range s.latencyOps() {
+				if op.h.Count() > 0 {
+					emit(op.h, obs.L("op", op.name))
+				}
+			}
+		})
+	o.RegisterValues("banditd_optimal_kbps", "Genie-optimal static throughput W* of the instance's artifacts (kbps). For dynamic channel kinds this is the static catalog optimum.", obs.KindGauge,
+		func(emit obs.EmitValue) {
+			s.collectRegret(func(id string, opt float64, slots int64, regret float64) {
+				emit(opt, obs.L("instance", id))
+			})
+		})
+	o.RegisterValues("banditd_regret_window_slots", "Slots in the instance's observation window behind banditd_regret_kbps_total.", obs.KindGauge,
+		func(emit obs.EmitValue) {
+			s.collectRegret(func(id string, opt float64, slots int64, regret float64) {
+				emit(float64(slots), obs.L("instance", id))
+			})
+		})
+	o.RegisterValues("banditd_regret_kbps_total", "Cumulative regret over the observation window: window·W* − Σ observed (kbps) — the quantity whose O(√t log t) growth is the paper's Theorem 2. Gauge, not counter: the window resets on restore, and regret against the static optimum can shrink under dynamic channels.", obs.KindGauge,
+		func(emit obs.EmitValue) {
+			s.collectRegret(func(id string, opt float64, slots int64, regret float64) {
+				emit(regret, obs.L("instance", id))
+			})
+		})
+	return s
+}
+
+// latencyOps enumerates the request-duration histograms with their op
+// labels, in exposition order.
+func (s *Server) latencyOps() []struct {
+	name string
+	h    *Histogram
+} {
+	return []struct {
+		name string
+		h    *Histogram
+	}{
+		{"create", &s.latCreate},
+		{"step", &s.latStep},
+		{"observe", &s.latObserve},
+		{"assignment", &s.latAssign},
+		{"snapshot", &s.latSnapshot},
+		{"restore", &s.latRestore},
+		{"info", &s.latInfo},
+	}
+}
+
+// collectRegret walks the hosted instances and reports each one's genie
+// optimum, observation window and windowed regret (all on the paper's kbps
+// scale) — the shared collector behind the three regret families. No-op
+// when RegretMetrics is off; instances whose optimum cannot be computed are
+// skipped.
+func (s *Server) collectRegret(report func(id string, optKbps float64, slots int64, regretKbps float64)) {
+	if !s.RegretMetrics {
+		return
+	}
+	for _, h := range s.reg.handles() {
+		inst, err := s.reg.cache.Scenario(h.spec)
+		if err != nil {
+			continue
+		}
+		opt, err := inst.Optimal()
+		if err != nil {
+			continue
+		}
+		slots, total := h.ObservedWindow()
+		report(h.id, channel.Kbps(opt), slots, channel.Kbps(float64(slots)*opt-total))
+	}
 }
 
 // CreateResponse reports a created instance.
@@ -164,7 +244,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case path == "/healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	case path == "/metrics":
-		s.handleMetrics(w)
+		s.handleMetrics(w, r)
 	case path == "/v1/instances":
 		switch r.Method {
 		case http.MethodPost:
@@ -345,12 +425,27 @@ func (s *Server) writeInstanceError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) observeSince(h *Histogram, start time.Time) {
-	h.Observe(time.Since(start))
+	h.ObserveDuration(time.Since(start))
 }
 
-// handleMetrics renders counters and latency histograms in a
-// Prometheus-compatible text format.
-func (s *Server) handleMetrics(w http.ResponseWriter) {
+// handleMetrics renders the registry's exposition. The default is the
+// Prometheus text format 0.0.4 (obs.Registry.WritePrometheus; every scrape
+// passes obs.Validate, which CI enforces); ?format=legacy serves the
+// pre-registry ad-hoc format for scrapers not yet migrated.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "legacy" {
+		s.handleMetricsLegacy(w)
+		return
+	}
+	var b strings.Builder
+	s.reg.Obs().WritePrometheus(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// handleMetricsLegacy renders the pre-registry ad-hoc text format,
+// preserved verbatim under /metrics?format=legacy.
+func (s *Server) handleMetricsLegacy(w http.ResponseWriter) {
 	var b strings.Builder
 	m := s.reg.Metrics()
 	fmt.Fprintf(&b, "banditd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
@@ -388,27 +483,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(&b, "banditd_artifact_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(&b, "banditd_artifact_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(&b, "banditd_artifact_cache_entries %d\n", cs.Entries)
-	ops := []struct {
-		name string
-		h    *Histogram
-	}{
-		{"create", &s.latCreate},
-		{"step", &s.latStep},
-		{"observe", &s.latObserve},
-		{"assignment", &s.latAssign},
-		{"snapshot", &s.latSnapshot},
-		{"restore", &s.latRestore},
-		{"info", &s.latInfo},
-	}
-	for _, op := range ops {
+	for _, op := range s.latencyOps() {
 		if op.h.Count() == 0 {
 			continue
 		}
 		for _, q := range []float64{0.5, 0.9, 0.99} {
 			fmt.Fprintf(&b, "banditd_request_duration_seconds{op=%q,quantile=\"%.2f\"} %.6f\n",
-				op.name, q, op.h.Quantile(q).Seconds())
+				op.name, q, op.h.Quantile(q)/1e9)
 		}
-		fmt.Fprintf(&b, "banditd_request_duration_seconds_sum{op=%q} %.6f\n", op.name, op.h.Sum().Seconds())
+		fmt.Fprintf(&b, "banditd_request_duration_seconds_sum{op=%q} %.6f\n", op.name, float64(op.h.Sum())/1e9)
 		fmt.Fprintf(&b, "banditd_request_duration_seconds_count{op=%q} %d\n", op.name, op.h.Count())
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

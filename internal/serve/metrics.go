@@ -1,9 +1,12 @@
 package serve
 
 import (
-	"math/bits"
+	"strconv"
 	"sync/atomic"
-	"time"
+
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/obs"
+	"multihopbandit/internal/protocol"
 )
 
 // ShardCounters are the per-shard serving counters, updated lock-free by
@@ -106,66 +109,171 @@ func (m *Metrics) TotalMemoHits() int64 {
 	return t
 }
 
-// histBuckets is the bucket count of Histogram: log₂ buckets of
-// microseconds, bucket b holding durations in [2^(b-1), 2^b) µs (bucket 0
-// holds sub-microsecond observations), topping out above ~4.2 s.
-const histBuckets = 24
+// Histogram is the serving layer's lock-free log₂-bucketed histogram —
+// obs.Histogram recording nanoseconds. The obs version replaced the old
+// 24-bucket microsecond histogram whose Quantile returned the bucket's
+// upper bound (overstating every quantile by up to 2×); quantiles now
+// interpolate inside the bucket and are returned as float64 nanoseconds.
+type Histogram = obs.Histogram
 
-// Histogram is a lock-free log₂-bucketed latency histogram. The zero value
-// is ready to use; all methods are safe for concurrent use.
-type Histogram struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sumNS   atomic.Int64
+// phaseHists are the decision-path phase histograms behind
+// banditd_decide_phase_ns, fed by the per-instance trace hook. The first
+// five observe full decides only (so total is the denominator of the span
+// coverage ratio); epochSkip records the short-circuit boundaries.
+type phaseHists struct {
+	broadcast, election, localMWIS, finalize, total, epochSkip Histogram
 }
 
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	b := bits.Len64(uint64(ns / 1000))
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sumNS.Add(ns)
+// shardFamily maps one ShardCounters field onto its metric family.
+type shardFamily struct {
+	name, help string
+	kind       obs.Kind
+	get        func(*ShardCounters) *atomic.Int64
 }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// Sum returns the summed observed duration.
-func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
-
-// Mean returns the mean observed duration.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sumNS.Load() / n)
+var shardFamilies = []shardFamily{
+	{"banditd_instances", "Currently hosted instances.", obs.KindGauge,
+		func(c *ShardCounters) *atomic.Int64 { return &c.Instances }},
+	{"banditd_instances_created_total", "Instances created.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.Created }},
+	{"banditd_instances_closed_total", "Instances closed or removed.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.Closed }},
+	{"banditd_slots_served_total", "Served slots (self-simulation steps plus applied observation rounds).", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.Slots }},
+	{"banditd_decisions_total", "Strategy decisions served (update boundaries).", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.Decisions }},
+	{"banditd_decide_full_total", "Decisions served by a full WB + mini-round protocol run.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.FullDecides }},
+	{"banditd_decide_epoch_skips_total", "Decisions served from the cached result under an unchanged weight epoch.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.EpochSkips }},
+	{"banditd_decide_memo_hits_total", "Local-MWIS memo lookups replayed exactly (no solver ran).", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.MemoHits }},
+	{"banditd_decide_memo_struct_hits_total", "Local-MWIS memo lookups reusing cached subgraph structure (weighted search re-run).", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.MemoStructHits }},
+	{"banditd_decide_memo_misses_total", "Local-MWIS memo lookups that rebuilt the leader's instance.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.MemoMisses }},
+	{"banditd_decide_mini_rounds_total", "Protocol mini-rounds run by full decides.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.MiniRounds }},
+	{"banditd_decide_weight_broadcasts_total", "Weight-broadcast messages of full decides.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.WeightBroadcasts }},
+	{"banditd_decide_leader_declarations_total", "Leader declarations of full decides.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.LeaderDeclarations }},
+	{"banditd_decide_local_broadcasts_total", "Local-decision broadcasts of full decides.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.LocalBroadcasts }},
+	{"banditd_decide_mini_timeslots_total", "Protocol mini-timeslots consumed by full decides.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.MiniTimeslots }},
+	{"banditd_observations_total", "Applied external observation batches.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.Observations }},
+	{"banditd_observation_errors_total", "Failed fire-and-forget observation batches.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.ObservationErrors }},
+	{"banditd_wal_appends_total", "Write-ahead log records appended.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.WALAppends }},
+	{"banditd_wal_append_bytes_total", "Framed bytes appended to write-ahead logs.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.WALAppendBytes }},
+	{"banditd_wal_fsyncs_total", "Real write-ahead log fsyncs.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.WALFsyncs }},
+	{"banditd_wal_snapshots_total", "Published snapshot files.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.WALSnapshots }},
+	{"banditd_wal_errors_total", "Durability failures (persistence is fail-open; alert on this).", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.WALErrors }},
+	{"banditd_recovered_instances_total", "Instances rebuilt by Recover.", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.Recovered }},
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (q in [0, 1]):
-// the upper edge of the bucket the quantile falls in.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
+// registerObs registers the registry-owned metric families: the per-shard
+// serving counters (collector pattern — the actors' hot-path atomics are
+// read only at scrape time), artifact-cache stats, the decision-path phase
+// histograms, and the trace-ring meta metrics. Server registers the
+// HTTP-layer families (uptime, request durations, regret) on top.
+func (r *Registry) registerObs() {
+	o := r.obs
+	o.RegisterValues("banditd_shards", "Number of registry shards.", obs.KindGauge,
+		func(emit obs.EmitValue) { emit(float64(len(r.shards))) })
+	for _, f := range shardFamilies {
+		f := f
+		o.RegisterValues(f.name, f.help, f.kind, func(emit obs.EmitValue) {
+			for i := range r.metrics.Shards {
+				emit(float64(f.get(&r.metrics.Shards[i]).Load()), obs.L("shard", strconv.Itoa(i)))
+			}
+		})
 	}
-	target := int64(q * float64(n))
-	if target >= n {
-		target = n - 1
-	}
-	var cum int64
-	for b := 0; b < histBuckets; b++ {
-		cum += h.buckets[b].Load()
-		if cum > target {
-			return time.Duration(1<<uint(b)) * time.Microsecond
+	o.RegisterValues("banditd_artifact_cache_hits_total", "Artifact-cache hits (instances sharing constructed artifacts).", obs.KindCounter,
+		func(emit obs.EmitValue) { emit(float64(r.cache.Stats().Hits)) })
+	o.RegisterValues("banditd_artifact_cache_misses_total", "Artifact-cache misses (artifact sets constructed).", obs.KindCounter,
+		func(emit obs.EmitValue) { emit(float64(r.cache.Stats().Misses)) })
+	o.RegisterValues("banditd_artifact_cache_entries", "Artifact sets currently cached.", obs.KindGauge,
+		func(emit obs.EmitValue) { emit(float64(r.cache.Stats().Entries)) })
+	o.RegisterHistogram("banditd_decide_phase_ns",
+		"Decision wall time by phase, nanoseconds. Phases broadcast, election, local_mwis and finalize partition a full decide; total is the full decide's wall clock (the span-coverage denominator); epoch_skip is the short-circuited boundary's wall clock. Populated only while decision-path tracing is attached (banditd -debug-addr).",
+		func(emit obs.EmitHist) {
+			emit(&r.phases.broadcast, obs.L("phase", "broadcast"))
+			emit(&r.phases.election, obs.L("phase", "election"))
+			emit(&r.phases.localMWIS, obs.L("phase", "local_mwis"))
+			emit(&r.phases.finalize, obs.L("phase", "finalize"))
+			emit(&r.phases.total, obs.L("phase", "total"))
+			emit(&r.phases.epochSkip, obs.L("phase", "epoch_skip"))
+		})
+	o.RegisterValues("banditd_trace_spans_total", "Decision-path spans published to the trace ring (including overwritten ones).", obs.KindCounter,
+		func(emit obs.EmitValue) {
+			if r.trace != nil {
+				emit(float64(r.trace.Published()))
+			}
+		})
+	o.RegisterValues("banditd_trace_ring_capacity", "Trace ring capacity in spans (0 families absent: tracing disabled).", obs.KindGauge,
+		func(emit obs.EmitValue) {
+			if r.trace != nil {
+				emit(float64(r.trace.Cap()))
+			}
+		})
+}
+
+// attachTrace wires an instance's slot kernel to the registry's trace ring
+// and phase histograms. The hook runs on the instance's actor goroutine at
+// every decision: it classifies the outcome from the trace's memo deltas,
+// feeds the phase histograms, and publishes one immutable span (the one
+// allocation tracing costs per decision — see the alloc guards in
+// internal/core). Instances created while tracing is off stay untraced and
+// keep the zero-cost nil-check decide path.
+func (r *Registry) attachTrace(id string, loop *core.Loop) {
+	ring := r.trace
+	ph := &r.phases
+	loop.SetDecideObserver(func(slot int, tr *protocol.DecideTrace) {
+		var out obs.SpanOutcome
+		switch {
+		case tr.EpochSkip:
+			out = obs.OutcomeEpochSkip
+		case tr.MemoMisses > 0:
+			out = obs.OutcomeFull
+		case tr.MemoStructHits > 0:
+			out = obs.OutcomeMemoStruct
+		case tr.MemoHits > 0:
+			out = obs.OutcomeMemoFull
+		default:
+			out = obs.OutcomeFull
 		}
-	}
-	return time.Duration(1<<uint(histBuckets-1)) * time.Microsecond
+		if tr.EpochSkip {
+			ph.epochSkip.Observe(tr.TotalNS)
+		} else {
+			ph.broadcast.Observe(tr.BroadcastNS)
+			ph.election.Observe(tr.ElectionNS)
+			ph.localMWIS.Observe(tr.LocalMWISNS)
+			ph.finalize.Observe(tr.FinalizeNS)
+			ph.total.Observe(tr.TotalNS)
+		}
+		ring.Publish(&obs.Span{
+			Instance:       id,
+			Slot:           int64(slot),
+			Start:          tr.StartUnixNS,
+			Outcome:        out,
+			BroadcastNS:    tr.BroadcastNS,
+			ElectionNS:     tr.ElectionNS,
+			LocalMWISNS:    tr.LocalMWISNS,
+			FinalizeNS:     tr.FinalizeNS,
+			TotalNS:        tr.TotalNS,
+			MiniRounds:     int32(tr.MiniRounds),
+			MemoHits:       int32(tr.MemoHits),
+			MemoStructHits: int32(tr.MemoStructHits),
+			MemoMisses:     int32(tr.MemoMisses),
+		})
+	})
 }

@@ -43,6 +43,7 @@ import (
 
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/engine"
+	"multihopbandit/internal/obs"
 	"multihopbandit/internal/policy"
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/spec"
@@ -74,6 +75,11 @@ type RegistryConfig struct {
 	// Persist configures the durability layer (see persist.go); the zero
 	// value disables it.
 	Persist PersistOptions
+	// Trace, when non-nil, enables decision-path tracing: every hosted
+	// instance's slot kernel publishes per-decision spans into this ring
+	// (exported via /debug/trace) and feeds the banditd_decide_phase_ns
+	// histograms. Nil keeps the decide hot path's zero-cost nil-check.
+	Trace *obs.TraceRing
 }
 
 // Registry hosts decision-serving instances, sharded by instance ID. It is
@@ -85,6 +91,10 @@ type Registry struct {
 	metrics *Metrics
 	persist PersistOptions
 	nextID  atomic.Uint64
+
+	obs    *obs.Registry
+	trace  *obs.TraceRing
+	phases phaseHists
 }
 
 type shard struct {
@@ -112,10 +122,13 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		mailbox: depth,
 		metrics: newMetrics(n),
 		persist: cfg.Persist,
+		obs:     obs.NewRegistry(),
+		trace:   cfg.Trace,
 	}
 	for i := range r.shards {
 		r.shards[i] = &shard{instances: make(map[string]*Instance)}
 	}
+	r.registerObs()
 	return r
 }
 
@@ -127,6 +140,15 @@ func (r *Registry) Cache() *engine.ArtifactCache { return r.cache }
 
 // Metrics returns the registry's counters.
 func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Obs returns the registry's metric families — the single exposition
+// surface /metrics renders. Server registers its HTTP-layer families here;
+// embedders may add their own (names must not collide).
+func (r *Registry) Obs() *obs.Registry { return r.obs }
+
+// Trace returns the decision-path trace ring, or nil when tracing is
+// disabled.
+func (r *Registry) Trace() *obs.TraceRing { return r.trace }
 
 // shardFor maps an instance ID to its shard. The mapping depends only on
 // the ID, so uniqueness checks within one shard suffice globally.
@@ -288,6 +310,9 @@ func (r *Registry) register(id string, canon spec.ScenarioSpec, k int, loop *cor
 	si, sh := r.shardFor(id)
 	stats := &instanceStats{}
 	abrupt := &atomic.Bool{}
+	if r.trace != nil {
+		r.attachTrace(id, loop)
+	}
 	a := &actor{
 		id:       id,
 		counters: &r.metrics.Shards[si],

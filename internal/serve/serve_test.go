@@ -425,28 +425,38 @@ func TestConcurrentRequestsOneInstance(t *testing.T) {
 	}
 }
 
+// TestHistogram pins the serving histogram's quantile semantics after the
+// switch to obs.Histogram: quantiles interpolate inside the log₂ bucket
+// (nanosecond recording unit) instead of returning the bucket's upper
+// bound, so a mass of identical observations reads back inside its own
+// bucket rather than at up to 2× its value.
 func TestHistogram(t *testing.T) {
 	var h Histogram
 	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
 		t.Fatal("empty histogram should read zero")
 	}
 	for i := 0; i < 100; i++ {
-		h.Observe(100 * time.Microsecond)
+		h.ObserveDuration(100 * time.Microsecond)
 	}
-	h.Observe(50 * time.Millisecond)
+	h.ObserveDuration(50 * time.Millisecond)
 	if h.Count() != 101 {
 		t.Fatalf("count = %d", h.Count())
 	}
+	// 100µs = 100000ns sits in bucket [2^16, 2^17) = [65.5µs, 131.1µs); the
+	// old upper-bound estimator reported 128µs (the µs-bucket edge) for a
+	// value that is exactly 100µs. Interpolation must stay inside the bucket.
 	p50 := h.Quantile(0.5)
-	if p50 < 100*time.Microsecond || p50 > 256*time.Microsecond {
-		t.Fatalf("p50 = %v, want within the 128µs bucket edge", p50)
+	if p50 < 65536 || p50 >= 131072 {
+		t.Fatalf("p50 = %.0fns, want inside the [65536, 131072) bucket", p50)
 	}
-	p99 := h.Quantile(0.995)
-	if p99 < 50*time.Millisecond {
-		t.Fatalf("p99.5 = %v, should cover the slow outlier", p99)
+	// q=1 is the max: its rank is the outlier's, so the estimate must land
+	// in the outlier's bucket (50ms ∈ [2^25, 2^26)).
+	p100 := h.Quantile(1)
+	if p100 < 33554432 || p100 >= 67108864 {
+		t.Fatalf("max quantile = %.0fns, should land in the outlier's bucket", p100)
 	}
-	if h.Mean() < 100*time.Microsecond {
-		t.Fatalf("mean = %v", h.Mean())
+	if h.Mean() < 100000 {
+		t.Fatalf("mean = %.0fns", h.Mean())
 	}
 }
 
