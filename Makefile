@@ -4,6 +4,7 @@
 GO ?= go
 BANDITD_ADDR ?= 127.0.0.1:8650
 BANDITD_DEBUG_ADDR ?= 127.0.0.1:8651
+BANDITD_BINARY_ADDR ?= 127.0.0.1:8660
 
 # Fixed figgen configuration behind the committed golden digest
 # (testdata/figgen-golden.sha256). Reduced sizes keep the run a few seconds
@@ -11,7 +12,7 @@ BANDITD_DEBUG_ADDR ?= 127.0.0.1:8651
 # Fig. 7 replication) through the shared slot kernel.
 GOLDEN_ARGS = -exp all -seed 1 -slots 300 -periods 40 -reps 3
 
-.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim bench-decide bench-wal bench-obs serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke verify-golden update-golden figures ci
+.PHONY: all build fmt-check vet test race bench bench-smoke bench-serve bench-sim bench-decide bench-wal bench-obs bench-cluster serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke cluster-smoke verify-golden update-golden figures ci
 
 # Committed ScenarioSpec files driven by spec-smoke: one per channel kind
 # (gaussian, gilbert-elliott, shifting) plus the primary-user wrapper.
@@ -153,6 +154,33 @@ bench-wal:
 bench-obs:
 	$(GO) run ./cmd/obsbench -json BENCH_obs.json
 
+# Transport scale sweep: the same closed-loop step workload over HTTP/JSON
+# and over the binary framed protocol (internal/wire), across batch sizes,
+# strategy update periods, and GOMAXPROCS settings, recorded machine-
+# readably in BENCH_cluster.json. The artifact pins the json/batch=128/y=1
+# baseline (the BENCH_serve.json operating point) and records best_binary —
+# the fastest binary point whose client p99 stays at or under 1 ms.
+bench-cluster:
+	$(GO) run ./cmd/clusterbench -duration 2s -update-every 1,4,8 -json BENCH_cluster.json
+
+# Binary data-plane smoke: a race-built banditd serves the HTTP/JSON API
+# and the binary framed protocol concurrently; banditload drives the binary
+# plane (shard-affine pipelined TCP) while asserting nonzero throughput,
+# then drives the JSON plane against the same live daemon. Zero server-side
+# frame-decode errors (-max-decode-errors 0 is the default) and a clean
+# SIGTERM drain are part of the contract.
+cluster-smoke:
+	$(GO) build -race -o bin/banditd.race ./cmd/banditd
+	$(GO) build -race -o bin/banditload.race ./cmd/banditload
+	@set -e; bin/banditd.race -addr $(BANDITD_ADDR) -listen-binary $(BANDITD_BINARY_ADDR) & pid=$$!; \
+	{ bin/banditload.race -addr http://$(BANDITD_ADDR) -transport binary \
+		-binary-addr $(BANDITD_BINARY_ADDR) -instances 32 -clients 4 \
+		-batch 32 -duration 2s -min-throughput 1 && \
+	  bin/banditload.race -addr http://$(BANDITD_ADDR) -instances 32 -clients 4 \
+		-batch 32 -duration 2s -min-throughput 1; } \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+
 # Observability smoke: a race-built banditd runs with its debug plane on,
 # takes load, and banditstat then holds the whole surface to its contract —
 # the /metrics scrape passes the strict exposition validator, the pprof mux
@@ -205,4 +233,4 @@ update-golden:
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke verify-golden
+ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke cluster-smoke verify-golden

@@ -3,6 +3,7 @@
 // over an HTTP/JSON API.
 //
 //	banditd -addr 127.0.0.1:8650 -shards 4
+//	banditd -listen-binary 127.0.0.1:8660  # binary framed data plane
 //	banditd -data-dir /var/lib/banditd -recover
 //	banditd -debug-addr 127.0.0.1:8651   # pprof + decision-path tracing
 //
@@ -17,6 +18,14 @@
 //	POST   /v1/instances/{id}/restore      import learner state
 //	GET    /metrics                        Prometheus text exposition (?format=legacy)
 //	GET    /healthz                        liveness probe
+//
+// With -listen-binary a second data plane serves the same instances over
+// the binary framed protocol of internal/wire: persistent pipelined TCP
+// connections, per-shard accept loops, and frame encode/decode from reused
+// per-connection buffers. Both planes dispatch into the same actor
+// mailboxes, so trajectories are bit-identical whichever transport carried
+// them; wire traffic shows up on /metrics as the banditd_wire_* families.
+// See OPERATIONS.md for the framing spec.
 //
 // With -debug-addr a second listener serves the debug plane: net/http/pprof
 // under /debug/pprof/, and /debug/trace — the most recent decision-path
@@ -52,11 +61,13 @@ import (
 
 	"multihopbandit/internal/obs"
 	"multihopbandit/internal/serve"
+	"multihopbandit/internal/wire"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8650", "listen address")
+		binAddr = flag.String("listen-binary", "", "binary framed data-plane listen address (empty = binary plane off)")
 		shards  = flag.Int("shards", 0, "registry shards (0 = GOMAXPROCS)")
 		mailbox = flag.Int("mailbox", 0, "per-instance mailbox depth (0 = default)")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
@@ -116,6 +127,21 @@ func main() {
 		log.Printf("debug plane on http://%s (pprof, /debug/trace, ring %d spans)", dln.Addr(), ring.Cap())
 	}
 
+	var wsrv *wire.Server
+	if *binAddr != "" {
+		wln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			log.Fatalf("binary listen: %v", err)
+		}
+		wsrv = wire.NewServer(reg)
+		go func() {
+			if err := wsrv.Serve(wln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("binary serve: %v", err)
+			}
+		}()
+		log.Printf("binary data plane on %s (%d accept loops)", wln.Addr(), reg.Shards())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -142,6 +168,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("shutdown: %v", err)
+	}
+	if wsrv != nil {
+		if err := wsrv.Shutdown(sctx); err != nil {
+			log.Printf("binary shutdown: %v (connections force-closed)", err)
+		}
 	}
 	if dsrv != nil {
 		_ = dsrv.Shutdown(sctx)

@@ -2,8 +2,9 @@
 // banditd: it scrapes /metrics, holds the scrape to the strict exposition
 // validator, and prints a fleet summary — decision mix (full decides vs
 // weight-epoch skips), memo and artifact-cache hit rates, the per-phase
-// decide-time breakdown with its span-coverage ratio, and the top-k
-// instances by regret.
+// decide-time breakdown with its span-coverage ratio, the binary data
+// plane's wire counters (connections, frames, bytes, decode errors — when
+// the server runs with -listen-binary), and the top-k instances by regret.
 //
 //	banditstat -addr http://127.0.0.1:8650
 //	banditstat -addr http://127.0.0.1:8650 -debug-addr http://127.0.0.1:8651 \
@@ -37,6 +38,7 @@ import (
 
 	"multihopbandit/internal/obs"
 	"multihopbandit/internal/serve"
+	"multihopbandit/internal/wire"
 )
 
 // report is banditstat's machine-readable fleet summary (-json).
@@ -67,6 +69,21 @@ type report struct {
 
 	RegretKbpsTotal float64          `json:"regret_kbps_total"`
 	RegretTopK      []instanceRegret `json:"regret_top_k,omitempty"`
+
+	// Wire is the binary data plane's accounting (banditd_wire_* families);
+	// nil when the server runs without -listen-binary.
+	Wire *wireStats `json:"wire,omitempty"`
+}
+
+// wireStats is the binary plane's scraped accounting.
+type wireStats struct {
+	ConnectionsOpen  int64 `json:"connections_open"`
+	ConnectionsTotal int64 `json:"connections_total"`
+	FramesIn         int64 `json:"frames_in"`
+	FramesOut        int64 `json:"frames_out"`
+	BytesIn          int64 `json:"bytes_in"`
+	BytesOut         int64 `json:"bytes_out"`
+	DecodeErrors     int64 `json:"decode_errors"`
 }
 
 // phaseNS is one decide phase's histogram summary.
@@ -147,6 +164,13 @@ func main() {
 	}
 	if *debugAddr != "" {
 		fmt.Printf("  trace spans fetched %d from %s/debug/trace\n", rep.TraceSpans, *debugAddr)
+	}
+	if rep.Wire != nil {
+		fmt.Println("  binary data plane:")
+		fmt.Printf("    connections %d open / %d total\n", rep.Wire.ConnectionsOpen, rep.Wire.ConnectionsTotal)
+		fmt.Printf("    frames      %d in / %d out\n", rep.Wire.FramesIn, rep.Wire.FramesOut)
+		fmt.Printf("    bytes       %d in / %d out\n", rep.Wire.BytesIn, rep.Wire.BytesOut)
+		fmt.Printf("    decode errors %d\n", rep.Wire.DecodeErrors)
 	}
 	fmt.Printf("  regret %.1f kbps total across instances\n", rep.RegretKbpsTotal)
 	if len(rep.RegretTopK) > *topK {
@@ -238,6 +262,21 @@ func summarize(exp *obs.Exposition) report {
 		rep.SpanCoverage = phaseSum / total
 	}
 
+	if _, ok := exp.Value("banditd_wire_connections"); ok {
+		w := &wireStats{
+			ConnectionsOpen:  int64(exp.Sum("banditd_wire_connections")),
+			ConnectionsTotal: int64(exp.Sum("banditd_wire_connections_total")),
+			DecodeErrors:     int64(exp.Sum("banditd_wire_decode_errors_total")),
+		}
+		fin, _ := exp.Value("banditd_wire_frames_total", obs.L("dir", "in"))
+		fout, _ := exp.Value("banditd_wire_frames_total", obs.L("dir", "out"))
+		bin, _ := exp.Value("banditd_wire_bytes_total", obs.L("dir", "in"))
+		bout, _ := exp.Value("banditd_wire_bytes_total", obs.L("dir", "out"))
+		w.FramesIn, w.FramesOut = int64(fin), int64(fout)
+		w.BytesIn, w.BytesOut = int64(bin), int64(bout)
+		rep.Wire = w
+	}
+
 	rep.RegretKbpsTotal = exp.Sum("banditd_regret_kbps_total")
 	if f, ok := exp.Families["banditd_regret_kbps_total"]; ok {
 		for _, s := range f.Samples {
@@ -306,14 +345,16 @@ func probePprof(debugAddr string) {
 
 // printCatalog renders every metric family the serving runtime registers as
 // a markdown table, in exposition order — the generator behind the
-// OPERATIONS.md metrics catalog. No server is contacted: the registry and
-// HTTP layer are instantiated in process, which registers exactly the
-// families a real banditd exposes.
+// OPERATIONS.md metrics catalog. No server is contacted: the registry, the
+// HTTP layer, and the binary data plane are instantiated in process, which
+// registers exactly the families a real banditd running with
+// -listen-binary exposes.
 func printCatalog(w io.Writer) {
 	ring := obs.NewTraceRing(1)
 	reg := serve.NewRegistry(serve.RegistryConfig{Shards: 1, Trace: ring})
 	defer reg.Close()
 	serve.NewServer(reg)
+	wire.NewServer(reg)
 	fmt.Fprintln(w, "| Metric | Type | Description |")
 	fmt.Fprintln(w, "| --- | --- | --- |")
 	for _, f := range reg.Obs().Catalog() {

@@ -1,0 +1,376 @@
+// Command clusterbench records the transport scale sweep behind
+// BENCH_cluster.json: the same closed-loop step workload driven over the
+// HTTP/JSON API and over the binary framed protocol (internal/wire),
+// across a grid of batch sizes, strategy update periods, and GOMAXPROCS
+// settings. Each grid point gets a fresh in-process registry served over a
+// real loopback listener, so the numbers include the full socket path —
+// what changes between points is only the operating point.
+//
+//	clusterbench -json BENCH_cluster.json
+//	clusterbench -duration 3s -batches 16,128,512 -update-every 1,4
+//
+// The artifact records every point, the measured json/batch=128/y=1
+// baseline (the BENCH_serve.json operating point), each point's speedup
+// against it, and best_binary — the fastest binary point whose client p99
+// stays at or under -p99-budget (default 1ms). `make bench-cluster`
+// regenerates it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"multihopbandit/internal/benchmeta"
+	"multihopbandit/internal/obs"
+	"multihopbandit/internal/serve"
+	"multihopbandit/internal/spec"
+	"multihopbandit/internal/wire"
+)
+
+// point is one measured grid cell.
+type point struct {
+	Transport   string  `json:"transport"`
+	Cores       int     `json:"cores"`
+	Batch       int     `json:"batch"`
+	UpdateEvery int     `json:"update_every"`
+	Instances   int     `json:"instances"`
+	Clients     int     `json:"clients"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	Slots           int64   `json:"slots"`
+	MWISDecisions   int64   `json:"mwis_decisions"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	MWISPerSec      float64 `json:"mwis_decisions_per_sec"`
+
+	LatencyMS struct {
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+
+	// SpeedupVsBaseline is decisions/sec relative to the measured
+	// json/batch=128/y=1 point in this same artifact.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
+
+	// WireDecodeErrors is the server-side frame-decode error count for
+	// binary points (must be zero on a healthy run).
+	WireDecodeErrors int64 `json:"wire_decode_errors,omitempty"`
+}
+
+// report is the BENCH_cluster.json schema.
+type report struct {
+	Timestamp string        `json:"timestamp"`
+	Env       benchmeta.Env `json:"env"`
+	N         int           `json:"n"`
+	M         int           `json:"m"`
+	Policy    string        `json:"policy"`
+	Seed      int64         `json:"seed"`
+
+	// BaselineDecisionsPerSec is the json/batch=128/y=1 cell: the single
+	// operating point BENCH_serve.json records, re-measured here so every
+	// speedup in the artifact is against a number from the same machine
+	// and run.
+	BaselineDecisionsPerSec float64 `json:"baseline_decisions_per_sec"`
+
+	Points []point `json:"points"`
+
+	// BestBinary is the fastest binary point whose client-observed p99
+	// stays within the latency budget.
+	P99BudgetMS float64 `json:"p99_budget_ms"`
+	BestBinary  *point  `json:"best_binary,omitempty"`
+}
+
+func main() {
+	var (
+		duration  = flag.Duration("duration", 2*time.Second, "load duration per grid point")
+		instances = flag.Int("instances", 8, "instances per grid point")
+		clients   = flag.Int("clients", 2, "closed-loop clients per grid point")
+		n         = flag.Int("n", 10, "nodes per instance")
+		m         = flag.Int("m", 2, "channels per instance")
+		policy    = flag.String("policy", "zhou-li", "learning policy")
+		seed      = flag.Int64("seed", 1, "artifact seed")
+		batches   = flag.String("batches", "16,128,512", "comma-separated batch sizes")
+		updates   = flag.String("update-every", "1,4", "comma-separated strategy update periods")
+		cores     = flag.String("cores", "", "comma-separated GOMAXPROCS values (default: 1..NumCPU doubling)")
+		p99Budget = flag.Float64("p99-budget", 1.0, "latency budget in ms for the best_binary pick")
+		jsonOut   = flag.String("json", "", "write the report to this file")
+	)
+	flag.Parse()
+	log.SetPrefix("clusterbench: ")
+	log.SetFlags(0)
+
+	batchList := parseInts(*batches)
+	updateList := parseInts(*updates)
+	coreList := parseInts(*cores)
+	if len(coreList) == 0 {
+		for c := 1; c <= runtime.NumCPU(); c *= 2 {
+			coreList = append(coreList, c)
+		}
+	}
+
+	rep := report{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Env:         benchmeta.Capture(),
+		N:           *n,
+		M:           *m,
+		Policy:      *policy,
+		Seed:        *seed,
+		P99BudgetMS: *p99Budget,
+	}
+	defer runtime.GOMAXPROCS(rep.Env.GoMaxProcs)
+
+	for _, c := range coreList {
+		for _, transport := range []string{"json", "binary"} {
+			for _, y := range updateList {
+				for _, batch := range batchList {
+					pt := runPoint(pointCfg{
+						transport: transport, cores: c, batch: batch, updateEvery: y,
+						instances: *instances, clients: *clients, duration: *duration,
+						n: *n, m: *m, policy: *policy, seed: *seed,
+					})
+					log.Printf("%-6s cores=%d y=%d batch=%-4d  %9.0f decisions/sec  p99=%.3fms",
+						transport, c, y, batch, pt.DecisionsPerSec, pt.LatencyMS.P99)
+					rep.Points = append(rep.Points, pt)
+				}
+			}
+		}
+	}
+
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		if p.Transport == "json" && p.Batch == 128 && p.UpdateEvery == 1 && p.Cores == 1 {
+			rep.BaselineDecisionsPerSec = p.DecisionsPerSec
+			break
+		}
+	}
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		if rep.BaselineDecisionsPerSec > 0 {
+			p.SpeedupVsBaseline = p.DecisionsPerSec / rep.BaselineDecisionsPerSec
+		}
+		if p.Transport == "binary" && p.LatencyMS.P99 <= *p99Budget &&
+			(rep.BestBinary == nil || p.DecisionsPerSec > rep.BestBinary.DecisionsPerSec) {
+			rep.BestBinary = p
+		}
+	}
+	if rep.BestBinary != nil {
+		log.Printf("baseline (json y=1 batch=128): %.0f decisions/sec", rep.BaselineDecisionsPerSec)
+		log.Printf("best binary within p99<=%.1fms: %.0f decisions/sec (%.2fx) at y=%d batch=%d",
+			*p99Budget, rep.BestBinary.DecisionsPerSec, rep.BestBinary.SpeedupVsBaseline,
+			rep.BestBinary.UpdateEvery, rep.BestBinary.Batch)
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+}
+
+type pointCfg struct {
+	transport          string
+	cores, batch       int
+	updateEvery        int
+	instances, clients int
+	duration           time.Duration
+	n, m               int
+	policy             string
+	seed               int64
+}
+
+// stepper abstracts the two data planes for the drive loop.
+type stepper interface {
+	step(id string, batch int, res *serve.StepResult) error
+}
+
+type jsonStepper struct{ c *serve.Client }
+
+func (s jsonStepper) step(id string, batch int, res *serve.StepResult) error {
+	r, err := s.c.Step(id, batch)
+	if err != nil {
+		return err
+	}
+	*res = *r
+	return nil
+}
+
+type binStepper struct{ c *wire.Client }
+
+func (s binStepper) step(id string, batch int, res *serve.StepResult) error {
+	return s.c.StepInto(id, batch, res)
+}
+
+// runPoint measures one grid cell on a fresh registry and listener.
+func runPoint(cfg pointCfg) point {
+	prev := runtime.GOMAXPROCS(cfg.cores)
+	defer runtime.GOMAXPROCS(prev)
+
+	reg := serve.NewRegistry(serve.RegistryConfig{Shards: cfg.cores})
+	defer reg.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var st stepper
+	var create func(serve.InstanceConfig) (*serve.CreateResponse, error)
+	switch cfg.transport {
+	case "json":
+		srv := &http.Server{Handler: serve.NewServer(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		c := serve.NewClient("http://" + ln.Addr().String())
+		st, create = jsonStepper{c}, c.Create
+	case "binary":
+		wsrv := wire.NewServer(reg)
+		go func() { _ = wsrv.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = wsrv.Shutdown(ctx)
+		}()
+		c, err := wire.Dial(ln.Addr().String(), wire.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		st, create = binStepper{c}, c.Create
+	default:
+		log.Fatalf("unknown transport %q", cfg.transport)
+	}
+
+	ids := make([]string, cfg.instances)
+	for i := range ids {
+		created, err := create(serve.InstanceConfig{Spec: spec.ScenarioSpec{
+			Seed:      cfg.seed,
+			NoiseSeed: cfg.seed + 7919*int64(i+1),
+			Topology:  spec.TopologySpec{N: cfg.n, RequireConnected: true},
+			Channel:   spec.ChannelSpec{M: cfg.m},
+			Policy:    spec.PolicySpec{Kind: cfg.policy},
+			Decision:  spec.DecisionSpec{UpdateEvery: cfg.updateEvery},
+		}})
+		if err != nil {
+			log.Fatalf("create: %v", err)
+		}
+		ids[i] = created.ID
+	}
+
+	type workerStats struct {
+		requests, errors, slots, decisions int64
+		latencies                          []float64
+	}
+	stats := make([]workerStats, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &stats[w]
+			var res serve.StepResult
+			for time.Now().Before(deadline) {
+				for i := w; i < len(ids); i += cfg.clients {
+					if !time.Now().Before(deadline) {
+						break
+					}
+					t0 := time.Now()
+					err := st.step(ids[i], cfg.batch, &res)
+					ws.latencies = append(ws.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
+					ws.requests++
+					if err != nil {
+						ws.errors++
+						continue
+					}
+					ws.slots += int64(res.Slots)
+					ws.decisions += int64(res.Decisions)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pt := point{
+		Transport: cfg.transport, Cores: cfg.cores, Batch: cfg.batch,
+		UpdateEvery: cfg.updateEvery, Instances: cfg.instances, Clients: cfg.clients,
+		DurationSec: elapsed.Seconds(),
+	}
+	var all []float64
+	for i := range stats {
+		pt.Requests += stats[i].requests
+		pt.Errors += stats[i].errors
+		pt.Slots += stats[i].slots
+		pt.MWISDecisions += stats[i].decisions
+		all = append(all, stats[i].latencies...)
+	}
+	pt.DecisionsPerSec = float64(pt.Slots) / elapsed.Seconds()
+	pt.MWISPerSec = float64(pt.MWISDecisions) / elapsed.Seconds()
+	sort.Float64s(all)
+	if len(all) > 0 {
+		sum := 0.0
+		for _, x := range all {
+			sum += x
+		}
+		pt.LatencyMS.Mean = sum / float64(len(all))
+		pt.LatencyMS.P50 = quantile(all, 0.50)
+		pt.LatencyMS.P90 = quantile(all, 0.90)
+		pt.LatencyMS.P99 = quantile(all, 0.99)
+		pt.LatencyMS.Max = all[len(all)-1]
+	}
+	if cfg.transport == "binary" {
+		var b strings.Builder
+		reg.Obs().WritePrometheus(&b)
+		if exp, err := obs.Parse(b.String()); err == nil {
+			pt.WireDecodeErrors = int64(exp.Sum("banditd_wire_decode_errors_total"))
+		}
+	}
+	if pt.Errors > 0 {
+		log.Fatalf("%s cores=%d y=%d batch=%d: %d requests failed", cfg.transport, cfg.cores, cfg.updateEvery, cfg.batch, pt.Errors)
+	}
+	return pt
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			log.Fatalf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"multihopbandit/internal/benchmeta"
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/obs"
@@ -35,9 +36,10 @@ import (
 
 // Report is the BENCH_obs.json schema.
 type Report struct {
-	Timestamp string `json:"timestamp"`
-	DecideOps int    `json:"decide_ops"`
-	RingCap   int    `json:"trace_ring_capacity"`
+	Timestamp string        `json:"timestamp"`
+	Env       benchmeta.Env `json:"env"`
+	DecideOps int           `json:"decide_ops"`
+	RingCap   int           `json:"trace_ring_capacity"`
 
 	// Tracing detached: the production default.
 	DisabledNsPerOp     float64 `json:"disabled_ns_per_op"`
@@ -73,6 +75,7 @@ func run() error {
 
 	rep := Report{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Env:       benchmeta.Capture(),
 		DecideOps: *ops,
 		RingCap:   *ringCap,
 	}

@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"multihopbandit/internal/benchmeta"
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/core"
 	"multihopbandit/internal/policy"
@@ -51,6 +52,8 @@ import (
 
 // Report is the BENCH_sim.json schema.
 type Report struct {
+	Env benchmeta.Env `json:"env"`
+
 	// Suite configuration, fixed so runs are comparable.
 	Seed    int64  `json:"seed"`
 	Slots   int    `json:"fig7_slots"`
@@ -102,6 +105,7 @@ func run() error {
 	flag.Parse()
 
 	rep := Report{
+		Env:  benchmeta.Capture(),
 		Seed: *seed, Slots: *slots, Periods: *periods, Reps: *reps, Workers: *workers,
 		Spec: *specPath,
 	}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"multihopbandit/internal/benchmeta"
 	"multihopbandit/internal/serve"
 	"multihopbandit/internal/spec"
 	"multihopbandit/internal/wal"
@@ -23,7 +24,8 @@ import (
 
 // summary is the machine-readable benchmark report.
 type summary struct {
-	Timestamp string `json:"timestamp"`
+	Timestamp string        `json:"timestamp"`
+	Env       benchmeta.Env `json:"env"`
 
 	// Append holds one entry per fsync policy: the cost of appending one
 	// observation record (8 played arms) to a segment.
@@ -61,7 +63,7 @@ func main() {
 	log.SetPrefix("walbench: ")
 	log.SetFlags(0)
 
-	rep := summary{Timestamp: time.Now().UTC().Format(time.RFC3339)}
+	rep := summary{Timestamp: time.Now().UTC().Format(time.RFC3339), Env: benchmeta.Capture()}
 	for _, pol := range []struct {
 		policy wal.SyncPolicy
 		n      int

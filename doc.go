@@ -147,11 +147,15 @@
 //
 // cmd/banditd serves a registry over HTTP/JSON (create/step/observe/
 // assignment/snapshot/restore plus /metrics; errors carry structured
-// {"code","message"} payloads), and cmd/banditload is the closed-loop load
-// generator behind `make bench-serve` (results tracked in
-// BENCH_serve.json). The pre-spec flat create payload is still accepted
-// and maps 1:1 onto a spec. See EXPERIMENTS.md for the serving workflow
-// and OPERATIONS.md for the operator's runbook.
+// {"code","message"} payloads) and, with -listen-binary, over the binary
+// framed protocol of internal/wire — persistent pipelined TCP with
+// per-shard accept loops, bit-identical to the JSON plane and a multiple
+// faster on the step hot path (tracked in BENCH_cluster.json by `make
+// bench-cluster`). cmd/banditload is the closed-loop load generator
+// behind `make bench-serve` (results tracked in BENCH_serve.json); it
+// drives either transport. The pre-spec flat create payload is still
+// accepted and maps 1:1 onto a spec. See EXPERIMENTS.md for the serving
+// workflow and OPERATIONS.md for the operator's runbook.
 //
 // # Durability
 //

@@ -181,12 +181,22 @@ func (i *Instance) close() {
 // new request is accepted (a bare two-way select could still pick the
 // buffered mailbox send).
 func (i *Instance) do(req request) (response, error) {
+	return i.doReply(req, make(chan response, 1))
+}
+
+// doReply is do with a caller-supplied reply channel (buffered, cap 1 and
+// empty). Reusing the channel across requests is safe for a serial caller:
+// if doReply returns ErrClosed the actor has exited without serving the
+// request — the reply send in the actor loop happens before the closed
+// channel is closed, so "closed and no buffered reply" means no reply will
+// ever arrive and the channel stays clean for the next request.
+func (i *Instance) doReply(req request, reply chan response) (response, error) {
 	select {
 	case <-i.stop:
 		return response{}, ErrClosed
 	default:
 	}
-	req.reply = make(chan response, 1)
+	req.reply = reply
 	select {
 	case i.mailbox <- req:
 	case <-i.stop:
@@ -205,6 +215,68 @@ func (i *Instance) do(req request) (response, error) {
 			return response{}, ErrClosed
 		}
 	}
+}
+
+// Session is a reusable request context for one serial caller — a
+// connection handler on the binary data plane, typically. It carries the
+// reply channel the instance methods would otherwise allocate per request,
+// so a session-driven hot path enqueues requests with zero allocations on
+// the caller's side. A Session must not be used concurrently; a fresh
+// zero-value Session is ready to use.
+type Session struct {
+	reply chan response
+}
+
+func (s *Session) replyChan() chan response {
+	if s.reply == nil {
+		s.reply = make(chan response, 1)
+	}
+	return s.reply
+}
+
+// Step is Instance.Step through the session's reusable reply channel.
+func (s *Session) Step(i *Instance, n int) (*StepResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: step count must be positive, got %d", n)
+	}
+	resp, err := i.doReply(request{kind: reqStep, slots: n}, s.replyChan())
+	if err != nil {
+		return nil, err
+	}
+	return resp.step, nil
+}
+
+// Observe is Instance.Observe through the session's reusable reply channel.
+func (s *Session) Observe(i *Instance, batches []ObservationBatch) (*ObserveResult, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("serve: no observation batches")
+	}
+	resp, err := i.doReply(request{kind: reqObserve, batches: batches}, s.replyChan())
+	if err != nil {
+		return nil, err
+	}
+	return resp.obs, nil
+}
+
+// Assignment is Instance.Assignment through the session's reusable reply
+// channel.
+func (s *Session) Assignment(i *Instance) (*Assignment, error) {
+	resp, err := i.doReply(request{kind: reqAssign}, s.replyChan())
+	if err != nil {
+		return nil, err
+	}
+	return resp.assign, nil
+}
+
+// Info is Instance.Info through the session's reusable reply channel.
+func (s *Session) Info(i *Instance) (*InstanceInfo, error) {
+	resp, err := i.doReply(request{kind: reqInfo}, s.replyChan())
+	if err != nil {
+		return nil, err
+	}
+	resp.info.Shard = i.shard
+	resp.info.Channel = i.spec.Channel.Kind
+	return resp.info, nil
 }
 
 // Step runs n self-simulation slots (decide when due, transmit, observe the

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"multihopbandit/internal/channel"
@@ -192,10 +195,29 @@ func ErrorCode(err error) string {
 	return ""
 }
 
+// maxRequestBody caps JSON request bodies (http.MaxBytesReader): a client
+// exceeding it gets an invalid_request error instead of feeding the decoder
+// an unbounded stream.
+const maxRequestBody = 16 << 20
+
+// bufPool recycles the request/response buffers of the JSON path, so the
+// per-request garbage is the decoded payload itself rather than freshly
+// grown encode/decode buffers on every call.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
@@ -227,9 +249,18 @@ func instanceErrorStatus(err error) (int, string) {
 }
 
 // decodeBody decodes a JSON request body into v, rejecting unknown fields
-// so typos in client payloads fail loudly.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+// so typos in client payloads fail loudly. The body is read through
+// http.MaxBytesReader (oversized requests error instead of streaming
+// unbounded) into a pooled buffer, so steady-state requests reuse one
+// read buffer instead of growing a fresh decoder chunk each call.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxRequestBody)); err != nil {
+		return fmt.Errorf("serve: read request body: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("serve: decode request body: %w", err)
@@ -270,7 +301,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	defer s.observeSince(&s.latCreate, time.Now())
 	var cfg InstanceConfig
-	if err := decodeBody(r, &cfg); err != nil {
+	if err := decodeBody(w, r, &cfg); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
@@ -346,7 +377,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		var body struct {
 			Slots int `json:"slots"`
 		}
-		if err := decodeBody(r, &body); err != nil {
+		if err := decodeBody(w, r, &body); err != nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
@@ -368,7 +399,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		var body struct {
 			Batches []ObservationBatch `json:"batches"`
 		}
-		if err := decodeBody(r, &body); err != nil {
+		if err := decodeBody(w, r, &body); err != nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
@@ -405,7 +436,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request, id, op s
 		}
 		defer s.observeSince(&s.latRestore, time.Now())
 		var snap Snapshot
-		if err := decodeBody(r, &snap); err != nil {
+		if err := decodeBody(w, r, &snap); err != nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkHTTPStep measures the legacy JSON data plane end to end over
+// real loopback HTTP: one step request (batch of 8 slots) per iteration
+// against a hosted instance. It is the benchstat reference for the JSON
+// path's per-request garbage (request decode, response encode, transport),
+// and the number the binary plane in internal/wire is compared against.
+func BenchmarkHTTPStep(b *testing.B) {
+	reg := NewRegistry(RegistryConfig{Shards: 1})
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := reg.Create(InstanceConfig{ID: "bench", Spec: gaussSpec(8, 2, 1)}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Step("bench", 8); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step("bench", 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPObserve measures the external-environment JSON path: one
+// observation batch applied per iteration.
+func BenchmarkHTTPObserve(b *testing.B) {
+	reg := NewRegistry(RegistryConfig{Shards: 1})
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := reg.Create(InstanceConfig{ID: "bench", Spec: gaussSpec(8, 2, 1)}); err != nil {
+		b.Fatal(err)
+	}
+	as, err := c.Assignment("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rewards := make([]float64, len(as.Winners))
+	for i := range rewards {
+		rewards[i] = 0.5
+	}
+	batch := []ObservationBatch{{Played: as.Winners, Rewards: rewards}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Observe("bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

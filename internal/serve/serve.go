@@ -162,6 +162,15 @@ func (r *Registry) shardFor(id string) (int, *shard) {
 	return i, r.shards[i]
 }
 
+// ShardOf returns the registry shard index hosting id. The mapping (FNV-1a
+// 32 of the ID, mod the shard count) is stable across processes, so remote
+// clients that learn the shard count can route same-instance requests to a
+// shard-affine connection — the binary data plane (internal/wire) does.
+func (r *Registry) ShardOf(id string) int {
+	i, _ := r.shardFor(id)
+	return i
+}
+
 // InstanceConfig parameterizes one hosted instance: an optional ID plus the
 // declarative scenario description. The spec is canonicalized on Create;
 // instances whose canonical specs share an artifact projection (topology,

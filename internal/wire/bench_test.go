@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"multihopbandit/internal/serve"
+)
+
+func benchServer(b *testing.B) (*Client, func()) {
+	b.Helper()
+	reg := serve.NewRegistry(serve.RegistryConfig{Shards: 1})
+	s := NewServer(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+	c, err := Dial(ln.Addr().String(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, func() {
+		c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		reg.Close()
+	}
+}
+
+// BenchmarkWireStep is the binary peer of serve.BenchmarkHTTPStep: one
+// step request (batch of 8 slots) per iteration over real loopback TCP,
+// same instance shape. The benchstat delta between the two is the
+// transport cost the tentpole removes.
+func BenchmarkWireStep(b *testing.B) {
+	c, stop := benchServer(b)
+	defer stop()
+	if _, err := c.Create(serve.InstanceConfig{ID: "bench", Spec: gaussSpec(8, 2, 1)}); err != nil {
+		b.Fatal(err)
+	}
+	var res serve.StepResult
+	if err := c.StepInto("bench", 8, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.StepInto("bench", 8, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireObserve is the binary peer of serve.BenchmarkHTTPObserve.
+func BenchmarkWireObserve(b *testing.B) {
+	c, stop := benchServer(b)
+	defer stop()
+	if _, err := c.Create(serve.InstanceConfig{ID: "bench", Spec: gaussSpec(8, 2, 1)}); err != nil {
+		b.Fatal(err)
+	}
+	var as serve.Assignment
+	if err := c.AssignmentInto("bench", &as); err != nil {
+		b.Fatal(err)
+	}
+	rewards := make([]float64, len(as.Winners))
+	for i := range rewards {
+		rewards[i] = 0.5
+	}
+	batch := []serve.ObservationBatch{{Played: as.Winners, Rewards: rewards}}
+	var res serve.ObserveResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ObserveInto("bench", batch, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecStep isolates the codec itself: encode one step response
+// into a warm buffer and decode it back into a reused struct. This is the
+// per-frame CPU cost the transport adds on top of the socket.
+func BenchmarkCodecStep(b *testing.B) {
+	res := serve.StepResult{
+		Slots: 128, Slot: 4096, Observed: 10, ObservedKbps: 2560, Decisions: 32,
+		Assignment: serve.Assignment{
+			Slot: 4096, DecidedSlot: 4096,
+			Winners:  []int{0, 3, 9, 11},
+			Strategy: []int{-1, 0, 1, -1, 1, 0, -1, 1},
+		},
+	}
+	var e Encoder
+	var d Decoder
+	var out serve.StepResult
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Begin(OpStep, uint64(i), StatusOK, 0)
+		putStepResult(&e, &res)
+		e.End()
+		d.buf = append(d.buf[:0], e.Bytes()[4+headerLen:]...)
+		d.pos = 0
+		d.err = nil
+		readStepResult(&d, &out)
+		if d.err != nil {
+			b.Fatal(d.err)
+		}
+	}
+}

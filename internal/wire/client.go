@@ -1,0 +1,533 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"multihopbandit/internal/serve"
+)
+
+// maxInflight bounds the pipelining depth of one connection; a caller
+// pushing past it gets an error instead of blocking the write path.
+const maxInflight = 4096
+
+// Options parameterizes a Client.
+type Options struct {
+	// CRC requests a CRC-32C trailer on every frame (both directions).
+	CRC bool
+	// MaxFrame caps accepted response frames (DefaultMaxFrame if 0).
+	MaxFrame int
+	// DialTimeout bounds each connection attempt (5s if 0).
+	DialTimeout time.Duration
+}
+
+// Client speaks the binary framed protocol to one banditd. It is safe for
+// concurrent use: callers pipeline requests over shard-affine connections
+// — the client learns the server's registry shard count from the hello
+// exchange, opens (lazily) one connection per shard, and routes every
+// request for an instance over the connection of the shard hosting it, so
+// one instance's requests never queue behind another shard's work.
+type Client struct {
+	addr string
+	opts Options
+	// flags is the CRC bit applied to every request frame.
+	flags byte
+
+	hello Hello
+
+	mu     sync.Mutex
+	conns  []*conn
+	closed bool
+}
+
+// Dial connects to a binary-plane listener and performs the hello
+// exchange.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts}
+	if opts.CRC {
+		c.flags = FlagCRC
+	}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	ca := getCall()
+	ca.op = OpHello
+	ca.hello = &c.hello
+	if err := cn.begin(OpHello, 0, ca); err != nil {
+		cn.close()
+		return nil, err
+	}
+	err = cn.commit(ca)
+	putCall(ca)
+	if err != nil {
+		cn.close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	if c.hello.Shards < 1 {
+		cn.close()
+		return nil, fmt.Errorf("wire: hello reported %d shards", c.hello.Shards)
+	}
+	c.conns = make([]*conn, c.hello.Shards)
+	c.conns[0] = cn
+	return c, nil
+}
+
+// Hello returns the server's negotiated parameters.
+func (c *Client) Hello() Hello { return c.hello }
+
+// Close closes every connection. In-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, cn := range conns {
+		if cn != nil {
+			cn.close()
+		}
+	}
+	return nil
+}
+
+func (c *Client) dial() (*conn, error) {
+	to := c.opts.DialTimeout
+	if to == 0 {
+		to = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, to)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	cn := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, connBufSize),
+		pending: make(chan *call, maxInflight),
+		flags:   c.flags,
+	}
+	go cn.readLoop(c.opts.MaxFrame)
+	return cn, nil
+}
+
+// shardOf mirrors serve.Registry's placement (FNV-1a 32 of the ID mod the
+// shard count), so the connection picked for an instance is the one whose
+// requests land on the shard hosting it.
+func (c *Client) shardOf(id string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	i := int(h) % len(c.conns)
+	if i < 0 {
+		i += len(c.conns)
+	}
+	return i
+}
+
+// connFor returns the shard-affine connection for id, dialing it on first
+// use.
+func (c *Client) connFor(id string) (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("wire: client closed")
+	}
+	i := c.shardOf(id)
+	if c.conns[i] == nil {
+		cn, err := c.dial()
+		if err != nil {
+			return nil, err
+		}
+		c.conns[i] = cn
+	}
+	return c.conns[i], nil
+}
+
+// anyConn returns a connection for instance-independent requests (list,
+// create before placement is known).
+func (c *Client) anyConn() (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("wire: client closed")
+	}
+	for _, cn := range c.conns {
+		if cn != nil {
+			return cn, nil
+		}
+	}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.conns[0] = cn
+	return cn, nil
+}
+
+// StepInto runs n self-simulation slots and decodes the result into out,
+// reusing out's slice capacity — the hot-path form that keeps the client
+// side allocation-free at steady state.
+func (c *Client) StepInto(id string, n int, out *serve.StepResult) error {
+	cn, err := c.connFor(id)
+	if err != nil {
+		return err
+	}
+	ca := getCall()
+	ca.op = OpStep
+	ca.step = out
+	if err := cn.begin(OpStep, 0, ca); err != nil {
+		putCall(ca)
+		return err
+	}
+	cn.enc.PutString(id)
+	cn.enc.PutU32(uint32(int32(n)))
+	err = cn.commit(ca)
+	putCall(ca)
+	return err
+}
+
+// Step is StepInto with a freshly allocated result.
+func (c *Client) Step(id string, n int) (*serve.StepResult, error) {
+	out := new(serve.StepResult)
+	if err := c.StepInto(id, n, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ObserveInto applies observation batches and decodes the result into out.
+func (c *Client) ObserveInto(id string, batches []serve.ObservationBatch, out *serve.ObserveResult) error {
+	return c.observe(id, batches, out, 0)
+}
+
+// Observe is ObserveInto with a freshly allocated result.
+func (c *Client) Observe(id string, batches []serve.ObservationBatch) (*serve.ObserveResult, error) {
+	out := new(serve.ObserveResult)
+	if err := c.observe(id, batches, out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PushObservations enqueues batches fire-and-forget (the wire peer of the
+// JSON API's ?async=1): the response acks the enqueue, not the apply, so
+// batch errors surface only in the shard's observation-error counter.
+func (c *Client) PushObservations(id string, batches []serve.ObservationBatch) error {
+	var out serve.ObserveResult
+	return c.observe(id, batches, &out, FlagAsync)
+}
+
+func (c *Client) observe(id string, batches []serve.ObservationBatch, out *serve.ObserveResult, extraFlags byte) error {
+	cn, err := c.connFor(id)
+	if err != nil {
+		return err
+	}
+	ca := getCall()
+	ca.op = OpObserve
+	ca.obsr = out
+	if err := cn.begin(OpObserve, extraFlags, ca); err != nil {
+		putCall(ca)
+		return err
+	}
+	cn.enc.PutString(id)
+	cn.enc.PutU32(uint32(len(batches)))
+	for i := range batches {
+		cn.enc.PutInts(batches[i].Played)
+		cn.enc.PutF64s(batches[i].Rewards)
+	}
+	err = cn.commit(ca)
+	putCall(ca)
+	return err
+}
+
+// AssignmentInto reads the current channel assignment into out, reusing
+// its slice capacity.
+func (c *Client) AssignmentInto(id string, out *serve.Assignment) error {
+	cn, err := c.connFor(id)
+	if err != nil {
+		return err
+	}
+	ca := getCall()
+	ca.op = OpAssignment
+	ca.asg = out
+	if err := cn.begin(OpAssignment, 0, ca); err != nil {
+		putCall(ca)
+		return err
+	}
+	cn.enc.PutString(id)
+	err = cn.commit(ca)
+	putCall(ca)
+	return err
+}
+
+// Assignment is AssignmentInto with a freshly allocated result.
+func (c *Client) Assignment(id string) (*serve.Assignment, error) {
+	out := new(serve.Assignment)
+	if err := c.AssignmentInto(id, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Create creates an instance. The payload is the JSON InstanceConfig
+// document of the HTTP API, so the full versioned spec surface is
+// available over the binary plane.
+func (c *Client) Create(cfg serve.InstanceConfig) (*serve.CreateResponse, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Route by the configured ID when there is one, so the creating
+	// connection is already shard-affine for the follow-up traffic.
+	var cn *conn
+	if cfg.ID != "" {
+		cn, err = c.connFor(cfg.ID)
+	} else {
+		cn, err = c.anyConn()
+	}
+	if err != nil {
+		return nil, err
+	}
+	ca := getCall()
+	ca.op = OpCreate
+	ca.wantRaw = true
+	if err := cn.begin(OpCreate, 0, ca); err != nil {
+		putCall(ca)
+		return nil, err
+	}
+	cn.enc.PutBytes(body)
+	err = cn.commit(ca)
+	var resp serve.CreateResponse
+	if err == nil {
+		err = json.Unmarshal(ca.raw, &resp)
+	}
+	putCall(ca)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Delete closes and removes an instance.
+func (c *Client) Delete(id string) error {
+	cn, err := c.connFor(id)
+	if err != nil {
+		return err
+	}
+	ca := getCall()
+	ca.op = OpDelete
+	if err := cn.begin(OpDelete, 0, ca); err != nil {
+		putCall(ca)
+		return err
+	}
+	cn.enc.PutString(id)
+	err = cn.commit(ca)
+	putCall(ca)
+	return err
+}
+
+// List returns the hosted instances.
+func (c *Client) List() ([]serve.InstanceInfo, error) {
+	cn, err := c.anyConn()
+	if err != nil {
+		return nil, err
+	}
+	ca := getCall()
+	ca.op = OpList
+	ca.wantRaw = true
+	if err := cn.begin(OpList, 0, ca); err != nil {
+		putCall(ca)
+		return nil, err
+	}
+	err = cn.commit(ca)
+	var resp struct {
+		Instances []serve.InstanceInfo `json:"instances"`
+	}
+	if err == nil {
+		err = json.Unmarshal(ca.raw, &resp)
+	}
+	putCall(ca)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Instances, nil
+}
+
+// call is one in-flight request: its id for response pairing, the typed
+// decode target, and a reusable completion channel. Calls are pooled.
+type call struct {
+	id      uint64
+	op      Op
+	err     error
+	step    *serve.StepResult
+	obsr    *serve.ObserveResult
+	asg     *serve.Assignment
+	hello   *Hello
+	wantRaw bool
+	raw     []byte
+	done    chan struct{}
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+func getCall() *call { return callPool.Get().(*call) }
+
+func putCall(ca *call) {
+	ca.id, ca.op, ca.err = 0, 0, nil
+	ca.step, ca.obsr, ca.asg, ca.hello = nil, nil, nil, nil
+	ca.wantRaw, ca.raw = false, ca.raw[:0]
+	callPool.Put(ca)
+}
+
+// conn is one pipelined connection. The write mutex serializes frame
+// encoding (into the connection's reused encoder buffer) and pending-queue
+// enqueue, so the FIFO queue order matches the byte order on the wire; the
+// reader goroutine completes calls in that same order because the server
+// responds strictly in request order.
+type conn struct {
+	nc      net.Conn
+	bw      *bufio.Writer
+	flags   byte
+	pending chan *call
+
+	wmu    sync.Mutex
+	enc    Encoder
+	nextID uint64
+	err    error
+}
+
+// begin locks the connection and opens a request frame. On success the
+// lock is held; the caller appends the payload and calls commit.
+func (cn *conn) begin(op Op, extraFlags byte, ca *call) error {
+	cn.wmu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.wmu.Unlock()
+		return err
+	}
+	ca.id = cn.nextID
+	cn.nextID++
+	cn.enc.Reset()
+	cn.enc.Begin(op, ca.id, 0, cn.flags|extraFlags)
+	return nil
+}
+
+// commit closes the frame, enqueues the call, writes, releases the lock,
+// and waits for the reader to complete the call.
+func (cn *conn) commit(ca *call) error {
+	cn.enc.End()
+	select {
+	case cn.pending <- ca:
+	default:
+		cn.wmu.Unlock()
+		return fmt.Errorf("wire: more than %d requests in flight", maxInflight)
+	}
+	_, err := cn.bw.Write(cn.enc.Bytes())
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	if err != nil {
+		if cn.err == nil {
+			cn.err = err
+		}
+		cn.wmu.Unlock()
+		// Closing the socket unblocks the reader, whose failure path
+		// completes every pending call (including this one).
+		cn.nc.Close()
+		<-ca.done
+		return err
+	}
+	cn.wmu.Unlock()
+	<-ca.done
+	return ca.err
+}
+
+func (cn *conn) close() { cn.nc.Close() }
+
+// readLoop decodes response frames and completes pending calls in FIFO
+// order. Any stream error fails the connection: the error is latched for
+// future writers and every pending call is completed with it.
+func (cn *conn) readLoop(maxFrame int) {
+	br := bufio.NewReaderSize(cn.nc, connBufSize)
+	dec := &Decoder{MaxFrame: maxFrame}
+	for {
+		if err := dec.ReadFrame(br); err != nil {
+			cn.fail(err)
+			return
+		}
+		var ca *call
+		select {
+		case ca = <-cn.pending:
+		default:
+			cn.fail(errors.New("wire: unsolicited response frame"))
+			return
+		}
+		if dec.ReqID != ca.id {
+			ca.err = fmt.Errorf("wire: response id %d for request %d", dec.ReqID, ca.id)
+			ca.done <- struct{}{}
+			cn.fail(ca.err)
+			return
+		}
+		if dec.Status != StatusOK {
+			ca.err = statusError(dec.Status, dec.Str())
+			ca.done <- struct{}{}
+			continue
+		}
+		switch {
+		case ca.step != nil:
+			readStepResult(dec, ca.step)
+		case ca.obsr != nil:
+			readObserveResult(dec, ca.obsr)
+		case ca.asg != nil:
+			readAssignment(dec, ca.asg)
+		case ca.hello != nil:
+			readHello(dec, ca.hello)
+		case ca.wantRaw:
+			ca.raw = append(ca.raw[:0], dec.Bytes()...)
+		}
+		ca.err = dec.Err()
+		ca.done <- struct{}{}
+	}
+}
+
+// fail latches err and completes every pending call with it. New requests
+// observe the latched error in begin; requests enqueued concurrently with
+// the drain are caught by a second drain after the socket is closed (their
+// writes fail, but the calls are already queued).
+func (cn *conn) fail(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		err = errors.New("wire: connection closed")
+	}
+	cn.wmu.Lock()
+	if cn.err == nil {
+		cn.err = err
+	} else {
+		err = cn.err
+	}
+	cn.nc.Close()
+	for {
+		select {
+		case ca := <-cn.pending:
+			ca.err = err
+			ca.done <- struct{}{}
+		default:
+			cn.wmu.Unlock()
+			return
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// castagnoli is the CRC-32C table shared with the WAL's record framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// An Encoder builds frames into a single reused buffer. It is not safe for
+// concurrent use; server connections and client shards each own one. The
+// zero value is ready to use.
+type Encoder struct {
+	buf []byte
+	// start indexes the current frame's length field; payFrom its payload
+	// start (for the CRC trailer).
+	start   int
+	payFrom int
+	crc     bool
+}
+
+// Reset drops all encoded frames but keeps the buffer's capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded frames. The slice is invalidated by the next
+// Begin or Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Begin opens a frame. The length field is back-patched by End, so frames
+// can be streamed into the buffer without knowing payload sizes up front.
+func (e *Encoder) Begin(op Op, reqID uint64, status, flags byte) {
+	e.start = len(e.buf)
+	e.buf = append(e.buf, 0, 0, 0, 0, Version, flags, byte(op), status)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, reqID)
+	e.crc = flags&FlagCRC != 0
+	e.payFrom = len(e.buf)
+}
+
+// End closes the frame opened by Begin: appends the CRC-32C trailer if the
+// frame's flags requested one and patches the length field.
+func (e *Encoder) End() {
+	if e.crc {
+		sum := crc32.Checksum(e.buf[e.payFrom:], castagnoli)
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, sum)
+	}
+	binary.LittleEndian.PutUint32(e.buf[e.start:], uint32(len(e.buf)-e.start-4))
+}
+
+// PutU8 appends one byte to the open frame's payload.
+func (e *Encoder) PutU8(v byte) { e.buf = append(e.buf, v) }
+
+// PutU32 appends a little-endian u32.
+func (e *Encoder) PutU32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// PutU64 appends a little-endian u64.
+func (e *Encoder) PutU64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// PutF64 appends a float64 as its IEEE 754 bits.
+func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
+
+// PutString appends a u32 length followed by the string bytes.
+func (e *Encoder) PutString(s string) {
+	e.PutU32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a u32 length followed by the raw bytes.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutU32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutInts appends a u32 count followed by the values as i32s (-1 travels
+// as 0xFFFFFFFF).
+func (e *Encoder) PutInts(vs []int) {
+	e.PutU32(uint32(len(vs)))
+	for _, v := range vs {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(int32(v)))
+	}
+}
+
+// PutF64s appends a u32 count followed by the values' IEEE 754 bits.
+func (e *Encoder) PutF64s(vs []float64) {
+	e.PutU32(uint32(len(vs)))
+	for _, v := range vs {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+	}
+}
+
+// A Decoder reads frames from a stream into a reused payload buffer and
+// then serves as a bounds-checked cursor over that payload. It is not safe
+// for concurrent use. Cursor reads after a payload overrun return zero
+// values; the first overrun is latched and reported by Err, so a codec can
+// decode a whole payload and check once.
+type Decoder struct {
+	// MaxFrame caps the accepted frame length (DefaultMaxFrame if 0). The
+	// cap is enforced on the length field itself, before any allocation.
+	MaxFrame int
+
+	// Frame header fields, valid after a successful ReadFrame.
+	Op     Op
+	Flags  byte
+	Status byte
+	ReqID  uint64
+
+	buf     []byte
+	pos     int
+	err     error
+	scratch [16]byte
+}
+
+// ReadFrame reads one whole frame, verifying the version byte and, when
+// the frame carries one, the CRC-32C trailer. On success the header fields
+// are populated and the payload cursor is rewound. Any error leaves the
+// stream mid-frame and the connection should be dropped. io.EOF is
+// returned untouched at a clean frame boundary.
+func (d *Decoder) ReadFrame(r io.Reader) error {
+	max := d.MaxFrame
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	hdr := d.scratch[:4+headerLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("wire: truncated frame header: %w", err)
+		}
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < headerLen {
+		return fmt.Errorf("%w (length %d)", ErrFrameTooShort, n)
+	}
+	if int64(n) > int64(max) {
+		return fmt.Errorf("%w (length %d > max %d)", ErrFrameTooLarge, n, max)
+	}
+	if hdr[4] != Version {
+		return fmt.Errorf("%w (got %d)", ErrVersion, hdr[4])
+	}
+	d.Flags = hdr[5]
+	d.Op = Op(hdr[6])
+	d.Status = hdr[7]
+	d.ReqID = binary.LittleEndian.Uint64(hdr[8:16])
+	body := int(n) - headerLen
+	hasCRC := d.Flags&FlagCRC != 0
+	if hasCRC {
+		if body < 4 {
+			return fmt.Errorf("%w (no room for checksum)", ErrFrameTooShort)
+		}
+		body -= 4
+	}
+	if cap(d.buf) < body {
+		d.buf = make([]byte, body)
+	}
+	d.buf = d.buf[:body]
+	if _, err := io.ReadFull(r, d.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("wire: truncated frame payload: %w", err)
+	}
+	if hasCRC {
+		tr := d.scratch[:4]
+		if _, err := io.ReadFull(r, tr); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("wire: truncated frame checksum: %w", err)
+		}
+		if crc32.Checksum(d.buf, castagnoli) != binary.LittleEndian.Uint32(tr) {
+			return ErrChecksum
+		}
+	}
+	d.pos = 0
+	d.err = nil
+	return nil
+}
+
+// Err reports the first payload overrun since the last ReadFrame.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+// need advances the cursor n bytes, latching ErrShortPayload (and
+// returning nil) on overrun.
+func (d *Decoder) need(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf)-d.pos {
+		d.err = ErrShortPayload
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+// U8 reads one payload byte.
+func (d *Decoder) U8() byte {
+	b := d.need(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian u32.
+func (d *Decoder) U32() uint32 {
+	b := d.need(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian u64.
+func (d *Decoder) U64() uint64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads a float64 from its IEEE 754 bits.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bytes reads a u32-length-prefixed blob as a view into the payload
+// buffer, valid until the next ReadFrame. The length is bounds-checked
+// against the remaining payload before any use, so a corrupt length cannot
+// force an allocation or a panic.
+func (d *Decoder) Bytes() []byte { return d.need(int(d.U32())) }
+
+// Str reads a u32-length-prefixed string. It allocates; hot paths use
+// Bytes and the map[string([]byte)] lookup idiom instead.
+func (d *Decoder) Str() string { return string(d.Bytes()) }
+
+// Ints reads a u32-count-prefixed i32 slice into dst's backing array,
+// growing it only when the count exceeds its capacity.
+func (d *Decoder) Ints(dst []int) []int {
+	n := int(d.U32())
+	if d.err != nil || n > d.Remaining()/4 {
+		if d.err == nil {
+			d.err = ErrShortPayload
+		}
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = int(int32(binary.LittleEndian.Uint32(d.buf[d.pos+4*i:])))
+	}
+	d.pos += 4 * n
+	return dst
+}
+
+// F64s reads a u32-count-prefixed float64 slice into dst's backing array.
+func (d *Decoder) F64s(dst []float64) []float64 {
+	n := int(d.U32())
+	if d.err != nil || n > d.Remaining()/8 {
+		if d.err == nil {
+			d.err = ErrShortPayload
+		}
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos+8*i:]))
+	}
+	d.pos += 8 * n
+	return dst
+}

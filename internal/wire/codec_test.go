@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"multihopbandit/internal/serve"
+)
+
+func encodeFrame(t *testing.T, flags byte, build func(e *Encoder)) []byte {
+	t.Helper()
+	var e Encoder
+	e.Begin(OpStep, 42, StatusOK, flags)
+	build(&e)
+	e.End()
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, flags := range []byte{0, FlagCRC} {
+		var e Encoder
+		e.Begin(OpStep, 7, StatusOK, flags)
+		e.PutString("instance-a")
+		e.PutU32(512)
+		e.PutF64(3.5)
+		e.PutInts([]int{-1, 0, 5})
+		e.PutF64s([]float64{0.25, 1})
+		e.End()
+
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(e.Bytes())); err != nil {
+			t.Fatalf("flags %d: %v", flags, err)
+		}
+		if d.Op != OpStep || d.ReqID != 7 || d.Status != StatusOK || d.Flags != flags {
+			t.Fatalf("header = op %v id %d status %d flags %d", d.Op, d.ReqID, d.Status, d.Flags)
+		}
+		if got := d.Str(); got != "instance-a" {
+			t.Fatalf("string = %q", got)
+		}
+		if got := d.U32(); got != 512 {
+			t.Fatalf("u32 = %d", got)
+		}
+		if got := d.F64(); got != 3.5 {
+			t.Fatalf("f64 = %v", got)
+		}
+		ints := d.Ints(nil)
+		if len(ints) != 3 || ints[0] != -1 || ints[1] != 0 || ints[2] != 5 {
+			t.Fatalf("ints = %v", ints)
+		}
+		fs := d.F64s(nil)
+		if len(fs) != 2 || fs[0] != 0.25 || fs[1] != 1 {
+			t.Fatalf("f64s = %v", fs)
+		}
+		if d.Err() != nil || d.Remaining() != 0 {
+			t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+		}
+	}
+}
+
+func TestMultipleFramesOneStream(t *testing.T) {
+	var e Encoder
+	for i := 0; i < 3; i++ {
+		e.Begin(OpAssignment, uint64(i), StatusOK, 0)
+		e.PutU32(uint32(i * 10))
+		e.End()
+	}
+	r := bytes.NewReader(e.Bytes())
+	var d Decoder
+	for i := 0; i < 3; i++ {
+		if err := d.ReadFrame(r); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if d.ReqID != uint64(i) || d.U32() != uint32(i*10) {
+			t.Fatalf("frame %d: id %d", i, d.ReqID)
+		}
+	}
+	if err := d.ReadFrame(r); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := encodeFrame(t, FlagCRC, func(e *Encoder) { e.PutString("x") })
+
+	t.Run("truncated-header", func(t *testing.T) {
+		var d Decoder
+		err := d.ReadFrame(bytes.NewReader(good[:9]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		var d Decoder
+		err := d.ReadFrame(bytes.NewReader(good[:len(good)-6]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b, uint32(DefaultMaxFrame+1))
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("oversized-custom-cap", func(t *testing.T) {
+		d := Decoder{MaxFrame: 16}
+		if err := d.ReadFrame(bytes.NewReader(good)); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("undersized-length", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b, headerLen-1)
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooShort) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = Version + 1
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrVersion) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("corrupt-payload-crc", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4+headerLen+2] ^= 0x40 // flip a payload bit, keep the trailer
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("uncrc-frame-passes-corruption", func(t *testing.T) {
+		// Without the CRC flag the same corruption is invisible to the
+		// framing layer — that is the documented trade the flag buys.
+		b := encodeFrame(t, 0, func(e *Encoder) { e.PutU32(99) })
+		b[4+headerLen] ^= 0x01
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); err != nil {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+// TestCursorOverrun checks the payload cursor latches ErrShortPayload on
+// any read past the payload end — including hostile length prefixes far
+// larger than the payload — and never panics or over-allocates.
+func TestCursorOverrun(t *testing.T) {
+	t.Run("scalar", func(t *testing.T) {
+		b := encodeFrame(t, 0, func(e *Encoder) { e.PutU8(1) })
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); err != nil {
+			t.Fatal(err)
+		}
+		_ = d.U8()
+		if d.U32() != 0 || d.Err() == nil {
+			t.Fatal("overrun not latched")
+		}
+		if !errors.Is(d.Err(), ErrShortPayload) {
+			t.Fatalf("err = %v", d.Err())
+		}
+	})
+	t.Run("hostile-string-length", func(t *testing.T) {
+		b := encodeFrame(t, 0, func(e *Encoder) { e.PutU32(0xFFFFFFF0) })
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Str(); got != "" || !errors.Is(d.Err(), ErrShortPayload) {
+			t.Fatalf("str = %q err = %v", got, d.Err())
+		}
+	})
+	t.Run("hostile-slice-count", func(t *testing.T) {
+		b := encodeFrame(t, 0, func(e *Encoder) { e.PutU32(1 << 30); e.PutU32(0) })
+		var d Decoder
+		if err := d.ReadFrame(bytes.NewReader(b)); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Ints(nil); len(got) != 0 || !errors.Is(d.Err(), ErrShortPayload) {
+			t.Fatalf("ints = %v err = %v", got, d.Err())
+		}
+	})
+}
+
+// TestStepResultCodecRoundTrip checks the serve-type payload codecs are
+// lossless, including the -1 sentinels in slot counters and strategies.
+func TestStepResultCodecRoundTrip(t *testing.T) {
+	in := serve.StepResult{
+		Slots:        128,
+		Slot:         1 << 40,
+		Observed:     12.75,
+		ObservedKbps: 3251.5,
+		Decisions:    32,
+		Assignment: serve.Assignment{
+			Slot:            1 << 40,
+			DecidedSlot:     -1,
+			Winners:         []int{0, 3, 9},
+			Strategy:        []int{-1, 0, 1, -1},
+			EstimatedWeight: 7.25,
+		},
+	}
+	var e Encoder
+	e.Begin(OpStep, 1, StatusOK, 0)
+	putStepResult(&e, &in)
+	e.End()
+	var d Decoder
+	if err := d.ReadFrame(bytes.NewReader(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var out serve.StepResult
+	readStepResult(&d, &out)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if out.Slots != in.Slots || out.Slot != in.Slot || out.Observed != in.Observed ||
+		out.ObservedKbps != in.ObservedKbps || out.Decisions != in.Decisions {
+		t.Fatalf("step result = %+v", out)
+	}
+	a, b := out.Assignment, in.Assignment
+	if a.Slot != b.Slot || a.DecidedSlot != b.DecidedSlot || a.EstimatedWeight != b.EstimatedWeight {
+		t.Fatalf("assignment = %+v", a)
+	}
+	if len(a.Winners) != 3 || a.Winners[2] != 9 || len(a.Strategy) != 4 || a.Strategy[0] != -1 {
+		t.Fatalf("assignment slices = %+v", a)
+	}
+}
+
+// TestCodecZeroAlloc is the alloc guard of the tentpole: at steady state
+// (warm Encoder/Decoder buffers, reused result structs) a full
+// encode+decode round trip of a step response allocates nothing, with and
+// without the CRC trailer.
+func TestCodecZeroAlloc(t *testing.T) {
+	res := serve.StepResult{
+		Slots: 128, Slot: 4096, Observed: 10, ObservedKbps: 2560, Decisions: 32,
+		Assignment: serve.Assignment{
+			Slot: 4096, DecidedSlot: 4096,
+			Winners:  []int{0, 3, 9},
+			Strategy: []int{-1, 0, 1, -1},
+		},
+	}
+	for _, tc := range []struct {
+		name  string
+		flags byte
+	}{{"plain", 0}, {"crc", FlagCRC}} {
+		t.Run(tc.name, func(t *testing.T) {
+			var e Encoder
+			var d Decoder
+			var out serve.StepResult
+			var stream bytes.Reader
+			roundTrip := func() {
+				e.Reset()
+				e.Begin(OpStep, 9, StatusOK, tc.flags)
+				putStepResult(&e, &res)
+				e.End()
+				stream.Reset(e.Bytes())
+				if err := d.ReadFrame(&stream); err != nil {
+					t.Fatal(err)
+				}
+				readStepResult(&d, &out)
+				if d.Err() != nil {
+					t.Fatal(d.Err())
+				}
+			}
+			roundTrip() // warm the buffers
+			if avg := testing.AllocsPerRun(100, roundTrip); avg != 0 {
+				t.Fatalf("allocs/op = %v, want 0", avg)
+			}
+		})
+	}
+}

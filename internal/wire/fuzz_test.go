@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame holds the frame decoder to its contract on hostile input:
+// truncated, oversized, corrupt, or garbage streams must produce an error
+// (or a clean decode of some frame), never a panic or an unbounded
+// allocation. The payload cursor is then driven over whatever decoded, so
+// hostile length prefixes inside the payload are fuzzed too.
+func FuzzReadFrame(f *testing.F) {
+	var e Encoder
+	e.Begin(OpStep, 7, StatusOK, 0)
+	e.PutString("instance-a")
+	e.PutU32(128)
+	e.End()
+	f.Add(append([]byte(nil), e.Bytes()...))
+	e.Reset()
+	e.Begin(OpObserve, 9, StatusOK, FlagCRC|FlagAsync)
+	e.PutString("b")
+	e.PutU32(1)
+	e.PutInts([]int{1, 2})
+	e.PutF64s([]float64{0.5, 0.25})
+	e.End()
+	f.Add(append([]byte(nil), e.Bytes()...))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x01}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := Decoder{MaxFrame: 1 << 16}
+		r := bytes.NewReader(data)
+		for i := 0; i < 4; i++ {
+			if err := d.ReadFrame(r); err != nil {
+				return
+			}
+			// Drive every cursor accessor; all must bounds-check.
+			_ = d.U8()
+			_ = d.Str()
+			_ = d.U32()
+			_ = d.Ints(nil)
+			_ = d.F64s(nil)
+			_ = d.F64()
+			_ = d.Bytes()
+			_ = d.Err()
+		}
+	})
+}

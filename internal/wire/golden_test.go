@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multihopbandit/internal/core"
+	"multihopbandit/internal/serve"
+	"multihopbandit/internal/spec"
+)
+
+// serialScheme builds the serial core.Scheme equivalent of a served
+// instance through the one spec.Build path — the same construction the
+// serve-package golden tests use.
+func serialScheme(t *testing.T, s spec.ScenarioSpec) *core.Scheme {
+	t.Helper()
+	b, err := spec.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.New(core.Config{
+		Net:         b.Artifacts.Net,
+		Channels:    b.Sampler,
+		M:           b.Spec.Channel.M,
+		R:           b.Spec.Decision.R,
+		D:           b.Spec.Decision.D,
+		Policy:      b.Policy,
+		UpdateEvery: b.Spec.Decision.UpdateEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scheme
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBinaryMatchesJSONAndSerial is the transport-identity golden test of
+// the binary data plane: for every committed scenario spec under
+// testdata/specs/, a trajectory served over the binary protocol is
+// bit-identical, slot by slot, to the same spec served over HTTP/JSON and
+// to the serial core.Scheme run. The binary plane must be a transport, not
+// a second implementation.
+func TestBinaryMatchesJSONAndSerial(t *testing.T) {
+	const slots = 300
+	dir := filepath.Join("..", "..", "testdata", "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no committed specs under %s", dir)
+	}
+	for _, ent := range entries {
+		ent := ent
+		if filepath.Ext(ent.Name()) != ".json" {
+			continue
+		}
+		t.Run(ent.Name(), func(t *testing.T) {
+			sp, err := spec.ParseFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Binary-served instance over real TCP.
+			reg, _, addr := startServer(t, 2)
+			_ = reg
+			bc, err := Dial(addr, Options{CRC: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bc.Close()
+			if _, err := bc.Create(serve.InstanceConfig{ID: "golden", Spec: sp}); err != nil {
+				t.Fatal(err)
+			}
+
+			// JSON-served instance over real HTTP, in a separate registry
+			// so the two planes cannot share state by accident.
+			jreg := serve.NewRegistry(serve.RegistryConfig{Shards: 2})
+			defer jreg.Close()
+			ts := httptest.NewServer(serve.NewServer(jreg))
+			defer ts.Close()
+			jc := serve.NewClient(ts.URL)
+			if _, err := jc.Create(serve.InstanceConfig{ID: "golden", Spec: sp}); err != nil {
+				t.Fatal(err)
+			}
+
+			scheme := serialScheme(t, sp)
+
+			var bres serve.StepResult
+			for s := 0; s < slots; s++ {
+				if err := bc.StepInto("golden", 1, &bres); err != nil {
+					t.Fatalf("slot %d: binary step: %v", s, err)
+				}
+				jres, err := jc.Step("golden", 1)
+				if err != nil {
+					t.Fatalf("slot %d: json step: %v", s, err)
+				}
+				want, err := scheme.Step()
+				if err != nil {
+					t.Fatalf("slot %d: serial step: %v", s, err)
+				}
+				if bres.Observed != want.Observed || bres.Observed != jres.Observed {
+					t.Fatalf("slot %d: observed %v (binary) vs %v (json) vs %v (serial)",
+						s, bres.Observed, jres.Observed, want.Observed)
+				}
+				if bres.ObservedKbps != jres.ObservedKbps {
+					t.Fatalf("slot %d: observed kbps %v (binary) vs %v (json)", s, bres.ObservedKbps, jres.ObservedKbps)
+				}
+				if !equalInts(bres.Assignment.Winners, want.Winners) || !equalInts(bres.Assignment.Winners, jres.Assignment.Winners) {
+					t.Fatalf("slot %d: winners %v (binary) vs %v (json) vs %v (serial)",
+						s, bres.Assignment.Winners, jres.Assignment.Winners, want.Winners)
+				}
+				if !equalInts(bres.Assignment.Strategy, want.Strategy) || !equalInts(bres.Assignment.Strategy, jres.Assignment.Strategy) {
+					t.Fatalf("slot %d: strategy diverged across transports", s)
+				}
+				if bres.Assignment.DecidedSlot != jres.Assignment.DecidedSlot {
+					t.Fatalf("slot %d: decided slot %d (binary) vs %d (json)",
+						s, bres.Assignment.DecidedSlot, jres.Assignment.DecidedSlot)
+				}
+				if want.Decided && bres.Assignment.EstimatedWeight != want.EstimatedWeight {
+					t.Fatalf("slot %d: estimated weight %v (binary) vs %v (serial)",
+						s, bres.Assignment.EstimatedWeight, want.EstimatedWeight)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryExternalObserveMatchesJSON drives the external-environment
+// mode over both transports with identical deterministic reward streams:
+// the assignment trajectories must stay bit-identical, proving the binary
+// observe path feeds the learner exactly the bytes the JSON path does.
+func TestBinaryExternalObserveMatchesJSON(t *testing.T) {
+	const slots = 150
+	sp := gaussSpec(10, 2, 2)
+	rewardAt := func(slot, i int) float64 { return float64((slot*7+i*3)%11) / 11 }
+
+	_, _, addr := startServer(t, 1)
+	bc, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	if _, err := bc.Create(serve.InstanceConfig{ID: "x", Spec: sp}); err != nil {
+		t.Fatal(err)
+	}
+
+	jreg := serve.NewRegistry(serve.RegistryConfig{Shards: 1})
+	defer jreg.Close()
+	ts := httptest.NewServer(serve.NewServer(jreg))
+	defer ts.Close()
+	jc := serve.NewClient(ts.URL)
+	if _, err := jc.Create(serve.InstanceConfig{ID: "x", Spec: sp}); err != nil {
+		t.Fatal(err)
+	}
+
+	var bas serve.Assignment
+	var bores serve.ObserveResult
+	for s := 0; s < slots; s++ {
+		if err := bc.AssignmentInto("x", &bas); err != nil {
+			t.Fatal(err)
+		}
+		jas, err := jc.Assignment("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(bas.Winners, jas.Winners) || bas.Slot != jas.Slot || bas.DecidedSlot != jas.DecidedSlot {
+			t.Fatalf("slot %d: assignment diverged: %+v (binary) vs %+v (json)", s, bas, *jas)
+		}
+		rewards := make([]float64, len(bas.Winners))
+		for i := range rewards {
+			rewards[i] = rewardAt(s, i)
+		}
+		batch := []serve.ObservationBatch{{Played: bas.Winners, Rewards: rewards}}
+		if err := bc.ObserveInto("x", batch, &bores); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := jc.Observe("x", batch); err != nil {
+			t.Fatal(err)
+		}
+		if bores.Slot != s+1 {
+			t.Fatalf("slot %d: binary observe advanced to %d", s, bores.Slot)
+		}
+	}
+}
+
+// TestServeListenerReuse pins the assumption behind per-shard accept
+// loops: multiple goroutines accepting on one TCP listener each get
+// distinct connections.
+func TestServeListenerReuse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	for i := 0; i < 3; i++ {
+		go func() {
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err == nil {
+				c.Close()
+			}
+		}()
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[c.RemoteAddr().String()] {
+			t.Fatalf("duplicate accept of %s", c.RemoteAddr())
+		}
+		seen[c.RemoteAddr().String()] = true
+		c.Close()
+	}
+}

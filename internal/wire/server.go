@@ -1,0 +1,495 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"multihopbandit/internal/obs"
+	"multihopbandit/internal/serve"
+)
+
+// connBufSize sizes each connection's read and write buffers. Large enough
+// that a pipelined burst of step requests is absorbed in one read and
+// answered in one write.
+const connBufSize = 64 << 10
+
+// Server serves the binary framed protocol on top of a serve.Registry. It
+// is the binary peer of serve.Server: requests dispatch into the same
+// actor mailboxes, so the two planes can serve the same instances
+// concurrently with identical semantics.
+//
+// Accepting is parallel: Serve runs one accept loop per registry shard, so
+// under multi-core GOMAXPROCS inbound connections are picked up and driven
+// by independent goroutines with no shared accept bottleneck. Each
+// connection is handled by one goroutine that decodes frames, dispatches,
+// and encodes responses entirely from per-connection reused buffers — the
+// steady-state hot path (step/observe/assignment on known instances)
+// allocates nothing.
+type Server struct {
+	reg      *serve.Registry
+	maxFrame int
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	handlers sync.WaitGroup
+
+	connsOpen    atomic.Int64
+	connsTotal   atomic.Int64
+	framesIn     atomic.Int64
+	framesOut    atomic.Int64
+	bytesIn      atomic.Int64
+	bytesOut     atomic.Int64
+	decodeErrors atomic.Int64
+}
+
+// NewServer builds a binary-plane server over reg and registers its wire
+// metric families on the registry's exposition surface (so /metrics on the
+// HTTP plane reports binary-plane traffic). Like serve.NewServer, at most
+// one wire server may be built per registry.
+func NewServer(reg *serve.Registry) *Server {
+	s := &Server{
+		reg:      reg,
+		maxFrame: DefaultMaxFrame,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	o := reg.Obs()
+	o.RegisterValues("banditd_wire_connections", "Open binary data-plane connections.", obs.KindGauge,
+		func(emit obs.EmitValue) { emit(float64(s.connsOpen.Load())) })
+	o.RegisterValues("banditd_wire_connections_total", "Binary data-plane connections accepted.", obs.KindCounter,
+		func(emit obs.EmitValue) { emit(float64(s.connsTotal.Load())) })
+	o.RegisterValues("banditd_wire_frames_total", "Binary protocol frames by direction.", obs.KindCounter,
+		func(emit obs.EmitValue) {
+			emit(float64(s.framesIn.Load()), obs.L("dir", "in"))
+			emit(float64(s.framesOut.Load()), obs.L("dir", "out"))
+		})
+	o.RegisterValues("banditd_wire_bytes_total", "Binary protocol bytes by direction.", obs.KindCounter,
+		func(emit obs.EmitValue) {
+			emit(float64(s.bytesIn.Load()), obs.L("dir", "in"))
+			emit(float64(s.bytesOut.Load()), obs.L("dir", "out"))
+		})
+	o.RegisterValues("banditd_wire_decode_errors_total", "Connections dropped on malformed, oversized, or truncated frames.", obs.KindCounter,
+		func(emit obs.EmitValue) { emit(float64(s.decodeErrors.Load())) })
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown closes it, running one
+// accept loop per registry shard. It always returns a non-nil error; after
+// Shutdown the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	loops := s.reg.Shards()
+	if loops < 1 {
+		loops = 1
+	}
+	errc := make(chan error, loops)
+	var accepting sync.WaitGroup
+	for i := 0; i < loops; i++ {
+		accepting.Add(1)
+		go func() {
+			defer accepting.Done()
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !s.track(c) {
+					c.Close()
+					return
+				}
+				s.handlers.Add(1)
+				go s.handleConn(c)
+			}
+		}()
+	}
+	accepting.Wait()
+	return <-errc
+}
+
+// track registers a live connection; it refuses (false) once the server is
+// shut down.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.connsOpen.Add(1)
+	s.connsTotal.Add(1)
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.connsOpen.Add(-1)
+	c.Close()
+}
+
+// Shutdown stops accepting, then waits for in-flight connection handlers
+// to drain naturally (clients closing their connections). If ctx expires
+// first the remaining connections are closed forcibly; either way all
+// handlers have returned when Shutdown does.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// countingReader / countingWriter sit between the connection and its bufio
+// buffers so the byte counters see actual socket traffic.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// connState is the per-connection reused state: codec buffers, a serving
+// session (reusable actor reply channel), an instance cache so repeated
+// requests for the same instance skip the registry's shard lock, and
+// scratch observation batches whose backing arrays are recycled across
+// sync observe requests (the actor is done with them when the reply
+// arrives; async observes copy instead).
+type connState struct {
+	dec     Decoder
+	enc     Encoder
+	sess    serve.Session
+	cache   map[string]*serve.Instance
+	batches []serve.ObservationBatch
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.handlers.Done()
+	defer s.untrack(c)
+	br := bufio.NewReaderSize(countingReader{c, &s.bytesIn}, connBufSize)
+	bw := bufio.NewWriterSize(countingWriter{c, &s.bytesOut}, connBufSize)
+	st := &connState{cache: make(map[string]*serve.Instance)}
+	st.dec.MaxFrame = s.maxFrame
+	for {
+		if err := st.dec.ReadFrame(br); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.decodeErrors.Add(1)
+			}
+			return
+		}
+		s.framesIn.Add(1)
+		st.enc.Reset()
+		s.serveFrame(st)
+		s.framesOut.Add(1)
+		if _, err := bw.Write(st.enc.Bytes()); err != nil {
+			return
+		}
+		// Flush only when the read buffer has no more pipelined requests:
+		// a burst of k requests is answered with one batched write.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveFrame dispatches one decoded request frame and encodes exactly one
+// response frame. Responses echo the request's CRC choice.
+func (s *Server) serveFrame(st *connState) {
+	op, reqID := st.dec.Op, st.dec.ReqID
+	flags := st.dec.Flags & FlagCRC
+	switch op {
+	case OpHello:
+		st.enc.Begin(op, reqID, StatusOK, flags)
+		putHello(&st.enc, &Hello{Shards: s.reg.Shards(), MaxFrame: s.maxFrame})
+		st.enc.End()
+	case OpStep:
+		s.serveStep(st, flags)
+	case OpObserve:
+		s.serveObserve(st, flags)
+	case OpAssignment:
+		s.serveAssignment(st, flags)
+	case OpCreate:
+		s.serveCreate(st, flags)
+	case OpDelete:
+		s.serveDelete(st, flags)
+	case OpList:
+		infos := s.reg.List()
+		body, err := json.Marshal(map[string]any{"instances": infos})
+		if err != nil {
+			s.replyErr(st, flags, StatusInternal, err)
+			return
+		}
+		st.enc.Begin(op, reqID, StatusOK, flags)
+		st.enc.PutBytes(body)
+		st.enc.End()
+	default:
+		s.replyErr(st, flags, StatusInvalidRequest, fmt.Errorf("wire: unknown opcode %d", op))
+	}
+}
+
+// replyErr encodes an error response: the status byte plus the message as
+// the payload.
+func (s *Server) replyErr(st *connState, flags, status byte, err error) {
+	st.enc.Begin(st.dec.Op, st.dec.ReqID, status, flags)
+	st.enc.PutString(err.Error())
+	st.enc.End()
+}
+
+// instance resolves id through the connection's cache; the registry is
+// consulted only on a miss. The string(id) conversions in map lookups do
+// not allocate.
+func (s *Server) instance(st *connState, id []byte) (*serve.Instance, bool) {
+	if inst, ok := st.cache[string(id)]; ok {
+		return inst, true
+	}
+	inst, ok := s.reg.Get(string(id))
+	if ok {
+		st.cache[string(id)] = inst
+	}
+	return inst, ok
+}
+
+// evict drops a cached handle that turned out to be closed and retries the
+// registry once: the instance may have been deleted and recreated under
+// the same ID since this connection cached it.
+func (s *Server) evict(st *connState, id []byte) (*serve.Instance, bool) {
+	delete(st.cache, string(id))
+	return s.instance(st, id)
+}
+
+var errNoID = errors.New("wire: malformed request payload")
+
+func (s *Server) serveStep(st *connState, flags byte) {
+	id := st.dec.Bytes()
+	n := int(int32(st.dec.U32()))
+	if st.dec.Err() != nil {
+		s.replyErr(st, flags, StatusInvalidRequest, errNoID)
+		return
+	}
+	inst, ok := s.instance(st, id)
+	if !ok {
+		s.replyErr(st, flags, StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+		return
+	}
+	res, err := st.sess.Step(inst, n)
+	if errors.Is(err, serve.ErrClosed) {
+		if inst, ok = s.evict(st, id); ok {
+			res, err = st.sess.Step(inst, n)
+		} else {
+			s.replyErr(st, flags, StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+			return
+		}
+	}
+	if err != nil {
+		s.replyErr(st, flags, errStatus(err), err)
+		return
+	}
+	st.enc.Begin(OpStep, st.dec.ReqID, StatusOK, flags)
+	putStepResult(&st.enc, res)
+	st.enc.End()
+}
+
+func (s *Server) serveAssignment(st *connState, flags byte) {
+	id := st.dec.Bytes()
+	if st.dec.Err() != nil {
+		s.replyErr(st, flags, StatusInvalidRequest, errNoID)
+		return
+	}
+	inst, ok := s.instance(st, id)
+	if !ok {
+		s.replyErr(st, flags, StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+		return
+	}
+	res, err := st.sess.Assignment(inst)
+	if errors.Is(err, serve.ErrClosed) {
+		if inst, ok = s.evict(st, id); ok {
+			res, err = st.sess.Assignment(inst)
+		} else {
+			s.replyErr(st, flags, StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+			return
+		}
+	}
+	if err != nil {
+		s.replyErr(st, flags, errStatus(err), err)
+		return
+	}
+	st.enc.Begin(OpAssignment, st.dec.ReqID, StatusOK, flags)
+	putAssignment(&st.enc, res)
+	st.enc.End()
+}
+
+func (s *Server) serveObserve(st *connState, flags byte) {
+	async := st.dec.Flags&FlagAsync != 0
+	id := st.dec.Bytes()
+	nb := int(st.dec.U32())
+	// Each batch costs at least its two u32 counts, so the batch count is
+	// bounds-checked against the remaining payload before any allocation.
+	if st.dec.Err() != nil || nb < 0 || nb > st.dec.Remaining()/8 {
+		s.replyErr(st, flags, StatusInvalidRequest, errNoID)
+		return
+	}
+	var batches []serve.ObservationBatch
+	if async {
+		// The actor consumes async batches after this request returns, so
+		// they must own their arrays; decode into fresh slices.
+		batches = make([]serve.ObservationBatch, nb)
+	} else {
+		// Sync batches are fully applied before the actor replies, so the
+		// connection's scratch arrays can be recycled request to request.
+		for len(st.batches) < nb {
+			st.batches = append(st.batches, serve.ObservationBatch{})
+		}
+		batches = st.batches[:nb]
+	}
+	for i := range batches {
+		batches[i].Played = st.dec.Ints(batches[i].Played)
+		batches[i].Rewards = st.dec.F64s(batches[i].Rewards)
+	}
+	if st.dec.Err() != nil {
+		s.replyErr(st, flags, StatusInvalidRequest, errNoID)
+		return
+	}
+	inst, ok := s.instance(st, id)
+	if !ok {
+		s.replyErr(st, flags, StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+		return
+	}
+	if async {
+		err := inst.PushObservations(batches)
+		if errors.Is(err, serve.ErrClosed) {
+			if inst, ok = s.evict(st, id); ok {
+				err = inst.PushObservations(batches)
+			} else {
+				s.replyErr(st, flags, StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+				return
+			}
+		}
+		if err != nil {
+			s.replyErr(st, flags, errStatus(err), err)
+			return
+		}
+		st.enc.Begin(OpObserve, st.dec.ReqID, StatusOK, flags)
+		putObserveResult(&st.enc, &serve.ObserveResult{Applied: 0, Slot: -1})
+		st.enc.End()
+		return
+	}
+	res, err := st.sess.Observe(inst, batches)
+	if errors.Is(err, serve.ErrClosed) {
+		if inst, ok = s.evict(st, id); ok {
+			res, err = st.sess.Observe(inst, batches)
+		} else {
+			s.replyErr(st, flags, StatusNotFound, fmt.Errorf("serve: no instance %q", id))
+			return
+		}
+	}
+	if err != nil {
+		s.replyErr(st, flags, errStatus(err), err)
+		return
+	}
+	st.enc.Begin(OpObserve, st.dec.ReqID, StatusOK, flags)
+	putObserveResult(&st.enc, res)
+	st.enc.End()
+}
+
+func (s *Server) serveCreate(st *connState, flags byte) {
+	body := st.dec.Bytes()
+	if st.dec.Err() != nil {
+		s.replyErr(st, flags, StatusInvalidRequest, errNoID)
+		return
+	}
+	var cfg serve.InstanceConfig
+	if err := json.Unmarshal(body, &cfg); err != nil {
+		s.replyErr(st, flags, StatusInvalidRequest, fmt.Errorf("wire: create payload: %w", err))
+		return
+	}
+	h, err := s.reg.Create(cfg)
+	if err != nil {
+		s.replyErr(st, flags, errStatus(err), err)
+		return
+	}
+	canon := h.Spec()
+	resp, err := json.Marshal(serve.CreateResponse{
+		ID:          h.ID(),
+		Shard:       h.Shard(),
+		N:           canon.Topology.N,
+		M:           canon.Channel.M,
+		K:           h.K(),
+		Policy:      canon.Policy.Kind,
+		Channel:     canon.Channel.Kind,
+		UpdateEvery: canon.Decision.UpdateEvery,
+	})
+	if err != nil {
+		s.replyErr(st, flags, StatusInternal, err)
+		return
+	}
+	st.enc.Begin(OpCreate, st.dec.ReqID, StatusOK, flags)
+	st.enc.PutBytes(resp)
+	st.enc.End()
+}
+
+func (s *Server) serveDelete(st *connState, flags byte) {
+	id := st.dec.Bytes()
+	if st.dec.Err() != nil {
+		s.replyErr(st, flags, StatusInvalidRequest, errNoID)
+		return
+	}
+	delete(st.cache, string(id))
+	if err := s.reg.Remove(string(id)); err != nil {
+		s.replyErr(st, flags, StatusNotFound, err)
+		return
+	}
+	st.enc.Begin(OpDelete, st.dec.ReqID, StatusOK, flags)
+	st.enc.End()
+}
