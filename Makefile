@@ -163,6 +163,21 @@ bench-obs:
 bench-cluster:
 	$(GO) run ./cmd/clusterbench -duration 2s -update-every 1,4,8 -json BENCH_cluster.json
 
+# Distributed execution sweep: the concurrent per-vertex agent runtime
+# (internal/distnet) across network sizes into the thousands of agents,
+# frame loss rates, and link latencies — wall-clock per decision, frames
+# by flood kind against the paper's per-vertex origination bound, and the
+# determination failure rate, recorded machine-readably in BENCH_dist.json.
+bench-dist:
+	$(GO) run ./cmd/distbench -json BENCH_dist.json
+
+# Distributed execution smoke (the CI gate behind the dist-smoke job):
+# race-enabled distnet over a real TCP loopback transport proving winner
+# sets bit-identical to protocol.Decider, then a fault churn (loss, bursts,
+# partition with heal, crash/restart) asserting zero protocol violations.
+dist-smoke:
+	$(GO) run -race ./cmd/distbench -smoke
+
 # Binary data-plane smoke: a race-built banditd serves the HTTP/JSON API
 # and the binary framed protocol concurrently; banditload drives the binary
 # plane (shard-affine pipelined TCP) while asserting nonzero throughput,
@@ -233,4 +248,4 @@ update-golden:
 figures:
 	$(GO) run ./cmd/figgen -exp all -v
 
-ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke cluster-smoke verify-golden
+ci: build fmt-check vet race bench-smoke serve-smoke spec-smoke decide-smoke recover-smoke obs-smoke cluster-smoke dist-smoke verify-golden

@@ -56,6 +56,13 @@ type ScenarioPrimary = spec.PrimarySpec
 // trajectory or the artifact cache key.
 type ScenarioPersist = spec.PersistSpec
 
+// ScenarioFaults configures the fault layer of a spec's distnet
+// execution (decision.execution: "distnet"): deterministic frame loss,
+// Gilbert burst loss, latency/jitter, and reordering, all keyed by the
+// fault seed. Operational only, like ScenarioPersist: it never affects
+// the artifact cache key.
+type ScenarioFaults = spec.FaultsSpec
+
 // BuiltScenario bundles the artifacts, sampler and policy Build constructs
 // from one spec.
 type BuiltScenario = spec.Built

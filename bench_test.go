@@ -449,7 +449,7 @@ func BenchmarkMessageGranularDecision(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		frames = res.FramesSent
+		frames = res.Frames.Total()
 	}
 	b.ReportMetric(float64(frames), "frames_sent")
 }

@@ -52,7 +52,7 @@ import (
 type Loop struct {
 	ext *extgraph.Extended
 	rt  *protocol.Runtime
-	dec *protocol.Decider // persistent incremental decide state
+	dec DecisionPlane // persistent incremental decide state
 	pol policy.Policy
 	wr  policy.IndexWriter // non-nil fast path (no per-decision alloc)
 	ch  channel.Sampler    // nil in external-observations-only loops
@@ -72,6 +72,21 @@ type Loop struct {
 	view        SlotView  // reused per-slot observer report
 }
 
+// DecisionPlane is the loop's strategy-decision seam: the epoch-aware
+// decide surface that protocol.Decider implements natively and that
+// distnet.LoopDecider adapts, letting the same slot kernel run its
+// decisions lock-step in process or through concurrent per-vertex agents
+// over a transport. Implementations keep their own incremental state; the
+// kernel only threads the weight epoch through.
+type DecisionPlane interface {
+	// DecideEpoch runs (or serves from cache) one strategy decision.
+	DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool) (*protocol.Result, error)
+	// Stats returns the plane's cumulative decision accounting.
+	Stats() protocol.DecideStats
+	// SetTracer attaches (nil detaches) a per-decision trace observer.
+	SetTracer(fn func(*protocol.DecideTrace))
+}
+
 // LoopConfig parameterizes a Loop from preconstructed artifacts. Callers
 // that start from a topology and channel model use core.New (which builds
 // the extended graph and protocol runtime first); callers holding cached
@@ -81,6 +96,9 @@ type LoopConfig struct {
 	Ext *extgraph.Extended
 	// Runtime is the distributed strategy-decision protocol. Required.
 	Runtime *protocol.Runtime
+	// Decider overrides the decision plane; nil uses Runtime.NewDecider()
+	// (the lock-step incremental decider).
+	Decider DecisionPlane
 	// Policy is the learning policy. Required.
 	Policy policy.Policy
 	// Sampler is the reward source for StepSampled; nil builds an
@@ -107,10 +125,14 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	if cfg.UpdateEvery < 1 {
 		return nil, fmt.Errorf("core: UpdateEvery must be >= 1, got %d", cfg.UpdateEvery)
 	}
+	dec := cfg.Decider
+	if dec == nil {
+		dec = cfg.Runtime.NewDecider()
+	}
 	l := &Loop{
 		ext:         cfg.Ext,
 		rt:          cfg.Runtime,
-		dec:         cfg.Runtime.NewDecider(),
+		dec:         dec,
 		pol:         cfg.Policy,
 		ch:          cfg.Sampler,
 		y:           cfg.UpdateEvery,

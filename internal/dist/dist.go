@@ -5,21 +5,28 @@
 // configurable probability.
 //
 // It complements internal/protocol, which executes the same algorithm
-// lock-step under an omniscient simulator with perfect delivery. dist
-// quantifies two things the lock-step model abstracts away: the true
-// control-frame volume of the flooding broadcasts (Result.FramesSent) and
-// the cost of dropping the paper's reliable-control-channel assumption
+// lock-step under an omniscient simulator with perfect delivery, and
+// internal/distnet, which runs the same agent rules as genuinely concurrent
+// goroutines over a pluggable transport. dist quantifies two things the
+// lock-step model abstracts away: the true control-frame volume of the
+// flooding broadcasts, attributed per flood kind (Result.Frames), and the
+// cost of dropping the paper's reliable-control-channel assumption
 // (conflicting or missing determinations under loss).
+//
+// The agent rules themselves — frame vocabulary, identity-keyed loss
+// draws, distance-gated relaying, leader election, local splits, and the
+// leader-priority determination rule — live in rules.go and are shared with
+// internal/distnet, whose cross-check test holds the two executions to
+// frame-for-frame agreement under identical loss seeds.
 package dist
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"multihopbandit/internal/extgraph"
+	"multihopbandit/internal/graph"
 	"multihopbandit/internal/mwis"
-	"multihopbandit/internal/rng"
 )
 
 // Config parameterizes a Runtime.
@@ -47,13 +54,13 @@ type Runtime struct {
 	r      int
 	d      int
 	solver mwis.Solver
-	drop   float64
-	loss   *rng.Source
+	drop   DropFunc
 
-	ballR   [][]int // r-hop neighborhoods per vertex
-	ball2R1 [][]int // (2r+1)-hop neighborhoods per vertex
+	balls *BallSets
+	views []*View
+	sim   floodSim
 
-	decisions int // decision counter for per-decision loss sub-streams
+	decisions int // decision counter keying per-decision loss draws
 }
 
 // New builds a Runtime and precomputes the hop-neighborhoods.
@@ -81,23 +88,23 @@ func New(cfg Config) (*Runtime, error) {
 	h := cfg.Ext.H
 	n := h.N()
 	rt := &Runtime{
-		ext:     cfg.Ext,
-		r:       r,
-		d:       cfg.D,
-		solver:  solver,
-		drop:    cfg.DropProb,
-		loss:    rng.New(cfg.LossSeed).Split("dist-loss"),
-		ballR:   make([][]int, n),
-		ball2R1: make([][]int, n),
+		ext:    cfg.Ext,
+		r:      r,
+		d:      cfg.D,
+		solver: solver,
+		drop:   HashDrop(cfg.LossSeed, cfg.DropProb),
+		balls:  NewBallSets(h, r),
+		views:  make([]*View, n),
+		sim:    newFloodSim(h),
 	}
 	for v := 0; v < n; v++ {
-		rt.ballR[v] = h.Ball(v, r)
-		rt.ball2R1[v] = h.Ball(v, 2*r+1)
-		sort.Ints(rt.ballR[v])
-		sort.Ints(rt.ball2R1[v])
+		rt.views[v] = NewView(v, rt.balls.Ball2R1[v])
 	}
 	return rt, nil
 }
+
+// Balls exposes the precomputed hop-neighborhood tables (shared, read-only).
+func (rt *Runtime) Balls() *BallSets { return rt.balls }
 
 // Result is the outcome of one message-granular strategy decision.
 type Result struct {
@@ -105,11 +112,14 @@ type Result struct {
 	// sorted ascending. Under loss the set may fail independence — that is
 	// the measured failure mode, not an error.
 	Winners []int
-	// FramesSent is the total number of local-broadcast frames transmitted
-	// across the WB, LS and LB floods, including relays.
-	FramesSent int
+	// Frames attributes the control-frame volume of the decision to the
+	// WB, LS and LB floods, split into originations and relays.
+	Frames FrameStats
 	// MiniRounds is the number of mini-rounds executed.
 	MiniRounds int
+	// Undetermined counts the vertices still undecided when the decision
+	// ended (zero iff Converged).
+	Undetermined int
 	// Converged reports whether every agent decided before the cap.
 	Converged bool
 	// Independent reports whether Winners is an independent set of H (always
@@ -117,78 +127,112 @@ type Result struct {
 	Independent bool
 }
 
-// flood simulates one hop-bounded flooding broadcast from origin under the
-// runtime's loss process. It returns the vertices that received the payload
-// (origin included) and the number of frames transmitted: every vertex that
-// relays — origin included — sends exactly one local-broadcast frame, and
-// each neighbor independently loses it with probability DropProb.
-func (rt *Runtime) flood(origin, radius int, rnd *rng.Source) (reached []int, frames int) {
-	h := rt.ext.H
-	got := make([]bool, h.N())
-	got[origin] = true
-	reached = append(reached, origin)
-	frontier := []int{origin}
-	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
-		var next []int
-		for _, v := range frontier {
-			frames++
-			for _, u := range h.Neighbors(v) {
-				if got[u] {
-					continue
-				}
-				if rt.drop > 0 && rnd.Float64() < rt.drop {
-					continue
-				}
-				got[u] = true
-				reached = append(reached, u)
-				next = append(next, u)
+// floodSim is reusable scratch for simulating one distance-gated flood as
+// the monotone fixpoint it is: a vertex relays a first-seen payload iff it
+// lies strictly inside the flood radius (its relay gate contains the
+// origin), so the delivered set does not depend on exploration order and
+// matches what the concurrent runtime's agents compute frame by frame.
+type floodSim struct {
+	h        *graph.Graph
+	received []bool
+	inGate   []bool
+	reached  []int
+	queue    []int
+}
+
+func newFloodSim(h *graph.Graph) floodSim {
+	n := h.N()
+	return floodSim{
+		h:        h,
+		received: make([]bool, n),
+		inGate:   make([]bool, n),
+		reached:  make([]int, 0, n),
+		queue:    make([]int, 0, n),
+	}
+}
+
+// run simulates the flood from origin. gate is the sorted relay-gate ball
+// of the origin (radius-1 hops, symmetric to the per-agent gate check);
+// drop decides each copy's fate from the (from, to) link. It returns the
+// delivered vertices (origin first; valid until the next run) and the
+// number of relaying broadcasts (excluding the origin's own).
+func (fs *floodSim) run(origin int, gate []int, drop func(from, to int) bool) (reached []int, relays int) {
+	for _, u := range gate {
+		fs.inGate[u] = true
+	}
+	fs.reached = fs.reached[:0]
+	fs.queue = fs.queue[:0]
+	fs.received[origin] = true
+	fs.reached = append(fs.reached, origin)
+	fs.queue = append(fs.queue, origin)
+	for head := 0; head < len(fs.queue); head++ {
+		v := fs.queue[head]
+		if v != origin {
+			relays++
+		}
+		for _, u := range fs.h.Neighbors(v) {
+			if fs.received[u] {
+				continue
+			}
+			if drop != nil && drop(v, u) {
+				continue
+			}
+			fs.received[u] = true
+			fs.reached = append(fs.reached, u)
+			if fs.inGate[u] {
+				fs.queue = append(fs.queue, u)
 			}
 		}
-		frontier = next
 	}
-	return reached, frames
+	for _, u := range fs.reached {
+		fs.received[u] = false
+	}
+	for _, u := range gate {
+		fs.inGate[u] = false
+	}
+	return fs.reached, relays
+}
+
+func (rt *Runtime) dropOn(decision int, kind FrameKind, round, origin int) func(from, to int) bool {
+	if rt.drop == nil {
+		return nil
+	}
+	return func(from, to int) bool {
+		return rt.drop(decision, kind, round, origin, from, to)
+	}
 }
 
 // Decide runs one strategy decision from the given per-vertex index weights.
 // Each agent starts knowing only its own weight and the conflict graph;
 // weights spread via the WB flood, leader declarations via LS floods, and
-// determinations via LB floods, all subject to loss.
+// determinations via LB floods, all subject to loss. The phase structure
+// mirrors the concurrent runtime exactly: all leaders of a mini-round split
+// from the post-election views before any determination lands, and
+// determinations apply in ascending leader order (the priority rule).
 func (rt *Runtime) Decide(weights []float64) (*Result, error) {
 	h := rt.ext.H
 	n := h.N()
 	if len(weights) != n {
 		return nil, fmt.Errorf("dist: %d weights for %d vertices", len(weights), n)
 	}
-	rnd := rt.loss.SplitN("decide", rt.decisions)
+	dec := rt.decisions
 	rt.decisions++
 
-	// Per-agent local views. knows[v][u]: v has received u's weight.
-	// cand[v][u]: v believes u is still undecided. self[v]: v's own status.
-	knows := make([][]bool, n)
-	cand := make([][]bool, n)
-	const (
-		selfCandidate = iota
-		selfWinner
-		selfLoser
-	)
-	self := make([]int, n)
 	for v := 0; v < n; v++ {
-		knows[v] = make([]bool, n)
-		knows[v][v] = true
-		cand[v] = make([]bool, n)
-		for u := range cand[v] {
-			cand[v][u] = true
-		}
+		rt.views[v].Reset(weights[v])
 	}
 
 	res := &Result{}
 
 	// WB: every vertex floods its weight within 2r+1 hops.
 	for v := 0; v < n; v++ {
-		reached, f := rt.flood(v, 2*rt.r+1, rnd.SplitN("wb", v))
-		res.FramesSent += f
+		reached, relays := rt.sim.run(v, rt.balls.Ball2R[v], rt.dropOn(dec, FrameWB, 0, v))
+		res.Frames.WB.Originations++
+		res.Frames.WB.Relays += relays
 		for _, u := range reached {
-			knows[u][v] = true
+			if u != v {
+				rt.views[u].LearnWeight(v, weights[v])
+			}
 		}
 	}
 
@@ -196,109 +240,65 @@ func (rt *Runtime) Decide(weights []float64) (*Result, error) {
 	if maxRounds == 0 {
 		maxRounds = n
 	}
+	var arBuf []int
 	for tau := 0; tau < maxRounds; tau++ {
-		// Leader self-selection from each agent's local view: v leads if no
-		// known, believed-candidate vertex in its (2r+1)-ball beats it.
-		// Vertices whose WB frame was lost do not compete from v's view —
-		// under loss this can crown conflicting leaders.
+		// Leader self-selection from each agent's local view.
 		var leaders []int
 		for v := 0; v < n; v++ {
-			if self[v] != selfCandidate {
-				continue
-			}
-			lead := true
-			for _, u := range rt.ball2R1[v] {
-				if u == v || !knows[v][u] || !cand[v][u] {
-					continue
-				}
-				if weights[u] > weights[v] || (weights[u] == weights[v] && u < v) {
-					lead = false
-					break
-				}
-			}
-			if lead {
+			if rt.views[v].Self == Candidate && rt.views[v].SelfElect() {
 				leaders = append(leaders, v)
 			}
 		}
 		if len(leaders) == 0 {
 			break
 		}
+
+		// LS: declare leadership within 2r+1 hops (frames only; the
+		// declaration carries no state the LB does not supersede).
 		for _, v := range leaders {
-			// LS: declare leadership within 2r+1 hops (frames only; the
-			// declaration carries no state the LB does not supersede).
-			_, f := rt.flood(v, 2*rt.r+1, rnd.SplitN("ls", tau*n+v))
-			res.FramesSent += f
+			_, relays := rt.sim.run(v, rt.balls.Ball2R[v], rt.dropOn(dec, FrameLS, tau, v))
+			res.Frames.LS.Originations++
+			res.Frames.LS.Relays += relays
+		}
 
-			// Local MWIS over the candidates v knows of within r hops.
-			ar := make([]int, 0, len(rt.ballR[v]))
-			for _, u := range rt.ballR[v] {
-				if u == v || (knows[v][u] && cand[v][u]) {
-					ar = append(ar, u)
-				}
+		// Every leader splits from the post-election view snapshot — no
+		// determination of this round has landed yet, matching the
+		// concurrent runtime's split phase barrier.
+		type determination struct {
+			leader          int
+			winners, losers []int
+		}
+		dets := make([]determination, 0, len(leaders))
+		for _, v := range leaders {
+			view := rt.views[v]
+			arBuf = view.Candidates(rt.balls.BallR[v], arBuf)
+			winners, losers, err := LocalSplit(h, rt.solver, arBuf, func(u int) float64 { return weights[u] })
+			if err != nil {
+				return nil, fmt.Errorf("dist: leader %d: %w", v, err)
 			}
-			sub, origIDs := h.InducedSubgraph(ar)
-			w := make([]float64, len(origIDs))
-			for i, u := range origIDs {
-				w[i] = weights[u]
-			}
-			localIS, err := rt.solver.Solve(mwis.Instance{G: sub, W: w})
-			if err != nil && !errors.Is(err, mwis.ErrBudgetExceeded) {
-				return nil, fmt.Errorf("dist: local MWIS at leader %d: %w", v, err)
-			}
-			inIS := make(map[int]bool, len(localIS))
-			for _, li := range localIS {
-				inIS[origIDs[li]] = true
-			}
-			var winners, losers []int
-			for _, u := range ar {
-				if inIS[u] {
-					winners = append(winners, u)
-				} else {
-					losers = append(losers, u)
-				}
-			}
+			dets = append(dets, determination{leader: v, winners: winners, losers: losers})
+		}
 
-			// LB: flood the determination within 3r+2 hops; only receivers
-			// update their views. First decisions stick.
-			reached, f := rt.flood(v, 3*rt.r+2, rnd.SplitN("lb", tau*n+v))
-			res.FramesSent += f
-			// Winner-neighbor exclusion is common knowledge: every receiver
-			// knows the graph, so the winners list also rules out all their
-			// neighbors from every informed view.
-			excluded := make(map[int]bool)
-			for _, u := range winners {
-				for _, y := range h.Neighbors(u) {
-					excluded[y] = true
-				}
-			}
+		// LB: flood each determination within 3r+2 hops and apply it to
+		// the receivers, ascending leader order realizing the priority
+		// rule shared with the concurrent runtime.
+		for _, det := range dets {
+			reached, relays := rt.sim.run(det.leader, rt.balls.Ball3R1[det.leader], rt.dropOn(dec, FrameLB, tau, det.leader))
+			res.Frames.LB.Originations++
+			res.Frames.LB.Relays += relays
 			for _, x := range reached {
-				for _, u := range winners {
-					cand[x][u] = false
-					if x == u && self[x] == selfCandidate {
-						self[x] = selfWinner
-					}
-				}
-				for _, u := range losers {
-					cand[x][u] = false
-					if x == u && self[x] == selfCandidate {
-						self[x] = selfLoser
-					}
-				}
-				for y := range excluded {
-					cand[x][y] = false
-					if x == y && self[x] == selfCandidate {
-						self[x] = selfLoser
-					}
-				}
+				rt.views[x].Apply(h, tau, det.leader, det.winners, det.losers)
 			}
 		}
+
 		res.MiniRounds++
 		undecided := 0
 		for v := 0; v < n; v++ {
-			if self[v] == selfCandidate {
+			if rt.views[v].Self == Candidate {
 				undecided++
 			}
 		}
+		res.Undetermined = undecided
 		if undecided == 0 {
 			res.Converged = true
 			break
@@ -306,13 +306,12 @@ func (rt *Runtime) Decide(weights []float64) (*Result, error) {
 	}
 
 	for v := 0; v < n; v++ {
-		if self[v] == selfWinner {
+		if rt.views[v].Self == Winner {
 			res.Winners = append(res.Winners, v)
 		}
 	}
-	sort.Ints(res.Winners)
 	res.Independent = h.IsIndependent(res.Winners)
-	if rt.drop == 0 && !res.Independent {
+	if rt.drop == nil && !res.Independent {
 		return nil, errors.New("dist: internal error: lossless winners are not independent")
 	}
 	return res, nil

@@ -45,8 +45,22 @@ func TestLosslessDecisionIsIndependentAndConverges(t *testing.T) {
 	if !res.Converged {
 		t.Fatalf("did not converge in %d mini-rounds", res.MiniRounds)
 	}
-	if res.FramesSent == 0 {
+	if res.Frames.Total() == 0 {
 		t.Fatal("no frames accounted")
+	}
+	// Per-kind attribution: every vertex originates one WB flood, every
+	// mini-round's leaders originate LS and LB floods.
+	if res.Frames.WB.Originations != ext.K() {
+		t.Fatalf("WB originations = %d, want %d", res.Frames.WB.Originations, ext.K())
+	}
+	if res.Frames.LS.Originations == 0 || res.Frames.LB.Originations == 0 {
+		t.Fatalf("missing LS/LB originations: %+v", res.Frames)
+	}
+	if res.Frames.LS.Originations != res.Frames.LB.Originations {
+		t.Fatalf("LS and LB originations differ: %+v", res.Frames)
+	}
+	if res.Frames.WB.Relays == 0 {
+		t.Fatal("lossless WB flood produced no relays")
 	}
 }
 
@@ -64,7 +78,7 @@ func TestDecideDeterministicGivenLossSeed(t *testing.T) {
 		return res
 	}
 	a, b := mk(), mk()
-	if a.FramesSent != b.FramesSent || len(a.Winners) != len(b.Winners) {
+	if a.Frames != b.Frames || len(a.Winners) != len(b.Winners) {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
 	}
 	for i := range a.Winners {
@@ -85,7 +99,7 @@ func TestLossReducesDeliveredFrames(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.FramesSent
+		return res.Frames.Total()
 	}
 	// Heavy loss prunes flood relays, so far fewer frames are transmitted.
 	if f0, f9 := frames(0), frames(0.9); f9 >= f0 {

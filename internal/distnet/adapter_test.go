@@ -1,0 +1,151 @@
+package distnet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"multihopbandit/internal/obs"
+	"multihopbandit/internal/protocol"
+)
+
+// TestLoopDeciderEpochSkip: in fault-free mode an unchanged weight vector
+// is served from cache without re-running the agents; any change (or the
+// explicit weightsUnchanged=false with moved weights) re-executes.
+func TestLoopDeciderEpochSkip(t *testing.T) {
+	ext := testExt(t, 15, 2, 51, "random")
+	rt, err := New(Config{Ext: ext, R: 1, D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ld := NewLoopDecider(rt, true)
+
+	w := testWeights(ext, 52)
+	first, err := ld.DecideEpoch(w, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same weights, unchanged flag: must be the cached result.
+	again, err := ld.DecideEpoch(w, first.Winners, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("epoch skip did not return the cached result")
+	}
+	// Same weights, flag not set: value comparison still skips.
+	cp := append([]float64(nil), w...)
+	again, err = ld.DecideEpoch(cp, first.Winners, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("equal-weight decide did not skip")
+	}
+	st := ld.Stats()
+	if st.FullDecides != 1 || st.EpochSkips != 2 {
+		t.Fatalf("stats = %+v, want 1 full decide and 2 epoch skips", st)
+	}
+	// A moved weight re-executes.
+	cp[0] = 1 - cp[0]
+	moved, err := ld.DecideEpoch(cp, first.Winners, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Stats().FullDecides != 2 {
+		t.Fatalf("moved weights did not re-execute: %+v", ld.Stats())
+	}
+	if moved.Stats.MiniTimeslots == 0 || moved.Stats.WeightBroadcasts != ext.K() {
+		t.Fatalf("decision stats not populated: %+v", moved.Stats)
+	}
+}
+
+// TestLoopDeciderFaultedNeverSkips: under faults every boundary must
+// re-execute — each decision draws fresh decision-indexed fault outcomes.
+func TestLoopDeciderFaultedNeverSkips(t *testing.T) {
+	ext := testExt(t, 15, 2, 53, "random")
+	rt, err := New(Config{
+		Ext: ext, R: 1, D: 4,
+		Transport: NewFaultTransport(NewChanTransport(), Faults{Seed: 1, Loss: 0.1}, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ld := NewLoopDecider(rt, false)
+	w := testWeights(ext, 54)
+	if _, err := ld.DecideEpoch(w, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.DecideEpoch(w, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	st := ld.Stats()
+	if st.EpochSkips != 0 || st.FullDecides != 2 {
+		t.Fatalf("stats = %+v, want 2 full decides and no skips", st)
+	}
+}
+
+// TestLoopDeciderTracer: the tracer fires on both paths with the skip flag
+// set correctly.
+func TestLoopDeciderTracer(t *testing.T) {
+	ext := testExt(t, 12, 2, 55, "random")
+	rt, err := New(Config{Ext: ext, R: 1, D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ld := NewLoopDecider(rt, true)
+	var skips []bool
+	ld.SetTracer(func(tr *protocol.DecideTrace) { skips = append(skips, tr.EpochSkip) })
+	w := testWeights(ext, 56)
+	if _, err := ld.DecideEpoch(w, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.DecideEpoch(w, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(skips, []bool{false, true}) {
+		t.Fatalf("tracer skip flags = %v, want [false true]", skips)
+	}
+}
+
+// TestMetricsRegister: the counters publish through an obs.Registry in
+// Prometheus exposition format with the expected family names and labels.
+func TestMetricsRegister(t *testing.T) {
+	ext := testExt(t, 15, 2, 57, "random")
+	var m Metrics
+	rt, err := New(Config{
+		Ext: ext, R: 1, D: 4, Metrics: &m,
+		Transport: NewFaultTransport(NewChanTransport(), Faults{Seed: 2, Loss: 0.3}, &m),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.Decide(testWeights(ext, 58)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	m.Register(reg)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`distnet_frames_total{kind="wb"}`,
+		`distnet_copies_total{kind="wb",outcome="dropped"}`,
+		`distnet_decisions_total{outcome="converged"}`,
+		"distnet_mini_rounds_total",
+		"distnet_protocol_violations_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	if m.Snapshot().FramesSent["wb"] < int64(ext.K()) {
+		t.Fatalf("WB frames = %d, want at least one origination per vertex (%d)",
+			m.Snapshot().FramesSent["wb"], ext.K())
+	}
+}

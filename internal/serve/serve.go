@@ -61,6 +61,13 @@ var ErrExists = errors.New("serve: instance already exists")
 // stream cannot be captured).
 var ErrSnapshotUnsupported = errors.New("serve: policy does not support snapshots")
 
+// ErrExecutionUnsupported is returned (wrapped) by Create for specs whose
+// decision.execution the serving runtime does not host. The distnet
+// execution spawns one goroutine per extended-graph vertex plus transport
+// machinery per instance — a research harness for the simulator and bench
+// tools, not a serving configuration.
+var ErrExecutionUnsupported = errors.New("serve: decision execution not supported by the serving runtime")
+
 // RegistryConfig parameterizes a Registry.
 type RegistryConfig struct {
 	// Shards is the number of registry shards (default GOMAXPROCS). Sharding
@@ -281,6 +288,9 @@ func NoiseStream(noiseSeed int64) *rng.Source {
 // buildLoop constructs a scenario's slot kernel through the registry's
 // artifact cache — the single construction path Create and Recover share.
 func (r *Registry) buildLoop(canon spec.ScenarioSpec) (*core.Loop, int, error) {
+	if canon.Decision.Execution != spec.ExecutionDecider {
+		return nil, 0, fmt.Errorf("%w: %q", ErrExecutionUnsupported, canon.Decision.Execution)
+	}
 	inst, err := r.cache.Scenario(canon)
 	if err != nil {
 		return nil, 0, fmt.Errorf("serve: instance artifacts: %w", err)

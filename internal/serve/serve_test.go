@@ -190,6 +190,19 @@ func TestSnapshotUnsupportedTyped(t *testing.T) {
 	}
 }
 
+// TestDistnetExecutionRejected: the serving runtime hosts only the
+// lock-step decider; a spec opting into the distnet execution is refused
+// with the typed error (it is a simulator/bench configuration).
+func TestDistnetExecutionRejected(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	defer reg.Close()
+	cfg := testConfig()
+	cfg.Spec.Decision.Execution = spec.ExecutionDistnet
+	if _, err := reg.Create(cfg); !errors.Is(err, ErrExecutionUnsupported) {
+		t.Fatalf("distnet create: err = %v, want ErrExecutionUnsupported", err)
+	}
+}
+
 func TestDuplicateID(t *testing.T) {
 	reg := NewRegistry(RegistryConfig{})
 	defer reg.Close()

@@ -2,9 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"multihopbandit/internal/core"
+	"multihopbandit/internal/distnet"
 	"multihopbandit/internal/engine"
+	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/spec"
 )
@@ -35,6 +38,51 @@ type ScenarioResult struct {
 	// decides vs weight-epoch skips, local-MWIS memo hits/misses,
 	// communication totals).
 	DecideStats protocol.DecideStats
+	// Distnet is the concurrent runtime's telemetry when the spec selects
+	// execution "distnet" (nil for the lock-step decider).
+	Distnet *distnet.Snapshot
+}
+
+// buildDistnetDecider assembles the concurrent decision plane a distnet
+// spec asks for: transport (chan or loopback TCP), fault layer when any
+// fault is configured, runtime, and the core.DecisionPlane adapter. The
+// caller owns closing the returned runtime.
+func buildDistnetDecider(canon spec.ScenarioSpec, ext *extgraph.Extended, m *distnet.Metrics) (*distnet.LoopDecider, error) {
+	var tr distnet.Transport
+	switch canon.Decision.Transport {
+	case spec.TransportTCP:
+		tr = distnet.NewTCPTransport(4)
+	default:
+		tr = distnet.NewChanTransport()
+	}
+	f := canon.Decision.Faults
+	faultFree := !f.Active()
+	if !faultFree {
+		seed := f.Seed
+		if seed == 0 {
+			seed = canon.NoiseSeed
+		}
+		tr = distnet.NewFaultTransport(tr, distnet.Faults{
+			Seed:       seed,
+			Loss:       f.Loss,
+			BurstEnter: f.BurstEnter,
+			BurstExit:  f.BurstExit,
+			Latency:    time.Duration(f.LatencyUs) * time.Microsecond,
+			Jitter:     time.Duration(f.JitterUs) * time.Microsecond,
+			Reorder:    f.Reorder,
+		}, m)
+	}
+	rt, err := distnet.New(distnet.Config{
+		Ext:       ext,
+		R:         canon.Decision.R,
+		D:         canon.Decision.D,
+		Transport: tr,
+		Metrics:   m,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: distnet runtime: %w", err)
+	}
+	return distnet.NewLoopDecider(rt, faultFree), nil
 }
 
 // RunScenario executes one spec-described scenario for the given horizon,
@@ -72,9 +120,21 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var decider core.DecisionPlane
+	var dm *distnet.Metrics
+	if canon.Decision.Execution == spec.ExecutionDistnet {
+		dm = &distnet.Metrics{}
+		ld, err := buildDistnetDecider(canon, inst.Ext, dm)
+		if err != nil {
+			return nil, err
+		}
+		defer ld.Runtime().Close()
+		decider = ld
+	}
 	loop, err := core.NewLoop(core.LoopConfig{
 		Ext:         inst.Ext,
 		Runtime:     rt,
+		Decider:     decider,
 		Policy:      pol,
 		Sampler:     sampler,
 		UpdateEvery: canon.Decision.UpdateEvery,
@@ -93,11 +153,16 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		avg += x
 	}
 	avg /= float64(cfg.Slots)
-	return &ScenarioResult{
+	res := &ScenarioResult{
 		Spec:        canon,
 		SeriesKbps:  rec.Series,
 		AvgKbps:     avg,
 		Decisions:   loop.Decisions(),
 		DecideStats: loop.DecideStats(),
-	}, nil
+	}
+	if dm != nil {
+		snap := dm.Snapshot()
+		res.Distnet = &snap
+	}
+	return res, nil
 }

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"multihopbandit/internal/spec"
+)
+
+// TestScenarioDistnetMatchesDecider: a spec that opts into the concurrent
+// distnet execution with no faults configured must reproduce the decider
+// trajectory bit for bit — execution is operational, not scenario identity.
+func TestScenarioDistnetMatchesDecider(t *testing.T) {
+	const slots = 120
+	base := spec.ScenarioSpec{
+		Seed:     31,
+		Topology: spec.TopologySpec{N: 10, RequireConnected: true},
+		Channel:  spec.ChannelSpec{M: 2},
+		Decision: spec.DecisionSpec{UpdateEvery: 3},
+	}
+	ref, err := RunScenario(ScenarioConfig{Spec: base, Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Distnet != nil {
+		t.Fatal("decider run reports distnet telemetry")
+	}
+
+	dn := base
+	dn.Decision.Execution = spec.ExecutionDistnet
+	got, err := RunScenario(ScenarioConfig{Spec: dn, Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.SeriesKbps {
+		if got.SeriesKbps[i] != ref.SeriesKbps[i] {
+			t.Fatalf("slot %d: distnet %v kbps vs decider %v kbps", i, got.SeriesKbps[i], ref.SeriesKbps[i])
+		}
+	}
+	if got.Decisions != ref.Decisions {
+		t.Fatalf("decisions %d vs %d", got.Decisions, ref.Decisions)
+	}
+	if got.DecideStats.FullDecides == 0 {
+		t.Fatal("distnet plane reports no full decides")
+	}
+	if got.DecideStats.EpochSkips != ref.DecideStats.EpochSkips {
+		t.Fatalf("epoch skips diverge: distnet %d vs decider %d",
+			got.DecideStats.EpochSkips, ref.DecideStats.EpochSkips)
+	}
+	if got.Distnet == nil || got.Distnet.Decisions == 0 {
+		t.Fatalf("distnet telemetry missing or empty: %+v", got.Distnet)
+	}
+}
+
+// TestScenarioDistnetFaulted: a faulted distnet scenario runs to the
+// horizon, reports loss in its telemetry, and is reproducible under the
+// same spec.
+func TestScenarioDistnetFaulted(t *testing.T) {
+	const slots = 60
+	s := spec.ScenarioSpec{
+		Seed:     32,
+		Topology: spec.TopologySpec{N: 10, RequireConnected: true},
+		Channel:  spec.ChannelSpec{M: 2},
+		Decision: spec.DecisionSpec{
+			UpdateEvery: 3,
+			Execution:   spec.ExecutionDistnet,
+			Faults:      spec.FaultsSpec{Loss: 0.2},
+		},
+	}
+	a, err := RunScenario(ScenarioConfig{Spec: s, Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Distnet == nil {
+		t.Fatal("no distnet telemetry")
+	}
+	dropped := int64(0)
+	for _, v := range a.Distnet.CopiesDropped {
+		dropped += v
+	}
+	if dropped == 0 {
+		t.Fatal("loss=0.2 dropped no copies")
+	}
+	if a.DecideStats.EpochSkips != 0 {
+		t.Fatal("faulted distnet plane must not epoch-skip")
+	}
+	b, err := RunScenario(ScenarioConfig{Spec: s, Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.SeriesKbps {
+		if a.SeriesKbps[i] != b.SeriesKbps[i] {
+			t.Fatalf("slot %d: faulted run not reproducible: %v vs %v", i, a.SeriesKbps[i], b.SeriesKbps[i])
+		}
+	}
+}

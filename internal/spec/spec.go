@@ -78,6 +78,19 @@ const (
 	TimingPaper = "paper"
 )
 
+// Decision execution kinds: the lock-step in-process decider, or the
+// concurrent per-vertex agent runtime (internal/distnet).
+const (
+	ExecutionDecider = "decider"
+	ExecutionDistnet = "distnet"
+)
+
+// Distnet transport kinds.
+const (
+	TransportChan = "chan"
+	TransportTCP  = "tcp"
+)
+
 // Fsync policies of PersistSpec. They mirror internal/wal's SyncPolicy
 // values; spec stays dependency-free and the serving runtime converts.
 const (
@@ -95,8 +108,10 @@ var (
 		PolicyZhouLi, PolicyLLR, PolicyCUCB, PolicyOracle,
 		PolicyDiscountedZhouLi, PolicyEpsGreedy,
 	}
-	timingKinds = []string{TimingPaper}
-	fsyncKinds  = []string{FsyncAlways, FsyncBatch, FsyncNone}
+	timingKinds    = []string{TimingPaper}
+	fsyncKinds     = []string{FsyncAlways, FsyncBatch, FsyncNone}
+	executionKinds = []string{ExecutionDecider, ExecutionDistnet}
+	transportKinds = []string{TransportChan, TransportTCP}
 )
 
 // VersionError reports a spec whose version field names a schema this
@@ -408,6 +423,74 @@ type DecisionSpec struct {
 	// Timing names the round time model; "paper" (the Table II parameters)
 	// is the only v1 value.
 	Timing string `json:"timing,omitempty"`
+	// Execution selects how decisions run: "decider" (default; lock-step
+	// in-process) or "distnet" (one concurrent agent per extended-graph
+	// vertex exchanging frames over a transport). Execution is operational,
+	// not scenario identity — it never enters the ArtifactKey, and with no
+	// faults configured "distnet" produces winner sets bit-identical to
+	// "decider".
+	Execution string `json:"execution,omitempty"`
+	// Transport selects the distnet frame carrier: "chan" (default;
+	// in-process) or "tcp" (real loopback sockets). Only valid with
+	// execution "distnet".
+	Transport string `json:"transport,omitempty"`
+	// Faults configures distnet fault injection. Only valid with execution
+	// "distnet"; the zero value injects nothing.
+	Faults FaultsSpec `json:"faults,omitempty"`
+}
+
+// FaultsSpec configures the distnet fault layer. It is a plain comparable
+// value mirroring distnet.Faults, with durations in microseconds so specs
+// stay integer-friendly JSON.
+type FaultsSpec struct {
+	// Seed keys every fault draw; 0 means "use the scenario's NoiseSeed".
+	Seed int64 `json:"seed,omitempty"`
+	// Loss is the independent per-copy loss probability in [0,1).
+	Loss float64 `json:"loss,omitempty"`
+	// BurstEnter and BurstExit drive the per-link Gilbert loss chain;
+	// BurstEnter 0 disables it, and a nonzero BurstEnter requires a
+	// nonzero BurstExit.
+	BurstEnter float64 `json:"burst_enter,omitempty"`
+	BurstExit  float64 `json:"burst_exit,omitempty"`
+	// LatencyUs is the fixed one-way copy delay in microseconds.
+	LatencyUs int64 `json:"latency_us,omitempty"`
+	// JitterUs adds an identity-keyed uniform [0,JitterUs) delay.
+	JitterUs int64 `json:"jitter_us,omitempty"`
+	// Reorder is the probability a copy is held back behind later traffic.
+	Reorder float64 `json:"reorder,omitempty"`
+}
+
+// Active reports whether any fault is configured.
+func (f FaultsSpec) Active() bool {
+	return f.Loss > 0 || f.BurstEnter > 0 || f.LatencyUs > 0 || f.JitterUs > 0 || f.Reorder > 0
+}
+
+func (f *FaultsSpec) fill() error {
+	if f.Loss < 0 || f.Loss >= 1 {
+		return &FieldError{Field: "decision.faults.loss", Reason: fmt.Sprintf("must be in [0,1), got %v", f.Loss)}
+	}
+	if f.BurstEnter < 0 || f.BurstEnter >= 1 {
+		return &FieldError{Field: "decision.faults.burst_enter", Reason: fmt.Sprintf("must be in [0,1), got %v", f.BurstEnter)}
+	}
+	if f.BurstExit < 0 || f.BurstExit > 1 {
+		return &FieldError{Field: "decision.faults.burst_exit", Reason: fmt.Sprintf("must be in [0,1], got %v", f.BurstExit)}
+	}
+	if f.BurstEnter > 0 && f.BurstExit == 0 {
+		return &FieldError{Field: "decision.faults.burst_exit", Reason: "must be positive when burst_enter is set (bursts would never end)"}
+	}
+	if f.BurstEnter == 0 && f.BurstExit != 0 {
+		return &FieldError{Field: "decision.faults.burst_exit", Reason: "only applies when burst_enter is set"}
+	}
+	if f.LatencyUs < 0 {
+		return &FieldError{Field: "decision.faults.latency_us", Reason: fmt.Sprintf("must be >= 0, got %d", f.LatencyUs)}
+	}
+	if f.JitterUs < 0 {
+		return &FieldError{Field: "decision.faults.jitter_us", Reason: fmt.Sprintf("must be >= 0, got %d", f.JitterUs)}
+	}
+	if f.Reorder < 0 || f.Reorder >= 1 {
+		return &FieldError{Field: "decision.faults.reorder", Reason: fmt.Sprintf("must be in [0,1), got %v", f.Reorder)}
+	}
+	return nil
 }
 
 func (d *DecisionSpec) fill() error {
@@ -435,7 +518,32 @@ func (d *DecisionSpec) fill() error {
 	if d.Timing != TimingPaper {
 		return &KindError{Field: "decision.timing", Kind: d.Timing, Allowed: timingKinds}
 	}
-	return nil
+	if d.Execution == "" {
+		d.Execution = ExecutionDecider
+	}
+	switch d.Execution {
+	case ExecutionDecider, ExecutionDistnet:
+	default:
+		return &KindError{Field: "decision.execution", Kind: d.Execution, Allowed: executionKinds}
+	}
+	if d.Execution == ExecutionDecider {
+		if d.Transport != "" {
+			return &FieldError{Field: "decision.transport", Reason: "only applies to execution " + ExecutionDistnet}
+		}
+		if d.Faults != (FaultsSpec{}) {
+			return &FieldError{Field: "decision.faults", Reason: "only applies to execution " + ExecutionDistnet}
+		}
+		return nil
+	}
+	if d.Transport == "" {
+		d.Transport = TransportChan
+	}
+	switch d.Transport {
+	case TransportChan, TransportTCP:
+	default:
+		return &KindError{Field: "decision.transport", Kind: d.Transport, Allowed: transportKinds}
+	}
+	return d.Faults.fill()
 }
 
 // PersistSpec opts one instance into the serving runtime's durability layer

@@ -57,6 +57,16 @@ func testSpecs() []ScenarioSpec {
 			Channel:  ChannelSpec{M: 2},
 			Persist:  PersistSpec{Enabled: true, SnapshotEvery: 64, KeepLog: true},
 		},
+		{
+			Seed:     8,
+			Topology: TopologySpec{N: 6},
+			Channel:  ChannelSpec{M: 2},
+			Decision: DecisionSpec{
+				Execution: ExecutionDistnet,
+				Transport: TransportTCP,
+				Faults:    FaultsSpec{Seed: 3, Loss: 0.1, BurstEnter: 0.05, BurstExit: 0.5, LatencyUs: 200, JitterUs: 100, Reorder: 0.02},
+			},
+		},
 	}
 }
 
@@ -123,7 +133,7 @@ func TestFillDefaults(t *testing.T) {
 	if s.Policy.Kind != PolicyZhouLi {
 		t.Fatalf("policy defaults: %+v", s.Policy)
 	}
-	if s.Decision != (DecisionSpec{R: 2, D: 4, UpdateEvery: 1, Timing: TimingPaper}) {
+	if s.Decision != (DecisionSpec{R: 2, D: 4, UpdateEvery: 1, Timing: TimingPaper, Execution: ExecutionDecider}) {
 		t.Fatalf("decision defaults: %+v", s.Decision)
 	}
 
@@ -199,6 +209,11 @@ func TestUnknownKindsTyped(t *testing.T) {
 		{"policy", func(s *ScenarioSpec) { s.Policy.Kind = "thompson" }, "policy.kind"},
 		{"timing", func(s *ScenarioSpec) { s.Decision.Timing = "fast" }, "decision.timing"},
 		{"fsync", func(s *ScenarioSpec) { s.Persist = PersistSpec{Enabled: true, Fsync: "sometimes"} }, "persist.fsync"},
+		{"execution", func(s *ScenarioSpec) { s.Decision.Execution = "quantum" }, "decision.execution"},
+		{"transport", func(s *ScenarioSpec) {
+			s.Decision.Execution = ExecutionDistnet
+			s.Decision.Transport = "udp"
+		}, "decision.transport"},
 	}
 	for _, tc := range cases {
 		s := ScenarioSpec{Topology: TopologySpec{N: 5}, Channel: ChannelSpec{M: 2}}
@@ -237,6 +252,16 @@ func TestInapplicableFieldsRejected(t *testing.T) {
 		func(s *ScenarioSpec) { s.Channel.Primary = PrimarySpec{PIdle: 0.5} }, // primary params without enabled
 		func(s *ScenarioSpec) { s.Persist = PersistSpec{SnapshotEvery: 64} },  // persist params without enabled
 		func(s *ScenarioSpec) { s.Persist = PersistSpec{KeepLog: true} },      // keep_log without enabled
+		func(s *ScenarioSpec) { s.Decision.Transport = TransportTCP },         // transport on decider execution
+		func(s *ScenarioSpec) { s.Decision.Faults = FaultsSpec{Loss: 0.1} },   // faults on decider execution
+		func(s *ScenarioSpec) { // loss out of range
+			s.Decision.Execution = ExecutionDistnet
+			s.Decision.Faults = FaultsSpec{Loss: 1}
+		},
+		func(s *ScenarioSpec) { // bursts that never end
+			s.Decision.Execution = ExecutionDistnet
+			s.Decision.Faults = FaultsSpec{BurstEnter: 0.2}
+		},
 		func(s *ScenarioSpec) {
 			s.Topology = TopologySpec{Kind: TopologyGrid, Rows: 2, Cols: 2, RequireConnected: true}
 		},
@@ -281,7 +306,11 @@ func TestArtifactKeySharedAcrossKinds(t *testing.T) {
 	varied.NoiseSeed = 99
 	varied.Channel.Kind = ChannelGilbertElliott
 	varied.Policy = PolicySpec{Kind: PolicyEpsGreedy}
-	varied.Decision = DecisionSpec{UpdateEvery: 16}
+	varied.Decision = DecisionSpec{
+		UpdateEvery: 16,
+		Execution:   ExecutionDistnet,
+		Faults:      FaultsSpec{Loss: 0.2},
+	}
 	b, err := varied.Canonical()
 	if err != nil {
 		t.Fatal(err)
