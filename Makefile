@@ -104,12 +104,16 @@ bench-decide:
 		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; wait $$pid
 
-# CI smoke for the decision plane: a race-built banditd serves oracle-policy
-# instances at update period 4 — the oracle's weight vector never moves, so
-# boundaries settle into weight-epoch skips; the run fails unless the
-# server actually recorded skips (and, as everywhere, unless throughput is
-# nonzero and shutdown is clean). Pair with verify-golden in the same CI
-# run: the short-circuit must never move the figure pipeline's bytes.
+# CI smoke for the decision plane, two legs against one race-built pair.
+# Leg 1: oracle-policy instances at update period 4 — the oracle's weight
+# vector never moves, so boundaries settle into weight-epoch skips; the run
+# fails unless the server actually recorded skips. Leg 2: cucb instances at
+# update period 1 — a UCB index drifts every slot, so epoch skips are
+# impossible and only the per-leader sensitivity certificate (drift within
+# the solver's replay slack) can avoid re-solves; the run fails unless
+# sensitivity skips were recorded. Both fail unless throughput is nonzero
+# and shutdown is clean. Pair with verify-golden in the same CI run: the
+# skip paths must never move the figure pipeline's bytes.
 decide-smoke:
 	$(GO) build -race -o bin/banditd.race ./cmd/banditd
 	$(GO) build -race -o bin/banditload.race ./cmd/banditload
@@ -117,6 +121,12 @@ decide-smoke:
 	bin/banditload.race -addr http://$(BANDITD_ADDR) -instances 32 -clients 4 \
 		-batch 32 -duration 2s -update-every 4 -policy oracle \
 		-min-throughput 1 -min-epoch-skips 1 \
+		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+	@set -e; bin/banditd.race -addr $(BANDITD_ADDR) & pid=$$!; \
+	bin/banditload.race -addr http://$(BANDITD_ADDR) -instances 32 -clients 4 \
+		-batch 32 -duration 2s -update-every 1 -policy cucb \
+		-min-throughput 1 -min-sensitivity-skips 1 \
 		|| { kill -TERM $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; wait $$pid
 

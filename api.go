@@ -331,9 +331,11 @@ type DecisionStats = protocol.Stats
 
 // DecisionPlaneStats is the incremental decision plane's cumulative
 // accounting: how update boundaries were served (full protocol runs vs
-// weight-epoch skips), local-MWIS memo hits (exact-instance and
-// structure-level) and misses, and the communication totals of the full
-// runs. Scheme.DecideStats exposes a running scheme's counters; the serving
+// weight-epoch skips), the per-leader skip taxonomy inside full runs
+// (exact leader skips, sensitivity skips certified by the comparison-slack
+// bound, structure hits and misses — the latter two being actual local
+// MWIS re-solves), and the communication totals of the full runs.
+// Scheme.DecideStats exposes a running scheme's counters; the serving
 // runtime publishes the same quantities per shard on banditd's /metrics.
 type DecisionPlaneStats = protocol.DecideStats
 

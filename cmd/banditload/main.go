@@ -109,12 +109,14 @@ type summary struct {
 
 // decideCounters is the decision plane's server-side accounting.
 type decideCounters struct {
-	FullDecides    int64   `json:"full_decides"`
-	EpochSkips     int64   `json:"epoch_skips"`
-	MemoHits       int64   `json:"memo_hits"`
-	MemoStructHits int64   `json:"memo_struct_hits"`
-	MemoMisses     int64   `json:"memo_misses"`
-	MemoHitRate    float64 `json:"memo_hit_rate"`
+	FullDecides      int64   `json:"full_decides"`
+	EpochSkips       int64   `json:"epoch_skips"`
+	LeaderSkips      int64   `json:"leader_skips"`
+	SensitivitySkips int64   `json:"sensitivity_skips"`
+	MemoStructHits   int64   `json:"memo_struct_hits"`
+	MemoMisses       int64   `json:"memo_misses"`
+	LeaderResolves   int64   `json:"leader_resolves"`
+	MemoHitRate      float64 `json:"memo_hit_rate"`
 
 	// PhaseNS breaks decision wall time down by protocol phase, scraped
 	// from the banditd_decide_phase_ns histograms. Populated only when the
@@ -204,6 +206,7 @@ func main() {
 		minTput     = flag.Float64("min-throughput", 0, "exit nonzero below this many decisions/sec")
 		minMWIS     = flag.Int64("min-mwis", 0, "exit nonzero below this many total MWIS strategy decisions")
 		minSkips    = flag.Int64("min-epoch-skips", 0, "exit nonzero below this many weight-epoch skips (server /metrics)")
+		minSens     = flag.Int64("min-sensitivity-skips", 0, "exit nonzero below this many leader sensitivity skips (server /metrics)")
 		maxDecode   = flag.Int64("max-decode-errors", 0, "exit nonzero above this many server-side wire decode errors")
 		specFiles   = flag.String("specs", "", "comma-separated ScenarioSpec files: create one instance per file instead of -instances replicas")
 		attach      = flag.Bool("attach", false, "drive the server's existing instances instead of creating any (implies -keep)")
@@ -421,8 +424,9 @@ func main() {
 			wireTotals.DecodeErrors += w.DecodeErrors
 		}
 	}
-	if lookups := decide.MemoHits + decide.MemoStructHits + decide.MemoMisses; lookups > 0 {
-		decide.MemoHitRate = float64(decide.MemoHits+decide.MemoStructHits) / float64(lookups)
+	decide.LeaderResolves = decide.MemoStructHits + decide.MemoMisses
+	if lookups := decide.LeaderSkips + decide.SensitivitySkips + decide.MemoStructHits + decide.MemoMisses; lookups > 0 {
+		decide.MemoHitRate = float64(lookups-decide.MemoMisses) / float64(lookups)
 	}
 
 	rep := summary{
@@ -456,8 +460,8 @@ func main() {
 
 	log.Printf("%d requests (%d errors), %d decisions in %.2fs over %s", rep.Requests, rep.Errors, rep.Slots, rep.DurationSec, *transport)
 	log.Printf("throughput: %.0f decisions/sec (%.0f MWIS strategy decisions/sec)", rep.DecisionsPerSec, rep.MWISPerSec)
-	log.Printf("decision plane: %d full decides, %d epoch skips, memo %d/%d/%d hit/struct/miss (hit rate %.3f)",
-		decide.FullDecides, decide.EpochSkips, decide.MemoHits, decide.MemoStructHits, decide.MemoMisses, decide.MemoHitRate)
+	log.Printf("decision plane: %d full decides, %d epoch skips, leaders %d/%d/%d exact-skip/sensitivity-skip/re-solve (hit rate %.3f)",
+		decide.FullDecides, decide.EpochSkips, decide.LeaderSkips, decide.SensitivitySkips, decide.LeaderResolves, decide.MemoHitRate)
 	if wireTotals != nil {
 		log.Printf("wire plane: %d conns, %d/%d frames in/out, %d/%d bytes in/out, %d decode errors",
 			wireTotals.ConnectionsTotal, wireTotals.FramesIn, wireTotals.FramesOut,
@@ -512,6 +516,9 @@ func main() {
 	if decide.EpochSkips < *minSkips {
 		log.Fatalf("%d weight-epoch skips is below the %d floor", decide.EpochSkips, *minSkips)
 	}
+	if decide.SensitivitySkips < *minSens {
+		log.Fatalf("%d leader sensitivity skips is below the %d floor", decide.SensitivitySkips, *minSens)
+	}
 	if wireTotals != nil && wireTotals.DecodeErrors > *maxDecode {
 		log.Fatalf("%d wire decode errors exceed the %d ceiling", wireTotals.DecodeErrors, *maxDecode)
 	}
@@ -533,7 +540,8 @@ func splitList(s string) []string {
 func addDecide(d *decideCounters, exp *obs.Exposition) {
 	d.FullDecides += int64(exp.Sum("banditd_decide_full_total"))
 	d.EpochSkips += int64(exp.Sum("banditd_decide_epoch_skips_total"))
-	d.MemoHits += int64(exp.Sum("banditd_decide_memo_hits_total"))
+	d.LeaderSkips += int64(exp.Sum("banditd_decide_leader_skips_total"))
+	d.SensitivitySkips += int64(exp.Sum("banditd_decide_leader_sensitivity_skips_total"))
 	d.MemoStructHits += int64(exp.Sum("banditd_decide_memo_struct_hits_total"))
 	d.MemoMisses += int64(exp.Sum("banditd_decide_memo_misses_total"))
 	for _, phase := range []string{"broadcast", "election", "local_mwis", "finalize", "total", "epoch_skip"} {

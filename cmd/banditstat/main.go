@@ -1,7 +1,8 @@
 // Command banditstat is the one-shot observability client for a running
 // banditd: it scrapes /metrics, holds the scrape to the strict exposition
 // validator, and prints a fleet summary — decision mix (full decides vs
-// weight-epoch skips), memo and artifact-cache hit rates, the per-phase
+// weight-epoch skips), the per-leader skip taxonomy (exact leader skips,
+// sensitivity skips, re-solves), memo and artifact-cache hit rates, the per-phase
 // decide-time breakdown with its span-coverage ratio, the binary data
 // plane's wire counters (connections, frames, bytes, decode errors — when
 // the server runs with -listen-binary), and the top-k instances by regret.
@@ -52,6 +53,13 @@ type report struct {
 	Decisions   int64 `json:"decisions"`
 	FullDecides int64 `json:"full_decides"`
 	EpochSkips  int64 `json:"epoch_skips"`
+
+	// Per-leader cache accounting inside full decides: exact-equality
+	// replays, drift-within-slack replays, and actual local MWIS re-solves
+	// (structure hits + misses).
+	LeaderSkips      int64 `json:"leader_skips"`
+	SensitivitySkips int64 `json:"sensitivity_skips"`
+	LeaderResolves   int64 `json:"leader_resolves"`
 
 	EpochSkipRate float64 `json:"epoch_skip_rate"`
 	MemoHitRate   float64 `json:"memo_hit_rate"`
@@ -149,6 +157,8 @@ func main() {
 	fmt.Printf("  slots served        %12d\n", rep.Slots)
 	fmt.Printf("  strategy decisions  %12d  (%d full, %d epoch-skips, skip rate %.3f)\n",
 		rep.Decisions, rep.FullDecides, rep.EpochSkips, rep.EpochSkipRate)
+	fmt.Printf("  leader skips        %12d  exact, %d within sensitivity slack, %d re-solves\n",
+		rep.LeaderSkips, rep.SensitivitySkips, rep.LeaderResolves)
 	fmt.Printf("  memo hit rate       %12.3f\n", rep.MemoHitRate)
 	fmt.Printf("  artifact cache hits %12.3f\n", rep.CacheHitRate)
 	if len(rep.Phases) == 0 {
@@ -229,11 +239,15 @@ func summarize(exp *obs.Exposition) report {
 	if rep.Decisions > 0 {
 		rep.EpochSkipRate = float64(rep.EpochSkips) / float64(rep.Decisions)
 	}
-	hits := exp.Sum("banditd_decide_memo_hits_total")
+	leaderSkips := exp.Sum("banditd_decide_leader_skips_total")
+	sensSkips := exp.Sum("banditd_decide_leader_sensitivity_skips_total")
 	structHits := exp.Sum("banditd_decide_memo_struct_hits_total")
 	misses := exp.Sum("banditd_decide_memo_misses_total")
-	if lookups := hits + structHits + misses; lookups > 0 {
-		rep.MemoHitRate = (hits + structHits) / lookups
+	rep.LeaderSkips = int64(leaderSkips)
+	rep.SensitivitySkips = int64(sensSkips)
+	rep.LeaderResolves = int64(structHits + misses)
+	if lookups := leaderSkips + sensSkips + structHits + misses; lookups > 0 {
+		rep.MemoHitRate = (lookups - misses) / lookups
 	}
 	cacheHits := exp.Sum("banditd_artifact_cache_hits_total")
 	cacheMisses := exp.Sum("banditd_artifact_cache_misses_total")

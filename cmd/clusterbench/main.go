@@ -67,6 +67,16 @@ type point struct {
 	// json/batch=128/y=1 point in this same artifact.
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
 
+	// Decision-plane cache accounting scraped from the point's registry
+	// after the run: boundary-level skips (epoch), per-leader replays
+	// (exact and within the sensitivity slack), and actual local MWIS
+	// re-solves.
+	DecideFull             int64 `json:"decide_full_decides"`
+	DecideEpochSkips       int64 `json:"decide_epoch_skips"`
+	DecideLeaderSkips      int64 `json:"decide_leader_skips"`
+	DecideSensitivitySkips int64 `json:"decide_sensitivity_skips"`
+	DecideLeaderResolves   int64 `json:"decide_leader_resolves"`
+
 	// WireDecodeErrors is the server-side frame-decode error count for
 	// binary points (must be zero on a healthy run).
 	WireDecodeErrors int64 `json:"wire_decode_errors,omitempty"`
@@ -339,10 +349,16 @@ func runPoint(cfg pointCfg) point {
 		pt.LatencyMS.P99 = quantile(all, 0.99)
 		pt.LatencyMS.Max = all[len(all)-1]
 	}
-	if cfg.transport == "binary" {
-		var b strings.Builder
-		reg.Obs().WritePrometheus(&b)
-		if exp, err := obs.Parse(b.String()); err == nil {
+	var b strings.Builder
+	reg.Obs().WritePrometheus(&b)
+	if exp, err := obs.Parse(b.String()); err == nil {
+		pt.DecideFull = int64(exp.Sum("banditd_decide_full_total"))
+		pt.DecideEpochSkips = int64(exp.Sum("banditd_decide_epoch_skips_total"))
+		pt.DecideLeaderSkips = int64(exp.Sum("banditd_decide_leader_skips_total"))
+		pt.DecideSensitivitySkips = int64(exp.Sum("banditd_decide_leader_sensitivity_skips_total"))
+		pt.DecideLeaderResolves = int64(exp.Sum("banditd_decide_memo_struct_hits_total")) +
+			int64(exp.Sum("banditd_decide_memo_misses_total"))
+		if cfg.transport == "binary" {
 			pt.WireDecodeErrors = int64(exp.Sum("banditd_wire_decode_errors_total"))
 		}
 	}

@@ -347,7 +347,7 @@ func smoke(seed int64) error {
 		w[i] = src.Float64()
 	}
 	for step := 0; step < 3; step++ {
-		want, err := decider.DecideEpoch(w, nil, false)
+		want, err := decider.DecideEpoch(w, nil, false, nil)
 		if err != nil {
 			return err
 		}

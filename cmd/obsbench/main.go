@@ -107,8 +107,10 @@ func run() error {
 			out = obs.OutcomeFull
 		case tr.MemoStructHits > 0:
 			out = obs.OutcomeMemoStruct
-		case tr.MemoHits > 0:
-			out = obs.OutcomeMemoFull
+		case tr.SensitivitySkips > 0:
+			out = obs.OutcomeSensitivitySkip
+		case tr.LeaderSkips > 0:
+			out = obs.OutcomeLeaderSkip
 		default:
 			out = obs.OutcomeFull
 		}

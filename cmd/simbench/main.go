@@ -74,15 +74,17 @@ type Report struct {
 
 	// Decide micro measurement (update period 1: one strategy decision per
 	// slot through the persistent decider).
-	DecideOps            int     `json:"decide_ops"`
-	DecideNsPerOp        float64 `json:"decide_ns_per_op"`
-	DecideAllocsPerOp    float64 `json:"decide_allocs_per_op"`
-	DecideFull           int64   `json:"decide_full_decides"`
-	DecideEpochSkips     int64   `json:"decide_epoch_skips"`
-	DecideMemoHits       int64   `json:"decide_memo_hits"`
-	DecideMemoStructHits int64   `json:"decide_memo_struct_hits"`
-	DecideMemoMisses     int64   `json:"decide_memo_misses"`
-	DecideMemoHitRate    float64 `json:"decide_memo_hit_rate"`
+	DecideOps              int     `json:"decide_ops"`
+	DecideNsPerOp          float64 `json:"decide_ns_per_op"`
+	DecideAllocsPerOp      float64 `json:"decide_allocs_per_op"`
+	DecideFull             int64   `json:"decide_full_decides"`
+	DecideEpochSkips       int64   `json:"decide_epoch_skips"`
+	DecideLeaderSkips      int64   `json:"decide_leader_skips"`
+	DecideSensitivitySkips int64   `json:"decide_sensitivity_skips"`
+	DecideMemoStructHits   int64   `json:"decide_memo_struct_hits"`
+	DecideMemoMisses       int64   `json:"decide_memo_misses"`
+	DecideLeaderResolves   int64   `json:"decide_leader_resolves"`
+	DecideMemoHitRate      float64 `json:"decide_memo_hit_rate"`
 }
 
 func main() {
@@ -270,9 +272,11 @@ func measureDecide(rep *Report, loop *core.Loop) error {
 	rep.DecideAllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(decideOps)
 	rep.DecideFull = delta.FullDecides
 	rep.DecideEpochSkips = delta.EpochSkips
-	rep.DecideMemoHits = delta.MemoHits
+	rep.DecideLeaderSkips = delta.LeaderSkips
+	rep.DecideSensitivitySkips = delta.SensitivitySkips
 	rep.DecideMemoStructHits = delta.MemoStructHits
 	rep.DecideMemoMisses = delta.MemoMisses
+	rep.DecideLeaderResolves = delta.LeaderResolves()
 	rep.DecideMemoHitRate = delta.MemoHitRate()
 	return nil
 }

@@ -97,27 +97,43 @@
 // protocol Decider layered on top:
 //
 //   - scratch and induced-subgraph arenas reused across boundaries, so a
-//     full decision allocates only its published Result;
-//   - a weight-epoch short-circuit: policies report through WriteIndices
-//     whether any index actually moved since the last boundary, and an
-//     unchanged weight vector (with an unchanged previous-strategy set)
-//     returns the cached previous Result without running the protocol;
-//   - a two-level exact memo for each LocalLeader's local MWIS: a full hit
-//     (identical candidate set and weights) replays the previous
-//     winner/loser split, and a structure hit (identical candidate set,
-//     drifted weights) reuses the cached candidate subgraph, adjacency
-//     bitsets and clique partition while re-running only the weighted
-//     search.
+//     full decision allocates only its published Result; instances sharing
+//     one artifact projection in the serving runtime additionally share a
+//     pooled DecideArena keyed by protocol Runtime, so co-hosted replicas
+//     batch their boundary decides through common scratch storage;
+//   - change-set tracking: policies report through WriteIndices exactly
+//     which indices moved since the last boundary (a reusable bitset), and
+//     the Decider keeps a per-vertex last-changed epoch from it — an
+//     entirely unchanged weight vector (with an unchanged previous-strategy
+//     set) returns the cached previous Result without running the protocol
+//     at all (an epoch skip);
+//   - per-leader skips inside a full decide: a LocalLeader whose candidate
+//     weights are untouched since its memo anchor (epoch-clean by the
+//     change sets, or exactly equal by value) replays its cached
+//     winner/loser split with zero solver work (a leader skip);
+//   - per-leader sensitivity margins: each exact local MWIS solve records a
+//     comparison-slack certificate — the minimum margin over every
+//     weight-dependent comparison the branch-and-bound search made. A later
+//     boundary whose candidate weights drifted by less than that slack in
+//     L1 provably retraces the identical traversal, so the cached split is
+//     replayed without re-solving (a sensitivity skip) while the published
+//     totals are recomputed from the current weights;
+//   - a structure hit (identical candidate set, drift past the slack)
+//     still reuses the cached candidate subgraph, adjacency bitsets and
+//     clique partition while re-running only the weighted search.
 //
-// Every layer is exact — equal inputs are served equal outputs, so
-// trajectories are bit-identical to deciding from scratch at every
-// boundary; the randomized equivalence suite in internal/protocol and the
-// figgen golden digest both enforce it. DecisionPlaneStats (per Scheme via
-// DecideStats, per shard on banditd's /metrics) reports full decides,
-// epoch skips, memo hits and the communication totals; `make bench-decide`
+// Every layer is exact — equal inputs are served equal outputs, and the
+// sensitivity bound is a certificate, not a heuristic — so trajectories
+// are bit-identical to deciding from scratch at every boundary; the
+// randomized drifting-weight equivalence suite in internal/protocol and
+// the figgen golden digest both enforce it. DecisionPlaneStats (per Scheme
+// via DecideStats, per shard on banditd's /metrics) reports full decides,
+// epoch skips, the per-leader skip taxonomy (leader skips, sensitivity
+// skips, re-solves) and the communication totals; `make bench-decide`
 // records the serving-workload effect in BENCH_decide.json and the CI
-// decide-smoke job asserts the short-circuit fires under a constant-weight
-// policy while verify-golden holds in the same run.
+// decide-smoke job asserts the epoch short-circuit fires under a
+// constant-weight policy and the sensitivity certificate fires under a
+// drifting UCB policy while verify-golden holds in the same run.
 //
 // # Distributed execution
 //

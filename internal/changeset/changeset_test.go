@@ -1,0 +1,72 @@
+package changeset
+
+import (
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 || !s.Empty() || s.Count() != 0 {
+		t.Fatalf("fresh set: len=%d empty=%v count=%d", s.Len(), s.Empty(), s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Empty() || s.Count() != 4 {
+		t.Fatalf("after 4 adds: empty=%v count=%d", s.Empty(), s.Count())
+	}
+	if s.Contains(1) || s.Contains(128) || s.Contains(-1) || s.Contains(130) {
+		t.Fatal("Contains reports unmarked or out-of-universe indices")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+func TestSetResetReusesStorage(t *testing.T) {
+	s := New(256)
+	for i := 0; i < 256; i += 3 {
+		s.Add(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset(256)
+		s.Add(17)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset to the same universe allocates %.1f times per call, want 0", allocs)
+	}
+	s.Reset(10)
+	if s.Len() != 10 || !s.Empty() {
+		t.Fatalf("after shrink: len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Reset(1024) // grow reallocates, then stays clean
+	if !s.Empty() || s.Len() != 1024 {
+		t.Fatalf("after grow: len=%d empty=%v", s.Len(), s.Empty())
+	}
+	for i := 0; i < 1024; i++ {
+		if s.Contains(i) {
+			t.Fatalf("grown set contains stale index %d", i)
+		}
+	}
+}
+
+func TestSetAddPanicsOutOfUniverse(t *testing.T) {
+	s := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(8) on a universe of 8 did not panic")
+		}
+	}()
+	s.Add(8)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"multihopbandit/internal/changeset"
 	"multihopbandit/internal/channel"
 	"multihopbandit/internal/extgraph"
 	"multihopbandit/internal/policy"
@@ -34,14 +35,17 @@ import (
 // Decisions run on a persistent protocol.Decider owned by the loop: the
 // incremental decision plane that reuses scratch across boundaries,
 // memoizes local MWIS per leader, and short-circuits whole boundaries when
-// the weight vector did not move. The kernel threads the weight epoch
-// through: WriteIndices reports whether any index changed since the last
-// boundary (the indices buffer is reused, so the comparison is free), and
-// an unchanged epoch lets the decider return the cached previous Result
-// without running the protocol. All of it is exact — trajectories are
+// the weight vector did not move. The kernel threads the weight epoch AND
+// the per-index change set through: WriteIndices reports whether any index
+// changed since the last boundary and which ones (the indices buffer is
+// reused, so both are free), an unchanged epoch lets the decider return the
+// cached previous Result without running the protocol, and the change set
+// lets leaders whose candidate weights did not move replay their cached
+// splits with zero solver work. All of it is exact — trajectories are
 // bit-identical to deciding from scratch every boundary — and the decider's
-// cumulative accounting (full decides, epoch skips, memo hits/misses,
-// communication totals) is exposed through DecideStats.
+// cumulative accounting (full decides, epoch skips, leader and sensitivity
+// skips, struct hits/misses, communication totals) is exposed through
+// DecideStats.
 //
 // Per-slot output streams through SlotObserver instead of materialized
 // result slices: the kernel reuses its internal buffers and one SlotView,
@@ -67,9 +71,10 @@ type Loop struct {
 	curEstimate float64
 	curDecision *protocol.Result
 	lastPlayed  []int
-	indices     []float64 // reused per-decision weight buffer
-	rewards     []float64 // reused per-slot reward buffer
-	view        SlotView  // reused per-slot observer report
+	indices     []float64      // reused per-decision weight buffer
+	chSet       *changeset.Set // reused per-boundary changed-index set
+	rewards     []float64      // reused per-slot reward buffer
+	view        SlotView       // reused per-slot observer report
 }
 
 // DecisionPlane is the loop's strategy-decision seam: the epoch-aware
@@ -79,8 +84,13 @@ type Loop struct {
 // over a transport. Implementations keep their own incremental state; the
 // kernel only threads the weight epoch through.
 type DecisionPlane interface {
-	// DecideEpoch runs (or serves from cache) one strategy decision.
-	DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool) (*protocol.Result, error)
+	// DecideEpoch runs (or serves from cache) one strategy decision. ch,
+	// when non-nil, holds exactly the indices whose weights changed since
+	// the previous boundary (the kernel fills it from policy change
+	// reporting), letting the plane invalidate only the per-leader caches
+	// that actually moved; nil planes and nil sets both degrade to the
+	// plane's own comparisons.
+	DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool, ch *changeset.Set) (*protocol.Result, error)
 	// Stats returns the plane's cumulative decision accounting.
 	Stats() protocol.DecideStats
 	// SetTracer attaches (nil detaches) a per-decision trace observer.
@@ -138,6 +148,7 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 		y:           cfg.UpdateEvery,
 		decidedSlot: -1,
 		indices:     make([]float64, cfg.Ext.K()),
+		chSet:       changeset.New(cfg.Ext.K()),
 		// A strategy plays at most one virtual vertex per node.
 		rewards:    make([]float64, 0, cfg.Ext.N),
 		lastPlayed: make([]int, 0, cfg.Ext.N),
@@ -176,8 +187,9 @@ func (l *Loop) Decisions() int64 { return l.decisions }
 
 // DecideStats returns the decision plane's cumulative accounting: how the
 // boundaries counted by Decisions were served (full decides vs weight-epoch
-// skips), local-MWIS memo hits and misses, and the protocol communication
-// totals of the full decides.
+// skips), the per-leader skip taxonomy (leader skips, sensitivity skips,
+// structure hits, misses), and the protocol communication totals of the
+// full decides.
 func (l *Loop) DecideStats() protocol.DecideStats { return l.dec.Stats() }
 
 // SetDecideObserver attaches (or with nil detaches) a decision-path
@@ -192,20 +204,6 @@ func (l *Loop) SetDecideObserver(fn func(slot int, tr *protocol.DecideTrace)) {
 		return
 	}
 	l.dec.SetTracer(func(tr *protocol.DecideTrace) { fn(l.slot, tr) })
-}
-
-// equalFloats reports element-wise equality (the non-IndexWriter fallback's
-// change detection).
-func equalFloats(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Winners returns the current strategy's virtual-vertex ids. The slice is
@@ -241,14 +239,21 @@ func (l *Loop) EnsureDecided() (bool, error) {
 		return false, nil
 	}
 	changed := true
+	l.chSet.Reset(len(l.indices))
 	if l.wr != nil {
-		changed = l.wr.WriteIndices(l.indices)
+		changed = l.wr.WriteIndices(l.indices, l.chSet)
 	} else {
 		fresh := l.pol.Indices()
-		changed = !equalFloats(fresh, l.indices)
+		changed = false
+		for i, x := range fresh {
+			if x != l.indices[i] {
+				l.chSet.Add(i)
+				changed = true
+			}
+		}
 		copy(l.indices, fresh)
 	}
-	dec, err := l.dec.DecideEpoch(l.indices, l.lastPlayed, !changed)
+	dec, err := l.dec.DecideEpoch(l.indices, l.lastPlayed, !changed, l.chSet)
 	if err != nil {
 		return false, fmt.Errorf("core: strategy decision at slot %d: %w", l.slot, err)
 	}

@@ -399,17 +399,18 @@ func TestSlotLoopTracingAllocsBounded(t *testing.T) {
 	ring := obs.NewTraceRing(128)
 	loop.SetDecideObserver(func(slot int, tr *protocol.DecideTrace) {
 		ring.Publish(&obs.Span{
-			Slot:        int64(slot),
-			Start:       tr.StartUnixNS,
-			Outcome:     obs.OutcomeEpochSkip,
-			TotalNS:     tr.TotalNS,
-			MiniRounds:  int32(tr.MiniRounds),
-			MemoHits:    int32(tr.MemoHits),
-			MemoMisses:  int32(tr.MemoMisses),
-			BroadcastNS: tr.BroadcastNS,
-			ElectionNS:  tr.ElectionNS,
-			LocalMWISNS: tr.LocalMWISNS,
-			FinalizeNS:  tr.FinalizeNS,
+			Slot:             int64(slot),
+			Start:            tr.StartUnixNS,
+			Outcome:          obs.OutcomeEpochSkip,
+			TotalNS:          tr.TotalNS,
+			MiniRounds:       int32(tr.MiniRounds),
+			LeaderSkips:      int32(tr.LeaderSkips),
+			SensitivitySkips: int32(tr.SensitivitySkips),
+			MemoMisses:       int32(tr.MemoMisses),
+			BroadcastNS:      tr.BroadcastNS,
+			ElectionNS:       tr.ElectionNS,
+			LocalMWISNS:      tr.LocalMWISNS,
+			FinalizeNS:       tr.FinalizeNS,
 		})
 	})
 	rec := NewKbpsRecorder(512 + 8)

@@ -156,7 +156,7 @@ func (s *Scheme) Timing() timing.Params { return s.tp }
 func (s *Scheme) UpdateEvery() int { return s.loop.UpdateEvery() }
 
 // DecideStats returns the decision plane's cumulative accounting (full
-// decides vs epoch skips, local-MWIS memo hits/misses, communication
+// decides vs epoch skips, per-leader skips and re-solves, communication
 // totals).
 func (s *Scheme) DecideStats() protocol.DecideStats { return s.loop.DecideStats() }
 

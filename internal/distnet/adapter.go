@@ -3,6 +3,7 @@ package distnet
 import (
 	"time"
 
+	"multihopbandit/internal/changeset"
 	"multihopbandit/internal/protocol"
 )
 
@@ -36,9 +37,16 @@ func NewLoopDecider(rt *Runtime, faultFree bool) *LoopDecider {
 // Runtime returns the wrapped runtime.
 func (ld *LoopDecider) Runtime() *Runtime { return ld.rt }
 
-// DecideEpoch implements core.DecisionPlane.
-func (ld *LoopDecider) DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool) (*protocol.Result, error) {
+// DecideEpoch implements core.DecisionPlane. The per-index change set is
+// accepted as an additional unchanged signal (an empty set means no weight
+// moved); finer-grained change-driven invalidation is the lock-step
+// decider's domain — the concurrent agents re-execute the protocol whenever
+// anything moved, which is the behavior being studied.
+func (ld *LoopDecider) DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool, ch *changeset.Set) (*protocol.Result, error) {
 	start := time.Now()
+	if ch != nil && ch.Empty() && ld.lastResult != nil {
+		weightsUnchanged = true
+	}
 	if ld.faultFree && ld.lastResult != nil && (weightsUnchanged || equalWeights(weights, ld.lastWeights)) {
 		ld.stats.EpochSkips++
 		if ld.tracer != nil {

@@ -22,12 +22,12 @@ func TestLoopDeciderEpochSkip(t *testing.T) {
 	ld := NewLoopDecider(rt, true)
 
 	w := testWeights(ext, 52)
-	first, err := ld.DecideEpoch(w, nil, false)
+	first, err := ld.DecideEpoch(w, nil, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same weights, unchanged flag: must be the cached result.
-	again, err := ld.DecideEpoch(w, first.Winners, true)
+	again, err := ld.DecideEpoch(w, first.Winners, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestLoopDeciderEpochSkip(t *testing.T) {
 	}
 	// Same weights, flag not set: value comparison still skips.
 	cp := append([]float64(nil), w...)
-	again, err = ld.DecideEpoch(cp, first.Winners, false)
+	again, err = ld.DecideEpoch(cp, first.Winners, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestLoopDeciderEpochSkip(t *testing.T) {
 	}
 	// A moved weight re-executes.
 	cp[0] = 1 - cp[0]
-	moved, err := ld.DecideEpoch(cp, first.Winners, false)
+	moved, err := ld.DecideEpoch(cp, first.Winners, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,10 +75,10 @@ func TestLoopDeciderFaultedNeverSkips(t *testing.T) {
 	defer rt.Close()
 	ld := NewLoopDecider(rt, false)
 	w := testWeights(ext, 54)
-	if _, err := ld.DecideEpoch(w, nil, false); err != nil {
+	if _, err := ld.DecideEpoch(w, nil, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ld.DecideEpoch(w, nil, true); err != nil {
+	if _, err := ld.DecideEpoch(w, nil, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	st := ld.Stats()
@@ -100,10 +100,10 @@ func TestLoopDeciderTracer(t *testing.T) {
 	var skips []bool
 	ld.SetTracer(func(tr *protocol.DecideTrace) { skips = append(skips, tr.EpochSkip) })
 	w := testWeights(ext, 56)
-	if _, err := ld.DecideEpoch(w, nil, false); err != nil {
+	if _, err := ld.DecideEpoch(w, nil, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ld.DecideEpoch(w, nil, true); err != nil {
+	if _, err := ld.DecideEpoch(w, nil, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(skips, []bool{false, true}) {

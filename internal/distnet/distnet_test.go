@@ -91,7 +91,7 @@ func TestGoldenFaultFreeMatchesDecider(t *testing.T) {
 						}
 					}
 				}
-				want, err := dec.DecideEpoch(w, prev, false)
+				want, err := dec.DecideEpoch(w, prev, false, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -145,7 +145,7 @@ func TestGoldenOverTCP(t *testing.T) {
 				}
 			}
 		}
-		want, err := dec.DecideEpoch(w, nil, false)
+		want, err := dec.DecideEpoch(w, nil, false, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -186,10 +186,43 @@ type search struct {
 	bestW    float64
 	budget   int // remaining nodes; negative means unlimited
 
+	// Comparison-slack certificate (TrackSlack): slack is the minimum
+	// |lhs−rhs| margin, pre-scaled per comparison kind, over every
+	// weight-dependent comparison the search executed. Any weight vector w'
+	// with Σ_v |w'_v − w_v| < slack flips none of those comparisons, so the
+	// search on w' executes the identical traversal and returns the
+	// identical set (see the exactness argument at Workspace.TrackSlack).
+	//
+	// Uniqueness-gap certificate (also TrackSlack): u accumulates an upper
+	// bound on the original weight of every independent set OTHER than the
+	// returned optimum. Visited sets deposit their exact weight at the
+	// incumbent comparison (the improving ones deposit the superseded
+	// incumbent's weight instead — the final optimum is the one visited set
+	// never deposited), and pruned subtrees deposit their curW+ub bound,
+	// which dominates every set inside them. bestW − u is then the gap to
+	// the second-best independent set, and an L1 drift strictly below it
+	// keeps the optimum unique (see exactPrepared for why that alone
+	// certifies a replay when the node budget guarantees exhaustion).
+	track bool
+	slack float64
+	u     float64
+
 	// Reusable buffers: cliqueMax for the upper bound, and one pair of
 	// bitsets per recursion depth for the include/exclude branches.
 	cliqueMax []float64
 	depthBufs [][2]bitset
+}
+
+// note records one weight-dependent comparison's margin. A zero diff is a
+// tie: the slack collapses to 0 and only exactly-equal weights can certify
+// a replay.
+func (st *search) note(diff float64) {
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < st.slack {
+		st.slack = diff
+	}
 }
 
 // newSearch prepares the branch-and-bound state. With a nil workspace every
@@ -361,6 +394,21 @@ func (st *search) branch(remaining bitset, curW float64, cur bitset, depth int) 
 	if st.budget > 0 {
 		st.budget--
 	}
+	// Incumbent comparison: curW − bestW is a ±1-weighted sum over the
+	// symmetric difference of the two sets, so an L1 weight drift below
+	// |curW − bestW| cannot flip it. Depth 0 compares two empty sums (0 > 0,
+	// structurally false under any weights) and is not recorded — noting its
+	// zero margin would void every certificate.
+	if st.track && depth > 0 {
+		st.note(curW - st.bestW)
+		if curW > st.bestW {
+			if st.bestW > st.u {
+				st.u = st.bestW
+			}
+		} else if curW > st.u {
+			st.u = curW
+		}
+	}
 	if curW > st.bestW {
 		st.bestW = curW
 		copy(st.best, cur)
@@ -368,17 +416,55 @@ func (st *search) branch(remaining bitset, curW float64, cur bitset, depth int) 
 	if remaining.empty() {
 		return true
 	}
-	if curW+st.upperBound(remaining) <= st.bestW {
+	ub := st.upperBound(remaining)
+	// Prune comparison: curW + ub − bestW moves by at most 2× the L1 drift
+	// (cur and remaining are disjoint, contributing ≤ D1 together; best may
+	// overlap both and contributes ≤ D1 on its own), hence the halved margin.
+	// The comparisons inside upperBound itself need no recording: whichever
+	// vertex attains a clique's maximum, the maximum's value moves by at most
+	// the clique members' summed drift.
+	if st.track {
+		st.note((curW + ub - st.bestW) / 2)
+	}
+	if curW+ub <= st.bestW {
+		// Every set inside the pruned subtree weighs at most curW+ub;
+		// depositing the bound keeps the uniqueness gap valid for them.
+		if st.track && curW+ub > st.u {
+			st.u = curW + ub
+		}
 		return true // pruned
 	}
-	// Branch on the heaviest remaining vertex (ties toward lower id).
+	// Branch on the heaviest remaining vertex (ties toward lower id). The
+	// scan's outcome is exactly the argmax with first-index tie-breaking, so
+	// the only margin the traversal depends on is max − runner-up: the pivot
+	// survives any drift below it (earlier vertices stay strictly below,
+	// later ones stay at-or-below), while comparisons among non-pivot
+	// vertices only shuffle scan-internal state. A singleton scan is
+	// weight-independent and records nothing; an exact tie for the maximum
+	// records a zero margin, voiding the certificate.
 	pivot, pw := -1, -1.0
-	remaining.forEach(func(v int) {
-		if st.w[v] > pw {
-			pw = st.w[v]
-			pivot = v
+	if st.track {
+		second := -1.0
+		remaining.forEach(func(v int) {
+			if st.w[v] > pw {
+				second = pw
+				pw = st.w[v]
+				pivot = v
+			} else if st.w[v] > second {
+				second = st.w[v]
+			}
+		})
+		if second >= 0 {
+			st.note(pw - second)
 		}
-	})
+	} else {
+		remaining.forEach(func(v int) {
+			if st.w[v] > pw {
+				pw = st.w[v]
+				pivot = v
+			}
+		})
+	}
 	// Include pivot: drop pivot and its neighbors from the remainder.
 	withPivot := st.depthBufs[depth][0]
 	copy(withPivot, remaining)

@@ -3,6 +3,7 @@ package mwis
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 
@@ -27,6 +28,16 @@ type Prepared struct {
 	arena    bitset
 	clique   []int
 	ncliques int
+
+	// nodeBound bounds the branch-and-bound tree size with pruning
+	// disabled: the unpruned search reaches every independent set as
+	// exactly one leaf and every internal node has two children, so
+	// #nodes = 2·#IS − 1, and #IS ≤ Π_cliques(|c|+1) since an independent
+	// set holds at most one vertex per clique. A budget ≥ nodeBound
+	// therefore guarantees the search exhausts under ANY weight vector —
+	// the precondition for the uniqueness-gap slack certificate (see
+	// exactPrepared). Saturates at math.MaxInt on overflow.
+	nodeBound int
 }
 
 // N returns the prepared graph's vertex count.
@@ -61,6 +72,31 @@ func (p *Prepared) Prepare(g *graph.Graph, ws *Workspace) {
 			p.ncliques = c + 1
 		}
 	}
+	var sizes []int
+	if ws != nil {
+		sizes = growInts(&ws.order, p.ncliques)
+	} else {
+		sizes = make([]int, p.ncliques)
+	}
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for _, c := range p.clique {
+		sizes[c]++
+	}
+	prod, ok := 1, true
+	for _, s := range sizes {
+		if prod > (math.MaxInt-1)/2/(s+1) {
+			ok = false
+			break
+		}
+		prod *= s + 1
+	}
+	if ok {
+		p.nodeBound = 2*prod - 1
+	} else {
+		p.nodeBound = math.MaxInt
+	}
 }
 
 // SolvePrepared is Hybrid's workspace path over a prepared graph: a
@@ -85,10 +121,14 @@ func (h Hybrid) SolvePrepared(p *Prepared, w []float64, ws *Workspace) ([]int, e
 	if maxExact == 0 {
 		maxExact = 512
 	}
+	// Pessimistic default: every path that does not complete the exact
+	// search leaves the slack certificate void (see Workspace.TrackSlack).
+	ws.Slack = 0
 	if p.n > maxExact {
 		return greedyPrepared(p, w, ws), nil
 	}
 	if p.n == 0 {
+		ws.Slack = math.Inf(1)
 		return ws.eout[:0], nil
 	}
 	exactSet, err := exactPrepared(p, w, budget, ws)
@@ -129,6 +169,10 @@ func exactPrepared(p *Prepared, w []float64, budget int, ws *Workspace) ([]int, 
 	if budget <= 0 {
 		st.budget = -1
 	}
+	if ws.TrackSlack {
+		st.track = true
+		st.slack = math.Inf(1)
+	}
 	// Only the mutable bitsets (incumbent + two per depth) come from the
 	// workspace arena; the adjacency is the prepared instance's.
 	words := p.words
@@ -162,6 +206,32 @@ func exactPrepared(p *Prepared, w []float64, budget int, ws *Workspace) ([]int, 
 	ws.eout = out
 	if !exhausted {
 		return out, ErrBudgetExceeded
+	}
+	if st.track {
+		// Two independent replay certificates; the weaker conditions of
+		// either suffice, so the published slack is their maximum.
+		//
+		// Traversal slack (st.slack): drift below it flips no comparison,
+		// so the search replays the identical traversal — valid under any
+		// budget that let this search exhaust.
+		//
+		// Uniqueness gap (st.bestW − st.u): drift D1 strictly below the
+		// gap keeps the returned set the unique optimum, because for any
+		// other independent set T, w'(S0) − w'(T) ≥ (bestW − u) − D1 > 0
+		// (S0\T and T\S0 are disjoint, so their drifts jointly spend the
+		// single D1 allowance — no halving). A unique strict optimum is
+		// returned by ANY exhaustive run regardless of traversal order, so
+		// this certificate additionally needs exhaustion to be guaranteed
+		// a priori under the drifted weights: nodeBound ≤ budget (or an
+		// unlimited budget). Exact ties deposit bestW into u, collapsing
+		// the gap to zero, so bit-identity with the from-scratch solve is
+		// preserved.
+		ws.Slack = st.slack
+		if budget <= 0 || p.nodeBound <= budget {
+			if gap := st.bestW - st.u; gap > ws.Slack {
+				ws.Slack = gap
+			}
+		}
 	}
 	return out, nil
 }

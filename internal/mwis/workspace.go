@@ -18,6 +18,41 @@ import (
 // every solver, SolveWorkspace(in, ws) returns exactly the set Solve(in)
 // returns (see TestSolveWorkspaceMatchesSolve).
 type Workspace struct {
+	// TrackSlack requests the replay-slack certificate from the next
+	// Hybrid.SolvePrepared call; Slack is its result. When the budgeted
+	// exact search completes, Slack is a margin S such that any weight
+	// vector w' with Σ_v |w'_v − w_v| < S provably makes a from-scratch
+	// solve return the identical set. S is the maximum of two independent
+	// certificates:
+	//
+	//   - Traversal slack: the minimum margin, pre-scaled per comparison
+	//     kind, over the weight-dependent comparisons the search executed
+	//     (incumbent updates, clique-bound prunes at half weight, pivot
+	//     scans). Drift below it flips none of them, so the search on w'
+	//     runs the identical traversal — same incumbents, same prunes,
+	//     same budget consumption — and returns the identical set.
+	//
+	//   - Uniqueness gap: the distance from the optimum to the
+	//     second-best independent set, available only when the prepared
+	//     instance's unpruned tree size fits the node budget, which
+	//     guarantees the search exhausts under any weights. Drift below
+	//     the gap keeps the returned set the unique optimum, and an
+	//     exhaustive search returns a unique optimum regardless of
+	//     traversal order. This certificate ignores pivot near-ties and
+	//     prune near-misses entirely — those flips reshape the traversal
+	//     but not the answer — which is what lets drifting-but-stable
+	//     leaders skip resolves at a useful rate (see BENCH_decide.json).
+	//
+	// A tie voids both sides (traversal slack collapses on any tied
+	// comparison; an exact co-optimum collapses the gap), so certified
+	// replays remain bit-identical to from-scratch solves. Greedy paths
+	// (instances above MaxExactNodes) and budget-exceeded searches report
+	// 0: their outputs depend on orderings neither certificate covers. A
+	// completed search on a trivial instance may report +Inf (every drift
+	// replays).
+	TrackSlack bool
+	Slack      float64
+
 	// greedy state
 	order   []int
 	removed []bool

@@ -274,10 +274,11 @@ func TestTraceRingConcurrent(t *testing.T) {
 // TestSpanOutcomeNames pins the wire names.
 func TestSpanOutcomeNames(t *testing.T) {
 	want := map[SpanOutcome]string{
-		OutcomeEpochSkip:  "epoch-skip",
-		OutcomeMemoFull:   "memo-full",
-		OutcomeMemoStruct: "memo-structure",
-		OutcomeFull:       "full",
+		OutcomeEpochSkip:       "epoch-skip",
+		OutcomeLeaderSkip:      "leader-skip",
+		OutcomeSensitivitySkip: "sensitivity-skip",
+		OutcomeMemoStruct:      "memo-structure",
+		OutcomeFull:            "full",
 	}
 	for o, s := range want {
 		if o.String() != s {

@@ -16,9 +16,14 @@ const (
 	// OutcomeEpochSkip replayed the cached previous result: the weight
 	// vector and previous-strategy set were unchanged.
 	OutcomeEpochSkip SpanOutcome = iota
-	// OutcomeMemoFull ran the protocol but every local-MWIS lookup was an
-	// exact memo hit (no solver ran).
-	OutcomeMemoFull
+	// OutcomeLeaderSkip ran the protocol but every local-MWIS lookup
+	// replayed its cached split under exactly-equal candidate weights
+	// (no solver ran).
+	OutcomeLeaderSkip
+	// OutcomeSensitivitySkip ran the protocol with every solver-worthy
+	// lookup replayed under the drift sensitivity bound (weights moved,
+	// but within every touched leader's slack certificate).
+	OutcomeSensitivitySkip
 	// OutcomeMemoStruct ran the protocol reusing cached subgraph structure
 	// for at least one leader, re-running only weighted searches.
 	OutcomeMemoStruct
@@ -33,8 +38,10 @@ func (o SpanOutcome) String() string {
 	switch o {
 	case OutcomeEpochSkip:
 		return "epoch-skip"
-	case OutcomeMemoFull:
-		return "memo-full"
+	case OutcomeLeaderSkip:
+		return "leader-skip"
+	case OutcomeSensitivitySkip:
+		return "sensitivity-skip"
 	case OutcomeMemoStruct:
 		return "memo-structure"
 	default:
@@ -66,10 +73,11 @@ type Span struct {
 	FinalizeNS  int64 `json:"finalize_ns"`
 	TotalNS     int64 `json:"total_ns"`
 	// Decision-plane accounting of this boundary.
-	MiniRounds     int32 `json:"mini_rounds"`
-	MemoHits       int32 `json:"memo_hits"`
-	MemoStructHits int32 `json:"memo_struct_hits"`
-	MemoMisses     int32 `json:"memo_misses"`
+	MiniRounds       int32 `json:"mini_rounds"`
+	LeaderSkips      int32 `json:"leader_skips"`
+	SensitivitySkips int32 `json:"sensitivity_skips"`
+	MemoStructHits   int32 `json:"memo_struct_hits"`
+	MemoMisses       int32 `json:"memo_misses"`
 }
 
 // TraceRing is a lock-free multi-producer ring buffer of decision-path
@@ -144,9 +152,9 @@ func (r *TraceRing) WriteJSONL(w io.Writer, max int) (int, error) {
 		b.WriteString(escapeLabel(s.Instance))
 		b.WriteString(`","outcome":"`)
 		b.WriteString(s.Outcome.String())
-		fmt.Fprintf(&b, `","slot":%d,"start_unix_ns":%d,"broadcast_ns":%d,"election_ns":%d,"local_mwis_ns":%d,"finalize_ns":%d,"total_ns":%d,"mini_rounds":%d,"memo_hits":%d,"memo_struct_hits":%d,"memo_misses":%d}`,
+		fmt.Fprintf(&b, `","slot":%d,"start_unix_ns":%d,"broadcast_ns":%d,"election_ns":%d,"local_mwis_ns":%d,"finalize_ns":%d,"total_ns":%d,"mini_rounds":%d,"leader_skips":%d,"sensitivity_skips":%d,"memo_struct_hits":%d,"memo_misses":%d}`,
 			s.Slot, s.Start, s.BroadcastNS, s.ElectionNS, s.LocalMWISNS, s.FinalizeNS, s.TotalNS,
-			s.MiniRounds, s.MemoHits, s.MemoStructHits, s.MemoMisses)
+			s.MiniRounds, s.LeaderSkips, s.SensitivitySkips, s.MemoStructHits, s.MemoMisses)
 		b.WriteByte('\n')
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return len(spans), err

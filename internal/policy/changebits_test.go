@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"testing"
+
+	"multihopbandit/internal/changeset"
+	"multihopbandit/internal/rng"
+)
+
+// checkChangeBits calls WriteIndices with a change set and asserts the
+// reported bitset is exactly the brute-force diff against the buffer's
+// previous contents — no missing index, no spurious index — and that the
+// changed bool is the bitset's emptiness complement.
+func checkChangeBits(t *testing.T, name string, w IndexWriter, buf, prev []float64, ch *changeset.Set) {
+	t.Helper()
+	copy(prev, buf)
+	ch.Reset(len(buf))
+	changed := w.WriteIndices(buf, ch)
+	want := 0
+	for i := range buf {
+		moved := buf[i] != prev[i]
+		if moved {
+			want++
+		}
+		if moved != ch.Contains(i) {
+			t.Fatalf("%s: index %d %s but the change set says %v (prev=%v now=%v)",
+				name, i, map[bool]string{true: "moved", false: "did not move"}[moved],
+				ch.Contains(i), prev[i], buf[i])
+		}
+	}
+	if got := ch.Count(); got != want {
+		t.Fatalf("%s: change set holds %d indices, brute-force diff found %d", name, got, want)
+	}
+	if changed != (want > 0) {
+		t.Fatalf("%s: changed=%v disagrees with a %d-index diff", name, changed, want)
+	}
+}
+
+// TestWriteIndicesChangeSetMatchesBruteForceDiff drives every deterministic
+// policy through randomized update/boundary sequences and asserts, at every
+// boundary, that the reported change set is exactly the brute-force diff of
+// consecutive WriteIndices outputs. Random play sets exercise partial
+// updates (only some arms move), empty updates (round advances, bonuses
+// shift), and repeated boundaries with no update in between (empty diffs).
+func TestWriteIndicesChangeSetMatchesBruteForceDiff(t *testing.T) {
+	const k = 24
+	src := rng.New(401)
+	for name, pol := range hotPathPolicies(t, k) {
+		w := writerOrSkip(t, pol)
+		buf := make([]float64, k)
+		prev := make([]float64, k)
+		ch := changeset.New(k)
+		checkChangeBits(t, name, w, buf, prev, ch)
+		for step := 0; step < 80; step++ {
+			switch src.Intn(4) {
+			case 0: // no update: consecutive boundary, diff must be empty
+			case 1: // empty update: the round counter alone advances
+				if err := pol.Update(nil, nil); err != nil {
+					t.Fatal(err)
+				}
+			default: // random partial play set
+				played := make([]int, 0, 6)
+				rewards := make([]float64, 0, 6)
+				for i := 0; i < 1+src.Intn(6); i++ {
+					played = append(played, src.Intn(k))
+					rewards = append(rewards, src.Float64())
+				}
+				if err := pol.Update(played, rewards); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkChangeBits(t, name, w, buf, prev, ch)
+		}
+	}
+}
+
+// TestWriteIndicesChangeSetEpsilonGreedy covers the randomized policy's
+// explore slots: under ε=1 every seen arm redraws (a near-certain full diff
+// over the seen set), under ε=0 repeated boundaries diff empty, and a twin
+// policy writing without a change set stays in stream lockstep — recording
+// the bitset consumes no extra random draws.
+func TestWriteIndicesChangeSetEpsilonGreedy(t *testing.T) {
+	const k = 12
+	for _, eps := range []float64{0, 1} {
+		p, err := NewEpsilonGreedy(k, eps, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin, err := NewEpsilonGreedy(k, eps, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]float64, k)
+		prev := make([]float64, k)
+		twinBuf := make([]float64, k)
+		ch := changeset.New(k)
+		played, rewards := hotPathRound(k, 0)
+		if err := p.Update(played, rewards); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Update(played, rewards); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 20; step++ {
+			checkChangeBits(t, "eps-greedy", p, buf, prev, ch)
+			twin.WriteIndices(twinBuf, nil)
+			for i := range buf {
+				if buf[i] != twinBuf[i] {
+					t.Fatalf("eps=%v step %d arm %d: change-set recording shifted the stream (%v vs %v)",
+						eps, step, i, buf[i], twinBuf[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWriteIndicesChangeSetDiscountedDecay pins the γ<1 dynamics: after a
+// play, every empty update decays the played arm's statistics, so the diff
+// at each boundary contains exactly the seen arms still above the count
+// floor — and once fully decayed back to unseen, diffs go empty.
+func TestWriteIndicesChangeSetDiscountedDecay(t *testing.T) {
+	const k = 4
+	p, err := NewDiscountedZhouLi(k, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := writerOrSkip(t, p)
+	buf := make([]float64, k)
+	prev := make([]float64, k)
+	ch := changeset.New(k)
+	checkChangeBits(t, "discounted", w, buf, prev, ch)
+	if err := p.Update([]int{1}, []float64{0.8}); err != nil {
+		t.Fatal(err)
+	}
+	checkChangeBits(t, "discounted", w, buf, prev, ch)
+	if !ch.Contains(1) {
+		t.Fatal("played arm 1 missing from the post-update change set")
+	}
+	for i := 0; i < 40; i++ {
+		if err := p.Update(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		checkChangeBits(t, "discounted-decay", w, buf, prev, ch)
+	}
+	// Fully decayed back to unseen: the diff is empty from here on.
+	if err := p.Update(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkChangeBits(t, "discounted-reset", w, buf, prev, ch)
+	if !ch.Empty() {
+		t.Fatalf("fully decayed policy still reports %d changed indices", ch.Count())
+	}
+}
+
+// TestWriteIndicesChangeSetAccumulates pins the no-removal contract: without
+// a Reset between boundaries the set is cumulative, the union of every diff
+// since the caller last cleared it.
+func TestWriteIndicesChangeSetAccumulates(t *testing.T) {
+	const k = 8
+	p, err := NewZhouLi(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, k)
+	ch := changeset.New(k)
+	p.WriteIndices(buf, ch) // first fill: all k indices change
+	if ch.Count() != k {
+		t.Fatalf("first fill recorded %d indices, want %d", ch.Count(), k)
+	}
+	if err := p.Update([]int{3}, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteIndices(buf, ch) // no Reset: earlier indices must survive
+	if ch.Count() != k {
+		t.Fatalf("accumulated set holds %d indices after a second boundary, want %d", ch.Count(), k)
+	}
+}

@@ -23,7 +23,7 @@ func writerOrSkip(t *testing.T, p Policy) IndexWriter {
 func checkWrite(t *testing.T, name string, w IndexWriter, buf, prev []float64, wantChanged bool) {
 	t.Helper()
 	copy(prev, buf)
-	changed := w.WriteIndices(buf)
+	changed := w.WriteIndices(buf, nil)
 	if changed != wantChanged {
 		t.Fatalf("%s: WriteIndices reported changed=%v, want %v", name, changed, wantChanged)
 	}
@@ -149,7 +149,7 @@ func TestWriteIndicesChangeTrackingEpsilonGreedy(t *testing.T) {
 	}
 	twinBuf := make([]float64, k)
 	for i := 0; i < 3; i++ {
-		twin.WriteIndices(twinBuf)
+		twin.WriteIndices(twinBuf, nil)
 	}
 	want := explore.Indices()
 	got := twin.Indices()
@@ -190,7 +190,7 @@ func TestWriteIndicesChangeTrackingDiscountedDynamics(t *testing.T) {
 			t.Fatal(err)
 		}
 		copy(prev, buf)
-		if w.WriteIndices(buf) {
+		if w.WriteIndices(buf, nil) {
 			sawChange = true
 		}
 	}

@@ -2,6 +2,8 @@ package policy
 
 import (
 	"math"
+
+	"multihopbandit/internal/changeset"
 )
 
 // CUCB is the combinatorial-UCB baseline of Chen, Wang and Yuan ("Combinatorial
@@ -34,13 +36,13 @@ func (*CUCB) Name() string { return "cucb" }
 // Indices implements Policy.
 func (p *CUCB) Indices() []float64 {
 	out := make([]float64, p.est.K())
-	p.WriteIndices(out)
+	p.WriteIndices(out, nil)
 	return out
 }
 
 // WriteIndices implements IndexWriter, hoisting the 3·ln t numerator out of
 // the per-arm loop.
-func (p *CUCB) WriteIndices(dst []float64) (changed bool) {
+func (p *CUCB) WriteIndices(dst []float64, ch *changeset.Set) (changed bool) {
 	k := p.est.K()
 	t := float64(p.est.Round())
 	num := 0.0
@@ -50,14 +52,14 @@ func (p *CUCB) WriteIndices(dst []float64) (changed bool) {
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			writeIndex(dst, i, UnseenIndex, &changed)
+			writeIndex(dst, i, UnseenIndex, &changed, ch)
 			continue
 		}
 		bonus := 0.0
 		if t > 1 {
 			bonus = math.Sqrt(num / (2 * float64(m)))
 		}
-		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed)
+		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed, ch)
 	}
 	return changed
 }

@@ -3,6 +3,8 @@ package policy
 import (
 	"fmt"
 	"math"
+
+	"multihopbandit/internal/changeset"
 )
 
 // DiscountedZhouLi is the discounted variant of the paper's index rule for
@@ -58,7 +60,7 @@ func (p *DiscountedZhouLi) effectiveRound() float64 {
 // Indices implements Policy.
 func (p *DiscountedZhouLi) Indices() []float64 {
 	out := make([]float64, len(p.sum))
-	p.WriteIndices(out)
+	p.WriteIndices(out, nil)
 	return out
 }
 
@@ -66,7 +68,7 @@ func (p *DiscountedZhouLi) Indices() []float64 {
 // of the per-arm loop. Under γ < 1 every Update decays all statistics, so a
 // decayed arm's index moves even when the arm was not played — unchanged
 // reports effectively require γ = 1 or no Update since the last call.
-func (p *DiscountedZhouLi) WriteIndices(dst []float64) (changed bool) {
+func (p *DiscountedZhouLi) WriteIndices(dst []float64, ch *changeset.Set) (changed bool) {
 	k := len(p.sum)
 	kf := float64(k)
 	t := p.effectiveRound()
@@ -76,7 +78,7 @@ func (p *DiscountedZhouLi) WriteIndices(dst []float64) (changed bool) {
 	}
 	for i := 0; i < k; i++ {
 		if p.eff[i] <= 1e-12 {
-			writeIndex(dst, i, UnseenIndex, &changed)
+			writeIndex(dst, i, UnseenIndex, &changed, ch)
 			continue
 		}
 		mean := p.sum[i] / p.eff[i]
@@ -84,7 +86,7 @@ func (p *DiscountedZhouLi) WriteIndices(dst []float64) (changed bool) {
 		if t >= 1 {
 			bonus = zhouLiBonusPow(t23, kf, p.eff[i])
 		}
-		writeIndex(dst, i, mean+bonus, &changed)
+		writeIndex(dst, i, mean+bonus, &changed, ch)
 	}
 	return changed
 }

@@ -67,7 +67,7 @@ func TestWriteIndicesMatchesIndices(t *testing.T) {
 		}
 		want := pol.Indices()
 		got := make([]float64, k)
-		pol.(IndexWriter).WriteIndices(got)
+		pol.(IndexWriter).WriteIndices(got, nil)
 		for i := range want {
 			if want[i] != got[i] {
 				t.Errorf("%s: arm %d: Indices=%v WriteIndices=%v", name, i, want[i], got[i])
@@ -95,7 +95,7 @@ func TestWriteIndicesMatchesIndices(t *testing.T) {
 		}
 		want := a.Indices()
 		got := make([]float64, k)
-		b.WriteIndices(got)
+		b.WriteIndices(got, nil)
 		for i := range want {
 			if want[i] != got[i] {
 				t.Fatalf("eps-greedy: round %d arm %d: Indices=%v WriteIndices=%v", r, i, want[i], got[i])
@@ -127,7 +127,7 @@ func TestHotPathNoAllocs(t *testing.T) {
 		}); got != 0 {
 			t.Errorf("%s: Update allocates %.1f times per round, want 0", name, got)
 		}
-		if got := testing.AllocsPerRun(100, func() { wr.WriteIndices(dst) }); got != 0 {
+		if got := testing.AllocsPerRun(100, func() { wr.WriteIndices(dst, nil) }); got != 0 {
 			t.Errorf("%s: WriteIndices allocates %.1f times per call, want 0", name, got)
 		}
 	}
@@ -155,7 +155,7 @@ func BenchmarkPolicyUpdate(b *testing.B) {
 				if err := pol.Update(played, rewards); err != nil {
 					b.Fatal(err)
 				}
-				wr.WriteIndices(dst)
+				wr.WriteIndices(dst, nil)
 			}
 		})
 	}

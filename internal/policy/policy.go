@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"multihopbandit/internal/changeset"
 	"multihopbandit/internal/rng"
 )
 
@@ -28,15 +29,29 @@ const UnseenIndex = 2.0
 // the weight epoch advanced — the signal the slot kernel threads to the
 // protocol decider's short-circuit. The report is exact: false guarantees
 // dst is element-for-element what it already was.
+//
+// ch, when non-nil, additionally receives *which* indices changed: every
+// index whose value differs from dst's previous contents is added to the
+// set (nothing is removed — callers Reset between boundaries). The bitset
+// is what the changed bool compresses, and it obeys the same exactness
+// contract: an index outside the set is guaranteed element-for-element
+// unchanged. The drift-bounded decision plane uses it to invalidate only
+// the per-leader caches whose candidate weights actually moved. Passing
+// nil skips the per-index recording with no other behavioral difference —
+// in particular, randomized policies consume identical random draws either
+// way.
 type IndexWriter interface {
-	WriteIndices(dst []float64) (changed bool)
+	WriteIndices(dst []float64, ch *changeset.Set) (changed bool)
 }
 
 // writeIndex writes v into dst[i], tracking whether it differed.
-func writeIndex(dst []float64, i int, v float64, changed *bool) {
+func writeIndex(dst []float64, i int, v float64, changed *bool, ch *changeset.Set) {
 	if dst[i] != v {
 		dst[i] = v
 		*changed = true
+		if ch != nil {
+			ch.Add(i)
+		}
 	}
 }
 
@@ -90,14 +105,14 @@ func (*ZhouLi) Name() string { return "zhou-li" }
 // Indices implements Policy.
 func (p *ZhouLi) Indices() []float64 {
 	out := make([]float64, p.est.K())
-	p.WriteIndices(out)
+	p.WriteIndices(out, nil)
 	return out
 }
 
 // WriteIndices implements IndexWriter. The t^{2/3} of equation (3) is
 // identical for every arm, so it is computed once per call rather than once
 // per arm (it dominated the index-update hot path).
-func (p *ZhouLi) WriteIndices(dst []float64) (changed bool) {
+func (p *ZhouLi) WriteIndices(dst []float64, ch *changeset.Set) (changed bool) {
 	k := p.est.K()
 	kf := float64(k)
 	t := float64(p.est.Round())
@@ -108,14 +123,14 @@ func (p *ZhouLi) WriteIndices(dst []float64) (changed bool) {
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			writeIndex(dst, i, UnseenIndex, &changed)
+			writeIndex(dst, i, UnseenIndex, &changed, ch)
 			continue
 		}
 		bonus := 0.0
 		if t >= 1 {
 			bonus = zhouLiBonusPow(t23, kf, float64(m))
 		}
-		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed)
+		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed, ch)
 	}
 	return changed
 }
@@ -190,13 +205,13 @@ func (*LLR) Name() string { return "llr" }
 // Indices implements Policy.
 func (p *LLR) Indices() []float64 {
 	out := make([]float64, p.est.K())
-	p.WriteIndices(out)
+	p.WriteIndices(out, nil)
 	return out
 }
 
 // WriteIndices implements IndexWriter, hoisting the (L+1)·ln t numerator out
 // of the per-arm loop.
-func (p *LLR) WriteIndices(dst []float64) (changed bool) {
+func (p *LLR) WriteIndices(dst []float64, ch *changeset.Set) (changed bool) {
 	k := p.est.K()
 	t := float64(p.est.Round())
 	num := 0.0
@@ -206,14 +221,14 @@ func (p *LLR) WriteIndices(dst []float64) (changed bool) {
 	for i := 0; i < k; i++ {
 		m := p.est.Count(i)
 		if m == 0 {
-			writeIndex(dst, i, UnseenIndex, &changed)
+			writeIndex(dst, i, UnseenIndex, &changed, ch)
 			continue
 		}
 		bonus := 0.0
 		if t > 1 {
 			bonus = math.Sqrt(num / float64(m))
 		}
-		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed)
+		writeIndex(dst, i, p.est.Mean(i)+bonus, &changed, ch)
 	}
 	return changed
 }
@@ -268,25 +283,25 @@ func (*EpsilonGreedy) Name() string { return "eps-greedy" }
 // Indices implements Policy.
 func (p *EpsilonGreedy) Indices() []float64 {
 	out := make([]float64, p.est.K())
-	p.WriteIndices(out)
+	p.WriteIndices(out, nil)
 	return out
 }
 
 // WriteIndices implements IndexWriter. Like Indices, it consumes random
 // draws from the policy's source — including on calls that turn out
 // unchanged, so change tracking never shifts the random stream.
-func (p *EpsilonGreedy) WriteIndices(dst []float64) (changed bool) {
+func (p *EpsilonGreedy) WriteIndices(dst []float64, ch *changeset.Set) (changed bool) {
 	k := p.est.K()
 	explore := p.src.Bernoulli(p.epsilon)
 	for i := 0; i < k; i++ {
 		if p.est.Count(i) == 0 {
-			writeIndex(dst, i, UnseenIndex, &changed)
+			writeIndex(dst, i, UnseenIndex, &changed, ch)
 			continue
 		}
 		if explore {
-			writeIndex(dst, i, p.src.Float64(), &changed)
+			writeIndex(dst, i, p.src.Float64(), &changed, ch)
 		} else {
-			writeIndex(dst, i, p.est.Mean(i), &changed)
+			writeIndex(dst, i, p.est.Mean(i), &changed, ch)
 		}
 	}
 	return changed
@@ -337,9 +352,9 @@ func (p *Oracle) Indices() []float64 { return append([]float64(nil), p.means...)
 // WriteIndices implements IndexWriter. The true means never change, so a
 // reused buffer reports changed only on its first fill — the oracle is the
 // policy whose every decision after the first is one weight epoch.
-func (p *Oracle) WriteIndices(dst []float64) (changed bool) {
+func (p *Oracle) WriteIndices(dst []float64, ch *changeset.Set) (changed bool) {
 	for i, v := range p.means {
-		writeIndex(dst, i, v, &changed)
+		writeIndex(dst, i, v, &changed, ch)
 	}
 	return changed
 }

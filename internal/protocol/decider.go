@@ -3,15 +3,18 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"time"
 
+	"multihopbandit/internal/changeset"
 	"multihopbandit/internal/graph"
 	"multihopbandit/internal/mwis"
 )
 
 // DecideStats is a Decider's cumulative accounting: how boundaries were
-// served (full decisions vs weight-epoch skips), how its local-MWIS memo
+// served (full decisions vs weight-epoch skips), how its per-leader cache
 // performed, and the protocol communication totals of the full decisions
 // actually run. Epoch-skipped boundaries add nothing to the communication
 // totals — an unchanged weight vector means no fresh weights exist to
@@ -22,16 +25,23 @@ type DecideStats struct {
 	// EpochSkips counts decisions served from the cached previous Result
 	// because the weight vector (and previous-strategy set) was unchanged.
 	EpochSkips int64
-	// MemoHits, MemoStructHits and MemoMisses count the local-MWIS memo
-	// lookups of full decisions (one per LocalLeader per mini-round). A
-	// full hit matched the leader's previous instance exactly (candidates
-	// and weights) and skipped the solve; a structure hit matched the
-	// candidate set but not the weights, reusing the cached induced
-	// subgraph, adjacency bitsets and clique partition while re-running
-	// the weighted search; a miss rebuilt everything.
-	MemoHits       int64
-	MemoStructHits int64
-	MemoMisses     int64
+	// LeaderSkips, SensitivitySkips, MemoStructHits and MemoMisses classify
+	// the per-leader cache lookups of full decisions (one per LocalLeader
+	// per mini-round). A leader skip replayed the cached winner/loser split
+	// because the leader's candidate weights were exactly the anchor solve's
+	// — detected either through the change-set epoch filter (no candidate's
+	// weight has moved since the anchor) or by direct comparison — which is
+	// valid for any deterministic solver. A sensitivity skip replayed the
+	// split although the weights drifted: the drift's L1 norm stayed
+	// strictly below the anchor solve's comparison-slack certificate
+	// (mwis.Workspace.TrackSlack), which proves a fresh solve would retrace
+	// the identical search. A structure hit re-ran the weighted search over
+	// the leader's cached subgraph preparation; a miss rebuilt everything.
+	// None of the four can change an output, only skip recomputing it.
+	LeaderSkips      int64
+	SensitivitySkips int64
+	MemoStructHits   int64
+	MemoMisses       int64
 	// Communication totals summed over full decisions (the same quantities
 	// Result.Stats reports per decision).
 	MiniRounds         int64
@@ -44,14 +54,20 @@ type DecideStats struct {
 // Decisions returns the total boundaries served (full + skipped).
 func (s DecideStats) Decisions() int64 { return s.FullDecides + s.EpochSkips }
 
-// MemoHitRate returns the fraction of memo lookups that hit at either
-// level (full or structure), or 0 before any lookup.
+// LeaderResolves returns the leader lookups that actually ran a local MWIS
+// search (structure hits + misses) — the quantity the drift-bounded decision
+// plane exists to shrink.
+func (s DecideStats) LeaderResolves() int64 { return s.MemoStructHits + s.MemoMisses }
+
+// MemoHitRate returns the fraction of per-leader lookups that reused cached
+// work at any tier (split replay or prepared structure), or 0 before any
+// lookup.
 func (s DecideStats) MemoHitRate() float64 {
-	total := s.MemoHits + s.MemoStructHits + s.MemoMisses
-	if total == 0 {
+	lookups := s.LeaderSkips + s.SensitivitySkips + s.MemoStructHits + s.MemoMisses
+	if lookups == 0 {
 		return 0
 	}
-	return float64(s.MemoHits+s.MemoStructHits) / float64(total)
+	return float64(lookups-s.MemoMisses) / float64(lookups)
 }
 
 // Sub returns the counter deltas s − prev (for periodic publication).
@@ -59,7 +75,8 @@ func (s DecideStats) Sub(prev DecideStats) DecideStats {
 	return DecideStats{
 		FullDecides:        s.FullDecides - prev.FullDecides,
 		EpochSkips:         s.EpochSkips - prev.EpochSkips,
-		MemoHits:           s.MemoHits - prev.MemoHits,
+		LeaderSkips:        s.LeaderSkips - prev.LeaderSkips,
+		SensitivitySkips:   s.SensitivitySkips - prev.SensitivitySkips,
 		MemoStructHits:     s.MemoStructHits - prev.MemoStructHits,
 		MemoMisses:         s.MemoMisses - prev.MemoMisses,
 		MiniRounds:         s.MiniRounds - prev.MiniRounds,
@@ -75,8 +92,8 @@ func (s DecideStats) Sub(prev DecideStats) DecideStats {
 // time went. The phase nanoseconds partition a full decide — BroadcastNS
 // (decide setup: the epoch-cache check, result allocation, and the
 // weight-broadcast accounting), ElectionNS (leader election across
-// mini-rounds), LocalMWISNS (local solves including memo lookups and
-// winner/loser application), FinalizeNS (winner collection, independence
+// mini-rounds), LocalMWISNS (local solves including per-leader cache lookups
+// and winner/loser application), FinalizeNS (winner collection, independence
 // verification, strategy construction, and the epoch-cache update) — and
 // are all zero on an epoch skip. The windows are contiguous from the
 // decide's start, so their sum accounts for all of TotalNS except the
@@ -92,8 +109,8 @@ type DecideTrace struct {
 	BroadcastNS, ElectionNS, LocalMWISNS, FinalizeNS, TotalNS int64
 	// MiniRounds is the number of protocol mini-rounds run (0 on a skip).
 	MiniRounds int
-	// Memo lookup deltas of this decide.
-	MemoHits, MemoStructHits, MemoMisses int64
+	// Per-leader cache lookup deltas of this decide (see DecideStats).
+	LeaderSkips, SensitivitySkips, MemoStructHits, MemoMisses int64
 }
 
 // PhaseNS returns the sum of the four phase timers — the portion of
@@ -102,25 +119,90 @@ func (t *DecideTrace) PhaseNS() int64 {
 	return t.BroadcastNS + t.ElectionNS + t.LocalMWISNS + t.FinalizeNS
 }
 
-// memoEntry is one leader's cached local MWIS in two exact layers. The
-// result layer stores the instance the last solve ran on (candidate ids and
-// their weights) plus its winner/loser split: a lookup hits only when the
-// instance matches element-for-element, so a hit replays a solve whose
-// inputs are provably identical. The structure layer (hybrid solver only)
-// keeps the weight-independent preparation of the candidate subgraph —
-// adjacency bitsets and clique partition — which stays valid as long as the
-// candidate set matches, weights regardless; a structure hit re-runs only
-// the weighted search. Neither layer can change an output, only skip
-// recomputing it.
+// memoEntry is one leader's cached local MWIS. The result layer stores the
+// anchor instance the last search ran on (candidate ids and their weights),
+// its winner/loser split, the epoch the anchor was solved at, and the
+// comparison-slack certificate the solve reported. A replay is exact in two
+// regimes: when the candidate weights equal the anchor's bit-for-bit (epoch
+// filter or direct comparison — any deterministic solver returns the same
+// set on the same inputs), and when their L1 drift from the anchor stays
+// strictly below slack (the certificate proves the branch-and-bound would
+// retrace the identical traversal; see mwis.Workspace.TrackSlack). The
+// structure layer (hybrid solver only) keeps the weight-independent
+// preparation of the candidate subgraph — adjacency bitsets and clique
+// partition — which stays valid as long as the candidate set matches,
+// weights regardless. Neither layer can change an output, only skip
+// recomputing it. Anchors are never advanced by a skip: drift is always
+// measured against the weights the cached split was actually solved under.
 type memoEntry struct {
 	valid    bool
 	preValid bool
+	epoch    int64
+	slack    float64
 	cand     []int
 	w        []float64
 	winners  []int
 	losers   []int
 	pre      mwis.Prepared
 }
+
+// decideScratch is the per-decide mutable state a full decision needs: the
+// MWIS workspace, the induced-subgraph arena, and every per-vertex buffer.
+// It carries no decision history — everything in it is (re)written before
+// use — so any decider over the same runtime can borrow any scratch.
+// Invariant: inIS is all-false between decides (localDecision clears the
+// bits it sets).
+type decideScratch struct {
+	ws         mwis.Workspace
+	arena      graph.SubgraphArena
+	status     []Status
+	leaders    []int
+	ar         []int
+	w          []float64
+	inIS       []bool
+	winnerBits []uint64
+}
+
+// size grows the per-vertex buffers to n vertices and words adjacency words,
+// reusing capacity. Fresh inIS storage is zero, preserving the all-false
+// invariant.
+func (sc *decideScratch) size(n, words int) {
+	if cap(sc.status) < n {
+		sc.status = make([]Status, n)
+	}
+	sc.status = sc.status[:n]
+	if cap(sc.inIS) < n {
+		sc.inIS = make([]bool, n)
+	}
+	sc.inIS = sc.inIS[:n]
+	if cap(sc.winnerBits) < words {
+		sc.winnerBits = make([]uint64, words)
+	}
+	sc.winnerBits = sc.winnerBits[:words]
+}
+
+// DecideArena is a shared pool of decide scratch state for instances that
+// decide over the same topology (deciders built from one engine.ArtifactCache
+// Runtime): each full decision borrows one scratch for its duration and
+// returns it, so N instances batching their boundary decides through the
+// arena warm one set of buffers instead of N. The pool is safe for
+// concurrent use; per-decider state (the leader memo and epoch cache) never
+// enters it, so sharing an arena cannot couple two deciders' outputs. Skip
+// paths (epoch skips, and boundaries resolved entirely from the epoch
+// cache) never borrow.
+type DecideArena struct {
+	pool sync.Pool
+}
+
+// NewDecideArena returns an empty shared scratch arena.
+func NewDecideArena() *DecideArena {
+	a := &DecideArena{}
+	a.pool.New = func() any { return new(decideScratch) }
+	return a
+}
+
+func (a *DecideArena) get() *decideScratch   { return a.pool.Get().(*decideScratch) }
+func (a *DecideArena) put(sc *decideScratch) { a.pool.Put(sc) }
 
 // Decider executes strategy decisions over one Runtime with persistent
 // per-consumer state. Where Runtime.Decide rebuilds scratch, induced
@@ -129,37 +211,42 @@ type memoEntry struct {
 //
 //   - scratch buffers (statuses, leader lists, candidate sets) and a
 //     graph.SubgraphArena + mwis.Workspace, so a steady-state full decision
-//     allocates only its published Result;
+//     allocates only its published Result (optionally borrowed per decide
+//     from a shared DecideArena);
 //   - a weight-epoch cache: when the weight vector and previous-strategy
 //     set equal the previous call's, the cached Result is returned without
 //     running the protocol (the distributed system would broadcast no
 //     fresh weights and re-derive the identical strategy);
-//   - an exact per-leader local-MWIS memo (one entry per vertex, bounded):
-//     before solving MWIS(A_r(v)) the decider compares the candidate set
-//     and its weights against the leader's previous instance and replays
-//     the split on a match.
+//   - an exact per-leader cache (one entry per vertex, bounded) with a
+//     change-set epoch filter and a drift sensitivity margin: before
+//     solving MWIS(A_r(v)) the decider checks whether the leader's
+//     candidate weights are untouched since the anchor solve (leader skip),
+//     or drifted within the anchor's comparison-slack certificate
+//     (sensitivity skip), and replays the cached split in either case.
 //
-// All three layers are exact — same inputs produce bit-identical Results,
-// Stats included (see TestDeciderMatchesReferenceRandomized) — so a Decider
-// is a drop-in for Runtime.Decide on any trajectory. A Decider is confined
-// to one goroutine; create one per consumer (the slot kernel embeds one per
+// All layers are exact — same inputs produce bit-identical Results, Stats
+// included (see TestDeciderMatchesReferenceRandomized) — so a Decider is a
+// drop-in for Runtime.Decide on any trajectory. A Decider is confined to
+// one goroutine; create one per consumer (the slot kernel embeds one per
 // Loop). Results it returns follow Runtime.Decide's contract: they are
 // never mutated afterwards, and an epoch-skipped boundary returns the same
 // *Result as the decision it replays.
 type Decider struct {
-	rt     *Runtime
-	wss    mwis.WorkspaceSolver // nil when the runtime's solver has no workspace path
-	hyb    mwis.Hybrid          // the prepared-path solver when hasHyb
-	hasHyb bool
-	ws     mwis.Workspace
-	arena  graph.SubgraphArena
-	status []Status
-	leaders,
-	ar []int
-	w          []float64
-	inIS       []bool // indexed by original vertex id; cleared after each use
-	winnerBits []uint64
-	memo       []memoEntry
+	rt      *Runtime
+	wss     mwis.WorkspaceSolver // nil when the runtime's solver has no workspace path
+	hyb     mwis.Hybrid          // the prepared-path solver when hasHyb
+	hasHyb  bool
+	scratch decideScratch
+	shared  *DecideArena // when non-nil, full decides borrow scratch here
+	memo    []memoEntry
+
+	// epoch counts full decides; lastChanged[v] is the epoch at which
+	// vertex v's weight was last observed to differ from the decide
+	// before it. A memo entry anchored at epoch e is provably untouched
+	// when every candidate's lastChanged is ≤ e — the change-set filter
+	// that lets leaders skip without even reading their weights.
+	epoch       int64
+	lastChanged []int64
 
 	lastW    []float64
 	lastPrev []int
@@ -185,12 +272,11 @@ type Decider struct {
 func NewDecider(rt *Runtime) *Decider {
 	n := rt.ext.H.N()
 	d := &Decider{
-		rt:         rt,
-		status:     make([]Status, n),
-		inIS:       make([]bool, n),
-		winnerBits: make([]uint64, rt.adjWords),
-		memo:       make([]memoEntry, n),
+		rt:          rt,
+		memo:        make([]memoEntry, n),
+		lastChanged: make([]int64, n),
 	}
+	d.scratch.size(n, rt.adjWords)
 	if wss, ok := rt.solver.(mwis.WorkspaceSolver); ok {
 		d.wss = wss
 	}
@@ -210,6 +296,13 @@ func (d *Decider) Runtime() *Runtime { return d.rt }
 // Stats returns the decider's cumulative accounting.
 func (d *Decider) Stats() DecideStats { return d.stats }
 
+// SetArena attaches (or with nil detaches) a shared scratch arena: full
+// decides borrow their scratch from it instead of the decider's own. Only
+// deciders over runtimes of the same topology family should share one (the
+// serving registry shares per cached Runtime). Must not be called during a
+// decide.
+func (d *Decider) SetArena(a *DecideArena) { d.shared = a }
+
 // SetTracer attaches (or with nil detaches) a decision-path tracer. The
 // callback runs synchronously on the deciding goroutine after every
 // successful decide with a scratch *DecideTrace the decider reuses — copy
@@ -222,21 +315,23 @@ func (d *Decider) SetTracer(fn func(*DecideTrace)) { d.tracer = fn }
 // epoch itself. Output is bit-identical to Runtime.Decide on the same
 // inputs.
 func (d *Decider) Decide(weights []float64, prevPlayed []int) (*Result, error) {
-	return d.decide(weights, prevPlayed, false)
+	return d.decide(weights, prevPlayed, false, nil)
 }
 
 // DecideEpoch is Decide with caller-side change tracking threaded through:
 // weightsUnchanged asserts that weights is element-for-element identical to
-// the previous call's weight vector (the slot kernel derives this from
-// policy.IndexWriter change reporting), letting the decider skip its own
-// comparison. The previous-strategy set is always compared. Passing
-// weightsUnchanged=false never forfeits the short-circuit — the decider
-// falls back to comparing the vectors itself.
-func (d *Decider) DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool) (*Result, error) {
-	return d.decide(weights, prevPlayed, weightsUnchanged)
+// the previous call's weight vector, and ch, when non-nil, asserts that it
+// holds every index whose weight differs from the previous call's (both are
+// what the slot kernel derives from policy.IndexWriter change reporting).
+// The previous-strategy set is always compared. The assertions are trusted
+// — a caller that under-reports changes gets stale replays — but passing
+// weightsUnchanged=false and ch=nil never forfeits any skip: the decider
+// falls back to comparing the vectors itself, at the cost of one O(n) scan.
+func (d *Decider) DecideEpoch(weights []float64, prevPlayed []int, weightsUnchanged bool, ch *changeset.Set) (*Result, error) {
+	return d.decide(weights, prevPlayed, weightsUnchanged, ch)
 }
 
-func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged bool) (*Result, error) {
+func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged bool, ch *changeset.Set) (*Result, error) {
 	h := d.rt.ext.H
 	n := h.N()
 	if len(weights) != n {
@@ -259,6 +354,33 @@ func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged b
 		}
 		return d.lastRes, nil
 	}
+
+	// Advance the change epoch: record which vertices' weights moved since
+	// the previous decide, from the caller's change set when provided, by
+	// direct comparison otherwise. With no previous decide every vertex is
+	// conservatively marked changed.
+	d.epoch++
+	switch {
+	case d.lastRes == nil:
+		for i := range d.lastChanged {
+			d.lastChanged[i] = d.epoch
+		}
+	case weightsUnchanged:
+		// Nothing moved; every memo anchor stays clean.
+	case ch != nil:
+		for i := 0; i < n; i++ {
+			if ch.Contains(i) {
+				d.lastChanged[i] = d.epoch
+			}
+		}
+	default:
+		for i, x := range weights {
+			if x != d.lastW[i] {
+				d.lastChanged[i] = d.epoch
+			}
+		}
+	}
+
 	var memoBefore DecideStats
 	if d.tracer != nil {
 		memoBefore = d.stats
@@ -279,7 +401,8 @@ func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged b
 		d.trace.StartUnixNS = t0.UnixNano()
 		d.trace.EpochSkip = false
 		d.trace.MiniRounds = res.MiniRounds
-		d.trace.MemoHits = d.stats.MemoHits - memoBefore.MemoHits
+		d.trace.LeaderSkips = d.stats.LeaderSkips - memoBefore.LeaderSkips
+		d.trace.SensitivitySkips = d.stats.SensitivitySkips - memoBefore.SensitivitySkips
 		d.trace.MemoStructHits = d.stats.MemoStructHits - memoBefore.MemoStructHits
 		d.trace.MemoMisses = d.stats.MemoMisses - memoBefore.MemoMisses
 		d.trace.TotalNS = now.Sub(t0).Nanoseconds()
@@ -290,11 +413,19 @@ func (d *Decider) decide(weights []float64, prevPlayed []int, weightsUnchanged b
 
 // decideFull mirrors Runtime.Decide step for step over the persistent
 // buffers; any observable divergence is a bug the randomized equivalence
-// suite exists to catch.
+// suite exists to catch. The winner-weight series and all Stats are always
+// recomputed from the current weight vector — replayed leader splits
+// contribute current weights, never cached ones.
 func (d *Decider) decideFull(weights []float64, prevPlayed []int, t0 time.Time) (*Result, error) {
 	rt := d.rt
 	h := rt.ext.H
 	n := h.N()
+	sc := &d.scratch
+	if d.shared != nil {
+		sc = d.shared.get()
+		defer d.shared.put(sc)
+		sc.size(n, rt.adjWords)
+	}
 	traced := d.tracer != nil
 	var phaseStart time.Time
 	if traced {
@@ -327,7 +458,7 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int, t0 time.Time) 
 	}
 
 	// Mini-round loop (Algorithm 3).
-	status := d.status[:n]
+	status := sc.status[:n]
 	for i := range status {
 		status[i] = Candidate
 	}
@@ -338,7 +469,7 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int, t0 time.Time) 
 		maxRounds = n
 	}
 	for tau := 0; tau < maxRounds && candidates > 0; tau++ {
-		leaders := d.selectLeaders(weights, status)
+		leaders := d.selectLeaders(sc, weights, status)
 		if len(leaders) == 0 {
 			if traced {
 				now := time.Now()
@@ -360,7 +491,7 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int, t0 time.Time) 
 			phaseStart = now
 		}
 		for _, v := range leaders {
-			winners, losers, err := d.localDecision(v, weights, status)
+			winners, losers, err := d.localDecision(sc, v, weights, status)
 			if err != nil {
 				return nil, err
 			}
@@ -404,7 +535,7 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int, t0 time.Time) 
 		}
 	}
 	sort.Ints(res.Winners)
-	if !d.winnersIndependent(res.Winners) {
+	if !d.winnersIndependent(sc, res.Winners) {
 		return nil, errors.New("protocol: internal error: winners are not independent")
 	}
 	strategy, err := rt.ext.StrategyFromVertices(res.Winners)
@@ -427,9 +558,9 @@ func (d *Decider) decideFull(weights []float64, prevPlayed []int, t0 time.Time) 
 	return res, nil
 }
 
-// selectLeaders is Runtime.selectLeaders over the decider's leader buffer.
-func (d *Decider) selectLeaders(weights []float64, status []Status) []int {
-	leaders := d.leaders[:0]
+// selectLeaders is Runtime.selectLeaders over the scratch leader buffer.
+func (d *Decider) selectLeaders(sc *decideScratch, weights []float64, status []Status) []int {
+	leaders := sc.leaders[:0]
 	for v, st := range status {
 		if st != Candidate {
 			continue
@@ -448,64 +579,102 @@ func (d *Decider) selectLeaders(weights []float64, status []Status) []int {
 			leaders = append(leaders, v)
 		}
 	}
-	d.leaders = leaders
+	sc.leaders = leaders
 	return leaders
 }
 
 // localDecision computes the winner/loser split of MWIS(A_r(v)) for
-// LocalLeader v, consulting the per-leader memo first. On a miss it solves
-// over the subgraph arena (workspace solver path when available) and
-// refreshes the leader's entry.
-func (d *Decider) localDecision(v int, weights []float64, status []Status) (winners, losers []int, err error) {
-	ar := d.ar[:0]
+// LocalLeader v, consulting the per-leader cache first: an anchored entry
+// whose candidate set matches replays its split outright when no candidate
+// weight moved since the anchor epoch, when the weights compare exactly
+// equal, or when their L1 drift stays strictly below the anchor's slack
+// certificate. Otherwise it resolves — over the cached subgraph preparation
+// when the candidate set matches (hybrid solver), from scratch when not —
+// and re-anchors the entry at the current epoch.
+func (d *Decider) localDecision(sc *decideScratch, v int, weights []float64, status []Status) (winners, losers []int, err error) {
+	ar := sc.ar[:0]
 	for _, u := range d.rt.ballR[v] {
 		if status[u] == Candidate || u == v {
 			ar = append(ar, u)
 		}
 	}
-	d.ar = ar
+	sc.ar = ar
 
 	e := &d.memo[v]
 	candMatch := equalInts(e.cand, ar)
-	if e.valid && candMatch && weightsEqualAt(weights, ar, e.w) {
-		d.stats.MemoHits++
-		return e.winners, e.losers, nil
+	if e.valid && candMatch {
+		clean := true
+		for _, u := range ar {
+			if d.lastChanged[u] > e.epoch {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			d.stats.LeaderSkips++
+			return e.winners, e.losers, nil
+		}
+		// Some candidate moved since the anchor: measure the actual L1
+		// drift against the anchor weights. Zero drift is an exact replay;
+		// drift strictly below the certificate is a proven replay. The
+		// scan exits as soon as the accumulated drift rules both out.
+		d1 := 0.0
+		for i, u := range ar {
+			d1 += math.Abs(weights[u] - e.w[i])
+			if d1 > 0 && d1 >= e.slack {
+				break
+			}
+		}
+		if d1 == 0 {
+			d.stats.LeaderSkips++
+			return e.winners, e.losers, nil
+		}
+		if d1 < e.slack {
+			d.stats.SensitivitySkips++
+			return e.winners, e.losers, nil
+		}
 	}
 	structMatch := e.preValid && candMatch
 
 	// Gather the candidate weights (vertex i of the local instance is
 	// ar[i]: ar is ascending — ballR is sorted — which is exactly the
 	// vertex order Induced produces).
-	w := d.w[:0]
+	w := sc.w[:0]
 	for _, u := range ar {
 		w = append(w, weights[u])
 	}
-	d.w = w
+	sc.w = w
 
 	var localIS []int
 	if d.hasHyb {
 		// Hybrid solver: solve over the leader's prepared structure,
-		// rebuilding it only when the candidate set changed.
+		// rebuilding it only when the candidate set changed. The solve
+		// carries the slack certificate so the next lookups can skip
+		// under bounded drift; certification never changes the result
+		// (TestSlackTrackingDoesNotChangeResults).
 		if !structMatch {
 			d.stats.MemoMisses++
-			sub, _ := d.arena.Induced(d.rt.ext.H, ar)
-			e.pre.Prepare(sub, &d.ws)
+			sub, _ := sc.arena.Induced(d.rt.ext.H, ar)
+			e.pre.Prepare(sub, &sc.ws)
 			e.cand = append(e.cand[:0], ar...)
 			e.preValid = true
 			e.valid = false
 		} else {
 			d.stats.MemoStructHits++
 		}
-		localIS, err = d.hyb.SolvePrepared(&e.pre, w, &d.ws)
+		sc.ws.TrackSlack = true
+		localIS, err = d.hyb.SolvePrepared(&e.pre, w, &sc.ws)
+		e.slack = sc.ws.Slack
 	} else {
 		d.stats.MemoMisses++
 		e.cand = append(e.cand[:0], ar...)
 		e.preValid = false
 		e.valid = false
-		sub, _ := d.arena.Induced(d.rt.ext.H, ar)
+		e.slack = 0 // no certificate off the prepared hybrid path
+		sub, _ := sc.arena.Induced(d.rt.ext.H, ar)
 		in := mwis.Instance{G: sub, W: w}
 		if d.wss != nil {
-			localIS, err = d.wss.SolveWorkspace(in, &d.ws)
+			localIS, err = d.wss.SolveWorkspace(in, &sc.ws)
 		} else {
 			localIS, err = d.rt.solver.Solve(in)
 		}
@@ -514,30 +683,31 @@ func (d *Decider) localDecision(v int, weights []float64, status []Status) (winn
 		return nil, nil, fmt.Errorf("protocol: local MWIS at leader %d: %w", v, err)
 	}
 	for _, li := range localIS {
-		d.inIS[ar[li]] = true
+		sc.inIS[ar[li]] = true
 	}
 	e.w = append(e.w[:0], w...)
 	e.winners = e.winners[:0]
 	e.losers = e.losers[:0]
 	for _, u := range ar {
-		if d.inIS[u] {
+		if sc.inIS[u] {
 			e.winners = append(e.winners, u)
 		} else {
 			e.losers = append(e.losers, u)
 		}
 	}
 	for _, li := range localIS {
-		d.inIS[ar[li]] = false
+		sc.inIS[ar[li]] = false
 	}
 	e.valid = true
+	e.epoch = d.epoch
 	return e.winners, e.losers, nil
 }
 
 // winnersIndependent verifies the output set against the runtime's
 // adjacency bitsets: a vertex joins only if none of its neighbors is
 // already in, which over all pairs is exactly graph.IsIndependent.
-func (d *Decider) winnersIndependent(winners []int) bool {
-	bits := d.winnerBits
+func (d *Decider) winnersIndependent(sc *decideScratch, winners []int) bool {
+	bits := sc.winnerBits
 	for i := range bits {
 		bits[i] = 0
 	}
@@ -576,19 +746,6 @@ func equalFloats(a, b []float64) bool {
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// weightsEqualAt reports whether weights[ids[i]] == w[i] for all i.
-func weightsEqualAt(weights []float64, ids []int, w []float64) bool {
-	if len(ids) != len(w) {
-		return false
-	}
-	for i, u := range ids {
-		if weights[u] != w[i] {
 			return false
 		}
 	}

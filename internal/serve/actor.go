@@ -498,7 +498,8 @@ func (a *actor) trackDecisions() func() {
 		}
 		a.counters.FullDecides.Add(delta.FullDecides)
 		a.counters.EpochSkips.Add(delta.EpochSkips)
-		a.counters.MemoHits.Add(delta.MemoHits)
+		a.counters.LeaderSkips.Add(delta.LeaderSkips)
+		a.counters.SensitivitySkips.Add(delta.SensitivitySkips)
 		a.counters.MemoStructHits.Add(delta.MemoStructHits)
 		a.counters.MemoMisses.Add(delta.MemoMisses)
 		a.counters.MiniRounds.Add(delta.MiniRounds)

@@ -363,9 +363,9 @@ func TestSnapshotRestoreMidRunBitIdentical(t *testing.T) {
 						t.Fatal("oracle run recorded no weight-epoch skips; the mid-epoch cut would not test one")
 					}
 					// The second boundary re-solves the first's instances
-					// under identical weights: full memo hits.
-					if hits := reg.Metrics().TotalMemoHits(); hits == 0 {
-						t.Fatal("oracle run recorded no local-MWIS memo hits")
+					// under identical weights: exact leader skips.
+					if skips := reg.Metrics().TotalLeaderSkips(); skips == 0 {
+						t.Fatal("oracle run recorded no exact leader skips")
 					}
 				}
 

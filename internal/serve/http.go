@@ -490,7 +490,9 @@ func (s *Server) handleMetricsLegacy(w http.ResponseWriter) {
 		fmt.Fprintf(&b, "banditd_decisions_total{shard=\"%d\"} %d\n", i, sc.Decisions.Load())
 		fmt.Fprintf(&b, "banditd_decide_full_total{shard=\"%d\"} %d\n", i, sc.FullDecides.Load())
 		fmt.Fprintf(&b, "banditd_decide_epoch_skips_total{shard=\"%d\"} %d\n", i, sc.EpochSkips.Load())
-		fmt.Fprintf(&b, "banditd_decide_memo_hits_total{shard=\"%d\"} %d\n", i, sc.MemoHits.Load())
+		fmt.Fprintf(&b, "banditd_decide_leader_skips_total{shard=\"%d\"} %d\n", i, sc.LeaderSkips.Load())
+		fmt.Fprintf(&b, "banditd_decide_leader_sensitivity_skips_total{shard=\"%d\"} %d\n", i, sc.SensitivitySkips.Load())
+		fmt.Fprintf(&b, "banditd_decide_leader_resolves_total{shard=\"%d\"} %d\n", i, sc.MemoStructHits.Load()+sc.MemoMisses.Load())
 		fmt.Fprintf(&b, "banditd_decide_memo_struct_hits_total{shard=\"%d\"} %d\n", i, sc.MemoStructHits.Load())
 		fmt.Fprintf(&b, "banditd_decide_memo_misses_total{shard=\"%d\"} %d\n", i, sc.MemoMisses.Load())
 		fmt.Fprintf(&b, "banditd_decide_mini_rounds_total{shard=\"%d\"} %d\n", i, sc.MiniRounds.Load())

@@ -114,7 +114,9 @@ func TestHTTPWorkflow(t *testing.T) {
 		"banditd_decisions_total",
 		"banditd_decide_full_total",
 		"banditd_decide_epoch_skips_total",
-		"banditd_decide_memo_hits_total",
+		"banditd_decide_leader_skips_total",
+		"banditd_decide_leader_sensitivity_skips_total",
+		"banditd_decide_leader_resolves_total",
 		"banditd_decide_memo_struct_hits_total",
 		"banditd_decide_memo_misses_total",
 		"banditd_decide_mini_rounds_total",

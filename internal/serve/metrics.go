@@ -28,13 +28,17 @@ type ShardCounters struct {
 	// previous result under an unchanged weight vector.
 	FullDecides atomic.Int64
 	EpochSkips  atomic.Int64
-	// MemoHits, MemoStructHits and MemoMisses count the local-MWIS memo
-	// lookups of full decides (one per LocalLeader per mini-round): exact
-	// instance replays, structure-only reuses (subgraph + clique partition
-	// cached, weighted search re-run), and full rebuilds.
-	MemoHits       atomic.Int64
-	MemoStructHits atomic.Int64
-	MemoMisses     atomic.Int64
+	// LeaderSkips, SensitivitySkips, MemoStructHits and MemoMisses classify
+	// the per-leader cache lookups of full decides (one per LocalLeader per
+	// mini-round): split replays under exactly-equal candidate weights,
+	// split replays under drift bounded by the anchor's slack certificate,
+	// structure-only reuses (subgraph + clique partition cached, weighted
+	// search re-run), and full rebuilds. The first two run no solver at
+	// all; struct hits + misses are the leader re-solves.
+	LeaderSkips      atomic.Int64
+	SensitivitySkips atomic.Int64
+	MemoStructHits   atomic.Int64
+	MemoMisses       atomic.Int64
 	// Protocol communication totals of the full decides hosted on the
 	// shard (the per-decision protocol.Stats quantities, summed).
 	MiniRounds         atomic.Int64
@@ -100,11 +104,20 @@ func (m *Metrics) TotalEpochSkips() int64 {
 	return t
 }
 
-// TotalMemoHits sums the local-MWIS memo hit counters across shards.
-func (m *Metrics) TotalMemoHits() int64 {
+// TotalLeaderSkips sums the exact-replay leader skip counters across shards.
+func (m *Metrics) TotalLeaderSkips() int64 {
 	var t int64
 	for i := range m.Shards {
-		t += m.Shards[i].MemoHits.Load()
+		t += m.Shards[i].LeaderSkips.Load()
+	}
+	return t
+}
+
+// TotalSensitivitySkips sums the drift-bounded replay counters across shards.
+func (m *Metrics) TotalSensitivitySkips() int64 {
+	var t int64
+	for i := range m.Shards {
+		t += m.Shards[i].SensitivitySkips.Load()
 	}
 	return t
 }
@@ -146,11 +159,13 @@ var shardFamilies = []shardFamily{
 		func(c *ShardCounters) *atomic.Int64 { return &c.FullDecides }},
 	{"banditd_decide_epoch_skips_total", "Decisions served from the cached result under an unchanged weight epoch.", obs.KindCounter,
 		func(c *ShardCounters) *atomic.Int64 { return &c.EpochSkips }},
-	{"banditd_decide_memo_hits_total", "Local-MWIS memo lookups replayed exactly (no solver ran).", obs.KindCounter,
-		func(c *ShardCounters) *atomic.Int64 { return &c.MemoHits }},
-	{"banditd_decide_memo_struct_hits_total", "Local-MWIS memo lookups reusing cached subgraph structure (weighted search re-run).", obs.KindCounter,
+	{"banditd_decide_leader_skips_total", "Per-leader lookups replayed under exactly-equal candidate weights (no solver ran).", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.LeaderSkips }},
+	{"banditd_decide_leader_sensitivity_skips_total", "Per-leader lookups replayed under drift bounded by the slack certificate (no solver ran).", obs.KindCounter,
+		func(c *ShardCounters) *atomic.Int64 { return &c.SensitivitySkips }},
+	{"banditd_decide_memo_struct_hits_total", "Per-leader lookups reusing cached subgraph structure (weighted search re-run).", obs.KindCounter,
 		func(c *ShardCounters) *atomic.Int64 { return &c.MemoStructHits }},
-	{"banditd_decide_memo_misses_total", "Local-MWIS memo lookups that rebuilt the leader's instance.", obs.KindCounter,
+	{"banditd_decide_memo_misses_total", "Per-leader lookups that rebuilt the leader's instance.", obs.KindCounter,
 		func(c *ShardCounters) *atomic.Int64 { return &c.MemoMisses }},
 	{"banditd_decide_mini_rounds_total", "Protocol mini-rounds run by full decides.", obs.KindCounter,
 		func(c *ShardCounters) *atomic.Int64 { return &c.MiniRounds }},
@@ -197,6 +212,13 @@ func (r *Registry) registerObs() {
 			}
 		})
 	}
+	o.RegisterValues("banditd_decide_leader_resolves_total", "Per-leader lookups that actually ran a local MWIS search (struct hits + misses).", obs.KindCounter,
+		func(emit obs.EmitValue) {
+			for i := range r.metrics.Shards {
+				c := &r.metrics.Shards[i]
+				emit(float64(c.MemoStructHits.Load()+c.MemoMisses.Load()), obs.L("shard", strconv.Itoa(i)))
+			}
+		})
 	o.RegisterValues("banditd_artifact_cache_hits_total", "Artifact-cache hits (instances sharing constructed artifacts).", obs.KindCounter,
 		func(emit obs.EmitValue) { emit(float64(r.cache.Stats().Hits)) })
 	o.RegisterValues("banditd_artifact_cache_misses_total", "Artifact-cache misses (artifact sets constructed).", obs.KindCounter,
@@ -246,8 +268,10 @@ func (r *Registry) attachTrace(id string, loop *core.Loop) {
 			out = obs.OutcomeFull
 		case tr.MemoStructHits > 0:
 			out = obs.OutcomeMemoStruct
-		case tr.MemoHits > 0:
-			out = obs.OutcomeMemoFull
+		case tr.SensitivitySkips > 0:
+			out = obs.OutcomeSensitivitySkip
+		case tr.LeaderSkips > 0:
+			out = obs.OutcomeLeaderSkip
 		default:
 			out = obs.OutcomeFull
 		}
@@ -261,19 +285,20 @@ func (r *Registry) attachTrace(id string, loop *core.Loop) {
 			ph.total.Observe(tr.TotalNS)
 		}
 		ring.Publish(&obs.Span{
-			Instance:       id,
-			Slot:           int64(slot),
-			Start:          tr.StartUnixNS,
-			Outcome:        out,
-			BroadcastNS:    tr.BroadcastNS,
-			ElectionNS:     tr.ElectionNS,
-			LocalMWISNS:    tr.LocalMWISNS,
-			FinalizeNS:     tr.FinalizeNS,
-			TotalNS:        tr.TotalNS,
-			MiniRounds:     int32(tr.MiniRounds),
-			MemoHits:       int32(tr.MemoHits),
-			MemoStructHits: int32(tr.MemoStructHits),
-			MemoMisses:     int32(tr.MemoMisses),
+			Instance:         id,
+			Slot:             int64(slot),
+			Start:            tr.StartUnixNS,
+			Outcome:          out,
+			BroadcastNS:      tr.BroadcastNS,
+			ElectionNS:       tr.ElectionNS,
+			LocalMWISNS:      tr.LocalMWISNS,
+			FinalizeNS:       tr.FinalizeNS,
+			TotalNS:          tr.TotalNS,
+			MiniRounds:       int32(tr.MiniRounds),
+			LeaderSkips:      int32(tr.LeaderSkips),
+			SensitivitySkips: int32(tr.SensitivitySkips),
+			MemoStructHits:   int32(tr.MemoStructHits),
+			MemoMisses:       int32(tr.MemoMisses),
 		})
 	})
 }

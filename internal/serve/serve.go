@@ -45,6 +45,7 @@ import (
 	"multihopbandit/internal/engine"
 	"multihopbandit/internal/obs"
 	"multihopbandit/internal/policy"
+	"multihopbandit/internal/protocol"
 	"multihopbandit/internal/rng"
 	"multihopbandit/internal/spec"
 )
@@ -102,6 +103,25 @@ type Registry struct {
 	obs    *obs.Registry
 	trace  *obs.TraceRing
 	phases phaseHists
+
+	// arenaMu guards arenas: one shared protocol.DecideArena per cached
+	// Runtime, so every instance deciding over the same topology borrows
+	// decide scratch from one pool instead of warming its own. Entries
+	// live as long as the registry (Runtimes are cache-canonical and few).
+	arenaMu sync.Mutex
+	arenas  map[*protocol.Runtime]*protocol.DecideArena
+}
+
+// arenaFor returns (creating once) the shared decide-scratch arena of rt.
+func (r *Registry) arenaFor(rt *protocol.Runtime) *protocol.DecideArena {
+	r.arenaMu.Lock()
+	defer r.arenaMu.Unlock()
+	a, ok := r.arenas[rt]
+	if !ok {
+		a = protocol.NewDecideArena()
+		r.arenas[rt] = a
+	}
+	return a
 }
 
 type shard struct {
@@ -131,6 +151,7 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		persist: cfg.Persist,
 		obs:     obs.NewRegistry(),
 		trace:   cfg.Trace,
+		arenas:  make(map[*protocol.Runtime]*protocol.DecideArena),
 	}
 	for i := range r.shards {
 		r.shards[i] = &shard{instances: make(map[string]*Instance)}
@@ -308,9 +329,14 @@ func (r *Registry) buildLoop(canon spec.ScenarioSpec) (*core.Loop, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("serve: instance policy: %w", err)
 	}
+	// Instances over the same cached Runtime batch their boundary decides
+	// through one shared scratch arena (per-decider caches stay private).
+	dec := rt.NewDecider()
+	dec.SetArena(r.arenaFor(rt))
 	loop, err := core.NewLoop(core.LoopConfig{
 		Ext:         inst.Ext,
 		Runtime:     rt,
+		Decider:     dec,
 		Policy:      pol,
 		Sampler:     sampler,
 		UpdateEvery: canon.Decision.UpdateEvery,

@@ -35,7 +35,7 @@ type ScenarioResult struct {
 	// Decisions is the number of strategy decisions served.
 	Decisions int64
 	// DecideStats is the decision plane's accounting for the run (full
-	// decides vs weight-epoch skips, local-MWIS memo hits/misses,
+	// decides vs weight-epoch skips, the per-leader skip taxonomy,
 	// communication totals).
 	DecideStats protocol.DecideStats
 	// Distnet is the concurrent runtime's telemetry when the spec selects
